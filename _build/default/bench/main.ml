@@ -1,0 +1,163 @@
+(* Benchmark harness: one Bechamel test per paper experiment (E1-E9; the
+   experiment index lives in DESIGN.md). Running the executable first
+   regenerates the experiment tables (so the harness prints the same rows
+   the paper reports), then times each experiment's computational kernel
+   with Bechamel and prints per-run estimates.
+
+     dune exec bench/main.exe            -- tables + timings
+     dune exec bench/main.exe quick      -- timings only *)
+
+open Bechamel
+open Bechamel.Toolkit
+
+let stage = Staged.stage
+
+(* --- shared fixtures (built once, outside the timed region) --- *)
+
+let hwb4 = Logic.Funcgen.hwb 4
+let hwb6 = Logic.Funcgen.hwb 6
+let hwb8 = Logic.Funcgen.hwb 8
+let mm_paper = Logic.Bent.mm (Logic.Perm.of_list [ 0; 2; 3; 5; 7; 1; 4; 6 ])
+let e1_instance = Core.Hidden_shift.Inner_product { n = 2; s = 1 }
+let e1_circuit = Core.Hidden_shift.build e1_instance
+
+let e3_instance =
+  Core.Hidden_shift.Mm { mm = mm_paper; s = 5; synth = Pq.Oracles.Tbs }
+
+let e3_circuit = Core.Hidden_shift.build e3_instance
+let hwb4_rev = Rev.Tbs.synth hwb4
+let hwb4_mapped, _ = Qc.Clifford_t.compile_rcircuit hwb4_rev
+let adder_xag = Rev.Xag.ripple_adder 4
+let maj5 = Logic.Funcgen.majority 5
+
+let sim_circuit n =
+  Qc.Circuit.of_gates n
+    (List.concat
+       (List.init 4 (fun layer ->
+            List.init n (fun q -> Qc.Gate.H q)
+            @ List.init (n - 1) (fun q ->
+                  if (q + layer) mod 2 = 0 then Qc.Gate.Cnot (q, q + 1) else Qc.Gate.T q))))
+
+let sim14 = sim_circuit 14
+
+let tests =
+  Test.make_grouped ~name:"dautoq"
+    [ (* E1: Fig. 4/5 — build and solve the inner-product instance *)
+      Test.make ~name:"e1_inner_product_build"
+        (stage (fun () -> Core.Hidden_shift.build e1_instance));
+      Test.make ~name:"e1_inner_product_sim"
+        (stage (fun () -> Qc.Statevector.run e1_circuit));
+      (* E2: Fig. 6 — one noisy shot on the IBM-substitute backend *)
+      Test.make ~name:"e2_noisy_shot"
+        (let st = Random.State.make [| 42 |] in
+         stage (fun () -> Qc.Noise.run_shot st Qc.Noise.ibm_qx2017 e1_circuit));
+      (* E3: Fig. 7/8 — build and solve the Maiorana-McFarland instance *)
+      Test.make ~name:"e3_mm_build"
+        (stage (fun () -> Core.Hidden_shift.build e3_instance));
+      Test.make ~name:"e3_mm_sim" (stage (fun () -> Qc.Statevector.run e3_circuit));
+      (* E4: Eq. (5) — the full flow on hwb4, and its individual stages *)
+      Test.make ~name:"e4_revkit_flow" (stage (fun () -> Core.Flow.compile_perm hwb4));
+      Test.make ~name:"e4_stage_revsimp" (stage (fun () -> Rev.Rsimp.simplify hwb4_rev));
+      Test.make ~name:"e4_stage_cliffordt"
+        (stage (fun () -> Qc.Clifford_t.compile_rcircuit hwb4_rev));
+      Test.make ~name:"e4_stage_tpar" (stage (fun () -> Qc.Tpar.optimize hwb4_mapped));
+      (* E5: synthesis sweep — per-method kernels at two sizes *)
+      Test.make ~name:"e5_tbs_hwb6" (stage (fun () -> Rev.Tbs.synth hwb6));
+      Test.make ~name:"e5_tbs_hwb8" (stage (fun () -> Rev.Tbs.synth hwb8));
+      Test.make ~name:"e5_dbs_hwb6" (stage (fun () -> Rev.Dbs.synth hwb6));
+      Test.make ~name:"e5_dbs_hwb8" (stage (fun () -> Rev.Dbs.synth hwb8));
+      Test.make ~name:"e5_esop_maj5" (stage (fun () -> Rev.Esop_synth.synth1 maj5));
+      (* E6: pebbling / hierarchical trade-off *)
+      Test.make ~name:"e6_hier_bennett" (stage (fun () -> Rev.Hier_synth.bennett adder_xag));
+      Test.make ~name:"e6_hier_batched1"
+        (stage (fun () -> Rev.Hier_synth.output_batched ~batch:1 adder_xag));
+      Test.make ~name:"e6_pebble_schedule"
+        (stage (fun () -> Rev.Pebble.strategy_cost ~segments:32 ~fanout:2));
+      (* E7: quantum determinism vs classical baseline *)
+      Test.make ~name:"e7_quantum_solve" (stage (fun () -> Core.Hidden_shift.solve e3_instance));
+      Test.make ~name:"e7_classical_baseline"
+        (stage (fun () -> Core.Hidden_shift.classical_queries e3_instance));
+      (* E8: Q# generation *)
+      Test.make ~name:"e8_qsharp_gen"
+        (stage (fun () -> Qc.Qsharp_gen.operation ~name:"PermutationOracle" hwb4_mapped));
+      (* E9: simulator scaling (one fixed width; the E9 table sweeps widths) *)
+      Test.make ~name:"e9_sim_14q" (stage (fun () -> Qc.Statevector.run sim14));
+      (* E10: stabilizer backend at widths beyond the state vector *)
+      Test.make ~name:"e10_stabilizer_hs_64q"
+        (stage (fun () ->
+             Core.Hidden_shift.solve_clifford
+               (Core.Hidden_shift.Inner_product { n = 32; s = 0xDEAD })));
+      (* extension passes *)
+      Test.make ~name:"ext_route_lnn"
+        (stage (fun () -> Qc.Route.lnn hwb4_mapped));
+      Test.make ~name:"ext_cycle_synth_hwb6"
+        (stage (fun () -> Rev.Cycle_synth.synth hwb6));
+      Test.make ~name:"ext_cuccaro_adder_16"
+        (stage (fun () -> Rev.Arith.cuccaro_adder 16));
+      Test.make ~name:"ext_grover_4q"
+        (let tt = Logic.Funcgen.threshold 4 4 in
+         stage (fun () -> Core.Grover.success_probability tt));
+      (* E11 ablation kernel: the flow with everything on *)
+      Test.make ~name:"e11_full_flow_hwb5"
+        (let hwb5 = Logic.Funcgen.hwb 5 in
+         stage (fun () -> Core.Flow.compile_perm hwb5));
+      (* second-wave extensions *)
+      Test.make ~name:"ext_qft_8q"
+        (let c = Qc.Qft.qft 8 in
+         stage (fun () -> Qc.Statevector.run c));
+      Test.make ~name:"ext_draper_add_const_6"
+        (stage (fun () -> Qc.Qft.draper_add_const 6 13));
+      Test.make ~name:"ext_qpe_t6"
+        (stage (fun () -> Qc.Qpe.estimate ~t:6 ~phi:0.3141));
+      Test.make ~name:"ext_lut_synth_adder4"
+        (stage (fun () -> Rev.Lut_synth.synth ~k:4 adder_xag));
+      Test.make ~name:"ext_equiv_randomized_10q"
+        (let a = sim_circuit 10 in
+         stage (fun () -> Qc.Equiv.randomized ~trials:4 a a));
+      Test.make ~name:"ext_bv_8q"
+        (stage (fun () ->
+             Core.Oracle_algorithms.bernstein_vazirani ~n:8 ~a:0b10110101 ~b:false));
+      (* substrate micro-benchmarks *)
+      Test.make ~name:"sub_walsh_transform_n12"
+        (let tt = Logic.Funcgen.majority 12 in
+         stage (fun () -> Logic.Walsh.transform tt));
+      Test.make ~name:"sub_esop_minimize_n8"
+        (let tt = Logic.Funcgen.threshold 8 4 in
+         stage (fun () -> Logic.Esop_opt.minimize tt));
+      Test.make ~name:"sub_bdd_build_maj10"
+        (let tt = Logic.Funcgen.majority 10 in
+         stage (fun () ->
+             let m = Logic.Bdd.create 10 in
+             Logic.Bdd.of_truth_table m tt)) ]
+
+let run_benchmarks () =
+  let ols = Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |] in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true () in
+  let raw = Benchmark.all cfg instances tests in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
+  let rows = List.sort (fun (a, _) (b, _) -> compare a b) rows in
+  Printf.printf "%-42s %16s\n" "benchmark" "time/run";
+  List.iter
+    (fun (name, ols) ->
+      match Analyze.OLS.estimates ols with
+      | Some [ ns ] ->
+          let pretty =
+            if ns > 1e9 then Printf.sprintf "%8.3f s " (ns /. 1e9)
+            else if ns > 1e6 then Printf.sprintf "%8.3f ms" (ns /. 1e6)
+            else if ns > 1e3 then Printf.sprintf "%8.3f us" (ns /. 1e3)
+            else Printf.sprintf "%8.1f ns" ns
+          in
+          Printf.printf "%-42s %16s\n" name pretty
+      | _ -> Printf.printf "%-42s %16s\n" name "n/a")
+    rows
+
+let () =
+  let quick = Array.exists (fun a -> a = "quick") Sys.argv in
+  if not quick then begin
+    print_endline "================ experiment tables (E1-E9) ================";
+    print_string (Core.Experiments.all ());
+    print_endline "\n================ bechamel timings =========================="
+  end;
+  run_benchmarks ()

@@ -1,0 +1,106 @@
+(* Command-line driver for the hidden-shift benchmark (paper Secs. VI-VIII).
+
+   Examples:
+     hidden-shift ip --n 2 --shift 1
+     hidden-shift mm --pi 0,2,3,5,7,1,4,6 --shift 5 --synth dbs --draw
+     hidden-shift random --n 3 --seed 7 --noisy --shots 1024 --runs 3
+     hidden-shift ip --n 2 --shift 1 --qasm *)
+
+open Cmdliner
+
+let synth_of_string = function
+  | "tbs" -> Ok Pq.Oracles.Tbs
+  | "tbs-basic" -> Ok Pq.Oracles.Tbs_basic
+  | "dbs" -> Ok Pq.Oracles.Dbs
+  | s -> Error (`Msg (Printf.sprintf "unknown synthesis method %s" s))
+
+let synth_conv =
+  Arg.conv
+    ( (fun s -> synth_of_string s),
+      fun ppf s ->
+        Fmt.string ppf
+          (match s with
+          | Pq.Oracles.Tbs -> "tbs"
+          | Pq.Oracles.Tbs_basic -> "tbs-basic"
+          | Pq.Oracles.Dbs -> "dbs") )
+
+let pi_conv =
+  Arg.conv
+    ( (fun s ->
+        try
+          Ok (Logic.Perm.of_list (List.map int_of_string (String.split_on_char ',' s)))
+        with _ -> Error (`Msg "expected comma-separated permutation, e.g. 0,2,3,5,7,1,4,6")),
+      fun ppf p -> Logic.Perm.pp ppf p )
+
+let run instance ~noisy ~shots ~runs ~draw ~qasm =
+  let circuit = Core.Hidden_shift.build instance in
+  Printf.printf "qubits: %d, gates: %d\n"
+    (Qc.Circuit.num_qubits circuit) (Qc.Circuit.num_gates circuit);
+  if draw then print_string (Qc.Draw.to_string circuit);
+  if qasm then print_string (Qc.Qasm.to_string circuit);
+  if noisy then begin
+    let mean, std =
+      Core.Hidden_shift.run_noisy Qc.Noise.ibm_qx2017 instance ~shots ~runs
+    in
+    Printf.printf "outcome histogram over %d runs x %d shots:\n" runs shots;
+    Array.iteri
+      (fun x m -> if m > 0.004 then Printf.printf "  %4d  %.4f +- %.4f\n" x m std.(x))
+      mean;
+    let s = Core.Hidden_shift.shift instance in
+    Printf.printf "Shift is %d (success probability %.3f)\n" s mean.(s)
+  end
+  else begin
+    let found = Core.Hidden_shift.solve instance in
+    Printf.printf "Shift is %d%s\n" found
+      (if found = Core.Hidden_shift.shift instance then "" else "  (MISMATCH!)")
+  end
+
+(* common flags *)
+let noisy = Arg.(value & flag & info [ "noisy" ] ~doc:"Run on the noisy (IBM-like) backend.")
+let shots = Arg.(value & opt int 1024 & info [ "shots" ] ~doc:"Shots per run (noisy mode).")
+let runs = Arg.(value & opt int 3 & info [ "runs" ] ~doc:"Number of runs (noisy mode).")
+let draw = Arg.(value & flag & info [ "draw" ] ~doc:"Print an ASCII drawing of the circuit.")
+let qasm = Arg.(value & flag & info [ "qasm" ] ~doc:"Print the circuit as OpenQASM 2.0.")
+let shift_arg = Arg.(value & opt int 1 & info [ "shift"; "s" ] ~doc:"The planted hidden shift.")
+
+let ip_cmd =
+  let n = Arg.(value & opt int 2 & info [ "n" ] ~doc:"Half the qubit count (f is on 2n qubits).") in
+  let go n s noisy shots runs draw qasm =
+    run (Core.Hidden_shift.Inner_product { n; s }) ~noisy ~shots ~runs ~draw ~qasm
+  in
+  Cmd.v
+    (Cmd.info "ip" ~doc:"Inner-product instance (the paper's Fig. 4).")
+    Term.(const go $ n $ shift_arg $ noisy $ shots $ runs $ draw $ qasm)
+
+let mm_cmd =
+  let pi =
+    Arg.(
+      required
+      & opt (some pi_conv) None
+      & info [ "pi" ] ~doc:"Permutation as comma-separated points, e.g. 0,2,3,5,7,1,4,6.")
+  in
+  let synth = Arg.(value & opt synth_conv Pq.Oracles.Tbs & info [ "synth" ] ~doc:"tbs | tbs-basic | dbs.") in
+  let go pi s synth noisy shots runs draw qasm =
+    let mm = Logic.Bent.mm pi in
+    run (Core.Hidden_shift.Mm { mm; s; synth }) ~noisy ~shots ~runs ~draw ~qasm
+  in
+  Cmd.v
+    (Cmd.info "mm" ~doc:"Maiorana-McFarland instance (the paper's Fig. 7).")
+    Term.(const go $ pi $ shift_arg $ synth $ noisy $ shots $ runs $ draw $ qasm)
+
+let random_cmd =
+  let n = Arg.(value & opt int 2 & info [ "n" ] ~doc:"Half register size (2n qubits).") in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"PRNG seed.") in
+  let go n seed noisy shots runs draw qasm =
+    let st = Random.State.make [| seed |] in
+    let inst = Core.Hidden_shift.random_mm_instance st n in
+    Printf.printf "random MM instance, planted shift %d\n" (Core.Hidden_shift.shift inst);
+    run inst ~noisy ~shots ~runs ~draw ~qasm
+  in
+  Cmd.v
+    (Cmd.info "random" ~doc:"Random Maiorana-McFarland instance.")
+    Term.(const go $ n $ seed $ noisy $ shots $ runs $ draw $ qasm)
+
+let () =
+  let doc = "Boolean hidden shift on the automatic quantum compilation flow." in
+  exit (Cmd.eval (Cmd.group (Cmd.info "hidden-shift" ~doc) [ ip_cmd; mm_cmd; random_cmd ]))

@@ -1,0 +1,79 @@
+(* Swiss-army knife for OpenQASM 2.0 files (the subset of Qc.Qasm).
+
+   Usage:
+     qasm_tool stats    file.qasm     gate statistics / resources
+     qasm_tool draw     file.qasm     ASCII rendering
+     qasm_tool sim      file.qasm     outcome distribution (noiseless)
+     qasm_tool stabsim  file.qasm     stabilizer run (Clifford files only)
+     qasm_tool route    file.qasm     LNN-route and re-emit QASM
+     qasm_tool tpar     file.qasm     T-par optimize and re-emit QASM
+     qasm_tool qsharp   file.qasm     emit as a Q# operation
+
+   '-' reads from stdin. *)
+
+let read_file = function
+  | "-" ->
+      let buf = Buffer.create 4096 in
+      (try
+         while true do
+           Buffer.add_channel buf stdin 1
+         done
+       with End_of_file -> ());
+      Buffer.contents buf
+  | path ->
+      let ic = open_in path in
+      let len = in_channel_length ic in
+      let s = really_input_string ic len in
+      close_in ic;
+      s
+
+let () =
+  match Array.to_list Sys.argv with
+  | [ _; cmd; file ] -> (
+      let circuit =
+        try Qc.Qasm.parse (read_file file)
+        with Qc.Qasm.Parse_error msg ->
+          Printf.eprintf "parse error: %s\n" msg;
+          exit 1
+      in
+      match cmd with
+      | "stats" ->
+          print_endline (Qc.Resource.to_string_v (Qc.Resource.count circuit))
+      | "draw" -> print_string (Qc.Draw.to_string circuit)
+      | "sim" ->
+          if Qc.Circuit.num_qubits circuit > 22 then begin
+            Printf.eprintf "sim: too many qubits for the dense backend\n";
+            exit 1
+          end;
+          let sv = Qc.Statevector.run circuit in
+          Array.iteri
+            (fun x p -> if p > 1e-6 then Printf.printf "%6d  %.6f\n" x p)
+            (Qc.Statevector.probabilities sv)
+      | "stabsim" ->
+          if not (Qc.Stabilizer.is_clifford_circuit circuit) then begin
+            Printf.eprintf "stabsim: non-Clifford gates present\n";
+            exit 1
+          end;
+          let st = Random.State.make_self_init () in
+          let outcome, det = Qc.Stabilizer.measure_all ~st (Qc.Stabilizer.run circuit) in
+          Printf.printf "measured %d (%s)\n" outcome
+            (if det then "deterministic" else "random branch")
+      | "route" ->
+          let r = Qc.Route.lnn circuit in
+          Printf.eprintf "inserted %d SWAPs; final placement: [%s]\n"
+            r.Qc.Route.swaps_inserted
+            (String.concat ";"
+               (Array.to_list (Array.map string_of_int r.Qc.Route.final_placement)));
+          print_string (Qc.Qasm.to_string ~measure:false r.Qc.Route.circuit)
+      | "tpar" ->
+          let optimized, rep = Qc.Tpar.optimize_report circuit in
+          Printf.eprintf "T-count %d -> %d\n" rep.Qc.Tpar.t_before rep.Qc.Tpar.t_after;
+          print_string (Qc.Qasm.to_string ~measure:false optimized)
+      | "qsharp" ->
+          print_string (Qc.Qsharp_gen.operation ~name:"ImportedCircuit" circuit)
+      | other ->
+          Printf.eprintf "unknown command %s\n" other;
+          exit 2)
+  | _ ->
+      prerr_endline "usage: qasm_tool {stats|draw|sim|stabsim|route|tpar|qsharp} <file.qasm|->";
+      exit 2

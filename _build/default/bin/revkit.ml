@@ -1,0 +1,44 @@
+(* RevKit-style command shell (paper Sec. VI).
+
+   Usage:
+     revkit                     interactive REPL
+     revkit -c "cmd; cmd; …"    run a command string
+     revkit script.rks          run a script file *)
+
+let run_and_print st line =
+  match Core.Shell.run_line st line with
+  | st ->
+      print_string (Core.Shell.output st);
+      st
+  | exception Core.Shell.Error msg ->
+      Printf.printf "error: %s\n" msg;
+      print_string (Core.Shell.output st);
+      st
+
+let repl () =
+  print_endline "RevKit-style shell (OCaml reproduction). Type 'help'; ctrl-d quits.";
+  let st = ref (Core.Shell.init ()) in
+  (try
+     while true do
+       print_string "revkit> ";
+       let line = input_line stdin in
+       if String.trim line = "quit" || String.trim line = "exit" then raise Exit;
+       st := run_and_print !st line
+     done
+   with End_of_file | Exit -> ());
+  print_endline "bye"
+
+let () =
+  match Array.to_list Sys.argv with
+  | [ _ ] -> repl ()
+  | [ _; "-c"; cmds ] -> ignore (run_and_print (Core.Shell.init ()) cmds)
+  | [ _; file ] when Sys.file_exists file ->
+      let ic = open_in file in
+      let len = in_channel_length ic in
+      let text = really_input_string ic len in
+      close_in ic;
+      (try print_string (Core.Shell.run_script text)
+       with Core.Shell.Error msg -> Printf.printf "error: %s\n" msg)
+  | _ ->
+      prerr_endline "usage: revkit [-c \"commands\"] [script-file]";
+      exit 2

@@ -1,0 +1,1 @@
+examples/grover_search.ml: Core Logic Printf Qc String

@@ -1,0 +1,1 @@
+examples/hidden_shift_inner_product.ml: Array Logic Pq Printf Qc

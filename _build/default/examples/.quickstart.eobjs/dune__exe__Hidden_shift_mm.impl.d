@@ -1,0 +1,1 @@
+examples/hidden_shift_mm.ml: Array Fmt Logic Pq Printf Qc

@@ -1,0 +1,1 @@
+examples/hidden_shift_mm.mli:

@@ -1,0 +1,1 @@
+examples/oracle_algorithms_demo.ml: Core List Logic Printf Qc

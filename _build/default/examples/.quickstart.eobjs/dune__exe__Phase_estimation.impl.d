@@ -1,0 +1,1 @@
+examples/phase_estimation.ml: Float List Printf Qc

@@ -1,0 +1,1 @@
+examples/phase_estimation.mli:

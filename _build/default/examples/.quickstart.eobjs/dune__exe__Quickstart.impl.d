@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Core Format List Logic Pq Printf Qc String

@@ -1,0 +1,1 @@
+examples/resource_estimation.ml: Core Logic Pq Printf Qc Random

@@ -1,0 +1,1 @@
+examples/resource_estimation.mli:

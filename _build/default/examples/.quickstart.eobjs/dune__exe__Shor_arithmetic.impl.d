@@ -1,0 +1,1 @@
+examples/shor_arithmetic.ml: Core List Logic Printf Qc Rev

@@ -1,0 +1,1 @@
+examples/synthesis_flow.ml: Core Format List Logic Printf Rev

@@ -1,0 +1,1 @@
+examples/synthesis_flow.mli:

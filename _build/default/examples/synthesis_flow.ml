@@ -1,0 +1,40 @@
+(* The RevKit command flow of the paper's Eq. (5), three ways:
+
+     revgen hwb 4 ; tbs ; revsimp ; cliffordt ; tpar ; ps
+
+   Run with:  dune exec examples/synthesis_flow.exe
+
+   (a) through the command shell (string in, report out),
+   (b) through the library API, with verification,
+   (c) as a sweep over benchmark functions and synthesis methods. *)
+
+let () =
+  (* --- (a) the shell ------------------------------------------------- *)
+  print_endline "=== shell script: revgen hwb 4; tbs; revsimp; cliffordt; tpar; ps";
+  print_string (Core.Shell.run_script "revgen hwb 4; tbs; revsimp; cliffordt; tpar; ps; verify");
+
+  (* --- (b) the library API ------------------------------------------- *)
+  print_endline "\n=== library API on the same benchmark";
+  let p = Logic.Funcgen.hwb 4 in
+  let circuit, report = Core.Flow.compile_perm p in
+  Format.printf "%a@." Core.Flow.pp_report report;
+  Printf.printf "post-optimization verification (Sec. IX): %b\n"
+    (Core.Flow.verify_perm p circuit);
+
+  (* --- (c) a sweep ---------------------------------------------------- *)
+  print_endline "\n=== synthesis sweep (gates / quantum cost)";
+  Printf.printf "%-10s %14s %14s\n" "benchmark" "tbs" "dbs";
+  List.iter
+    (fun (name, p) ->
+      let cost synth =
+        let c = synth p in
+        let s = Rev.Rcircuit.stats c in
+        Printf.sprintf "%5d / %6d" s.Rev.Rcircuit.gate_count s.Rev.Rcircuit.quantum_cost
+      in
+      Printf.printf "%-10s %14s %14s\n" name (cost Rev.Tbs.synth) (cost Rev.Dbs.synth))
+    [ ("hwb4", Logic.Funcgen.hwb 4);
+      ("hwb6", Logic.Funcgen.hwb 6);
+      ("hwb8", Logic.Funcgen.hwb 8);
+      ("cycle6", Logic.Funcgen.cycle_shift 6);
+      ("bitrev6", Logic.Funcgen.bit_reverse 6);
+      ("gray8", Logic.Funcgen.gray_code 8) ]

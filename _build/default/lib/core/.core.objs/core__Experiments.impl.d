@@ -1,0 +1,1 @@
+lib/core/experiments.ml: Array Buffer Float Flow Hidden_shift List Logic Pq Printf Qc Random Rev Shell String Sys

@@ -1,0 +1,1 @@
+lib/core/flow.ml: Array Fmt Logic Qc Rev

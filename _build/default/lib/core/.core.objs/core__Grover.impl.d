@@ -1,0 +1,1 @@
+lib/core/grover.ml: Array Float Logic Pq Qc Random

@@ -1,0 +1,1 @@
+lib/core/hidden_shift.ml: Array Fun Hashtbl List Logic Pq Qc Random

@@ -1,0 +1,1 @@
+lib/core/oracle_algorithms.ml: Logic Pq Qc

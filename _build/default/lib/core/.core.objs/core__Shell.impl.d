@@ -1,0 +1,1 @@
+lib/core/shell.ml: Array Buffer Flow Fmt List Logic Option Printf Qc Random Rev String

@@ -1,0 +1,277 @@
+(** The RevKit-style command shell (paper Sec. VI, Eq. (5)).
+
+    A tiny interpreter over a state holding the current specification
+    (permutation or multi-output function), the current reversible circuit
+    and the current quantum circuit. The command vocabulary mirrors the
+    paper's example
+
+      revgen hwb 4 ; tbs ; revsimp ; cliffordt ; tpar ; ps
+
+    [bin/revkit] wraps this module as an interactive shell / script
+    runner; keeping the interpreter in the library makes it testable. *)
+
+module Perm = Logic.Perm
+module Truth_table = Logic.Truth_table
+
+type state = {
+  perm : Perm.t option;
+  func : Truth_table.t list option;
+  rev : Rev.Rcircuit.t option;
+  qc : Qc.Circuit.t option;
+  out : Buffer.t;
+}
+
+let init () =
+  { perm = None; func = None; rev = None; qc = None; out = Buffer.create 256 }
+
+exception Error of string
+
+let failf fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+let say st fmt =
+  Printf.ksprintf
+    (fun s ->
+      Buffer.add_string st.out s;
+      Buffer.add_char st.out '\n')
+    fmt
+
+let need_perm st = match st.perm with Some p -> p | None -> failf "no permutation loaded (use revgen/random_perm/perm)"
+let need_func st = match st.func with Some f -> f | None -> failf "no function loaded (use expr/tt)"
+let need_rev st = match st.rev with Some c -> c | None -> failf "no reversible circuit (use tbs/dbs/esop/hier)"
+let need_qc st = match st.qc with Some c -> c | None -> failf "no quantum circuit (use cliffordt)"
+
+let int_arg name = function
+  | Some s -> (
+      match int_of_string_opt s with Some i -> i | None -> failf "%s: expected integer, got %s" name s)
+  | None -> failf "%s: missing argument" name
+
+(* One command, given as argv-style words. Returns the new state. *)
+let exec st words =
+  match words with
+  | [] -> st
+  | cmd :: args -> (
+      let arg i = List.nth_opt args i in
+      match cmd with
+      | "revgen" -> (
+          let name = match arg 0 with Some n -> n | None -> failf "revgen: missing name" in
+          let n = int_arg "revgen" (arg 1) in
+          match Logic.Funcgen.named_reversible name with
+          | Some gen ->
+              let p = gen n in
+              say st "loaded %s(%d): permutation on %d points" name n (Perm.size p);
+              { st with perm = Some p }
+          | None -> (
+              match Logic.Funcgen.named_function name with
+              | Some gen ->
+                  say st "loaded %s(%d): single-output function" name n;
+                  { st with func = Some [ gen n ] }
+              | None -> failf "revgen: unknown generator %s" name))
+      | "random_perm" ->
+          let n = int_arg "random_perm" (arg 0) in
+          let seed = match arg 1 with Some s -> int_arg "seed" (Some s) | None -> 42 in
+          let p = Perm.random (Random.State.make [| seed |]) n in
+          say st "loaded random permutation on %d variables (seed %d)" n seed;
+          { st with perm = Some p }
+      | "perm" ->
+          (* literal permutation: perm 0 2 3 1 ... *)
+          let points = List.map (fun s -> int_arg "perm" (Some s)) args in
+          let p = Perm.of_array (Array.of_list points) in
+          say st "loaded permutation on %d variables" (Perm.num_vars p);
+          { st with perm = Some p }
+      | "expr" ->
+          let text = String.concat " " args in
+          (match Logic.Bexpr.parse text with
+          | e ->
+              let tt = Logic.Bexpr.to_truth_table e in
+              say st "loaded expression on %d variables" (Truth_table.num_vars tt);
+              { st with func = Some [ tt ] }
+          | exception Logic.Bexpr.Parse_error m -> failf "expr: %s" m)
+      | "tt" ->
+          let bits = match arg 0 with Some b -> b | None -> failf "tt: missing bits" in
+          (match Truth_table.of_string bits with
+          | tt ->
+              say st "loaded truth table on %d variables" (Truth_table.num_vars tt);
+              { st with func = Some [ tt ] }
+          | exception Invalid_argument m -> failf "tt: %s" m)
+      | "tbs" ->
+          let p = need_perm st in
+          let c = if args = [ "-b" ] then Rev.Tbs.basic p else Rev.Tbs.synth p in
+          say st "tbs: %d gates" (Rev.Rcircuit.num_gates c);
+          { st with rev = Some c }
+      | "dbs" ->
+          let c = Rev.Dbs.synth (need_perm st) in
+          say st "dbs: %d gates" (Rev.Rcircuit.num_gates c);
+          { st with rev = Some c }
+      | "cycle" ->
+          let c = Rev.Cycle_synth.synth (need_perm st) in
+          say st "cycle: %d gates" (Rev.Rcircuit.num_gates c);
+          { st with rev = Some c }
+      | "exact" ->
+          let p = need_perm st in
+          if Perm.num_vars p > 3 then failf "exact: at most 3 variables";
+          let c = Rev.Exact_synth.synth p in
+          say st "exact: %d gates (provably minimal)" (Rev.Rcircuit.num_gates c);
+          { st with rev = Some c }
+      | "bdd" ->
+          let c, layout = Rev.Bdd_synth.synth (need_func st) in
+          say st "bdd: %d gates, %d ancillae" (Rev.Rcircuit.num_gates c)
+            layout.Rev.Bdd_synth.ancillae;
+          { st with rev = Some c }
+      | "lut" ->
+          let k = match arg 0 with Some s -> int_arg "lut" (Some s) | None -> 4 in
+          let c, layout = Rev.Lut_synth.synth_tables ~k (need_func st) in
+          say st "lut(k=%d): %d gates, %d ancillae" k (Rev.Rcircuit.num_gates c)
+            layout.Rev.Lut_synth.ancillae;
+          { st with rev = Some c }
+      | "adder" ->
+          let n = int_arg "adder" (arg 0) in
+          let c, _ = Rev.Arith.cuccaro_adder n in
+          say st "loaded Cuccaro adder on %d-bit operands (%d lines, %d gates)" n
+            (Rev.Rcircuit.num_lines c) (Rev.Rcircuit.num_gates c);
+          { st with rev = Some c }
+      | "route" ->
+          let c = need_qc st in
+          let r = Qc.Route.lnn c in
+          say st "route: %d SWAPs inserted for the linear chain (%d -> %d gates)"
+            r.Qc.Route.swaps_inserted (Qc.Circuit.num_gates c)
+            (Qc.Circuit.num_gates r.Qc.Route.circuit);
+          { st with qc = Some r.Qc.Route.circuit }
+      | "stabsim" ->
+          let c = need_qc st in
+          if not (Qc.Stabilizer.is_clifford_circuit c) then
+            failf "stabsim: circuit contains non-Clifford gates";
+          let outcome, det = Qc.Stabilizer.measure_all (Qc.Stabilizer.run c) in
+          say st "stabsim: measured %d (%s)" outcome
+            (if det then "deterministic" else "one random branch");
+          st
+      | "esop" ->
+          let c = Rev.Esop_synth.synth (need_func st) in
+          say st "esop: %d gates on %d lines" (Rev.Rcircuit.num_gates c) (Rev.Rcircuit.num_lines c);
+          { st with rev = Some c }
+      | "hier" ->
+          let batch = Option.map (fun s -> int_arg "hier" (Some s)) (arg 0) in
+          let c, layout = Rev.Hier_synth.synth_tables ?batch (need_func st) in
+          say st "hier: %d gates, %d ancillae" (Rev.Rcircuit.num_gates c)
+            layout.Rev.Hier_synth.ancillae;
+          { st with rev = Some c }
+      | "embed" ->
+          let fs = need_func st in
+          let e = Rev.Embed.embed fs in
+          say st "embed: %d -> %d lines (mu = %d)" (Truth_table.num_vars (List.hd fs))
+            e.Rev.Embed.r
+            (Rev.Embed.output_multiplicity fs);
+          { st with perm = Some e.Rev.Embed.perm }
+      | "revsimp" ->
+          let c = need_rev st in
+          let c' = Rev.Rsimp.simplify c in
+          say st "revsimp: %d -> %d gates" (Rev.Rcircuit.num_gates c) (Rev.Rcircuit.num_gates c');
+          { st with rev = Some c' }
+      | "resynth" ->
+          let c = need_rev st in
+          let c' = Rev.Resynth.optimize c in
+          say st "resynth: %d -> %d gates" (Rev.Rcircuit.num_gates c) (Rev.Rcircuit.num_gates c');
+          { st with rev = Some c' }
+      | "cliffordt" ->
+          let rc = need_rev st in
+          let options =
+            { Qc.Clifford_t.default_options with rccx_ladder = args <> [ "--no-rccx" ] }
+          in
+          let c, anc = Qc.Clifford_t.compile_rcircuit ~options rc in
+          say st "cliffordt: %d gates, T-count %d, %d ancillae" (Qc.Circuit.num_gates c)
+            (Qc.Circuit.t_count c) anc;
+          { st with qc = Some c }
+      | "tpar" ->
+          let c = need_qc st in
+          let c', rep = Qc.Tpar.optimize_report c in
+          say st "tpar: T-count %d -> %d, T-depth %d -> %d" rep.Qc.Tpar.t_before
+            rep.Qc.Tpar.t_after rep.Qc.Tpar.t_depth_before rep.Qc.Tpar.t_depth_after;
+          { st with qc = Some c' }
+      | "peephole" ->
+          let c = need_qc st in
+          let c' = Qc.Opt.simplify c in
+          say st "peephole: %d -> %d gates" (Qc.Circuit.num_gates c) (Qc.Circuit.num_gates c');
+          { st with qc = Some c' }
+      | "ps" ->
+          (match st.rev with
+          | Some c -> say st "reversible: %s" (Fmt.str "%a" Rev.Rcircuit.pp_stats (Rev.Rcircuit.stats c))
+          | None -> ());
+          (match st.qc with
+          | Some c -> say st "quantum: %s" (Qc.Resource.to_string (Qc.Resource.count c))
+          | None -> ());
+          if st.rev = None && st.qc = None then say st "nothing to print";
+          st
+      | "print_rev" ->
+          say st "%s" (Fmt.str "%a" Rev.Rcircuit.pp (need_rev st));
+          st
+      | "draw" ->
+          say st "%s" (Qc.Draw.to_string (need_qc st));
+          st
+      | "write_qasm" ->
+          let text = Qc.Qasm.to_string ~measure:false (need_qc st) in
+          (match arg 0 with
+          | Some file when file <> "-" ->
+              let oc = open_out file in
+              output_string oc text;
+              close_out oc;
+              say st "wrote %s" file
+          | _ -> say st "%s" text);
+          st
+      | "qsharp" ->
+          let name = Option.value ~default:"GeneratedOracle" (arg 0) in
+          say st "%s" (Qc.Qsharp_gen.operation ~name (need_qc st));
+          st
+      | "simulate" ->
+          let x = int_arg "simulate" (arg 0) in
+          let c = need_rev st in
+          say st "f(%d) = %d" x (Rev.Rsim.run c x);
+          st
+      | "verify" ->
+          let p = need_perm st in
+          (match st.qc with
+          | Some c ->
+              if Qc.Circuit.num_qubits c > 12 then failf "verify: circuit too wide"
+              else if Flow.verify_perm p c then say st "verify: quantum circuit OK"
+              else failf "verify: quantum circuit does NOT realize the permutation"
+          | None ->
+              let c = need_rev st in
+              if Rev.Rsim.realizes c p then say st "verify: reversible circuit OK"
+              else failf "verify: reversible circuit does NOT realize the permutation");
+          st
+      | "help" ->
+          say st
+            "commands: revgen <name> <n> | random_perm <n> [seed] | perm <pts…> | expr <e> | tt <bits> | adder <n> |\n\
+            \  tbs [-b] | dbs | cycle | exact | esop | hier [batch] | bdd | lut [k] | embed | revsimp | resynth |\n\
+            \  cliffordt [--no-rccx] | tpar | peephole | route |\n\
+            \  ps | print_rev | draw | write_qasm [file] | qsharp [name] |\n\
+            \  simulate <x> | stabsim | verify | help";
+          st
+      | other -> failf "unknown command %s (try help)" other)
+
+(** [run_line st line] splits on [';'] and executes each command; output
+    accumulates in [st.out]. *)
+let run_line st line =
+  List.fold_left
+    (fun st chunk ->
+      let words =
+        String.split_on_char ' ' (String.trim chunk) |> List.filter (fun w -> w <> "")
+      in
+      try exec st words with Invalid_argument msg -> raise (Error msg))
+    st
+    (String.split_on_char ';' line)
+
+(** [run_script text] executes a whole script (newlines and semicolons both
+    separate commands) and returns the accumulated output. *)
+let run_script text =
+  let st =
+    List.fold_left
+      (fun st line -> run_line st line)
+      (init ())
+      (String.split_on_char '\n' text)
+  in
+  Buffer.contents st.out
+
+(** [output st] drains the accumulated output. *)
+let output st =
+  let s = Buffer.contents st.out in
+  Buffer.clear st.out;
+  s

@@ -1,0 +1,1 @@
+lib/engine/engine.ml: Array List Qc

@@ -1,0 +1,1 @@
+lib/engine/oracles.ml: Array Engine List Logic Qc Rev

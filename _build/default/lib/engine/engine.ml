@@ -1,0 +1,118 @@
+(** A ProjectQ-style circuit-construction engine (paper Sec. VII).
+
+    Programs are written imperatively against a [MainEngine]-like value:
+    qubits are allocated, gate functions are applied, and the meta-
+    constructs [compute] / [uncompute] / [dagger] mirror
+    [projectq.meta.Compute], [Uncompute] and [Dagger] from the paper's
+    Figs. 4 and 7. Flushing yields a {!Qc.Circuit.t} that any backend
+    (state-vector simulator, noisy "IBM" backend, resource counter, QASM or
+    Q# printers) can consume. *)
+
+type qubit = int
+
+type t = {
+  mutable n : int;
+  mutable tape : Qc.Gate.t list; (* reversed *)
+  mutable tape_len : int;
+}
+
+(** [create ()] is an engine with no qubits allocated yet. *)
+let create () = { n = 0; tape = []; tape_len = 0 }
+
+(** [allocate_qureg eng k] allocates [k] fresh qubits (initialized |0⟩ by
+    every backend) and returns them, least-significant first — the
+    [eng.allocate_qureg] of Fig. 4. *)
+let allocate_qureg eng k =
+  if k < 1 then invalid_arg "Engine.allocate_qureg";
+  let qs = Array.init k (fun i -> eng.n + i) in
+  eng.n <- eng.n + k;
+  qs
+
+let emit eng g =
+  List.iter
+    (fun q -> if q < 0 || q >= eng.n then invalid_arg "Engine: qubit out of range")
+    (Qc.Gate.qubits g);
+  eng.tape <- g :: eng.tape;
+  eng.tape_len <- eng.tape_len + 1
+
+(* --- gate vocabulary --- *)
+
+let h eng q = emit eng (Qc.Gate.H q)
+let x eng q = emit eng (Qc.Gate.X q)
+let y eng q = emit eng (Qc.Gate.Y q)
+let z eng q = emit eng (Qc.Gate.Z q)
+let s eng q = emit eng (Qc.Gate.S q)
+let sdg eng q = emit eng (Qc.Gate.Sdg q)
+let t eng q = emit eng (Qc.Gate.T q)
+let tdg eng q = emit eng (Qc.Gate.Tdg q)
+let rz eng a q = emit eng (Qc.Gate.Rz (a, q))
+let cnot eng c t = emit eng (Qc.Gate.Cnot (c, t))
+let cz eng a b = emit eng (Qc.Gate.Cz (a, b))
+let swap eng a b = emit eng (Qc.Gate.Swap (a, b))
+let toffoli eng a b t = emit eng (Qc.Gate.Ccx (a, b, t))
+
+(** [all gate eng qs] applies a 1-qubit gate function to every qubit of the
+    register — ProjectQ's [All(H) | qubits]. *)
+let all gate eng qs = Array.iter (gate eng) qs
+
+(** [apply_circuit eng sub qs] splices a pre-built circuit onto the qubits
+    [qs] (qubit [i] of [sub] goes to [qs.(i)]). *)
+let apply_circuit eng sub qs =
+  if Qc.Circuit.num_qubits sub > Array.length qs then
+    invalid_arg "Engine.apply_circuit: register too small";
+  let mapped = Qc.Circuit.map_qubits ~n:eng.n (fun q -> qs.(q)) sub in
+  List.iter (emit eng) (Qc.Circuit.gates mapped)
+
+(* --- meta constructs --- *)
+
+(** Handle to a recorded compute block. *)
+type compute_block = { start_len : int; mutable recorded : Qc.Gate.t list option }
+
+(** [compute eng f] runs [f ()] (which applies gates normally) and records
+    what it emitted; pair with {!uncompute}. *)
+let compute eng f =
+  let start_len = eng.tape_len in
+  f ();
+  let seg_len = eng.tape_len - start_len in
+  let rec take k tape = if k = 0 then [] else List.hd tape :: take (k - 1) (List.tl tape) in
+  let segment_rev = take seg_len eng.tape in
+  { start_len; recorded = Some (List.rev segment_rev) }
+
+(** [uncompute eng block] appends the adjoint of the recorded block in
+    reverse order — ProjectQ's [Uncompute]. A block can be uncomputed only
+    once. *)
+let uncompute eng block =
+  match block.recorded with
+  | None -> invalid_arg "Engine.uncompute: block already uncomputed"
+  | Some gates ->
+      block.recorded <- None;
+      List.iter (fun g -> emit eng (Qc.Gate.adjoint g)) (List.rev gates)
+
+(** [with_compute eng f body] is the common Compute/body/Uncompute
+    sandwich. *)
+let with_compute eng f body =
+  let blk = compute eng f in
+  body ();
+  uncompute eng blk
+
+(** [dagger eng f] applies the {e adjoint} of whatever [f ()] emits —
+    ProjectQ's [Dagger]. *)
+let dagger eng f =
+  let start_len = eng.tape_len in
+  f ();
+  let seg_len = eng.tape_len - start_len in
+  let rec split k tape = if k = 0 then ([], tape) else
+      let taken, rest = split (k - 1) (List.tl tape) in
+      (List.hd tape :: taken, rest)
+  in
+  let segment_rev, rest = split seg_len eng.tape in
+  (* segment_rev is the block reversed; its adjoint-in-reverse-order is
+     exactly [map adjoint segment_rev]. *)
+  eng.tape <- rest;
+  eng.tape_len <- eng.tape_len - seg_len;
+  List.iter (fun g -> emit eng (Qc.Gate.adjoint g)) segment_rev
+
+(** [flush eng] returns the accumulated circuit. *)
+let flush eng =
+  if eng.n = 0 then invalid_arg "Engine.flush: no qubits allocated";
+  Qc.Circuit.of_gates eng.n (List.rev eng.tape)

@@ -1,0 +1,88 @@
+(** The paper's two RevKit-backed oracles ([projectq.libs.revkit]):
+
+    - {!phase_oracle} — the [PhaseOracle(f)] statement: compile a Boolean
+      predicate into the diagonal unitary
+      [U_f = Σ_x (−1)^{f(x)} |x⟩⟨x|] via an ESOP cover (each cube becomes
+      one multiple-controlled Z over its literals);
+    - {!permutation_oracle} — the [PermutationOracle(π)] statement:
+      synthesize a permutation with reversible-logic synthesis (TBS by
+      default, DBS on request, mirroring the paper's [synth=revkit.dbs]
+      option) and splice the resulting MCT network in as quantum gates. *)
+
+module Cube = Logic.Cube
+module Esop_opt = Logic.Esop_opt
+module Truth_table = Logic.Truth_table
+module Perm = Logic.Perm
+
+(** Synthesis back ends for {!permutation_oracle}. *)
+type synth = Tbs | Tbs_basic | Dbs
+
+let synthesize = function
+  | Tbs -> Rev.Tbs.synth
+  | Tbs_basic -> Rev.Tbs.basic
+  | Dbs -> Rev.Dbs.synth
+
+(* One ESOP cube as a phase gadget on the given register. *)
+let cube_phase eng (qs : Engine.qubit array) cube =
+  let lits = Cube.literals (Array.length qs) cube in
+  let neg = List.filter_map (fun (v, pol) -> if pol then None else Some qs.(v)) lits in
+  let involved = List.map (fun (v, _) -> qs.(v)) lits in
+  List.iter (Engine.x eng) neg;
+  (match involved with
+  | [] ->
+      (* constant-true cube: a global phase of −1; unobservable, skipped *)
+      ()
+  | [ q ] -> Engine.z eng q
+  | [ a; b ] -> Engine.cz eng a b
+  | qs -> Engine.emit eng (Qc.Gate.Mcz qs));
+  List.iter (Engine.x eng) neg
+
+(** [phase_oracle_tt eng tt qs] applies [U_f] for the truth table [tt] on
+    register [qs] (one qubit per variable). *)
+let phase_oracle_tt eng tt (qs : Engine.qubit array) =
+  if Truth_table.num_vars tt <> Array.length qs then
+    invalid_arg "Oracles.phase_oracle: register size mismatch";
+  let esop = Esop_opt.minimize tt in
+  List.iter (cube_phase eng qs) esop
+
+(** [phase_oracle eng expr qs] is {!phase_oracle_tt} on a Boolean
+    expression — the literal analogue of the paper's [PhaseOracle(f)]
+    taking a predicate. *)
+let phase_oracle eng expr qs =
+  phase_oracle_tt eng (Logic.Bexpr.to_truth_table ~n:(Array.length qs) expr) qs
+
+(** [permutation_oracle ?synth eng pi qs] applies the reversible circuit
+    for [pi] to the register [qs]. *)
+let permutation_oracle ?(synth = Tbs) eng pi (qs : Engine.qubit array) =
+  if Perm.num_vars pi <> Array.length qs then
+    invalid_arg "Oracles.permutation_oracle: register size mismatch";
+  let rc = synthesize synth pi in
+  let qc = Qc.Clifford_t.of_rcircuit rc in
+  Engine.apply_circuit eng qc qs
+
+(** [mm_phase_oracle ?synth eng mm ~xs ~ys] applies the diagonal
+    [U_f = Σ (−1)^{⟨x, π(y)⟩ ⊕ h(y)}] the Maiorana–McFarland way (paper
+    Fig. 8): conjugate CZ pairs by the permutation oracle on the [y]
+    register, then the [h] phase on [y]. *)
+let mm_phase_oracle ?synth eng (mm : Logic.Bent.mm) ~xs ~ys =
+  if Array.length xs <> mm.Logic.Bent.n || Array.length ys <> mm.Logic.Bent.n then
+    invalid_arg "Oracles.mm_phase_oracle: register size mismatch";
+  Engine.with_compute eng
+    (fun () -> permutation_oracle ?synth eng mm.Logic.Bent.pi ys)
+    (fun () ->
+      Array.iteri (fun i xq -> Engine.cz eng xq ys.(i)) xs);
+  if not (Truth_table.is_const mm.Logic.Bent.h false) then
+    phase_oracle_tt eng mm.Logic.Bent.h ys
+
+(** [mm_dual_phase_oracle ?synth eng mm ~xs ~ys] applies
+    [U_{f~} = Σ (−1)^{⟨π⁻¹(x), y⟩ ⊕ h(π⁻¹(x))}]: the roles of [x] and [y]
+    swap and the inverse permutation is used (realized with [Dagger] around
+    the forward oracle, exactly like the paper's Fig. 7 lines 27–31). *)
+let mm_dual_phase_oracle ?synth eng (mm : Logic.Bent.mm) ~xs ~ys =
+  Engine.with_compute eng
+    (fun () ->
+      Engine.dagger eng (fun () -> permutation_oracle ?synth eng mm.Logic.Bent.pi xs))
+    (fun () ->
+      Array.iteri (fun i xq -> Engine.cz eng xq ys.(i)) xs;
+      if not (Truth_table.is_const mm.Logic.Bent.h false) then
+        phase_oracle_tt eng mm.Logic.Bent.h xs)

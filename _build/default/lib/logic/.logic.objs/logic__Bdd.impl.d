@@ -1,0 +1,1 @@
+lib/logic/bdd.ml: Array Bexpr Bitops Float Hashtbl List Truth_table

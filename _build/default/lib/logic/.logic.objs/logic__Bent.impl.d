@@ -1,0 +1,1 @@
+lib/logic/bent.ml: Bitops Perm Truth_table

@@ -1,0 +1,1 @@
+lib/logic/bexpr.ml: Bitops Char Fmt List Printf Random String Truth_table

@@ -1,0 +1,1 @@
+lib/logic/bitops.ml: Int64

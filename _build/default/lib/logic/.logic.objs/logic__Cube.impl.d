@@ -1,0 +1,1 @@
+lib/logic/cube.ml: Bitops Fmt List Printf

@@ -1,0 +1,1 @@
+lib/logic/esop.ml: Array Bitops Cube Fmt Hashtbl List Truth_table

@@ -1,0 +1,1 @@
+lib/logic/esop_opt.ml: Array Bexpr Bitops Cube Esop Hashtbl List Truth_table

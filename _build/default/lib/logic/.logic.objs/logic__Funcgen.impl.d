@@ -1,0 +1,1 @@
+lib/logic/funcgen.ml: Array Bitops List Perm Truth_table

@@ -1,0 +1,1 @@
+lib/logic/npn.ml: Array Bitops Fun Hashtbl List Truth_table

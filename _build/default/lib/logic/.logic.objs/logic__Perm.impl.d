@@ -1,0 +1,1 @@
+lib/logic/perm.ml: Array Bitops Fmt List Random Truth_table

@@ -1,0 +1,1 @@
+lib/logic/truth_table.ml: Array Bitops Fmt Int64 Printf Random String

@@ -1,0 +1,1 @@
+lib/logic/walsh.ml: Array Float Truth_table

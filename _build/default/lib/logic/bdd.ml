@@ -1,0 +1,243 @@
+(** Reduced ordered binary decision diagrams (ROBDDs).
+
+    A small self-contained BDD package with hash-consed nodes and memoized
+    [apply], sufficient as the symbolic substrate for BDD-based reversible
+    synthesis and for embedding analysis. Variables are ordered by index,
+    smaller indices closer to the root. *)
+
+type node = { var : int; lo : int; hi : int }
+
+type manager = {
+  mutable nodes : node array;
+  mutable next : int;
+  unique : (int * int * int, int) Hashtbl.t;
+  and_memo : (int * int, int) Hashtbl.t;
+  xor_memo : (int * int, int) Hashtbl.t;
+  or_memo : (int * int, int) Hashtbl.t;
+  num_vars : int;
+}
+
+(** Node ids of the two terminals. *)
+let zero = 0
+
+let one = 1
+
+let terminal_var = max_int
+
+(** [create num_vars] makes a fresh manager for functions on
+    [num_vars] variables. *)
+let create num_vars =
+  let nodes = Array.make 1024 { var = terminal_var; lo = -1; hi = -1 } in
+  { nodes; next = 2; unique = Hashtbl.create 1024; and_memo = Hashtbl.create 1024;
+    xor_memo = Hashtbl.create 1024; or_memo = Hashtbl.create 1024; num_vars }
+
+let node m id = m.nodes.(id)
+
+let is_terminal id = id < 2
+
+(* Hash-consed constructor maintaining reduction invariants. *)
+let mk m v lo hi =
+  if lo = hi then lo
+  else
+    match Hashtbl.find_opt m.unique (v, lo, hi) with
+    | Some id -> id
+    | None ->
+        if m.next >= Array.length m.nodes then begin
+          let bigger = Array.make (2 * Array.length m.nodes) m.nodes.(0) in
+          Array.blit m.nodes 0 bigger 0 m.next;
+          m.nodes <- bigger
+        end;
+        let id = m.next in
+        m.nodes.(id) <- { var = v; lo; hi };
+        m.next <- id + 1;
+        Hashtbl.add m.unique (v, lo, hi) id;
+        id
+
+(** [var m i] is the BDD of the projection onto variable [i]. *)
+let var m i =
+  if i < 0 || i >= m.num_vars then invalid_arg "Bdd.var";
+  mk m i zero one
+
+let const b = if b then one else zero
+
+let topvar m a b =
+  let va = if is_terminal a then terminal_var else (node m a).var in
+  let vb = if is_terminal b then terminal_var else (node m b).var in
+  min va vb
+
+let cof m id v b =
+  if is_terminal id then id
+  else
+    let n = node m id in
+    if n.var = v then if b then n.hi else n.lo else id
+
+let rec apply m memo term a b =
+  match term a b with
+  | Some r -> r
+  | None -> (
+      let key = if a <= b then (a, b) else (b, a) in
+      match Hashtbl.find_opt memo key with
+      | Some r -> r
+      | None ->
+          let v = topvar m a b in
+          let lo = apply m memo term (cof m a v false) (cof m b v false) in
+          let hi = apply m memo term (cof m a v true) (cof m b v true) in
+          let r = mk m v lo hi in
+          Hashtbl.add memo key r;
+          r)
+
+let and_ m a b =
+  apply m m.and_memo
+    (fun a b ->
+      if a = zero || b = zero then Some zero
+      else if a = one then Some b
+      else if b = one then Some a
+      else if a = b then Some a
+      else None)
+    a b
+
+let or_ m a b =
+  apply m m.or_memo
+    (fun a b ->
+      if a = one || b = one then Some one
+      else if a = zero then Some b
+      else if b = zero then Some a
+      else if a = b then Some a
+      else None)
+    a b
+
+let xor m a b =
+  apply m m.xor_memo
+    (fun a b ->
+      if a = zero then Some b
+      else if b = zero then Some a
+      else if a = b then Some zero
+      else None)
+    a b
+
+(** [not_ m a] is the complement of [a]. *)
+let not_ m a = xor m a one
+
+(** [ite m f g h] is if-then-else: [f·g + !f·h]. *)
+let ite m f g h = or_ m (and_ m f g) (and_ m (not_ m f) h)
+
+(** [restrict m a v b] substitutes the constant [b] for variable [v]. *)
+let rec restrict m a v b =
+  if is_terminal a then a
+  else
+    let n = node m a in
+    if n.var > v then a
+    else if n.var = v then if b then n.hi else n.lo
+    else mk m n.var (restrict m n.lo v b) (restrict m n.hi v b)
+
+(** [exists m a v] is existential quantification over [v]. *)
+let exists m a v = or_ m (restrict m a v false) (restrict m a v true)
+
+(** [forall m a v] is universal quantification over [v]. *)
+let forall m a v = and_ m (restrict m a v false) (restrict m a v true)
+
+(** [eval m a x] evaluates the function on assignment [x]. *)
+let rec eval m a x =
+  if a = zero then false
+  else if a = one then true
+  else
+    let n = node m a in
+    eval m (if Bitops.bit x n.var then n.hi else n.lo) x
+
+(** [of_truth_table m tt] builds the BDD of [tt]; the manager must have at
+    least as many variables. *)
+let of_truth_table m tt =
+  let n = Truth_table.num_vars tt in
+  if n > m.num_vars then invalid_arg "Bdd.of_truth_table: manager too small";
+  (* Build bottom-up over subtables, splitting on the highest variable so
+     that smaller indices end up closer to the root. *)
+  let rec build lo_var hi_var offset =
+    (* function of variables [0, hi_var); [offset] selects the subtable *)
+    if hi_var = 0 then const (Truth_table.get tt offset)
+    else
+      let v = hi_var - 1 in
+      let f0 = build lo_var v offset in
+      let f1 = build lo_var v (offset lor (1 lsl v)) in
+      mk m v f0 f1
+  in
+  build 0 n 0
+
+(** [of_bexpr m e] builds the BDD of a Boolean expression. *)
+let rec of_bexpr m (e : Bexpr.t) =
+  match e with
+  | Bexpr.Const b -> const b
+  | Bexpr.Var i -> var m i
+  | Bexpr.Not a -> not_ m (of_bexpr m a)
+  | Bexpr.And (a, b) -> and_ m (of_bexpr m a) (of_bexpr m b)
+  | Bexpr.Or (a, b) -> or_ m (of_bexpr m a) (of_bexpr m b)
+  | Bexpr.Xor (a, b) -> xor m (of_bexpr m a) (of_bexpr m b)
+
+(** [to_truth_table m a n] tabulates node [a] over [n] variables. *)
+let to_truth_table m a n = Truth_table.of_fun n (eval m a)
+
+(** [sat_count m a] is the number of satisfying assignments over the
+    manager's full variable set, as a float (exact below 2^53). Computed via
+    the satisfying {e fraction}, which is order-independent:
+    [p(node) = (p(lo) + p(hi)) / 2]. *)
+let sat_count m a =
+  let memo = Hashtbl.create 64 in
+  let rec fraction a =
+    if a = zero then 0.
+    else if a = one then 1.
+    else
+      match Hashtbl.find_opt memo a with
+      | Some p -> p
+      | None ->
+          let n = node m a in
+          let p = (fraction n.lo +. fraction n.hi) /. 2. in
+          Hashtbl.add memo a p;
+          p
+  in
+  fraction a *. Float.of_int (1 lsl m.num_vars)
+
+(** [size m a] is the number of internal nodes reachable from [a]. *)
+let size m a =
+  let seen = Hashtbl.create 64 in
+  let rec go a =
+    if is_terminal a || Hashtbl.mem seen a then 0
+    else begin
+      Hashtbl.add seen a ();
+      let n = node m a in
+      1 + go n.lo + go n.hi
+    end
+  in
+  go a
+
+(** [support m a] is the sorted list of variables [a] depends on. *)
+let support m a =
+  let seen = Hashtbl.create 64 in
+  let vars = Hashtbl.create 16 in
+  let rec go a =
+    if not (is_terminal a) && not (Hashtbl.mem seen a) then begin
+      Hashtbl.add seen a ();
+      let n = node m a in
+      Hashtbl.replace vars n.var ();
+      go n.lo;
+      go n.hi
+    end
+  in
+  go a;
+  List.sort compare (Hashtbl.fold (fun v () acc -> v :: acc) vars [])
+
+(** [nodes_topological m a] lists the internal nodes reachable from [a] in
+    an order where children precede parents — the evaluation order used by
+    hierarchical synthesis. *)
+let nodes_topological m a =
+  let seen = Hashtbl.create 64 in
+  let out = ref [] in
+  let rec go a =
+    if not (is_terminal a) && not (Hashtbl.mem seen a) then begin
+      Hashtbl.add seen a ();
+      let n = node m a in
+      go n.lo;
+      go n.hi;
+      out := a :: !out
+    end
+  in
+  go a;
+  List.rev !out

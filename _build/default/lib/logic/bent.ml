@@ -1,0 +1,88 @@
+(** Bent Boolean functions and the Maiorana–McFarland family.
+
+    Conventions: a function on [2n] variables takes the pair [(x, y)] packed
+    into one assignment with [x] in the {e low} [n] bits and [y] in the
+    {e high} [n] bits. The paper's circuits interleave the two registers on
+    the qubit lines; {!interleave} converts between the two layouts. *)
+
+(** [inner_product n] is the prototype bent function
+    [f(x, y) = ⟨x, y⟩ = ⊕ᵢ xᵢyᵢ] on [2n] variables (split layout). It is
+    its own dual. *)
+let inner_product n =
+  Truth_table.of_fun (2 * n) (fun z ->
+      let x = z land Bitops.mask n and y = z lsr n in
+      Bitops.parity (x land y) = 1)
+
+(** [inner_product_adjacent n] pairs adjacent variables instead:
+    [f = x₁x₂ ⊕ x₃x₄ ⊕ …] on [2n] variables — the layout of the paper's
+    Fig. 4 predicate [(a and b) ^ (c and d)]. *)
+let inner_product_adjacent n =
+  Truth_table.of_fun (2 * n) (fun z ->
+      let rec go i acc =
+        if i >= n then acc
+        else go (i + 1) (acc <> (Bitops.bit z (2 * i) && Bitops.bit z ((2 * i) + 1)))
+      in
+      go 0 false)
+
+(** A Maiorana–McFarland instance [f(x, y) = ⟨x, π(y)⟩ ⊕ h(y)]:
+    [pi] is a permutation of [B^n] and [h : B^n -> B]. *)
+type mm = { n : int; pi : Perm.t; h : Truth_table.t }
+
+(** [mm ?h pi] builds an instance; [h] defaults to the constant-zero
+    function. *)
+let mm ?h pi =
+  let n = Perm.num_vars pi in
+  let h = match h with Some h -> h | None -> Truth_table.create n in
+  if Truth_table.num_vars h <> n then invalid_arg "Bent.mm: h arity mismatch";
+  { n; pi; h }
+
+(** [mm_function i] tabulates the instance over [2n] variables (split
+    layout). Maiorana–McFarland functions are always bent. *)
+let mm_function i =
+  Truth_table.of_fun (2 * i.n) (fun z ->
+      let x = z land Bitops.mask i.n and y = z lsr i.n in
+      Bitops.parity (x land Perm.apply i.pi y) = 1 <> Truth_table.get i.h y)
+
+(** [mm_dual i] is the dual instance: by the paper's Sec. VI-B,
+    [f~(x, y) = ⟨π⁻¹(x), y⟩ ⊕ h(π⁻¹(x))]. The result is returned as a
+    truth table (it is Maiorana–McFarland only up to swapping registers). *)
+let mm_dual i =
+  let inv = Perm.inverse i.pi in
+  Truth_table.of_fun (2 * i.n) (fun z ->
+      let x = z land Bitops.mask i.n and y = z lsr i.n in
+      let px = Perm.apply inv x in
+      Bitops.parity (px land y) = 1 <> Truth_table.get i.h px)
+
+(** [shifted f s] is [g(x) = f(x ⊕ s)] — the hidden-shift instance. *)
+let shifted f s = Truth_table.shift_inputs f s
+
+(** [interleave n z_split] converts a split-layout assignment ([x] low,
+    [y] high) into the interleaved qubit layout of Fig. 7 ([xᵢ] on line
+    [2i], [yᵢ] on line [2i+1]). *)
+let interleave n z =
+  let x = z land Bitops.mask n and y = z lsr n in
+  let out = ref 0 in
+  for i = 0 to n - 1 do
+    if Bitops.bit x i then out := !out lor (1 lsl (2 * i));
+    if Bitops.bit y i then out := !out lor (1 lsl ((2 * i) + 1))
+  done;
+  !out
+
+(** [deinterleave n z_inter] is the inverse of {!interleave}. *)
+let deinterleave n z =
+  let x = ref 0 and y = ref 0 in
+  for i = 0 to n - 1 do
+    if Bitops.bit z (2 * i) then x := !x lor (1 lsl i);
+    if Bitops.bit z ((2 * i) + 1) then y := !y lor (1 lsl i)
+  done;
+  !x lor (!y lsl n)
+
+(** [interleave_table n tt] re-expresses a split-layout function in the
+    interleaved layout: [(interleave_table tt) z = tt (deinterleave z)]. *)
+let interleave_table n tt =
+  Truth_table.of_fun (2 * n) (fun z -> Truth_table.get tt (deinterleave n z))
+
+(** [random_mm st n] draws a random Maiorana–McFarland instance (uniform
+    [π], uniform [h]). *)
+let random_mm st n =
+  { n; pi = Perm.random st n; h = Truth_table.random st n }

@@ -1,0 +1,232 @@
+(** Boolean expression AST, combinators, parser and evaluation.
+
+    This is the front end of the automatic flow: the paper's
+    [PhaseOracle(f)] converts a Python predicate into a Boolean expression
+    which is handed to RevKit. Here, oracles accept either a [Bexpr.t] built
+    with the combinators below or a concrete syntax string parsed by
+    {!parse}. *)
+
+type t =
+  | Const of bool
+  | Var of int
+  | Not of t
+  | And of t * t
+  | Or of t * t
+  | Xor of t * t
+
+(* Combinators — deliberately tiny so example code reads like the paper's
+   Python predicates. *)
+
+let tru = Const true
+let fls = Const false
+let var i = if i < 0 then invalid_arg "Bexpr.var: negative index" else Var i
+let ( ~! ) a = Not a
+let ( &&& ) a b = And (a, b)
+let ( ||| ) a b = Or (a, b)
+let ( ^^^ ) a b = Xor (a, b)
+
+(** [eval e x] evaluates [e] on the assignment encoded in [x]
+    (variable [i] = bit [i]). *)
+let rec eval e x =
+  match e with
+  | Const b -> b
+  | Var i -> Bitops.bit x i
+  | Not a -> not (eval a x)
+  | And (a, b) -> eval a x && eval b x
+  | Or (a, b) -> eval a x || eval b x
+  | Xor (a, b) -> eval a x <> eval b x
+
+(** [max_var e] is one plus the largest variable index in [e] ([0] if
+    variable-free) — a usable default arity. *)
+let rec max_var = function
+  | Const _ -> 0
+  | Var i -> i + 1
+  | Not a -> max_var a
+  | And (a, b) | Or (a, b) | Xor (a, b) -> max (max_var a) (max_var b)
+
+(** [to_truth_table ?n e] tabulates [e] over [n] variables (default
+    {!max_var}). *)
+let to_truth_table ?n e =
+  let n = match n with Some n -> n | None -> max_var e in
+  Truth_table.of_fun n (eval e)
+
+let rec pp ppf = function
+  | Const b -> Fmt.pf ppf "%d" (if b then 1 else 0)
+  | Var i -> Fmt.pf ppf "x%d" (i + 1)
+  | Not a -> Fmt.pf ppf "!%a" pp_atom a
+  | And (a, b) -> Fmt.pf ppf "%a & %a" pp_atom a pp_atom b
+  | Or (a, b) -> Fmt.pf ppf "%a | %a" pp_atom a pp_atom b
+  | Xor (a, b) -> Fmt.pf ppf "%a ^ %a" pp_atom a pp_atom b
+
+and pp_atom ppf e =
+  match e with
+  | Const _ | Var _ | Not _ -> pp ppf e
+  | _ -> Fmt.pf ppf "(%a)" pp e
+
+let to_string e = Fmt.str "%a" pp e
+
+(** Number of binary connectives — a rough size measure used by tests. *)
+let rec num_ops = function
+  | Const _ | Var _ -> 0
+  | Not a -> num_ops a
+  | And (a, b) | Or (a, b) | Xor (a, b) -> 1 + num_ops a + num_ops b
+
+exception Parse_error of string
+
+(* Recursive-descent parser for the concrete syntax
+
+     expr   ::= xor
+     xor    ::= or  { '^' or }
+     or     ::= and { '|' and }         (also accepts "or")
+     and    ::= unary { '&' unary }     (also accepts "and", juxtaposition
+                                         is NOT supported)
+     unary  ::= '!' unary | 'not' unary | atom
+     atom   ::= '(' expr ')' | '0' | '1' | ident
+
+   Identifiers: single letters a..z map to variables 0..25 in alphabetical
+   order; the forms x1, x2, ... map to variables 0, 1, ....
+
+   Note the precedence makes '^' bind loosest, so "a & b ^ c & d" parses as
+   (a & b) ^ (c & d) — matching the paper's predicates. *)
+
+type token = TLpar | TRpar | TNot | TAnd | TOr | TXor | TConst of bool | TId of string
+
+let tokenize s =
+  let n = String.length s in
+  let toks = ref [] in
+  let i = ref 0 in
+  let push t = toks := t :: !toks in
+  while !i < n do
+    let c = s.[!i] in
+    (match c with
+    | ' ' | '\t' | '\n' | '\r' -> incr i
+    | '(' -> push TLpar; incr i
+    | ')' -> push TRpar; incr i
+    | '!' | '~' -> push TNot; incr i
+    | '&' ->
+        incr i;
+        if !i < n && s.[!i] = '&' then incr i;
+        push TAnd
+    | '|' ->
+        incr i;
+        if !i < n && s.[!i] = '|' then incr i;
+        push TOr
+    | '^' -> push TXor; incr i
+    | '0' -> push (TConst false); incr i
+    | '1' -> push (TConst true); incr i
+    | c when (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' ->
+        let start = !i in
+        while
+          !i < n
+          &&
+          let c = s.[!i] in
+          (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_'
+        do
+          incr i
+        done;
+        let id = String.lowercase_ascii (String.sub s start (!i - start)) in
+        (match id with
+        | "and" -> push TAnd
+        | "or" -> push TOr
+        | "xor" -> push TXor
+        | "not" -> push TNot
+        | "true" -> push (TConst true)
+        | "false" -> push (TConst false)
+        | _ -> push (TId id))
+    | c -> raise (Parse_error (Printf.sprintf "unexpected character %c" c)));
+  done;
+  List.rev !toks
+
+let var_of_ident id =
+  let len = String.length id in
+  if len = 1 && id.[0] >= 'a' && id.[0] <= 'z' then Var (Char.code id.[0] - Char.code 'a')
+  else if len >= 2 && id.[0] = 'x' then
+    match int_of_string_opt (String.sub id 1 (len - 1)) with
+    | Some k when k >= 1 -> Var (k - 1)
+    | _ -> raise (Parse_error (Printf.sprintf "bad identifier %s" id))
+  else raise (Parse_error (Printf.sprintf "bad identifier %s" id))
+
+(** [parse s] parses the concrete syntax above.
+    Raises {!Parse_error} on malformed input. *)
+let parse s =
+  let toks = ref (tokenize s) in
+  let peek () = match !toks with [] -> None | t :: _ -> Some t in
+  let advance () = match !toks with [] -> () | _ :: r -> toks := r in
+  let expect t msg =
+    match peek () with
+    | Some t' when t' = t -> advance ()
+    | _ -> raise (Parse_error msg)
+  in
+  let rec p_xor () =
+    let a = ref (p_or ()) in
+    let rec loop () =
+      match peek () with
+      | Some TXor ->
+          advance ();
+          a := Xor (!a, p_or ());
+          loop ()
+      | _ -> ()
+    in
+    loop ();
+    !a
+  and p_or () =
+    let a = ref (p_and ()) in
+    let rec loop () =
+      match peek () with
+      | Some TOr ->
+          advance ();
+          a := Or (!a, p_and ());
+          loop ()
+      | _ -> ()
+    in
+    loop ();
+    !a
+  and p_and () =
+    let a = ref (p_unary ()) in
+    let rec loop () =
+      match peek () with
+      | Some TAnd ->
+          advance ();
+          a := And (!a, p_unary ());
+          loop ()
+      | _ -> ()
+    in
+    loop ();
+    !a
+  and p_unary () =
+    match peek () with
+    | Some TNot ->
+        advance ();
+        Not (p_unary ())
+    | _ -> p_atom ()
+  and p_atom () =
+    match peek () with
+    | Some TLpar ->
+        advance ();
+        let e = p_xor () in
+        expect TRpar "expected ')'";
+        e
+    | Some (TConst b) ->
+        advance ();
+        Const b
+    | Some (TId id) ->
+        advance ();
+        var_of_ident id
+    | _ -> raise (Parse_error "expected atom")
+  in
+  let e = p_xor () in
+  if !toks <> [] then raise (Parse_error "trailing tokens");
+  e
+
+(** [random st ~vars ~depth] draws a random expression for property tests. *)
+let rec random st ~vars ~depth =
+  if depth = 0 || (depth > 0 && Random.State.int st 6 = 0) then
+    if Random.State.int st 8 = 0 then Const (Random.State.bool st)
+    else Var (Random.State.int st vars)
+  else
+    let sub () = random st ~vars ~depth:(depth - 1) in
+    match Random.State.int st 4 with
+    | 0 -> Not (sub ())
+    | 1 -> And (sub (), sub ())
+    | 2 -> Or (sub (), sub ())
+    | _ -> Xor (sub (), sub ())

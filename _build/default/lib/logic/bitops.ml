@@ -1,0 +1,90 @@
+(** Low-level bit utilities shared across the Boolean-function substrate.
+
+    Throughout the library, assignments to [n] Boolean variables are encoded
+    as the low [n] bits of a non-negative [int]; variable [i] is bit [i]. *)
+
+(** [popcount x] is the number of set bits in [x]. [x] must be
+    non-negative. *)
+let popcount x =
+  let rec go acc x = if x = 0 then acc else go (acc + 1) (x land (x - 1)) in
+  go 0 x
+
+(** [parity x] is the XOR of all bits of [x]: [1] if the population count is
+    odd, [0] otherwise. *)
+let parity x = popcount x land 1
+
+(** [bit x i] is bit [i] of [x] as a [bool]. *)
+let bit x i = (x lsr i) land 1 = 1
+
+(** [set_bit x i b] returns [x] with bit [i] forced to [b]. *)
+let set_bit x i b = if b then x lor (1 lsl i) else x land lnot (1 lsl i)
+
+(** [flip_bit x i] returns [x] with bit [i] toggled. *)
+let flip_bit x i = x lxor (1 lsl i)
+
+(** [mask n] is the integer with the low [n] bits set. Valid for
+    [0 <= n <= 62]. *)
+let mask n = (1 lsl n) - 1
+
+(** [gray i] is the [i]-th Gray code, [i lxor (i lsr 1)]. Successive Gray
+    codes differ in exactly one bit. *)
+let gray i = i lxor (i lsr 1)
+
+(** [trailing_zeros x] is the index of the least-significant set bit of [x].
+    Raises [Invalid_argument] if [x = 0]. *)
+let trailing_zeros x =
+  if x = 0 then invalid_arg "Bitops.trailing_zeros: zero";
+  let rec go i x = if x land 1 = 1 then i else go (i + 1) (x lsr 1) in
+  go 0 x
+
+(** [bits_of x n] lists the indices of set bits of [x] below position [n],
+    in increasing order. *)
+let bits_of x n =
+  let rec go i acc =
+    if i < 0 then acc else go (i - 1) (if bit x i then i :: acc else acc)
+  in
+  go (n - 1) []
+
+(** [fold_bits f acc x] folds [f] over the indices of the set bits of [x],
+    from least to most significant. *)
+let fold_bits f acc x =
+  let rec go acc x =
+    if x = 0 then acc
+    else
+      let i = trailing_zeros x in
+      go (f acc i) (x land (x - 1))
+  in
+  go acc x
+
+(** [insert_bit x i b] widens [x] by inserting bit value [b] at position [i]:
+    bits at positions [>= i] shift up by one. Used to re-expand cofactor
+    indices. *)
+let insert_bit x i b =
+  let low = x land mask i in
+  let high = (x lsr i) lsl (i + 1) in
+  let b = if b then 1 lsl i else 0 in
+  high lor b lor low
+
+(** [remove_bit x i] narrows [x] by deleting bit position [i]: bits above [i]
+    shift down by one. Inverse of {!insert_bit} (for either inserted value). *)
+let remove_bit x i =
+  let low = x land mask i in
+  let high = (x lsr (i + 1)) lsl i in
+  high lor low
+
+(** [log2_ceil x] is the smallest [k] with [2^k >= x]; [0] for [x <= 1]. *)
+let log2_ceil x =
+  let rec go k p = if p >= x then k else go (k + 1) (p * 2) in
+  if x <= 1 then 0 else go 0 1
+
+(** [int64_popcount w] is the number of set bits in the 64-bit word [w]. *)
+let int64_popcount w =
+  let open Int64 in
+  let w = sub w (logand (shift_right_logical w 1) 0x5555555555555555L) in
+  let w =
+    add
+      (logand w 0x3333333333333333L)
+      (logand (shift_right_logical w 2) 0x3333333333333333L)
+  in
+  let w = logand (add w (shift_right_logical w 4)) 0x0f0f0f0f0f0f0f0fL in
+  to_int (shift_right_logical (mul w 0x0101010101010101L) 56)

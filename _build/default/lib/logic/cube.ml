@@ -1,0 +1,75 @@
+(** Product cubes over Boolean variables.
+
+    A cube is a conjunction of literals. [mask] has a bit set for every
+    variable that appears; [bits] gives the polarity of each appearing
+    variable ([1] = positive literal, [0] = negated). Bits of [bits] outside
+    [mask] are kept at zero so that cubes compare structurally. *)
+
+type t = { mask : int; bits : int }
+
+let tautology = { mask = 0; bits = 0 }
+
+(** [make ~mask ~bits] normalizes [bits] against [mask]. *)
+let make ~mask ~bits = { mask; bits = bits land mask }
+
+(** [of_literals lits] builds a cube from [(var, polarity)] pairs.
+    Raises [Invalid_argument] on a contradictory pair (same variable with
+    both polarities). *)
+let of_literals lits =
+  List.fold_left
+    (fun c (v, pos) ->
+      let b = 1 lsl v in
+      if c.mask land b <> 0 && Bitops.bit c.bits v <> pos then
+        invalid_arg "Cube.of_literals: contradictory literals";
+      { mask = c.mask lor b; bits = (if pos then c.bits lor b else c.bits) })
+    tautology lits
+
+(** [literals n c] lists the [(var, polarity)] pairs of [c] among the first
+    [n] variables, in increasing variable order. *)
+let literals n c =
+  List.map (fun v -> (v, Bitops.bit c.bits v)) (Bitops.bits_of c.mask n)
+
+(** [num_literals c] is the number of variables in the cube. *)
+let num_literals c = Bitops.popcount c.mask
+
+(** [eval c x] is the value of the conjunction on assignment [x]. *)
+let eval c x = x land c.mask = c.bits
+
+let equal a b = a.mask = b.mask && a.bits = b.bits
+let compare a b = compare (a.mask, a.bits) (b.mask, b.bits)
+
+(** [distance a b] is the number of variable positions where the cubes
+    differ — either in polarity or in presence. This is the classic
+    EXORLINK distance used by ESOP minimizers. *)
+let distance a b =
+  let presence = a.mask lxor b.mask in
+  let polarity = (a.bits lxor b.bits) land (a.mask land b.mask) in
+  Bitops.popcount (presence lor polarity)
+
+(** [positive_of_mask m] is the cube with positive literals exactly on the
+    set bits of [m]. *)
+let positive_of_mask m = { mask = m; bits = m }
+
+(** [restrict c v b] is [Some c'] where [c'] is the cube with variable [v]
+    removed when [c] is consistent with [v = b]; [None] when the literal on
+    [v] contradicts [b]. Variable indices of [c'] are unchanged. *)
+let restrict c v b =
+  let m = 1 lsl v in
+  if c.mask land m = 0 then Some c
+  else if Bitops.bit c.bits v = b then
+    Some { mask = c.mask land lnot m; bits = c.bits land lnot m }
+  else None
+
+(** [lift c v b] adds the literal [v = b] to [c]. Raises if present with the
+    other polarity. *)
+let lift c v b = of_literals ((v, b) :: literals 63 c)
+
+let pp ?(n = 0) ppf c =
+  let n = max n (Bitops.log2_ceil (c.mask + 1) + 1) in
+  if c.mask = 0 then Fmt.pf ppf "1"
+  else
+    Fmt.pf ppf "%a"
+      Fmt.(list ~sep:nop string)
+      (List.map
+         (fun (v, pos) -> Printf.sprintf "%sx%d" (if pos then "" else "!") (v + 1))
+         (literals n c))

@@ -1,0 +1,85 @@
+(** Exclusive sums-of-products (ESOP) covers.
+
+    An ESOP is a list of {!Cube.t} whose values are combined by XOR. ESOPs
+    are the workhorse representation for both ESOP-based reversible synthesis
+    (each cube becomes one multiple-controlled Toffoli, Sec. V of the paper)
+    and phase oracles (each cube becomes one multiple-controlled Z). *)
+
+type t = Cube.t list
+
+(** [eval e x] is the XOR over all cubes of [e] evaluated on [x]. *)
+let eval (e : t) x =
+  List.fold_left (fun acc c -> acc <> Cube.eval c x) false e
+
+(** [to_truth_table n e] tabulates [e] over [n] variables. *)
+let to_truth_table n e = Truth_table.of_fun n (eval e)
+
+(** [of_minterms tt] is the trivial (canonical, exponential) ESOP listing one
+    full cube per satisfying assignment. *)
+let of_minterms tt : t =
+  let n = Truth_table.num_vars tt in
+  let acc = ref [] in
+  for x = Truth_table.size tt - 1 downto 0 do
+    if Truth_table.get tt x then
+      acc := Cube.make ~mask:(Bitops.mask n) ~bits:x :: !acc
+  done;
+  !acc
+
+(** [of_pprm tt] is the positive-polarity Reed–Muller (PPRM) expansion,
+    computed with the fast Moebius (butterfly) transform. The PPRM is the
+    unique ESOP using only positive literals. *)
+let of_pprm tt : t =
+  let n = Truth_table.num_vars tt in
+  let sz = Truth_table.size tt in
+  let a = Array.init sz (fun x -> if Truth_table.get tt x then 1 else 0) in
+  (* Moebius transform: coefficient of monomial m is XOR of f over subsets. *)
+  let step = ref 1 in
+  while !step < sz do
+    let s = !step in
+    for x = 0 to sz - 1 do
+      if x land s <> 0 then a.(x) <- a.(x) lxor a.(x lxor s)
+    done;
+    step := s * 2
+  done;
+  let acc = ref [] in
+  for m = sz - 1 downto 0 do
+    if a.(m) = 1 then acc := Cube.positive_of_mask m :: !acc
+  done;
+  ignore n;
+  !acc
+
+(** [num_cubes e] and [num_literals e] are the standard cost measures. *)
+let num_cubes (e : t) = List.length e
+
+let num_literals (e : t) = List.fold_left (fun acc c -> acc + Cube.num_literals c) 0 e
+
+(** [dedup e] removes cube pairs (a cube XORed with itself vanishes). *)
+let dedup (e : t) : t =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun c ->
+      let key = (c.Cube.mask, c.Cube.bits) in
+      match Hashtbl.find_opt tbl key with
+      | Some k -> Hashtbl.replace tbl key (k + 1)
+      | None -> Hashtbl.add tbl key 1)
+    e;
+  List.filter
+    (fun c ->
+      let key = (c.Cube.mask, c.Cube.bits) in
+      match Hashtbl.find_opt tbl key with
+      | Some k when k land 1 = 1 ->
+          Hashtbl.replace tbl key 0;
+          (* keep only the first odd representative *)
+          true
+      | _ -> false)
+    e
+
+let pp ppf (e : t) =
+  match e with
+  | [] -> Fmt.pf ppf "0"
+  | _ -> Fmt.pf ppf "%a" Fmt.(list ~sep:(any " + ") (Cube.pp ?n:None)) e
+
+(** [equal_function n a b] checks functional equivalence over [n]
+    variables. *)
+let equal_function n (a : t) (b : t) =
+  Truth_table.equal (to_truth_table n a) (to_truth_table n b)

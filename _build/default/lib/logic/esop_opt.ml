@@ -1,0 +1,121 @@
+(** ESOP minimization.
+
+    Two cooperating engines, following the classic two-level AND-XOR
+    minimization literature the paper cites (pseudo-Kronecker expressions
+    [59] and fast heuristic ESOP minimization [60]):
+
+    - {!pkrm} computes an optimal {e pseudo-Kronecker} Reed–Muller
+      expression by dynamic programming: at every node of the expansion
+      tree, the best of the Shannon, positive-Davio and negative-Davio
+      decompositions is chosen, with memoization on subfunctions.
+    - {!exorcise} is an exorcism-style cube-pairing pass that repeatedly
+      merges distance-1 cube pairs and cancels duplicated cubes.
+
+    {!minimize} runs both and is the entry point used by ESOP-based
+    synthesis and by phase oracles. *)
+
+(* Merge two cubes at EXORLINK-distance 1 into a single equivalent cube. *)
+let merge1 (a : Cube.t) (b : Cube.t) : Cube.t option =
+  let presence = a.Cube.mask lxor b.Cube.mask in
+  let poldiff = (a.Cube.bits lxor b.Cube.bits) land (a.Cube.mask land b.Cube.mask) in
+  let diff = presence lor poldiff in
+  if diff = 0 || Bitops.popcount diff <> 1 then None
+  else if presence = 0 then
+    (* x·c (+) !x·c  =  c *)
+    Some (Cube.make ~mask:(a.Cube.mask land lnot diff) ~bits:(a.Cube.bits land lnot diff))
+  else
+    (* l·c (+) c  =  !l·c ; [wide] is whichever cube contains the literal. *)
+    let wide = if a.Cube.mask land presence <> 0 then a else b in
+    Some (Cube.make ~mask:wide.Cube.mask ~bits:(wide.Cube.bits lxor presence))
+
+(** [exorcise e] greedily merges distance-1 pairs and removes duplicate
+    pairs until a fixpoint. The result is functionally equivalent to [e]
+    and never larger. *)
+let exorcise (e : Esop.t) : Esop.t =
+  let changed = ref true in
+  let cur = ref (Esop.dedup e) in
+  while !changed do
+    changed := false;
+    let arr = Array.of_list !cur in
+    let alive = Array.make (Array.length arr) true in
+    let n = Array.length arr in
+    (try
+       for i = 0 to n - 1 do
+         if alive.(i) then
+           for j = i + 1 to n - 1 do
+             if alive.(i) && alive.(j) then
+               match merge1 arr.(i) arr.(j) with
+               | Some c ->
+                   arr.(i) <- c;
+                   alive.(j) <- false;
+                   changed := true
+               | None -> ()
+           done
+       done
+     with Exit -> ());
+    let out = ref [] in
+    for i = n - 1 downto 0 do
+      if alive.(i) then out := arr.(i) :: !out
+    done;
+    cur := Esop.dedup !out
+  done;
+  !cur
+
+(* ------------------------------------------------------------------ *)
+(* Pseudo-Kronecker Reed-Muller by dynamic programming.                *)
+(* ------------------------------------------------------------------ *)
+
+(* Above this arity the memo table of subfunctions gets too large; callers
+   fall back to PPRM + exorcism. *)
+let pkrm_max_vars = 12
+
+type memo = (string, Esop.t) Hashtbl.t
+
+let rec pkrm_rec (memo : memo) (tt : Truth_table.t) : Esop.t =
+  let n = Truth_table.num_vars tt in
+  if Truth_table.is_const tt false then []
+  else if n = 0 then [ Cube.tautology ]
+  else
+    let key = Truth_table.to_string tt in
+    match Hashtbl.find_opt memo key with
+    | Some e -> e
+    | None ->
+        let v = n - 1 in
+        let f0 = Truth_table.cofactor tt v false in
+        let f1 = Truth_table.cofactor tt v true in
+        let f2 = Truth_table.xor f0 f1 in
+        let e0 = pkrm_rec memo f0 in
+        let e1 = pkrm_rec memo f1 in
+        let e2 = pkrm_rec memo f2 in
+        let with_lit pos = List.map (fun c -> Cube.lift c v pos) in
+        (* Shannon: !x·f0 + x·f1 ; pDavio: f0 + x·f2 ; nDavio: f1 + !x·f2 *)
+        let shannon = with_lit false e0 @ with_lit true e1 in
+        let pdavio = e0 @ with_lit true e2 in
+        let ndavio = e1 @ with_lit false e2 in
+        let cost e = (Esop.num_cubes e * 64) + Esop.num_literals e in
+        let best =
+          List.fold_left
+            (fun acc e -> if cost e < cost acc then e else acc)
+            shannon [ pdavio; ndavio ]
+        in
+        Hashtbl.add memo key best;
+        best
+
+(** [pkrm tt] is an optimal pseudo-Kronecker expression of [tt] (optimal
+    within the PKRM class w.r.t. cube count, ties broken by literal count).
+    Raises [Invalid_argument] above {!pkrm_max_vars} variables. *)
+let pkrm tt =
+  if Truth_table.num_vars tt > pkrm_max_vars then
+    invalid_arg "Esop_opt.pkrm: too many variables (use minimize)";
+  pkrm_rec (Hashtbl.create 512) tt
+
+(** [minimize tt] is the library's default ESOP for [tt]: PKRM when the
+    arity permits, otherwise PPRM; either way followed by {!exorcise}. *)
+let minimize tt =
+  let base =
+    if Truth_table.num_vars tt <= pkrm_max_vars then pkrm tt else Esop.of_pprm tt
+  in
+  exorcise base
+
+(** [minimize_expr ?n e] tabulates a {!Bexpr.t} and minimizes it. *)
+let minimize_expr ?n e = minimize (Bexpr.to_truth_table ?n e)

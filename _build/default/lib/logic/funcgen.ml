@@ -1,0 +1,95 @@
+(** Benchmark function generators — the paper's [revgen] command.
+
+    Provides the reversible and irreversible benchmark functions exercised
+    by the RevKit flow of Eq. (5) and by the synthesis sweeps. *)
+
+(** [hwb n] is the {e hidden weighted bit} reversible benchmark: the input
+    word rotated left by its own population count,
+    [hwb(x) = rotl(x, popcount x)]. It is a permutation of [B^n] and the
+    classic hard case for reversible synthesis ([revgen hwb=4] in the
+    paper's Eq. (5)). *)
+let hwb n =
+  let m = Bitops.mask n in
+  Perm.of_array ~n
+    (Array.init (1 lsl n) (fun x ->
+         let r = Bitops.popcount x mod n in
+         ((x lsl r) lor (x lsr (n - r))) land m))
+
+(** [cycle_shift n] is the modular increment [x ↦ x + 1 mod 2^n] — a single
+    [2^n]-cycle, used as an easy synthesis baseline. *)
+let cycle_shift n =
+  Perm.of_array ~n (Array.init (1 lsl n) (fun x -> (x + 1) land Bitops.mask n))
+
+(** [bit_reverse n] reverses the bit order of the input word. *)
+let bit_reverse n =
+  Perm.of_array ~n
+    (Array.init (1 lsl n) (fun x ->
+         let r = ref 0 in
+         for i = 0 to n - 1 do
+           if Bitops.bit x i then r := !r lor (1 lsl (n - 1 - i))
+         done;
+         !r))
+
+(** [gray_code n] maps [x ↦ x lxor (x lsr 1)] — linear, cheap, reversible. *)
+let gray_code n =
+  Perm.of_array ~n (Array.init (1 lsl n) Bitops.gray)
+
+(** [majority n] is the single-output majority function (ties, possible only
+    for even [n], resolve to false). *)
+let majority n =
+  Truth_table.of_fun n (fun x -> 2 * Bitops.popcount x > n)
+
+(** [parity n] is the XOR of all inputs — linear, ESOP size [n]. *)
+let parity n = Truth_table.of_fun n (fun x -> Bitops.parity x = 1)
+
+(** [threshold n k] outputs 1 when at least [k] inputs are set. *)
+let threshold n k = Truth_table.of_fun n (fun x -> Bitops.popcount x >= k)
+
+(** [adder_outputs n] is the multi-output unsigned adder
+    [(a, b) ↦ a + b] on two [n]-bit operands: [n+1] output truth tables on
+    [2n] variables, least-significant sum bit first. Used by the
+    hierarchical-synthesis experiments. *)
+let adder_outputs n =
+  let f j =
+    Truth_table.of_fun (2 * n) (fun z ->
+        let a = z land Bitops.mask n and b = z lsr n in
+        Bitops.bit (a + b) j)
+  in
+  List.init (n + 1) f
+
+(** [multiplier_outputs n] is the [2n]-output unsigned multiplier on two
+    [n]-bit operands. *)
+let multiplier_outputs n =
+  let f j =
+    Truth_table.of_fun (2 * n) (fun z ->
+        let a = z land Bitops.mask n and b = z lsr n in
+        Bitops.bit (a * b) j)
+  in
+  List.init (2 * n) f
+
+(** [reciprocal_outputs n] approximates the paper's reciprocal benchmark
+    (ref [55]): for an [n]-bit input [x ≥ 1] it outputs the [n]-bit value
+    [⌊(2^n − 1) / x⌋] (and all-ones for [x = 0]). *)
+let reciprocal_outputs n =
+  let top = (1 lsl n) - 1 in
+  let f j =
+    Truth_table.of_fun n (fun x ->
+        let v = if x = 0 then top else min top (top / x) in
+        Bitops.bit v j)
+  in
+  List.init n f
+
+(** [named_reversible] resolves a [revgen]-style name to a permutation
+    generator, for the command shell. *)
+let named_reversible = function
+  | "hwb" -> Some hwb
+  | "cycle" -> Some cycle_shift
+  | "bitrev" -> Some bit_reverse
+  | "gray" -> Some gray_code
+  | _ -> None
+
+(** [named_function] resolves single-output benchmark names. *)
+let named_function = function
+  | "maj" -> Some majority
+  | "parity" -> Some parity
+  | _ -> None

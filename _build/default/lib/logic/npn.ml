@@ -1,0 +1,78 @@
+(** NPN canonization of Boolean functions.
+
+    Two functions are NPN-equivalent when one maps onto the other by
+    Negating inputs, Permuting inputs, and/or Negating the output — the
+    standard equivalence under which logic-synthesis caches (including
+    reversible-synthesis result caches) are indexed. This module computes
+    the exhaustive canonical representative, practical up to 5–6
+    variables. *)
+
+type transform = {
+  perm : int array; (* input j of the transformed function reads input perm.(j) *)
+  input_neg : int; (* bitmask: input j is complemented *)
+  output_neg : bool;
+}
+
+let identity n = { perm = Array.init n Fun.id; input_neg = 0; output_neg = false }
+
+(** [apply t f] is the transformed function
+    [g(x) = f(y) ⊕ output_neg] with [y.(perm.(j)) = x.(j) ⊕ neg.(j)]. *)
+let apply t f =
+  let n = Truth_table.num_vars f in
+  if Array.length t.perm <> n then invalid_arg "Npn.apply: arity mismatch";
+  Truth_table.of_fun n (fun x ->
+      let y = ref 0 in
+      for j = 0 to n - 1 do
+        if Bitops.bit x j <> Bitops.bit t.input_neg j then y := !y lor (1 lsl t.perm.(j))
+      done;
+      Truth_table.get f !y <> t.output_neg)
+
+let rec permutations = function
+  | [] -> [ [] ]
+  | l ->
+      List.concat_map
+        (fun x -> List.map (fun r -> x :: r) (permutations (List.filter (( <> ) x) l)))
+        l
+
+let all_transforms n =
+  let perms = permutations (List.init n Fun.id) in
+  List.concat_map
+    (fun perm ->
+      List.concat_map
+        (fun input_neg ->
+          [ { perm = Array.of_list perm; input_neg; output_neg = false };
+            { perm = Array.of_list perm; input_neg; output_neg = true } ])
+        (List.init (1 lsl n) Fun.id))
+    perms
+
+(** [canonical f] is the lexicographically-smallest truth table in [f]'s
+    NPN class, together with a transform producing it from [f].
+    Exhaustive: [n! · 2^(n+1)] candidates; intended for [n <= 6]. *)
+let canonical f =
+  let n = Truth_table.num_vars f in
+  if n > 6 then invalid_arg "Npn.canonical: exhaustive canonization supports n <= 6";
+  List.fold_left
+    (fun (best, best_t) t ->
+      let candidate = apply t f in
+      if Truth_table.to_string candidate < Truth_table.to_string best then (candidate, t)
+      else (best, best_t))
+    (f, identity n) (all_transforms n)
+
+(** [equivalent a b] holds when the functions share an NPN class. *)
+let equivalent a b =
+  Truth_table.num_vars a = Truth_table.num_vars b
+  && Truth_table.equal (fst (canonical a)) (fst (canonical b))
+
+(** [classes n] enumerates the canonical representative of every NPN class
+    on [n] variables (exhaustive over all [2^2^n] functions; [n <= 4]).
+    |classes 2| = 4, |classes 3| = 14, |classes 4| = 222 — the classic
+    counts. *)
+let classes n =
+  if n > 4 then invalid_arg "Npn.classes: n <= 4";
+  let seen = Hashtbl.create 256 in
+  for code = 0 to (1 lsl (1 lsl n)) - 1 do
+    let f = Truth_table.of_fun n (fun x -> Bitops.bit code x) in
+    let rep, _ = canonical f in
+    Hashtbl.replace seen (Truth_table.to_string rep) rep
+  done;
+  Hashtbl.fold (fun _ rep acc -> rep :: acc) seen []

@@ -1,0 +1,112 @@
+(** Permutations of the set [{0, …, 2^n − 1}].
+
+    Reversible Boolean functions [B^n -> B^n] are exactly the permutations of
+    the [2^n] input assignments; this module is the input format of
+    reversible synthesis ({!Tbs}, {!Dbs}) and of the paper's
+    [PermutationOracle]. *)
+
+type t = { n : int; map : int array }
+
+(** [of_array ?n map] validates [map] as a bijection on [{0, …, 2^n−1}].
+    When [n] is omitted it is derived from the array length, which must be a
+    power of two. Raises [Invalid_argument] when not a permutation. *)
+let of_array ?n map =
+  let len = Array.length map in
+  let n = match n with Some n -> n | None -> Bitops.log2_ceil len in
+  if 1 lsl n <> len then invalid_arg "Perm.of_array: length not a power of 2";
+  let seen = Array.make len false in
+  Array.iter
+    (fun y ->
+      if y < 0 || y >= len then invalid_arg "Perm.of_array: value out of range";
+      if seen.(y) then invalid_arg "Perm.of_array: not injective";
+      seen.(y) <- true)
+    map;
+  { n; map = Array.copy map }
+
+(** [of_list l] is {!of_array} on a list, convenient for paper-style
+    notation like [[0;2;3;5;7;1;4;6]]. *)
+let of_list l = of_array (Array.of_list l)
+
+(** [identity n] is the identity on [2^n] points. *)
+let identity n = { n; map = Array.init (1 lsl n) (fun i -> i) }
+
+(** [num_vars p] is [n]; [size p] is [2^n]. *)
+let num_vars p = p.n
+
+let size p = Array.length p.map
+
+(** [apply p x] is [p(x)]. *)
+let apply p x = p.map.(x)
+
+(** [to_array p] is a fresh copy of the point map. *)
+let to_array p = Array.copy p.map
+
+(** [inverse p] is the permutation with [p⁻¹(p(x)) = x]. *)
+let inverse p =
+  let inv = Array.make (size p) 0 in
+  Array.iteri (fun x y -> inv.(y) <- x) p.map;
+  { n = p.n; map = inv }
+
+(** [compose p q] applies [q] first: [(compose p q) x = p (q x)]. *)
+let compose p q =
+  if p.n <> q.n then invalid_arg "Perm.compose: arity mismatch";
+  { n = p.n; map = Array.map (fun y -> p.map.(y)) q.map }
+
+let equal p q = p.n = q.n && p.map = q.map
+
+let is_identity p =
+  let ok = ref true in
+  Array.iteri (fun x y -> if x <> y then ok := false) p.map;
+  !ok
+
+(** [xor_shift n s] is the linear shift [x ↦ x lxor s] — the reversible
+    implementation of the hidden-shift offset. *)
+let xor_shift n s =
+  if s < 0 || s >= 1 lsl n then invalid_arg "Perm.xor_shift";
+  { n; map = Array.init (1 lsl n) (fun x -> x lxor s) }
+
+(** [random st n] draws a uniform permutation (Fisher–Yates) from PRNG state
+    [st]. *)
+let random st n =
+  let map = Array.init (1 lsl n) (fun i -> i) in
+  for i = Array.length map - 1 downto 1 do
+    let j = Random.State.int st (i + 1) in
+    let t = map.(i) in
+    map.(i) <- map.(j);
+    map.(j) <- t
+  done;
+  { n; map }
+
+(** [cycles p] is the cycle decomposition, each cycle starting at its
+    smallest element, fixpoints omitted, cycles sorted by first element. *)
+let cycles p =
+  let seen = Array.make (size p) false in
+  let out = ref [] in
+  for s = 0 to size p - 1 do
+    if (not seen.(s)) && p.map.(s) <> s then begin
+      let cyc = ref [ s ] in
+      seen.(s) <- true;
+      let x = ref p.map.(s) in
+      while !x <> s do
+        seen.(!x) <- true;
+        cyc := !x :: !cyc;
+        x := p.map.(!x)
+      done;
+      out := List.rev !cyc :: !out
+    end
+  done;
+  List.rev !out
+
+(** [parity p] is [0] for even permutations, [1] for odd. *)
+let parity p =
+  let transpositions =
+    List.fold_left (fun acc cyc -> acc + List.length cyc - 1) 0 (cycles p)
+  in
+  transpositions land 1
+
+(** [output_bit p j] is the truth table of output bit [j] of the reversible
+    function. *)
+let output_bit p j = Truth_table.of_fun p.n (fun x -> Bitops.bit p.map.(x) j)
+
+let pp ppf p =
+  Fmt.pf ppf "[%a]" Fmt.(array ~sep:(any ", ") int) p.map

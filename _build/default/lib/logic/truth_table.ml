@@ -1,0 +1,161 @@
+(** Bit-packed truth tables for single-output Boolean functions
+    [f : B^n -> B].
+
+    The table stores [2^n] output bits packed into 64-bit words; the output
+    for input assignment [x] (encoded as in {!Bitops}) is bit [x]. Supports
+    [0 <= n <= 24] comfortably (a 24-variable table is 2 MiB). *)
+
+type t = { n : int; words : int64 array }
+
+let max_vars = 24
+
+let num_words n = ((1 lsl n) + 63) / 64
+
+(* Mask selecting the valid bits of the last word. *)
+let last_mask n =
+  let bits = 1 lsl n in
+  let rem = bits land 63 in
+  if rem = 0 then -1L else Int64.sub (Int64.shift_left 1L rem) 1L
+
+let check_n n =
+  if n < 0 || n > max_vars then
+    invalid_arg (Printf.sprintf "Truth_table: n = %d out of range [0,%d]" n max_vars)
+
+(** [create n] is the constant-false table on [n] variables. *)
+let create n =
+  check_n n;
+  { n; words = Array.make (num_words n) 0L }
+
+(** [num_vars t] is the number of input variables. *)
+let num_vars t = t.n
+
+(** [size t] is the number of input assignments, [2^n]. *)
+let size t = 1 lsl t.n
+
+(** [get t x] is the output bit for assignment [x]. *)
+let get t x =
+  Int64.logand (Int64.shift_right_logical t.words.(x lsr 6) (x land 63)) 1L
+  = 1L
+
+(** [set t x b] destructively sets the output for assignment [x] to [b]. *)
+let set t x b =
+  let w = x lsr 6 and i = x land 63 in
+  if b then t.words.(w) <- Int64.logor t.words.(w) (Int64.shift_left 1L i)
+  else t.words.(w) <- Int64.logand t.words.(w) (Int64.lognot (Int64.shift_left 1L i))
+
+(** [of_fun n f] tabulates the predicate [f] over all [2^n] assignments. *)
+let of_fun n f =
+  let t = create n in
+  for x = 0 to size t - 1 do
+    if f x then set t x true
+  done;
+  t
+
+(** [copy t] is an independent copy of [t]. *)
+let copy t = { n = t.n; words = Array.copy t.words }
+
+let map2 op a b =
+  if a.n <> b.n then invalid_arg "Truth_table: arity mismatch";
+  { n = a.n; words = Array.init (Array.length a.words) (fun i -> op a.words.(i) b.words.(i)) }
+
+(** Bitwise combinations of equal-arity tables. *)
+let xor a b = map2 Int64.logxor a b
+
+let and_ a b = map2 Int64.logand a b
+let or_ a b = map2 Int64.logor a b
+
+(** [not_ t] is the complement of [t]. *)
+let not_ t =
+  let words = Array.map Int64.lognot t.words in
+  let last = Array.length words - 1 in
+  words.(last) <- Int64.logand words.(last) (last_mask t.n);
+  { n = t.n; words }
+
+(** [equal a b] holds when the tables have the same arity and outputs. *)
+let equal a b = a.n = b.n && Array.for_all2 Int64.equal a.words b.words
+
+(** [is_const t b] holds when [t] outputs [b] everywhere. *)
+let is_const t b =
+  let expect_last = if b then last_mask t.n else 0L in
+  let expect = if b then -1L else 0L in
+  let last = Array.length t.words - 1 in
+  Array.for_all2 Int64.equal t.words
+    (Array.init (Array.length t.words) (fun i -> if i = last then expect_last else expect))
+
+(** [const n b] is the constant-[b] table on [n] variables. *)
+let const n b =
+  let t = create n in
+  if b then (
+    Array.fill t.words 0 (Array.length t.words) (-1L);
+    let last = Array.length t.words - 1 in
+    t.words.(last) <- last_mask n);
+  t
+
+(** [var n i] projects variable [i]: the table of [fun x -> bit i of x]. *)
+let var n i =
+  check_n n;
+  if i < 0 || i >= n then invalid_arg "Truth_table.var: index out of range";
+  of_fun n (fun x -> Bitops.bit x i)
+
+(** [count_ones t] is the number of satisfying assignments of [t]. *)
+let count_ones t =
+  Array.fold_left (fun acc w -> acc + Bitops.int64_popcount w) 0 t.words
+
+(** [cofactor t i b] is the (n-1)-variable cofactor of [t] with variable [i]
+    fixed to [b]. Remaining variables keep their relative order. *)
+let cofactor t i b =
+  if i < 0 || i >= t.n then invalid_arg "Truth_table.cofactor";
+  of_fun (t.n - 1) (fun y -> get t (Bitops.insert_bit y i b))
+
+(** [depends_on t i] holds when the two cofactors w.r.t. variable [i]
+    differ. *)
+let depends_on t i = not (equal (cofactor t i false) (cofactor t i true))
+
+(** [shift_inputs t s] is the table of [fun x -> t (x lxor s)] — the paper's
+    shifted function [g(x) = f(x + s)]. *)
+let shift_inputs t s = of_fun t.n (fun x -> get t (x lxor s))
+
+(** [permute_inputs t pi] is the table of [fun x -> t (pi x)] where [pi] is
+    given pointwise as an array over assignments. *)
+let permute_inputs t pi = of_fun t.n (fun x -> get t pi.(x))
+
+(** [extend t n'] reinterprets [t] over [n' >= n] variables; the new
+    variables are don't-cares (the function ignores them). *)
+let extend t n' =
+  if n' < t.n then invalid_arg "Truth_table.extend: shrinking";
+  of_fun n' (fun x -> get t (x land Bitops.mask t.n))
+
+(** [to_string t] renders the output column, most-significant assignment
+    first (the conventional truth-table string, e.g. "0110" for XOR2-as-n=2
+    read from x=3 down to x=0). *)
+let to_string t =
+  String.init (size t) (fun i -> if get t (size t - 1 - i) then '1' else '0')
+
+(** [of_string s] parses the {!to_string} format; the arity is [log2
+    (String.length s)], which must be a power of two. *)
+let of_string s =
+  let len = String.length s in
+  let n = Bitops.log2_ceil len in
+  if 1 lsl n <> len then invalid_arg "Truth_table.of_string: length not a power of 2";
+  of_fun n (fun x ->
+      match s.[len - 1 - x] with
+      | '1' -> true
+      | '0' -> false
+      | c -> invalid_arg (Printf.sprintf "Truth_table.of_string: bad char %c" c))
+
+let pp ppf t = Fmt.pf ppf "%s" (to_string t)
+
+(** [hash t] is a structural hash usable for memo tables. *)
+let hash t =
+  Array.fold_left
+    (fun acc w -> (acc * 1000003) lxor Int64.to_int w lxor (Int64.to_int (Int64.shift_right_logical w 32)))
+    t.n t.words
+
+(** [random st n] draws a uniformly random [n]-variable table using the
+    PRNG state [st]. *)
+let random st n =
+  let t = create n in
+  for x = 0 to size t - 1 do
+    if Random.State.bool st then set t x true
+  done;
+  t

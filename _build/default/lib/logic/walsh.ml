@@ -1,0 +1,61 @@
+(** Walsh–Hadamard spectra of Boolean functions.
+
+    The Walsh transform is the analytical backbone of the hidden-shift
+    algorithm: a function [f : B^n -> B] is {e bent} iff its spectrum is
+    perfectly flat, and the {e dual} bent function is read off the signs of
+    the spectrum. *)
+
+(** [transform tt] is the Walsh spectrum
+    [W(w) = Σ_x (−1)^(f(x) ⊕ ⟨w,x⟩)], computed with the fast (in-place
+    butterfly) Walsh–Hadamard transform in [O(n·2^n)]. *)
+let transform tt =
+  let n = Truth_table.num_vars tt in
+  let sz = 1 lsl n in
+  let a = Array.init sz (fun x -> if Truth_table.get tt x then -1 else 1) in
+  let len = ref 1 in
+  while !len < sz do
+    let l = !len in
+    let i = ref 0 in
+    while !i < sz do
+      for j = !i to !i + l - 1 do
+        let u = a.(j) and v = a.(j + l) in
+        a.(j) <- u + v;
+        a.(j + l) <- u - v
+      done;
+      i := !i + (2 * l)
+    done;
+    len := 2 * l
+  done;
+  a
+
+(** [is_bent tt] holds iff every spectral coefficient has absolute value
+    [2^(n/2)]. Only possible for even [n]. *)
+let is_bent tt =
+  let n = Truth_table.num_vars tt in
+  if n land 1 = 1 then false
+  else
+    let flat = 1 lsl (n / 2) in
+    Array.for_all (fun w -> abs w = flat) (transform tt)
+
+(** [dual tt] is the dual bent function [f~], defined by
+    [W(w) = (−1)^(f~(w)) · 2^(n/2)]. Raises [Invalid_argument] if [tt] is
+    not bent. *)
+let dual tt =
+  let n = Truth_table.num_vars tt in
+  if not (is_bent tt) then invalid_arg "Walsh.dual: function is not bent";
+  let flat = 1 lsl (n / 2) in
+  let spectrum = transform tt in
+  Truth_table.of_fun n (fun w -> spectrum.(w) = -flat)
+
+(** [correlation f g] is the normalized correlation
+    [2^(−n) Σ_x (−1)^(f(x) ⊕ g(x))] — [1.] iff equal, [−1.] iff
+    complementary. Used by the classical hidden-shift baseline. *)
+let correlation f g =
+  let n = Truth_table.num_vars f in
+  if n <> Truth_table.num_vars g then invalid_arg "Walsh.correlation";
+  let sz = 1 lsl n in
+  let acc = ref 0 in
+  for x = 0 to sz - 1 do
+    if Truth_table.get f x = Truth_table.get g x then incr acc else decr acc
+  done;
+  Float.of_int !acc /. Float.of_int sz

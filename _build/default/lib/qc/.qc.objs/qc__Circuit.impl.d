@@ -1,0 +1,1 @@
+lib/qc/circuit.ml: Array Fmt Gate List

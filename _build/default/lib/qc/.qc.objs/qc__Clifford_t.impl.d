@@ -1,0 +1,1 @@
+lib/qc/clifford_t.ml: Array Circuit Gate List Logic Rev

@@ -1,0 +1,1 @@
+lib/qc/draw.ml: Array Buffer Circuit Fmt Gate List Printf

@@ -1,0 +1,1 @@
+lib/qc/equiv.ml: Circuit Fmt Gate List Random Statevector Unitary

@@ -1,0 +1,1 @@
+lib/qc/gate.ml: Fmt

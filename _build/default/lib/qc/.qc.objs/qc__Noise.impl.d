@@ -1,0 +1,1 @@
+lib/qc/noise.ml: Array Circuit Float Gate List Random Statevector

@@ -1,0 +1,1 @@
+lib/qc/opt.ml: Array Circuit Float Gate List Tpar

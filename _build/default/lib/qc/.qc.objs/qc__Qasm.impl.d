@@ -1,0 +1,1 @@
+lib/qc/qasm.ml: Buffer Circuit Gate List Printf Scanf String

@@ -1,0 +1,1 @@
+lib/qc/qft.ml: Array Circuit Float Fun Gate List Unitary

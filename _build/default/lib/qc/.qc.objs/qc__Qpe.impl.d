@@ -1,0 +1,1 @@
+lib/qc/qpe.ml: Circuit Float Fun Gate List Qft Statevector

@@ -1,0 +1,1 @@
+lib/qc/qsharp_gen.ml: Buffer Circuit Gate List Printf String

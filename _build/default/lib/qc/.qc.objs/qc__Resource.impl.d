@@ -1,0 +1,1 @@
+lib/qc/resource.ml: Circuit Fmt Gate List

@@ -1,0 +1,1 @@
+lib/qc/route.ml: Array Circuit Fun Gate List Unitary

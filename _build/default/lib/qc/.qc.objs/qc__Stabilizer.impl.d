@@ -1,0 +1,1 @@
+lib/qc/stabilizer.ml: Array Bytes Circuit Gate Int64 List Random

@@ -1,0 +1,1 @@
+lib/qc/statevector.ml: Array Circuit Complex Float Gate List Random

@@ -1,0 +1,1 @@
+lib/qc/tpar.ml: Array Circuit Float Gate Hashtbl List

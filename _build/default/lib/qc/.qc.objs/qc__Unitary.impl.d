@@ -1,0 +1,1 @@
+lib/qc/unitary.ml: Array Circuit Complex Float Gate Logic Statevector

@@ -1,0 +1,98 @@
+(** Quantum circuits: ordered gate cascades on a fixed qubit count. *)
+
+type t = { n : int; rev_gates : Gate.t list }
+
+(** [empty n] is the identity circuit on [n] qubits. The container itself
+    scales to large registers (the stabilizer backend consumes wide
+    Clifford circuits); the dense backends impose their own width caps. *)
+let empty n =
+  if n < 1 || n > 4096 then invalid_arg "Circuit.empty: bad qubit count";
+  { n; rev_gates = [] }
+
+let check c g =
+  List.iter
+    (fun q -> if q < 0 || q >= c.n then invalid_arg "Circuit: qubit out of range")
+    (Gate.qubits g)
+
+(** [add c g] appends [g]. *)
+let add c g =
+  check c g;
+  { c with rev_gates = g :: c.rev_gates }
+
+let add_list c gs = List.fold_left add c gs
+let of_gates n gs = add_list (empty n) gs
+
+(** [gates c] lists gates in application order. *)
+let gates c = List.rev c.rev_gates
+
+let num_qubits c = c.n
+let num_gates c = List.length c.rev_gates
+
+(** [append a b] runs [a] then [b]. *)
+let append a b =
+  if a.n <> b.n then invalid_arg "Circuit.append: qubit mismatch";
+  { a with rev_gates = b.rev_gates @ a.rev_gates }
+
+(** [dagger c] is the adjoint circuit: each gate inverted, order
+    reversed. *)
+let dagger c = { c with rev_gates = List.rev_map Gate.adjoint c.rev_gates }
+
+(** [widen c n] reinterprets [c] on [n >= num_qubits c] qubits. *)
+let widen c n =
+  if n < c.n then invalid_arg "Circuit.widen: shrinking";
+  { c with n }
+
+(** [map_qubits ~n f c] relabels qubits through [f]. *)
+let map_qubits ~n f c =
+  let remap g =
+    let open Gate in
+    match g with
+    | X q -> X (f q)
+    | Y q -> Y (f q)
+    | Z q -> Z (f q)
+    | H q -> H (f q)
+    | S q -> S (f q)
+    | Sdg q -> Sdg (f q)
+    | T q -> T (f q)
+    | Tdg q -> Tdg (f q)
+    | Rz (a, q) -> Rz (a, f q)
+    | Cnot (a, b) -> Cnot (f a, f b)
+    | Cz (a, b) -> Cz (f a, f b)
+    | Swap (a, b) -> Swap (f a, f b)
+    | Ccx (a, b, c) -> Ccx (f a, f b, f c)
+    | Ccz (a, b, c) -> Ccz (f a, f b, f c)
+    | Mcx (cs, t) -> Mcx (List.map f cs, f t)
+    | Mcz qs -> Mcz (List.map f qs)
+  in
+  of_gates n (List.map remap (gates c))
+
+(** [t_count c] counts T and T† gates. *)
+let t_count c =
+  List.fold_left (fun acc g -> if Gate.is_t g then acc + 1 else acc) 0 c.rev_gates
+
+(** [count_matching p c] counts gates satisfying [p]. *)
+let count_matching p c =
+  List.fold_left (fun acc g -> if p g then acc + 1 else acc) 0 c.rev_gates
+
+(* Greedy layering: a gate goes into the earliest layer after the busiest of
+   its qubits. [weight] selects which gates advance the depth counter. *)
+let depth_by weight c =
+  let avail = Array.make c.n 0 in
+  List.fold_left
+    (fun acc g ->
+      let qs = Gate.qubits g in
+      let start = List.fold_left (fun m q -> max m avail.(q)) 0 qs in
+      let d = start + weight g in
+      List.iter (fun q -> avail.(q) <- d) qs;
+      max acc d)
+    0 (gates c)
+
+(** [depth c] is the circuit depth under greedy ASAP layering. *)
+let depth c = depth_by (fun _ -> 1) c
+
+(** [t_depth c] is the number of T-layers (only T/T† advance the count) —
+    the latency measure the T-par paper optimizes. *)
+let t_depth c = depth_by (fun g -> if Gate.is_t g then 1 else 0) c
+
+let pp ppf c =
+  Fmt.pf ppf "@[<v>%a@]" Fmt.(list ~sep:cut Gate.pp) (gates c)

@@ -1,0 +1,133 @@
+(** Mapping reversible circuits into the Clifford+T gate set (the paper's
+    refs [40, 41, 42] and its [cliffordt] command).
+
+    Toffoli gates expand into the standard 7-T network; gates with three or
+    more controls are lowered with a Barenco-style V-chain over clean
+    ancilla qubits, using Maslov's {e relative-phase} Toffoli (4 T gates)
+    for the compute/uncompute ladder — the optimization of ref [42].
+    Negative controls are absorbed by conjugation with X. *)
+
+module Bitops = Logic.Bitops
+open Gate
+
+(** [of_rcircuit rc] converts an MCT cascade into a quantum circuit of
+    {e high-level} X/CNOT/Toffoli/Mcx gates (negative controls conjugated
+    away). No ancillae are introduced at this stage. *)
+let of_rcircuit rc =
+  let n = Rev.Rcircuit.num_lines rc in
+  let gates =
+    List.concat_map
+      (fun (g : Rev.Mct.t) ->
+        let negs = Bitops.bits_of g.Rev.Mct.neg n in
+        let flips = List.map (fun q -> X q) negs in
+        let ctrls = Bitops.bits_of (g.Rev.Mct.pos lor g.Rev.Mct.neg) n in
+        let core =
+          match ctrls with
+          | [] -> X g.Rev.Mct.target
+          | [ c ] -> Cnot (c, g.Rev.Mct.target)
+          | [ c1; c2 ] -> Ccx (c1, c2, g.Rev.Mct.target)
+          | cs -> Mcx (cs, g.Rev.Mct.target)
+        in
+        flips @ (core :: flips))
+      (Rev.Rcircuit.gates rc)
+  in
+  Circuit.of_gates n gates
+
+(** The canonical 7-T Clifford+T realization of CCZ(a,b,c). *)
+let ccz_7t a b c =
+  [ Cnot (b, c); Tdg c; Cnot (a, c); T c; Cnot (b, c); Tdg c; Cnot (a, c);
+    T b; T c; Cnot (a, b); T a; Tdg b; Cnot (a, b) ]
+
+(** Toffoli = H-conjugated CCZ. *)
+let toffoli_7t a b t = (H t :: ccz_7t a b t) @ [ H t ]
+
+(** Maslov's relative-phase Toffoli (RCCX, 4 T): implements
+    |a,b,t⟩ ↦ |a,b,t⊕ab⟩ up to relative phases that cancel when the gate is
+    used in compute/uncompute pairs around operations that do not touch
+    a, b or t. *)
+let rccx a b t =
+  [ H t; T t; Cnot (b, t); Tdg t; Cnot (a, t); T t; Cnot (b, t); Tdg t; H t ]
+
+let rccx_dag a b t = List.rev_map Gate.adjoint (rccx a b t)
+
+(* Lower one Mcx with k >= 3 positive controls using clean ancillae
+   [anc.(0) .. anc.(k-3)]. The ladder computes prefix conjunctions with
+   relative-phase Toffolis; the middle gate is a true Toffoli. *)
+let lower_mcx ~rccx_ladder cs t anc =
+  let k = List.length cs in
+  assert (k >= 3);
+  let cs = Array.of_list cs in
+  let pair = if rccx_ladder then rccx else fun a b t -> toffoli_7t a b t in
+  let unpair = if rccx_ladder then rccx_dag else fun a b t -> List.rev_map Gate.adjoint (toffoli_7t a b t) in
+  (* compute: anc.(0) = c0 ∧ c1; anc.(i) = anc.(i-1) ∧ c(i+1) *)
+  let compute = ref [] in
+  let uncompute = ref [] in
+  for i = 0 to k - 3 do
+    let a = if i = 0 then cs.(0) else anc.(i - 1) in
+    let b = cs.(i + 1) in
+    compute := !compute @ pair a b anc.(i);
+    uncompute := unpair a b anc.(i) @ !uncompute
+  done;
+  !compute @ toffoli_7t anc.(k - 3) cs.(k - 1) t @ !uncompute
+
+(** Options for {!compile}. [rccx_ladder] (default true) uses relative-phase
+    Toffolis in the ancilla ladder; [keep_rz] (default true) passes Rz
+    through unchanged (set false to reject non-Clifford+T rotations). *)
+type options = { rccx_ladder : bool; keep_rz : bool }
+
+let default_options = { rccx_ladder = true; keep_rz = true }
+
+(** [compile ?options c] rewrites every gate of [c] into
+    {X, Y, Z, H, S, S†, T, T†, CNOT} (plus Rz if allowed). Multiply
+    controlled gates draw from a shared block of clean ancilla qubits
+    appended above the original register; the result returns them to |0⟩.
+    Returns the compiled circuit together with the number of ancillae
+    added. *)
+let compile ?(options = default_options) c =
+  let n = Circuit.num_qubits c in
+  let max_anc =
+    List.fold_left
+      (fun acc g ->
+        match g with
+        | Mcx (cs, _) -> max acc (List.length cs - 2)
+        | Mcz qs -> max acc (List.length qs - 3)
+        | _ -> acc)
+      0 (Circuit.gates c)
+  in
+  let total = n + max_anc in
+  let anc = Array.init max_anc (fun i -> n + i) in
+  let rec split_last = function
+    | [ t ] -> ([], t)
+    | q :: rest ->
+        let cs, t = split_last rest in
+        (q :: cs, t)
+    | [] -> invalid_arg "Clifford_t.compile: empty Mcz"
+  in
+  let rec lower g =
+    match g with
+    | X _ | Y _ | Z _ | H _ | S _ | Sdg _ | T _ | Tdg _ | Cnot _ -> [ g ]
+    | Rz _ ->
+        if options.keep_rz then [ g ]
+        else invalid_arg "Clifford_t.compile: Rz not allowed by options"
+    | Cz _ -> [ g ] (* CZ is Clifford and diagonal: keep it native *)
+    | Swap (a, b) -> [ Cnot (a, b); Cnot (b, a); Cnot (a, b) ]
+    | Ccx (a, b, t) -> toffoli_7t a b t
+    | Ccz (a, b, t) -> ccz_7t a b t
+    | Mcx ([], t) -> [ X t ]
+    | Mcx ([ a ], t) -> [ Cnot (a, t) ]
+    | Mcx ([ a; b ], t) -> toffoli_7t a b t
+    | Mcx (cs, t) -> lower_mcx ~rccx_ladder:options.rccx_ladder cs t anc
+    | Mcz [ a ] -> [ Z a ]
+    | Mcz [ a; b ] -> [ Cz (a, b) ]
+    | Mcz [ a; b; c ] -> ccz_7t a b c (* pure {CNOT, T}: T-par can fold *)
+    | Mcz qs ->
+        (* conjugate the last qubit with H and treat as Mcx *)
+        let cs, t = split_last qs in
+        (H t :: lower (Mcx (cs, t))) @ [ H t ]
+  in
+  let gates = List.concat_map lower (Circuit.gates c) in
+  (Circuit.of_gates total gates, max_anc)
+
+(** [compile_rcircuit ?options rc] is the full [cliffordt] flow:
+    {!of_rcircuit} followed by {!compile}. *)
+let compile_rcircuit ?options rc = compile ?options (of_rcircuit rc)

@@ -1,0 +1,109 @@
+(** ASCII rendering of quantum circuits, one row per qubit, time flowing
+    left to right — the textual analogue of the paper's circuit figures. *)
+
+open Gate
+
+(* Single-character labels keep every cell exactly three columns wide;
+   lowercase marks the adjoint. *)
+let box_label = function
+  | X _ -> "X"
+  | Y _ -> "Y"
+  | Z _ -> "Z"
+  | H _ -> "H"
+  | S _ -> "S"
+  | Sdg _ -> "s"
+  | T _ -> "T"
+  | Tdg _ -> "t"
+  | Rz _ -> "R"
+  | _ -> "?"
+
+(* Column contents per qubit for a single gate. *)
+type cell = Empty | Box of string | Ctrl | Targ | Wire | SwapX
+
+let cells_of n g =
+  let col = Array.make n Empty in
+  (match g with
+  | Cnot (c, t) ->
+      col.(c) <- Ctrl;
+      col.(t) <- Targ
+  | Cz (a, b) ->
+      col.(a) <- Ctrl;
+      col.(b) <- Ctrl
+  | Swap (a, b) ->
+      col.(a) <- SwapX;
+      col.(b) <- SwapX
+  | Ccx (a, b, t) ->
+      col.(a) <- Ctrl;
+      col.(b) <- Ctrl;
+      col.(t) <- Targ
+  | Ccz (a, b, c) ->
+      col.(a) <- Ctrl;
+      col.(b) <- Ctrl;
+      col.(c) <- Ctrl
+  | Mcx (cs, t) ->
+      List.iter (fun c -> col.(c) <- Ctrl) cs;
+      col.(t) <- Targ
+  | Mcz qs -> List.iter (fun q -> col.(q) <- Ctrl) qs
+  | g ->
+      let q = List.hd (qubits g) in
+      col.(q) <- Box (box_label g));
+  (* vertical connector on intermediate lines *)
+  let touched = qubits g in
+  let lo = List.fold_left min n touched and hi = List.fold_left max (-1) touched in
+  for q = lo + 1 to hi - 1 do
+    if col.(q) = Empty then col.(q) <- Wire
+  done;
+  col
+
+let render_cell = function
+  | Empty -> "---"
+  | Box s -> Printf.sprintf "[%s]" s
+  | Ctrl -> "-*-"
+  | Targ -> "-@-"
+  | Wire -> "-|-"
+  | SwapX -> "-x-"
+
+(* ASAP column packing that respects program order: a gate occupies the
+   whole row interval it spans (controls, target and the vertical
+   connector) and goes into the earliest column after every earlier gate
+   touching that interval. *)
+let pack_columns n gates =
+  let frontier = Array.make n 0 in
+  let placed =
+    List.map
+      (fun g ->
+        let qs = Gate.qubits g in
+        let lo = List.fold_left min (n - 1) qs and hi = List.fold_left max 0 qs in
+        let col = ref 0 in
+        for r = lo to hi do
+          col := max !col frontier.(r)
+        done;
+        for r = lo to hi do
+          frontier.(r) <- !col + 1
+        done;
+        (!col, g))
+      gates
+  in
+  let ncols = Array.fold_left max 0 frontier in
+  let grid = Array.init ncols (fun _ -> Array.make n Empty) in
+  List.iter
+    (fun (idx, g) ->
+      let cells = cells_of n g in
+      Array.iteri (fun r c -> if c <> Empty then grid.(idx).(r) <- c) cells)
+    placed;
+  grid
+
+(** [to_string circuit] renders the circuit as [n] text rows, packing
+    independent gates into shared columns. *)
+let to_string circuit =
+  let n = Circuit.num_qubits circuit in
+  let grid = pack_columns n (Circuit.gates circuit) in
+  let buf = Buffer.create 256 in
+  for q = 0 to n - 1 do
+    Buffer.add_string buf (Printf.sprintf "q%-2d:" q);
+    Array.iter (fun col -> Buffer.add_string buf (render_cell col.(q))) grid;
+    Buffer.add_string buf "---\n"
+  done;
+  Buffer.contents buf
+
+let pp ppf c = Fmt.pf ppf "%s" (to_string c)

@@ -1,0 +1,98 @@
+(** Equivalence checking of quantum circuits — the paper's closing
+    challenge (Sec. IX): "when applying post-optimization, one needs to
+    verify that the optimized circuit did not change the functionality,
+    requiring to simulate complete quantum states in the worst-case."
+
+    Three checkers with increasing reach:
+
+    - {!exact} / {!up_to_phase}: full dense-unitary comparison, certain but
+      exponential (n ≤ ~10);
+    - {!classical}: for circuits meant to implement reversible functions,
+      compare the induced permutations (still exponential in basis states
+      but with no amplitude storage per column pair);
+    - {!randomized}: the miter U·V† applied to random product states must
+      return them unchanged — a one-sided Monte-Carlo test usable at
+      state-vector widths (n ≤ ~20); inequivalent circuits are caught with
+      probability growing rapidly in the number of trials. *)
+
+type verdict = Equivalent | Not_equivalent | Probably_equivalent of int
+(** [Probably_equivalent trials]: the randomized check passed [trials]
+    independent trials without a discrepancy. *)
+
+(** [exact a b] is dense-unitary equality (entrywise, eps 1e-9). *)
+let exact a b =
+  if Circuit.num_qubits a <> Circuit.num_qubits b then Not_equivalent
+  else if Unitary.equal (Unitary.of_circuit a) (Unitary.of_circuit b) then Equivalent
+  else Not_equivalent
+
+(** [up_to_phase a b] ignores a global phase — the right notion after
+    {!Tpar} or relative-phase lowering. *)
+let up_to_phase a b =
+  if Circuit.num_qubits a <> Circuit.num_qubits b then Not_equivalent
+  else if Unitary.equal_up_to_phase (Unitary.of_circuit a) (Unitary.of_circuit b) then
+    Equivalent
+  else Not_equivalent
+
+(** [classical a b] compares the permutations-with-phases the circuits
+    induce on basis states; [Not_equivalent] also when either circuit is
+    not classical. *)
+let classical a b =
+  if Circuit.num_qubits a <> Circuit.num_qubits b then Not_equivalent
+  else
+    match
+      ( Unitary.is_permutation (Unitary.of_circuit a),
+        Unitary.is_permutation (Unitary.of_circuit b) )
+    with
+    | Some pa, Some pb -> if pa = pb then Equivalent else Not_equivalent
+    | _ -> Not_equivalent
+
+(* A random product state: each qubit prepared with H/T-angle gates chosen
+   from a small dense set, so discrepancies anywhere in the unitary are
+   visible with good probability. *)
+let random_preparation st n =
+  List.concat
+    (List.init n (fun q ->
+         let base =
+           match Random.State.int st 4 with
+           | 0 -> []
+           | 1 -> [ Gate.H q ]
+           | 2 -> [ Gate.X q; Gate.H q ]
+           | _ -> [ Gate.H q; Gate.T q; Gate.H q ]
+         in
+         base @ (if Random.State.bool st then [ Gate.Rz (Random.State.float st 6.28, q) ] else [])))
+
+(** [randomized ?trials ?seed a b] runs the miter check: for random product
+    states |ψ⟩, check ⟨ψ| V† U |ψ⟩ ≈ 1 (equivalence up to global phase is
+    tolerated via the overlap magnitude). One-sided: [Not_equivalent] is
+    definitive, [Probably_equivalent] is statistical. *)
+let randomized ?(trials = 24) ?(seed = 0x5EED) a b =
+  let n = Circuit.num_qubits a in
+  if n <> Circuit.num_qubits b then Not_equivalent
+  else begin
+    let st = Random.State.make [| seed |] in
+    let ok = ref true in
+    let t = ref 0 in
+    while !ok && !t < trials do
+      incr t;
+      let prep = random_preparation st n in
+      let sa = Statevector.init n and sb = Statevector.init n in
+      List.iter (Statevector.apply sa) prep;
+      List.iter (Statevector.apply sb) prep;
+      Statevector.run_on sa a;
+      Statevector.run_on sb b;
+      if not (Statevector.equal_up_to_phase ~eps:1e-7 sa sb) then ok := false
+    done;
+    if !ok then Probably_equivalent trials else Not_equivalent
+  end
+
+(** [check a b] picks the strongest affordable checker: exact unitaries up
+    to 9 qubits, randomized above. *)
+let check a b =
+  if Circuit.num_qubits a <> Circuit.num_qubits b then Not_equivalent
+  else if Circuit.num_qubits a <= 9 then up_to_phase a b
+  else randomized a b
+
+let pp_verdict ppf = function
+  | Equivalent -> Fmt.pf ppf "equivalent"
+  | Not_equivalent -> Fmt.pf ppf "NOT equivalent"
+  | Probably_equivalent t -> Fmt.pf ppf "equivalent (randomized, %d trials)" t

@@ -1,0 +1,117 @@
+(** OpenQASM 2.0 interchange (paper ref [37]).
+
+    {!to_string} emits any circuit whose gates exist in the OpenQASM
+    standard header (high-level Mcx/Mcz must be compiled away first,
+    except ccx which qelib provides). {!parse} reads back the same
+    subset — enough for round-tripping our own output and for exporting to
+    IBM-style toolchains. *)
+
+open Gate
+
+exception Unsupported of string
+
+let gate_line g =
+  match g with
+  | X q -> Printf.sprintf "x q[%d];" q
+  | Y q -> Printf.sprintf "y q[%d];" q
+  | Z q -> Printf.sprintf "z q[%d];" q
+  | H q -> Printf.sprintf "h q[%d];" q
+  | S q -> Printf.sprintf "s q[%d];" q
+  | Sdg q -> Printf.sprintf "sdg q[%d];" q
+  | T q -> Printf.sprintf "t q[%d];" q
+  | Tdg q -> Printf.sprintf "tdg q[%d];" q
+  | Rz (a, q) -> Printf.sprintf "rz(%.17g) q[%d];" a q
+  | Cnot (a, b) -> Printf.sprintf "cx q[%d],q[%d];" a b
+  | Cz (a, b) -> Printf.sprintf "cz q[%d],q[%d];" a b
+  | Swap (a, b) -> Printf.sprintf "swap q[%d],q[%d];" a b
+  | Ccx (a, b, c) -> Printf.sprintf "ccx q[%d],q[%d],q[%d];" a b c
+  | Ccz _ | Mcx _ | Mcz _ ->
+      raise (Unsupported (Printf.sprintf "Qasm: no OpenQASM equivalent for %s" (name g)))
+
+(** [to_string ?measure circuit] renders OpenQASM 2.0; with
+    [measure = true] (default) all qubits are measured into a classical
+    register at the end. *)
+let to_string ?(measure = true) circuit =
+  let n = Circuit.num_qubits circuit in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "OPENQASM 2.0;\ninclude \"qelib1.inc\";\n";
+  Buffer.add_string buf (Printf.sprintf "qreg q[%d];\n" n);
+  if measure then Buffer.add_string buf (Printf.sprintf "creg c[%d];\n" n);
+  List.iter
+    (fun g ->
+      Buffer.add_string buf (gate_line g);
+      Buffer.add_char buf '\n')
+    (Circuit.gates circuit);
+  if measure then
+    for q = 0 to n - 1 do
+      Buffer.add_string buf (Printf.sprintf "measure q[%d] -> c[%d];\n" q q)
+    done;
+  Buffer.contents buf
+
+exception Parse_error of string
+
+let parse_qubit tok =
+  try Scanf.sscanf tok "q[%d]" (fun i -> i)
+  with _ -> raise (Parse_error (Printf.sprintf "bad qubit operand %S" tok))
+
+(** [parse text] reads the subset emitted by {!to_string} and returns the
+    circuit (measurements are recognized and dropped — our backends measure
+    everything at the end anyway). *)
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  let n = ref 0 in
+  let gates = ref [] in
+  List.iter
+    (fun raw ->
+      let line = String.trim raw in
+      let line =
+        match String.index_opt line '/' with
+        | Some i when i + 1 < String.length line && line.[i + 1] = '/' ->
+            String.trim (String.sub line 0 i)
+        | _ -> line
+      in
+      if line = "" || String.length line < 2 then ()
+      else if String.length line >= 8 && String.sub line 0 8 = "OPENQASM" then ()
+      else if String.length line >= 7 && String.sub line 0 7 = "include" then ()
+      else if String.length line >= 4 && String.sub line 0 4 = "creg" then ()
+      else if String.length line >= 7 && String.sub line 0 7 = "measure" then ()
+      else if String.length line >= 4 && String.sub line 0 4 = "qreg" then
+        (try Scanf.sscanf line "qreg q[%d];" (fun k -> n := k)
+         with _ -> raise (Parse_error ("bad qreg: " ^ line)))
+      else begin
+        let line = String.sub line 0 (String.length line - 1) in
+        (* strip ';' *)
+        let opname, rest =
+          match String.index_opt line ' ' with
+          | Some i ->
+              (String.sub line 0 i, String.sub line (i + 1) (String.length line - i - 1))
+          | None -> raise (Parse_error ("bad statement: " ^ line))
+        in
+        let args = String.split_on_char ',' (String.trim rest) |> List.map String.trim in
+        let q i = parse_qubit (List.nth args i) in
+        let g =
+          match opname with
+          | "x" -> X (q 0)
+          | "y" -> Y (q 0)
+          | "z" -> Z (q 0)
+          | "h" -> H (q 0)
+          | "s" -> S (q 0)
+          | "sdg" -> Sdg (q 0)
+          | "t" -> T (q 0)
+          | "tdg" -> Tdg (q 0)
+          | "cx" -> Cnot (q 0, q 1)
+          | "cz" -> Cz (q 0, q 1)
+          | "swap" -> Swap (q 0, q 1)
+          | "ccx" -> Ccx (q 0, q 1, q 2)
+          | op when String.length op > 3 && String.sub op 0 3 = "rz(" ->
+              let angle =
+                try Scanf.sscanf op "rz(%f)" (fun a -> a)
+                with _ -> raise (Parse_error ("bad rz: " ^ op))
+              in
+              Rz (angle, q 0)
+          | op -> raise (Parse_error ("unknown gate: " ^ op))
+        in
+        gates := g :: !gates
+      end)
+    lines;
+  Circuit.of_gates !n (List.rev !gates)

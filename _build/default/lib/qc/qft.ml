@@ -1,0 +1,90 @@
+(** Quantum Fourier transform and Draper's QFT adder.
+
+    A second, structurally different arithmetic style next to the MCT-based
+    Cuccaro adder in {!Rev.Arith}: Draper's adder works entirely in Fourier
+    space with controlled phase rotations — no ancillae at all. It
+    exercises the Rz-rotation path of the whole toolchain (simulation,
+    T-par's angle folding, QASM export). *)
+
+open Gate
+
+(* Controlled phase of angle θ between qubits a and b:
+   diag(1,1,1,e^{iθ}) = Rz(θ/2) ⊗ I · CNOT · I ⊗ Rz(−θ/2) · CNOT ·
+   I ⊗ Rz(θ/2), up to global phase. *)
+let controlled_phase theta a b =
+  [ Rz (theta /. 2., a); Rz (theta /. 2., b); Cnot (a, b); Rz (-.theta /. 2., b);
+    Cnot (a, b) ]
+
+(** [qft n] is the textbook QFT on [n] qubits (with the final qubit-order
+    reversal done by SWAPs), mapping |x⟩ to the Fourier basis with qubit 0
+    as the least significant bit. Realized {e up to a global phase} (the
+    controlled-phase gadget built from Rz/CNOT carries e^{−iθ/4}). *)
+let qft n =
+  let gates = ref [] in
+  let emit g = gates := g :: !gates in
+  for j = n - 1 downto 0 do
+    emit (H j);
+    for k = j - 1 downto 0 do
+      let theta = Float.pi /. Float.of_int (1 lsl (j - k)) in
+      List.iter emit (controlled_phase theta k j)
+    done
+  done;
+  for q = 0 to (n / 2) - 1 do
+    emit (Swap (q, n - 1 - q))
+  done;
+  Circuit.of_gates n (List.rev !gates)
+
+(** [qft_dag n] is the inverse transform. *)
+let qft_dag n = Circuit.dagger (qft n)
+
+(** [phase_add_const n k] adds the classical constant [k] in Fourier space:
+    a layer of plain Rz rotations (no entangling gates at all). Sandwiched
+    between {!qft} and {!qft_dag} it becomes [x ↦ x + k mod 2^n]. *)
+let phase_add_const n k =
+  let gates =
+    List.filter_map
+      (fun j ->
+        (* after the (bit-reversing) QFT, qubit j carries the phase
+           e^{2πi x / 2^(n-j)}; adding k multiplies by e^{2πi k / 2^(n-j)} *)
+        let denom = 1 lsl (n - j) in
+        let theta = 2. *. Float.pi *. Float.of_int (k land (denom - 1)) /. Float.of_int denom in
+        if Float.abs theta < 1e-15 then None else Some (Rz (theta, j)))
+      (List.init n Fun.id)
+  in
+  Circuit.of_gates n gates
+
+(** [draper_add_const n k] is the full constant adder
+    [|x⟩ ↦ |x + k mod 2^n⟩]: QFT, phase layer, inverse QFT. Zero
+    ancillae — compare with the MCT incrementer staircase. *)
+let draper_add_const n k =
+  Circuit.append (Circuit.append (qft n) (phase_add_const n k)) (qft_dag n)
+
+(** [draper_adder n] is the two-register in-place adder
+    [|a⟩|b⟩ ↦ |a⟩|a + b mod 2^n⟩] ([a] on qubits [0..n-1], [b] above):
+    QFT on [b], controlled phases from each bit of [a], inverse QFT. *)
+let draper_adder n =
+  let b_qubit i = n + i in
+  let qft_b = Circuit.map_qubits ~n:(2 * n) b_qubit (qft n) in
+  let phases = ref [] in
+  for j = 0 to n - 1 do
+    (* Fourier qubit j of b carries e^{2πi b / 2^(n-j)}; bit i of a adds
+       2^i, i.e. phase 2π·2^i / 2^(n-j) — trivial once i ≥ n-j *)
+    for i = 0 to n - 1 - j do
+      let theta = 2. *. Float.pi /. Float.of_int (1 lsl (n - j - i)) in
+      List.iter (fun g -> phases := g :: !phases) (controlled_phase theta i (b_qubit j))
+    done
+  done;
+  let phase_circuit = Circuit.of_gates (2 * n) (List.rev !phases) in
+  Circuit.append (Circuit.append qft_b phase_circuit) (Circuit.dagger qft_b)
+
+(** [check_add_const circuit n k] verifies [x ↦ x + k mod 2^n] on every
+    basis state (up to global phase). *)
+let check_add_const circuit n k =
+  match Unitary.is_permutation ~eps:1e-6 (Unitary.of_circuit circuit) with
+  | Some p ->
+      let ok = ref true in
+      for x = 0 to (1 lsl n) - 1 do
+        if p.(x) <> (x + k) land ((1 lsl n) - 1) then ok := false
+      done;
+      !ok
+  | None -> false

@@ -1,0 +1,50 @@
+(** Resource estimation — the ProjectQ "resource counter" backend of the
+    paper's Sec. VI: gate-class counts, T-count, T-depth and depth of a
+    circuit, with a printable report. *)
+
+type t = {
+  qubits : int;
+  total_gates : int;
+  h_count : int;
+  x_count : int;
+  cnot_count : int;
+  t_count : int; (* T and T† *)
+  s_count : int; (* S and S† *)
+  z_count : int;
+  other_count : int;
+  depth : int;
+  t_depth : int;
+}
+
+let count circuit =
+  let h = ref 0 and x = ref 0 and cx = ref 0 and t = ref 0 and s = ref 0
+  and z = ref 0 and other = ref 0 in
+  List.iter
+    (fun g ->
+      match (g : Gate.t) with
+      | Gate.H _ -> incr h
+      | Gate.X _ -> incr x
+      | Gate.Cnot _ -> incr cx
+      | Gate.T _ | Gate.Tdg _ -> incr t
+      | Gate.S _ | Gate.Sdg _ -> incr s
+      | Gate.Z _ -> incr z
+      | _ -> incr other)
+    (Circuit.gates circuit);
+  { qubits = Circuit.num_qubits circuit;
+    total_gates = Circuit.num_gates circuit;
+    h_count = !h; x_count = !x; cnot_count = !cx; t_count = !t; s_count = !s;
+    z_count = !z; other_count = !other;
+    depth = Circuit.depth circuit;
+    t_depth = Circuit.t_depth circuit }
+
+let pp ppf r =
+  Fmt.pf ppf
+    "qubits: %d@ gates: %d (H %d, X %d, CNOT %d, T %d, S %d, Z %d, other %d)@ depth: %d@ T-depth: %d"
+    r.qubits r.total_gates r.h_count r.x_count r.cnot_count r.t_count r.s_count
+    r.z_count r.other_count r.depth r.t_depth
+
+(** [to_string r] is a one-line rendering, for table rows. *)
+let to_string r = Fmt.str "@[<h>%a@]" pp r
+
+(** [to_string_v r] is the multi-line rendering, for standalone reports. *)
+let to_string_v r = Fmt.str "@[<v>%a@]" pp r

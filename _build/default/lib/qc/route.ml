@@ -1,0 +1,123 @@
+(** Qubit routing for linear-nearest-neighbour (LNN) architectures.
+
+    The paper's Sec. I/IV frame compilation as mapping to {e hardware-
+    specific} operations; 2017-era devices (IBM QX included) only coupled
+    neighbouring qubits. This pass takes a compiled circuit whose gates
+    touch at most two qubits and inserts SWAPs so that every two-qubit gate
+    acts on adjacent lines of a 1-D chain. The logical-to-physical mapping
+    is {e not} undone at the end (cheaper); the final placement is returned
+    so results can be read out correctly. *)
+
+exception Not_two_qubit of Gate.t
+
+type result = {
+  circuit : Circuit.t;
+  swaps_inserted : int;
+  (* physical line of each logical qubit at the end *)
+  final_placement : int array;
+}
+
+(** [lnn circuit] routes to the chain [0 — 1 — … — n−1] with greedy
+    move-together SWAP insertion. Raises {!Not_two_qubit} if a gate with
+    three or more qubits is present (compile first). *)
+let lnn circuit =
+  let n = Circuit.num_qubits circuit in
+  (* phys.(logical) = physical position; log.(physical) = logical qubit *)
+  let phys = Array.init n Fun.id in
+  let log_ = Array.init n Fun.id in
+  let out = ref [] in
+  let swaps = ref 0 in
+  let emit g = out := g :: !out in
+  let swap_phys p =
+    (* swap physical positions p and p+1 *)
+    emit (Gate.Swap (p, p + 1));
+    incr swaps;
+    let a = log_.(p) and b = log_.(p + 1) in
+    log_.(p) <- b;
+    log_.(p + 1) <- a;
+    phys.(a) <- p + 1;
+    phys.(b) <- p
+  in
+  let remap1 g q =
+    let p = phys.(q) in
+    match (g : Gate.t) with
+    | Gate.X _ -> Gate.X p
+    | Gate.Y _ -> Gate.Y p
+    | Gate.Z _ -> Gate.Z p
+    | Gate.H _ -> Gate.H p
+    | Gate.S _ -> Gate.S p
+    | Gate.Sdg _ -> Gate.Sdg p
+    | Gate.T _ -> Gate.T p
+    | Gate.Tdg _ -> Gate.Tdg p
+    | Gate.Rz (a, _) -> Gate.Rz (a, p)
+    | g -> raise (Not_two_qubit g)
+  in
+  let adjacentize a b =
+    (* move logical a and b together; returns their physical positions *)
+    while abs (phys.(a) - phys.(b)) > 1 do
+      (* move the outer one toward the other *)
+      if phys.(a) < phys.(b) then swap_phys phys.(a) else swap_phys phys.(b)
+    done;
+    (phys.(a), phys.(b))
+  in
+  List.iter
+    (fun g ->
+      match (g : Gate.t) with
+      | Gate.Cnot (a, b) ->
+          let pa, pb = adjacentize a b in
+          emit (Gate.Cnot (pa, pb))
+      | Gate.Cz (a, b) ->
+          let pa, pb = adjacentize a b in
+          emit (Gate.Cz (pa, pb))
+      | Gate.Swap (a, b) ->
+          let pa, pb = adjacentize a b in
+          emit (Gate.Swap (pa, pb))
+      | Gate.Ccx _ | Gate.Ccz _ | Gate.Mcx _ | Gate.Mcz _ -> raise (Not_two_qubit g)
+      | g1 ->
+          let q = List.hd (Gate.qubits g1) in
+          emit (remap1 g1 q))
+    (Circuit.gates circuit);
+  { circuit = Circuit.of_gates n (List.rev !out);
+    swaps_inserted = !swaps;
+    final_placement = Array.copy phys }
+
+(** [is_lnn circuit] holds when every multi-qubit gate already acts on
+    adjacent lines. *)
+let is_lnn circuit =
+  List.for_all
+    (fun g ->
+      match Gate.qubits g with
+      | [ a; b ] -> abs (a - b) = 1
+      | [ _ ] -> true
+      | _ -> false)
+    (Circuit.gates circuit)
+
+(** [verify ~original r] checks semantic equivalence on small circuits:
+    simulating the routed circuit and permuting the qubits back by the
+    final placement must reproduce the original state for a basket of
+    random product inputs (exact unitary check when narrow enough). *)
+let verify ~original r =
+  let n = Circuit.num_qubits original in
+  if n > 10 then invalid_arg "Route.verify: too wide";
+  (* undo the placement with explicit SWAP gates appended to the routed
+     circuit, then compare unitaries *)
+  let undo = ref [] in
+  let placement = Array.copy r.final_placement in
+  (* selection sort with swaps on physical lines *)
+  let log_ = Array.make n 0 in
+  Array.iteri (fun l p -> log_.(p) <- l) placement;
+  for target = 0 to n - 1 do
+    (* bring logical [target] to physical [target] with adjacent swaps *)
+    let p = ref placement.(target) in
+    while !p > target do
+      undo := Gate.Swap (!p - 1, !p) :: !undo;
+      let other = log_.(!p - 1) in
+      log_.(!p - 1) <- target;
+      log_.(!p) <- other;
+      placement.(other) <- !p;
+      placement.(target) <- !p - 1;
+      decr p
+    done
+  done;
+  let undone = Circuit.add_list r.circuit (List.rev !undo) in
+  Unitary.equal (Unitary.of_circuit original) (Unitary.of_circuit undone)

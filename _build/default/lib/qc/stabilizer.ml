@@ -1,0 +1,257 @@
+(** Stabilizer (CHP) simulation of Clifford circuits, after
+    Aaronson–Gottesman.
+
+    The paper's ref [72] (Bravyi–Gosset) observes that hidden-shift circuits
+    for inner-product-like bent functions are dominated by Clifford gates;
+    indeed our compiled inner-product instances are {e Clifford-only}, so a
+    tableau simulator runs them in polynomial time at register widths far
+    beyond any state-vector simulator. This backend accepts
+    {H, S, S†, X, Y, Z, CNOT, CZ, SWAP} and measurement.
+
+    The tableau keeps [2n] Pauli rows (destabilizers then stabilizers) over
+    [n] qubits, bit-packed into 64-bit words. *)
+
+type t = {
+  n : int;
+  words : int; (* words per x- or z- half row *)
+  x : int64 array array; (* row -> packed x bits *)
+  z : int64 array array;
+  r : Bytes.t; (* row -> phase bit (0 or 1) *)
+}
+
+let get_bit row q = Int64.logand (Int64.shift_right_logical row.(q lsr 6) (q land 63)) 1L = 1L
+
+let flip_bit row q =
+  row.(q lsr 6) <- Int64.logxor row.(q lsr 6) (Int64.shift_left 1L (q land 63))
+
+let get_r t i = Bytes.get_uint8 t.r i = 1
+let set_r t i b = Bytes.set_uint8 t.r i (if b then 1 else 0)
+let flip_r t i = Bytes.set_uint8 t.r i (1 - Bytes.get_uint8 t.r i)
+
+(** [create n] is the tableau of |0…0⟩: destabilizer row [i] is X_i,
+    stabilizer row [n+i] is Z_i. *)
+let create n =
+  if n < 1 then invalid_arg "Stabilizer.create";
+  let words = (n + 63) / 64 in
+  let t =
+    { n; words;
+      x = Array.init (2 * n) (fun _ -> Array.make words 0L);
+      z = Array.init (2 * n) (fun _ -> Array.make words 0L);
+      r = Bytes.make (2 * n) '\000' }
+  in
+  for i = 0 to n - 1 do
+    flip_bit t.x.(i) i;
+    flip_bit t.z.(n + i) i
+  done;
+  t
+
+let num_qubits t = t.n
+
+(* --- gate actions on every row --- *)
+
+let h t q =
+  for i = 0 to (2 * t.n) - 1 do
+    let xb = get_bit t.x.(i) q and zb = get_bit t.z.(i) q in
+    if xb && zb then flip_r t i;
+    if xb <> zb then begin
+      flip_bit t.x.(i) q;
+      flip_bit t.z.(i) q
+    end
+  done
+
+let s t q =
+  for i = 0 to (2 * t.n) - 1 do
+    let xb = get_bit t.x.(i) q and zb = get_bit t.z.(i) q in
+    if xb && zb then flip_r t i;
+    if xb then flip_bit t.z.(i) q
+  done
+
+let z t q =
+  for i = 0 to (2 * t.n) - 1 do
+    if get_bit t.x.(i) q then flip_r t i
+  done
+
+let x t q =
+  for i = 0 to (2 * t.n) - 1 do
+    if get_bit t.z.(i) q then flip_r t i
+  done
+
+let y t q =
+  (* Y = iXZ: phases flip when exactly one of x, z is set *)
+  for i = 0 to (2 * t.n) - 1 do
+    if get_bit t.x.(i) q <> get_bit t.z.(i) q then flip_r t i
+  done
+
+let sdg t q =
+  (* S† = S Z *)
+  s t q;
+  z t q
+
+let cnot t a b =
+  for i = 0 to (2 * t.n) - 1 do
+    let xa = get_bit t.x.(i) a and zb = get_bit t.z.(i) b in
+    let xb = get_bit t.x.(i) b and za = get_bit t.z.(i) a in
+    if xa && zb && xb = za then flip_r t i;
+    if xa then flip_bit t.x.(i) b;
+    if zb then flip_bit t.z.(i) a
+  done
+
+let cz t a b =
+  h t b;
+  cnot t a b;
+  h t b
+
+let swap t a b =
+  cnot t a b;
+  cnot t b a;
+  cnot t a b
+
+exception Not_clifford of Gate.t
+
+(** [apply t g] applies a Clifford gate. Raises {!Not_clifford} on T/T†/Rz
+    and multiply-controlled gates. *)
+let apply t (g : Gate.t) =
+  match g with
+  | Gate.H q -> h t q
+  | Gate.S q -> s t q
+  | Gate.Sdg q -> sdg t q
+  | Gate.X q -> x t q
+  | Gate.Y q -> y t q
+  | Gate.Z q -> z t q
+  | Gate.Cnot (a, b) -> cnot t a b
+  | Gate.Cz (a, b) -> cz t a b
+  | Gate.Swap (a, b) -> swap t a b
+  | Gate.Mcz [ a ] -> z t a
+  | Gate.Mcz [ a; b ] -> cz t a b
+  | g -> raise (Not_clifford g)
+
+(** [is_clifford_circuit c] holds when every gate is accepted by
+    {!apply}. *)
+let is_clifford_circuit c =
+  List.for_all
+    (function
+      | Gate.H _ | Gate.S _ | Gate.Sdg _ | Gate.X _ | Gate.Y _ | Gate.Z _
+      | Gate.Cnot _ | Gate.Cz _ | Gate.Swap _ | Gate.Mcz [ _ ] | Gate.Mcz [ _; _ ] ->
+          true
+      | _ -> false)
+    (Circuit.gates c)
+
+(* rowsum(h, i): row h := row h * row i, tracking the phase exponent mod 4
+   (Aaronson-Gottesman's g function summed over qubits). *)
+let rowsum t hrow irow =
+  let g = ref 0 in
+  for q = 0 to t.n - 1 do
+    let x1 = get_bit t.x.(irow) q and z1 = get_bit t.z.(irow) q in
+    let x2 = get_bit t.x.(hrow) q and z2 = get_bit t.z.(hrow) q in
+    (* g(x1,z1,x2,z2) per the CHP paper *)
+    let contribution =
+      match (x1, z1) with
+      | false, false -> 0
+      | true, true -> (if z2 then 1 else 0) - if x2 then 1 else 0
+      | true, false -> if z2 && x2 then 1 else if z2 && not x2 then -1 else 0
+      | false, true -> if x2 && not z2 then 1 else if x2 && z2 then -1 else 0
+    in
+    g := !g + contribution
+  done;
+  let phase =
+    (2 * ((if get_r t hrow then 1 else 0) + if get_r t irow then 1 else 0)) + !g
+  in
+  set_r t hrow (((phase mod 4) + 4) mod 4 = 2);
+  for w = 0 to t.words - 1 do
+    t.x.(hrow).(w) <- Int64.logxor t.x.(hrow).(w) t.x.(irow).(w);
+    t.z.(hrow).(w) <- Int64.logxor t.z.(hrow).(w) t.z.(irow).(w)
+  done
+
+(* copy row i into row h *)
+let rowcopy t hrow irow =
+  Array.blit t.x.(irow) 0 t.x.(hrow) 0 t.words;
+  Array.blit t.z.(irow) 0 t.z.(hrow) 0 t.words;
+  set_r t hrow (get_r t irow)
+
+let rowclear t hrow =
+  Array.fill t.x.(hrow) 0 t.words 0L;
+  Array.fill t.z.(hrow) 0 t.words 0L;
+  set_r t hrow false
+
+(** [measure ?st t q] measures qubit [q] in the computational basis,
+    collapsing the state. A PRNG state is needed only when the outcome is
+    random; omitting it makes random outcomes 0.
+    Returns [(outcome, was_deterministic)]. *)
+let measure ?st t q =
+  (* is there a stabilizer row with x bit set at q? *)
+  let p = ref (-1) in
+  (try
+     for i = t.n to (2 * t.n) - 1 do
+       if get_bit t.x.(i) q then begin
+         p := i;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  if !p >= 0 then begin
+    (* random outcome *)
+    let p = !p in
+    for i = 0 to (2 * t.n) - 1 do
+      if i <> p && get_bit t.x.(i) q then rowsum t i p
+    done;
+    rowcopy t (p - t.n) p;
+    rowclear t p;
+    flip_bit t.z.(p) q;
+    let outcome = match st with Some st -> Random.State.bool st | None -> false in
+    set_r t p outcome;
+    (outcome, false)
+  end
+  else begin
+    (* deterministic: accumulate destabilizer products into a scratch row.
+       We borrow an extra virtual row by simulating rowsum into explicit
+       scratch arrays. *)
+    let sx = Array.make t.words 0L and sz = Array.make t.words 0L in
+    let sr = ref 0 in
+    for i = 0 to t.n - 1 do
+      if get_bit t.x.(i) q then begin
+        (* scratch := scratch * stabilizer row (n + i) *)
+        let irow = t.n + i in
+        let g = ref 0 in
+        for qq = 0 to t.n - 1 do
+          let x1 = get_bit t.x.(irow) qq and z1 = get_bit t.z.(irow) qq in
+          let x2 = get_bit sx qq and z2 = get_bit sz qq in
+          let contribution =
+            match (x1, z1) with
+            | false, false -> 0
+            | true, true -> (if z2 then 1 else 0) - if x2 then 1 else 0
+            | true, false -> if z2 && x2 then 1 else if z2 && not x2 then -1 else 0
+            | false, true -> if x2 && not z2 then 1 else if x2 && z2 then -1 else 0
+          in
+          g := !g + contribution
+        done;
+        let phase = (2 * (!sr + if get_r t irow then 1 else 0)) + !g in
+        sr := if ((phase mod 4) + 4) mod 4 = 2 then 1 else 0;
+        for w = 0 to t.words - 1 do
+          sx.(w) <- Int64.logxor sx.(w) t.x.(irow).(w);
+          sz.(w) <- Int64.logxor sz.(w) t.z.(irow).(w)
+        done
+      end
+    done;
+    (!sr = 1, true)
+  end
+
+(** [run circuit] simulates a Clifford circuit from |0…0⟩.
+    Raises {!Not_clifford} when a non-Clifford gate is hit. *)
+let run circuit =
+  let t = create (Circuit.num_qubits circuit) in
+  List.iter (apply t) (Circuit.gates circuit);
+  t
+
+(** [measure_all ?st t] measures every qubit in order and returns the packed
+    outcome together with a flag telling whether {e all} outcomes were
+    deterministic. The packed result limits this helper to 62 qubits; use
+    {!measure} per qubit beyond that. *)
+let measure_all ?st t =
+  if t.n > 62 then invalid_arg "Stabilizer.measure_all: result does not fit an int (use measure)";
+  let out = ref 0 and deterministic = ref true in
+  for q = 0 to t.n - 1 do
+    let bit, det = measure ?st t q in
+    if bit then out := !out lor (1 lsl q);
+    if not det then deterministic := false
+  done;
+  (!out, !deterministic)

@@ -1,0 +1,247 @@
+(** Dense state-vector simulation.
+
+    The state of [n] qubits is stored as two unboxed float arrays (real and
+    imaginary parts) of length [2^n]; basis index bit [q] is the value of
+    qubit [q]. Practical up to n ≈ 22 on a laptop — the same regime the
+    paper quotes for the QDK simulator backend (Sec. VIII). *)
+
+type t = { n : int; re : float array; im : float array }
+
+(** [init n] is |0…0⟩. *)
+let init n =
+  if n < 1 || n > 26 then invalid_arg "Statevector.init: bad qubit count";
+  let size = 1 lsl n in
+  let re = Array.make size 0. and im = Array.make size 0. in
+  re.(0) <- 1.;
+  { n; re; im }
+
+let num_qubits s = s.n
+let size s = 1 lsl s.n
+
+(** [amplitude s x] is the complex amplitude of basis state [x]. *)
+let amplitude s x =
+  let r = s.re.(x) and j = s.im.(x) in
+  { Complex.re = r; im = j }
+
+(** [prob s x] is the outcome probability of basis state [x]. *)
+let prob s x = (s.re.(x) *. s.re.(x)) +. (s.im.(x) *. s.im.(x))
+
+(** [norm2 s] is the total probability (should stay 1 within rounding). *)
+let norm2 s =
+  let acc = ref 0. in
+  for x = 0 to size s - 1 do
+    acc := !acc +. prob s x
+  done;
+  !acc
+
+(* --- gate kernels --- *)
+
+let apply_1q s q (m00 : Complex.t) (m01 : Complex.t) (m10 : Complex.t)
+    (m11 : Complex.t) =
+  let bit = 1 lsl q in
+  let sz = size s in
+  let re = s.re and im = s.im in
+  let x = ref 0 in
+  while !x < sz do
+    if !x land bit = 0 then begin
+      let y = !x lor bit in
+      let ar = re.(!x) and ai = im.(!x) and br = re.(y) and bi = im.(y) in
+      re.(!x) <- (m00.re *. ar) -. (m00.im *. ai) +. (m01.re *. br) -. (m01.im *. bi);
+      im.(!x) <- (m00.re *. ai) +. (m00.im *. ar) +. (m01.re *. bi) +. (m01.im *. br);
+      re.(y) <- (m10.re *. ar) -. (m10.im *. ai) +. (m11.re *. br) -. (m11.im *. bi);
+      im.(y) <- (m10.re *. ai) +. (m10.im *. ar) +. (m11.re *. bi) +. (m11.im *. br)
+    end;
+    incr x
+  done
+
+let swap_pairs s ~mask ~want ~tbit =
+  (* swap amplitudes of x and (x lxor tbit) for x matching the control
+     pattern, visiting each pair once via the tbit = 0 representative *)
+  let sz = size s in
+  let re = s.re and im = s.im in
+  for x = 0 to sz - 1 do
+    if x land tbit = 0 && x land mask = want then begin
+      let y = x lor tbit in
+      let r = re.(x) and i = im.(x) in
+      re.(x) <- re.(y);
+      im.(x) <- im.(y);
+      re.(y) <- r;
+      im.(y) <- i
+    end
+  done
+
+let phase_on s ~mask ~want (p : Complex.t) =
+  let sz = size s in
+  let re = s.re and im = s.im in
+  for x = 0 to sz - 1 do
+    if x land mask = want then begin
+      let r = re.(x) and i = im.(x) in
+      re.(x) <- (p.re *. r) -. (p.im *. i);
+      im.(x) <- (p.re *. i) +. (p.im *. r)
+    end
+  done
+
+let c0 = Complex.zero
+let c1 = Complex.one
+let ci = Complex.i
+let cm1 = Complex.{ re = -1.; im = 0. }
+let cmi = Complex.{ re = 0.; im = -1. }
+let sqrt2inv = 1. /. sqrt 2.
+let ch = Complex.{ re = sqrt2inv; im = 0. }
+let chm = Complex.{ re = -.sqrt2inv; im = 0. }
+let omega = Complex.{ re = sqrt2inv; im = sqrt2inv } (* e^{iπ/4} *)
+let omega_bar = Complex.{ re = sqrt2inv; im = -.sqrt2inv }
+
+let mask_of qs = List.fold_left (fun m q -> m lor (1 lsl q)) 0 qs
+
+(** [apply s g] applies one gate in place. *)
+let apply s (g : Gate.t) =
+  match g with
+  | Gate.X q -> swap_pairs s ~mask:0 ~want:0 ~tbit:(1 lsl q)
+  | Gate.Y q ->
+      apply_1q s q c0 cmi ci c0
+  | Gate.Z q -> phase_on s ~mask:(1 lsl q) ~want:(1 lsl q) cm1
+  | Gate.S q -> phase_on s ~mask:(1 lsl q) ~want:(1 lsl q) ci
+  | Gate.Sdg q -> phase_on s ~mask:(1 lsl q) ~want:(1 lsl q) cmi
+  | Gate.T q -> phase_on s ~mask:(1 lsl q) ~want:(1 lsl q) omega
+  | Gate.Tdg q -> phase_on s ~mask:(1 lsl q) ~want:(1 lsl q) omega_bar
+  | Gate.Rz (a, q) ->
+      (* rz(θ) = diag(e^{-iθ/2}, e^{iθ/2}) *)
+      let h = a /. 2. in
+      let bit = 1 lsl q in
+      phase_on s ~mask:bit ~want:0 Complex.{ re = cos h; im = -.sin h };
+      phase_on s ~mask:bit ~want:bit Complex.{ re = cos h; im = sin h }
+  | Gate.H q -> apply_1q s q ch ch ch chm
+  | Gate.Cnot (c, t) -> swap_pairs s ~mask:(1 lsl c) ~want:(1 lsl c) ~tbit:(1 lsl t)
+  | Gate.Cz (a, b) ->
+      let m = (1 lsl a) lor (1 lsl b) in
+      phase_on s ~mask:m ~want:m cm1
+  | Gate.Swap (a, b) ->
+      let ab = 1 lsl a and bb = 1 lsl b in
+      let sz = size s in
+      for x = 0 to sz - 1 do
+        (* visit the (01) pattern once, swap with (10) *)
+        if x land ab <> 0 && x land bb = 0 then begin
+          let y = (x lxor ab) lor bb in
+          let r = s.re.(x) and i = s.im.(x) in
+          s.re.(x) <- s.re.(y);
+          s.im.(x) <- s.im.(y);
+          s.re.(y) <- r;
+          s.im.(y) <- i
+        end
+      done
+  | Gate.Ccx (a, b, t) ->
+      let m = (1 lsl a) lor (1 lsl b) in
+      swap_pairs s ~mask:m ~want:m ~tbit:(1 lsl t)
+  | Gate.Ccz (a, b, c) ->
+      let m = mask_of [ a; b; c ] in
+      phase_on s ~mask:m ~want:m cm1
+  | Gate.Mcx (cs, t) ->
+      let m = mask_of cs in
+      swap_pairs s ~mask:m ~want:m ~tbit:(1 lsl t)
+  | Gate.Mcz qs ->
+      let m = mask_of qs in
+      phase_on s ~mask:m ~want:m cm1
+
+(** [run circuit] simulates [circuit] from |0…0⟩. *)
+let run circuit =
+  let s = init (Circuit.num_qubits circuit) in
+  List.iter (apply s) (Circuit.gates circuit);
+  s
+
+(** [run_on s circuit] applies [circuit] to an existing state in place. *)
+let run_on s circuit =
+  if Circuit.num_qubits circuit <> s.n then invalid_arg "Statevector.run_on";
+  List.iter (apply s) (Circuit.gates circuit)
+
+(** [prob_of_qubit s q] is the probability of reading 1 on qubit [q]. *)
+let prob_of_qubit s q =
+  let bit = 1 lsl q in
+  let acc = ref 0. in
+  for x = 0 to size s - 1 do
+    if x land bit <> 0 then acc := !acc +. prob s x
+  done;
+  !acc
+
+(** [amplitude_damp s q ~gamma ~jump] applies one quantum-trajectory branch
+    of the amplitude-damping (T1) channel on qubit [q]:
+    with [jump] the excitation decays ([K1 = √γ |0⟩⟨1|]), otherwise the
+    no-jump Kraus operator is applied; either way the state is
+    renormalized. The caller samples [jump] with probability
+    [γ · prob_of_qubit s q]. *)
+let amplitude_damp s q ~gamma ~jump =
+  let bit = 1 lsl q in
+  let p1 = prob_of_qubit s q in
+  if jump then begin
+    let norm = sqrt (gamma *. p1) in
+    if norm < 1e-300 then invalid_arg "Statevector.amplitude_damp: impossible jump";
+    for x = 0 to size s - 1 do
+      if x land bit = 0 then begin
+        let y = x lor bit in
+        s.re.(x) <- sqrt gamma *. s.re.(y) /. norm;
+        s.im.(x) <- sqrt gamma *. s.im.(y) /. norm;
+        s.re.(y) <- 0.;
+        s.im.(y) <- 0.
+      end
+    done
+  end
+  else begin
+    let keep = sqrt (1. -. gamma) in
+    let norm = sqrt (1. -. (gamma *. p1)) in
+    for x = 0 to size s - 1 do
+      if x land bit <> 0 then begin
+        s.re.(x) <- keep *. s.re.(x) /. norm;
+        s.im.(x) <- keep *. s.im.(x) /. norm
+      end
+      else begin
+        s.re.(x) <- s.re.(x) /. norm;
+        s.im.(x) <- s.im.(x) /. norm
+      end
+    done
+  end
+
+(** [probabilities s] is the outcome distribution over basis states. *)
+let probabilities s = Array.init (size s) (prob s)
+
+(** [sample st s] draws one measurement outcome of all qubits using PRNG
+    state [st]. *)
+let sample st s =
+  let r = Random.State.float st 1. in
+  let acc = ref 0. and out = ref (size s - 1) in
+  (try
+     for x = 0 to size s - 1 do
+       acc := !acc +. prob s x;
+       if r < !acc then begin
+         out := x;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  !out
+
+(** [most_likely s] is the basis state with the largest probability. *)
+let most_likely s =
+  let best = ref 0 in
+  for x = 1 to size s - 1 do
+    if prob s x > prob s !best then best := x
+  done;
+  !best
+
+(** [equal_up_to_phase ?eps a b] holds when the states differ by at most a
+    global phase: |⟨a|b⟩| ≈ 1. *)
+let equal_up_to_phase ?(eps = 1e-9) a b =
+  if a.n <> b.n then false
+  else begin
+    let dot_re = ref 0. and dot_im = ref 0. in
+    for x = 0 to size a - 1 do
+      (* ⟨a|b⟩ = Σ conj(a_x) b_x *)
+      dot_re := !dot_re +. (a.re.(x) *. b.re.(x)) +. (a.im.(x) *. b.im.(x));
+      dot_im := !dot_im +. (a.re.(x) *. b.im.(x)) -. (a.im.(x) *. b.re.(x))
+    done;
+    let mag = sqrt ((!dot_re *. !dot_re) +. (!dot_im *. !dot_im)) in
+    Float.abs (mag -. 1.) < eps
+  end
+
+(** [is_basis_state ?eps s x] holds when the state is (up to phase) exactly
+    the computational basis state [x]. *)
+let is_basis_state ?(eps = 1e-9) s x = Float.abs (prob s x -. 1.) < eps

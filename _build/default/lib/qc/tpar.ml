@@ -1,0 +1,163 @@
+(** T-count optimization by phase folding over phase polynomials.
+
+    Within every region of the circuit built from {CNOT, X} plus the
+    diagonal phase gates {Z, S, S†, T, T†, Rz}, each qubit carries an affine
+    function (a {e parity}) of the region's input values. A phase gate
+    contributes a rotation on its qubit's current parity, and rotations on
+    the {e same} parity merge: [T·T = S], [T·T† = 1], etc. This is the
+    merging step at the core of the T-par algorithm (paper ref [69],
+    Amy–Maslov–Mosca); we re-emit each merged rotation at the first point
+    where its parity occurs, which preserves the unitary up to global
+    phase. Gates outside the region alphabet (H, Toffoli, …) act as
+    barriers that flush the region. *)
+
+open Gate
+
+(* Parity encoding: bit q (q < n) = input variable of qubit q for the
+   current region; bit n = the constant 1. *)
+
+type pending = {
+  mutable eighths : int; (* multiples of π/4, mod 8 (T = 1) *)
+  mutable angle : float; (* accumulated Rz angle *)
+  position : int; (* skeleton index where this parity first appeared *)
+  qubit : int; (* a qubit holding the parity at that position *)
+  neg_at_first : bool; (* constant bit of the parity at first sight *)
+}
+
+let phase_gates_of ~eighths ~angle q =
+  let k = ((eighths mod 8) + 8) mod 8 in
+  let cliffordish =
+    match k with
+    | 0 -> []
+    | 1 -> [ T q ]
+    | 2 -> [ S q ]
+    | 3 -> [ S q; T q ]
+    | 4 -> [ Z q ]
+    | 5 -> [ Z q; T q ]
+    | 6 -> [ Sdg q ]
+    | 7 -> [ Tdg q ]
+    | _ -> assert false
+  in
+  if Float.abs angle > 1e-12 then cliffordish @ [ Rz (angle, q) ] else cliffordish
+
+(** [optimize c] returns a circuit computing the same unitary as [c] up to
+    global phase, with phase rotations on equal parities merged. *)
+let optimize c =
+  let n = Circuit.num_qubits c in
+  if n > 61 then invalid_arg "Tpar.optimize: parity bitmasks support at most 61 qubits";
+  let const_bit = 1 lsl n in
+  let out = ref [] in
+  (* region state *)
+  let parity = Array.init n (fun q -> 1 lsl q) in
+  let skeleton = ref [] (* region CNOT/X gates, reversed *) in
+  let skeleton_len = ref 0 in
+  let pend : (int, pending) Hashtbl.t = Hashtbl.create 64 in
+  let order = ref [] (* linear parts in first-seen order, reversed *) in
+  let note_parity q =
+    let p = parity.(q) in
+    let linear = p land lnot const_bit in
+    if linear <> 0 && not (Hashtbl.mem pend linear) then begin
+      Hashtbl.add pend linear
+        { eighths = 0; angle = 0.; position = !skeleton_len; qubit = q;
+          neg_at_first = p land const_bit <> 0 };
+      order := linear :: !order
+    end
+  in
+  let reset_region () =
+    Array.iteri (fun q _ -> parity.(q) <- 1 lsl q) parity;
+    skeleton := [];
+    skeleton_len := 0;
+    Hashtbl.reset pend;
+    order := [];
+    Array.iteri (fun q _ -> note_parity q) parity
+  in
+  let flush () =
+    (* interleave pending phase gates into the skeleton at their recorded
+       positions *)
+    let inserts = Array.make (!skeleton_len + 1) [] in
+    List.iter
+      (fun linear ->
+        let p = Hashtbl.find pend linear in
+        let eighths = if p.neg_at_first then -p.eighths else p.eighths in
+        let angle = if p.neg_at_first then -.p.angle else p.angle in
+        let gs = phase_gates_of ~eighths ~angle p.qubit in
+        if gs <> [] then inserts.(p.position) <- inserts.(p.position) @ gs)
+      (List.rev !order);
+    let skel = Array.of_list (List.rev !skeleton) in
+    for i = 0 to !skeleton_len do
+      List.iter (fun g -> out := g :: !out) inserts.(i);
+      if i < !skeleton_len then out := skel.(i) :: !out
+    done
+  in
+  let add_phase q ~eighths ~angle =
+    let p = parity.(q) in
+    let linear = p land lnot const_bit in
+    if linear = 0 then begin
+      (* parity is a constant: the rotation is a global phase (constant 1)
+         or identity (constant 0); either way nothing to emit. *)
+      ()
+    end
+    else begin
+      note_parity q;
+      let entry = Hashtbl.find pend linear in
+      (* contribution on the linear part flips sign with the constant *)
+      let sign = if p land const_bit <> 0 then -1 else 1 in
+      entry.eighths <- entry.eighths + (sign * eighths);
+      entry.angle <- entry.angle +. (Float.of_int sign *. angle)
+    end
+  in
+  reset_region ();
+  List.iter
+    (fun g ->
+      match g with
+      | Cnot (cq, t) ->
+          parity.(t) <- parity.(t) lxor parity.(cq);
+          skeleton := g :: !skeleton;
+          incr skeleton_len;
+          note_parity t
+      | X q ->
+          parity.(q) <- parity.(q) lxor const_bit;
+          skeleton := g :: !skeleton;
+          incr skeleton_len;
+          note_parity q
+      | Z q -> add_phase q ~eighths:4 ~angle:0.
+      | S q -> add_phase q ~eighths:2 ~angle:0.
+      | Sdg q -> add_phase q ~eighths:(-2) ~angle:0.
+      | T q -> add_phase q ~eighths:1 ~angle:0.
+      | Tdg q -> add_phase q ~eighths:(-1) ~angle:0.
+      | Rz (a, q) -> add_phase q ~eighths:0 ~angle:a
+      | Cz _ | Ccz _ | Mcz _ ->
+          (* diagonal gates do not change any parity and commute with the
+             folded phase rotations: pass through as skeleton *)
+          skeleton := g :: !skeleton;
+          incr skeleton_len
+      | g ->
+          (* barrier: flush the region, emit the gate, start fresh *)
+          flush ();
+          out := g :: !out;
+          reset_region ())
+    (Circuit.gates c);
+  flush ();
+  Circuit.of_gates n (List.rev !out)
+
+(** Summary of what {!optimize} achieved. *)
+type report = {
+  t_before : int;
+  t_after : int;
+  gates_before : int;
+  gates_after : int;
+  t_depth_before : int;
+  t_depth_after : int;
+}
+
+(** [optimize_report c] runs {!optimize} and reports the T-count / T-depth
+    deltas (the numbers the paper's Eq. (5) [tpar] step prints). *)
+let optimize_report c =
+  let c' = optimize c in
+  ( c',
+    { t_before = Circuit.t_count c;
+      t_after = Circuit.t_count c';
+      gates_before = Circuit.num_gates c;
+      gates_after = Circuit.num_gates c';
+      t_depth_before = Circuit.t_depth c;
+      t_depth_after = Circuit.t_depth c' } )

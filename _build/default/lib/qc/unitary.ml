@@ -1,0 +1,79 @@
+(** Dense unitary extraction for small circuits — the verification back end
+    (the paper's Sec. IX discusses exactly this equivalence-checking
+    obligation for post-optimization). *)
+
+(** A [2^n × 2^n] complex matrix, row-major: [m.(row).(col)]. *)
+type t = Complex.t array array
+
+(** [of_circuit c] extracts the unitary by simulating every basis column.
+    Exponential; intended for [n <= 10]. *)
+let of_circuit c =
+  let n = Circuit.num_qubits c in
+  if n > 12 then invalid_arg "Unitary.of_circuit: too many qubits";
+  let sz = 1 lsl n in
+  let m = Array.make_matrix sz sz Complex.zero in
+  for col = 0 to sz - 1 do
+    let s = Statevector.init n in
+    (* prepare |col⟩ *)
+    for q = 0 to n - 1 do
+      if Logic.Bitops.bit col q then Statevector.apply s (Gate.X q)
+    done;
+    Statevector.run_on s c;
+    for row = 0 to sz - 1 do
+      m.(row).(col) <- Statevector.amplitude s row
+    done
+  done;
+  m
+
+let cnorm (z : Complex.t) = (z.re *. z.re) +. (z.im *. z.im)
+
+(** [equal ?eps a b] is entrywise equality within [eps]. *)
+let equal ?(eps = 1e-9) (a : t) (b : t) =
+  Array.length a = Array.length b
+  && Array.for_all2
+       (fun ra rb ->
+         Array.for_all2 (fun x y -> cnorm Complex.(sub x y) < eps *. eps) ra rb)
+       a b
+
+(** [equal_up_to_phase ?eps a b] tests [a = e^{iφ} b] for some global phase
+    [φ]. *)
+let equal_up_to_phase ?(eps = 1e-9) (a : t) (b : t) =
+  let sz = Array.length a in
+  if sz <> Array.length b then false
+  else begin
+    (* find the largest entry of b to fix the phase *)
+    let best = ref (0, 0) in
+    for r = 0 to sz - 1 do
+      for c = 0 to sz - 1 do
+        let pr, pc = !best in
+        if cnorm b.(r).(c) > cnorm b.(pr).(pc) then best := (r, c)
+      done
+    done;
+    let pr, pc = !best in
+    if cnorm b.(pr).(pc) < eps *. eps then equal ~eps a b
+    else
+      let phase = Complex.div a.(pr).(pc) b.(pr).(pc) in
+      if Float.abs (cnorm phase -. 1.) > eps then false
+      else
+        let scaled = Array.map (Array.map (Complex.mul phase)) b in
+        equal ~eps a scaled
+  end
+
+(** [is_permutation ?eps u] returns [Some p] when [u] is a permutation
+    matrix up to per-column phases — i.e. the circuit implements a classical
+    reversible function possibly with relative phases; [p.(col)] is the row
+    of the nonzero entry. *)
+let is_permutation ?(eps = 1e-9) (u : t) =
+  let sz = Array.length u in
+  let p = Array.make sz (-1) in
+  let ok = ref true in
+  for col = 0 to sz - 1 do
+    for row = 0 to sz - 1 do
+      let m = cnorm u.(row).(col) in
+      if m > 0.5 then
+        if Float.abs (m -. 1.) < eps then p.(col) <- row else ok := false
+      else if m > eps *. eps then ok := false
+    done;
+    if p.(col) < 0 then ok := false
+  done;
+  if !ok then Some p else None

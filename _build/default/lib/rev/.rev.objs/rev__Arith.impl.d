@@ -1,0 +1,1 @@
+lib/rev/arith.ml: Array List Logic Mct Rcircuit Rsim

@@ -1,0 +1,1 @@
+lib/rev/bdd_synth.ml: Hashtbl List Logic Mct Rcircuit Rsim

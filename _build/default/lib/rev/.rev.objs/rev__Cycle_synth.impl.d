@@ -1,0 +1,1 @@
+lib/rev/cycle_synth.ml: List Logic Mct Rcircuit

@@ -1,0 +1,1 @@
+lib/rev/dbs.ml: Array List Logic Mct Rcircuit

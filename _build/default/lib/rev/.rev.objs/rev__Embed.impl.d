@@ -1,0 +1,1 @@
+lib/rev/embed.ml: Array Hashtbl List Logic Option

@@ -1,0 +1,1 @@
+lib/rev/esop_synth.ml: List Logic Mct Rcircuit

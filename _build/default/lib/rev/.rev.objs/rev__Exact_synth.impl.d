@@ -1,0 +1,1 @@
+lib/rev/exact_synth.ml: Array Fun Hashtbl List Logic Mct Queue Rcircuit String

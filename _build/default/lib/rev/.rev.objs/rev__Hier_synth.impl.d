@@ -1,0 +1,1 @@
+lib/rev/hier_synth.ml: Hashtbl List Logic Mct Rcircuit Rsim Xag

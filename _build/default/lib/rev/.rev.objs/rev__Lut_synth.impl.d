@@ -1,0 +1,1 @@
+lib/rev/lut_synth.ml: Hashtbl List Logic Mct Rcircuit Rsim Xag

@@ -1,0 +1,1 @@
+lib/rev/mct.ml: Fmt List Logic Printf String

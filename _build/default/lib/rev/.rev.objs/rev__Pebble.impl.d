@@ -1,0 +1,1 @@
+lib/rev/pebble.ml: Array List Printf

@@ -1,0 +1,1 @@
+lib/rev/rcircuit.ml: Fmt List Logic Mct

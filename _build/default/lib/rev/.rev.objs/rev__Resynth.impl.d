@@ -1,0 +1,1 @@
+lib/rev/resynth.ml: Array Exact_synth Hashtbl List Logic Mct Rcircuit Rsim

@@ -1,0 +1,1 @@
+lib/rev/rsim.ml: Array List Logic Mct Rcircuit

@@ -1,0 +1,1 @@
+lib/rev/rsimp.ml: Array Logic Mct Rcircuit

@@ -1,0 +1,1 @@
+lib/rev/tbs.ml: Array List Logic Mct Rcircuit

@@ -1,0 +1,1 @@
+lib/rev/xag.ml: Array Hashtbl List Logic

@@ -1,0 +1,136 @@
+(** Reversible arithmetic circuits.
+
+    The paper's Sec. III lists the combinational workloads quantum
+    algorithms need — "factoring needs constant modular arithmetic [1],
+    elliptic curve dlog needs generic modular arithmetic [4]". This module
+    provides the standard building blocks, both {e structural} (the
+    Cuccaro/CDKM ripple-carry adder, incrementers) and {e specification
+    level} (modular add/multiply permutations to feed the automatic
+    synthesis flow). *)
+
+module Bitops = Logic.Bitops
+module Perm = Logic.Perm
+
+(** Line layout of the in-place adder [b := b + a]. *)
+type adder_layout = {
+  carry_in : int; (* ancilla, must be 0, returned to 0 *)
+  a : int array; (* addend, preserved *)
+  b : int array; (* accumulator, receives the sum *)
+  carry_out : int option;
+}
+
+(* MAJ and UMA blocks of the Cuccaro-Draper-Kutin-Moulton adder. *)
+let maj c b a = [ Mct.cnot a b; Mct.cnot a c; Mct.toffoli c b a ]
+let uma c b a = [ Mct.toffoli c b a; Mct.cnot a c; Mct.cnot c b ]
+
+(** [cuccaro_adder ?with_carry n] is the CDKM ripple-carry adder on [n]-bit
+    operands: lines [1..n] hold [a] (preserved), lines [n+1..2n] hold [b]
+    (replaced by [(a + b) mod 2^n]), line 0 is a clean carry ancilla, and
+    with [with_carry] (default true) line [2n+1] receives the outgoing
+    carry. One Toffoli per MAJ/UMA pair — 2n Toffolis total. *)
+let cuccaro_adder ?(with_carry = true) n =
+  if n < 1 then invalid_arg "Arith.cuccaro_adder";
+  let carry_in = 0 in
+  let a = Array.init n (fun i -> 1 + i) in
+  let b = Array.init n (fun i -> 1 + n + i) in
+  let carry_out = if with_carry then Some ((2 * n) + 1) else None in
+  let lines = (2 * n) + 1 + if with_carry then 1 else 0 in
+  let majs =
+    List.concat
+      (List.init n (fun i ->
+           let c = if i = 0 then carry_in else a.(i - 1) in
+           maj c b.(i) a.(i)))
+  in
+  let carry_gates =
+    match carry_out with Some z -> [ Mct.cnot a.(n - 1) z ] | None -> []
+  in
+  let umas =
+    List.concat
+      (List.init n (fun j ->
+           let i = n - 1 - j in
+           let c = if i = 0 then carry_in else a.(i - 1) in
+           uma c b.(i) a.(i)))
+  in
+  let circuit = Rcircuit.of_gates lines (majs @ carry_gates @ umas) in
+  (circuit, { carry_in; a; b; carry_out })
+
+(** [subtractor n] computes [b := b − a (mod 2^n)] — the reversed adder. *)
+let subtractor n =
+  let c, layout = cuccaro_adder ~with_carry:false n in
+  (Rcircuit.reverse c, layout)
+
+(** [incrementer n] maps [x ↦ x + 1 (mod 2^n)] in place on [n] lines,
+    ancilla-free: an MCT staircase (bit [i] flips when all lower bits are
+    1). [O(n)] gates but gates with up to [n−1] controls. *)
+let incrementer n =
+  if n < 1 then invalid_arg "Arith.incrementer";
+  let gates =
+    List.init n (fun j ->
+        let i = n - 1 - j in
+        Mct.make ~target:i ~pos:(Bitops.mask i) ~neg:0)
+  in
+  Rcircuit.of_gates n gates
+
+(** [decrementer n] is the inverse staircase. *)
+let decrementer n = Rcircuit.reverse (incrementer n)
+
+(** [controlled_incrementer n] increments lines [1..n] when line 0 is 1. *)
+let controlled_incrementer n =
+  let gates =
+    List.init n (fun j ->
+        let i = n - 1 - j in
+        Mct.make ~target:(i + 1) ~pos:((Bitops.mask i lsl 1) lor 1) ~neg:0)
+  in
+  Rcircuit.of_gates (n + 1) gates
+
+(* --- specification-level modular arithmetic (for the synthesis flow) --- *)
+
+(** [mod_add_const n ~m ~k] is the permutation of [B^n] computing
+    [x ↦ (x + k) mod m] on the residues [x < m] and the identity above —
+    the "constant modular adder" of Shor-style circuits, as a reversible
+    specification ready for {!Tbs}/{!Dbs} or the {!Core.Flow} pipeline. *)
+let mod_add_const n ~m ~k =
+  if m < 1 || m > 1 lsl n then invalid_arg "Arith.mod_add_const";
+  let k = ((k mod m) + m) mod m in
+  Perm.of_array ~n
+    (Array.init (1 lsl n) (fun x -> if x < m then (x + k) mod m else x))
+
+(** [mod_mult_const n ~m ~c] is [x ↦ c·x mod m] on residues (identity
+    above); requires [gcd(c, m) = 1] so the map is a bijection. *)
+let mod_mult_const n ~m ~c =
+  if m < 1 || m > 1 lsl n then invalid_arg "Arith.mod_mult_const";
+  let rec gcd a b = if b = 0 then a else gcd b (a mod b) in
+  let c = ((c mod m) + m) mod m in
+  if gcd c m <> 1 then invalid_arg "Arith.mod_mult_const: c not invertible";
+  Perm.of_array ~n
+    (Array.init (1 lsl n) (fun x -> if x < m then c * x mod m else x))
+
+(** [mod_exp_step n ~m ~base] is one modular-exponentiation round
+    [x ↦ base·x mod m] — composing [e] of these yields [base^e · x mod m],
+    the core of Shor's order finding. *)
+let mod_exp_step n ~m ~base = mod_mult_const n ~m ~c:base
+
+(* --- verification helpers --- *)
+
+(** [check_adder (circuit, layout) n] exhaustively verifies
+    [b := a + b] (and the outgoing carry when present). *)
+let check_adder (circuit, layout) n =
+  let ok = ref true in
+  for a = 0 to (1 lsl n) - 1 do
+    for b = 0 to (1 lsl n) - 1 do
+      let input = ref 0 in
+      Array.iteri (fun i l -> if Bitops.bit a i then input := !input lor (1 lsl l)) layout.a;
+      Array.iteri (fun i l -> if Bitops.bit b i then input := !input lor (1 lsl l)) layout.b;
+      let out = Rsim.run circuit !input in
+      let a' = ref 0 and b' = ref 0 in
+      Array.iteri (fun i l -> if Bitops.bit out l then a' := !a' lor (1 lsl i)) layout.a;
+      Array.iteri (fun i l -> if Bitops.bit out l then b' := !b' lor (1 lsl i)) layout.b;
+      if !a' <> a then ok := false;
+      if !b' <> (a + b) land Bitops.mask n then ok := false;
+      if Bitops.bit out layout.carry_in then ok := false;
+      (match layout.carry_out with
+      | Some z -> if Bitops.bit out z <> (a + b >= 1 lsl n) then ok := false
+      | None -> ())
+    done
+  done;
+  !ok

@@ -1,0 +1,91 @@
+(** BDD-based reversible synthesis (Wille–Drechsler DAC'09, the paper's
+    ref [45]).
+
+    The outputs are built as a shared ROBDD; each internal node gets an
+    ancilla line carrying its function value, computed from its cofactor
+    lines by the Shannon gadget
+
+      v  =  x̄·lo ⊕ x·hi
+         →  MCT(¬x, lo_line ; v) · MCT(x, hi_line ; v)
+
+    (with the obvious simplifications when a cofactor is a terminal).
+    Outputs are copied off the root lines and the node cascade is
+    uncomputed, giving the Eq. (4) Bennett form with one ancilla per shared
+    BDD node — the hallmark of hierarchical synthesis on a {e canonical}
+    data structure. *)
+
+module Bdd = Logic.Bdd
+module Bitops = Logic.Bitops
+module Truth_table = Logic.Truth_table
+
+type layout = { n : int; m : int; total_lines : int; ancillae : int }
+
+(* Gates computing BDD node [id] (variable x, cofactors lo/hi) onto [line],
+   given each cofactor's value line (terminals handled inline). *)
+let node_gates man line_of id line =
+  let node = Bdd.node man id in
+  let xline = node.Bdd.var in
+  let half child ~polarity =
+    if child = Bdd.zero then []
+    else if child = Bdd.one then [ Mct.of_controls [ (xline, polarity) ] line ]
+    else [ Mct.of_controls [ (xline, polarity); (line_of child, true) ] line ]
+  in
+  half node.Bdd.lo ~polarity:false @ half node.Bdd.hi ~polarity:true
+
+(** [synth fs] synthesizes the multi-output function [fs] (one truth table
+    per output). Line layout: inputs [0..n-1], outputs [n..n+m-1], one
+    ancilla per shared BDD node above. *)
+let synth (fs : Truth_table.t list) =
+  match fs with
+  | [] -> invalid_arg "Bdd_synth.synth: no outputs"
+  | f0 :: _ ->
+      let n = Truth_table.num_vars f0 in
+      let m = List.length fs in
+      let man = Bdd.create n in
+      let roots = List.map (Bdd.of_truth_table man) fs in
+      (* union of the roots' cones in child-before-parent order *)
+      let seen = Hashtbl.create 64 in
+      let order = ref [] in
+      let rec collect id =
+        if (not (Bdd.is_terminal id)) && not (Hashtbl.mem seen id) then begin
+          Hashtbl.add seen id ();
+          let node = Bdd.node man id in
+          collect node.Bdd.lo;
+          collect node.Bdd.hi;
+          order := id :: !order
+        end
+      in
+      List.iter collect roots;
+      let order = List.rev !order in
+      let line_tbl = Hashtbl.create 64 in
+      List.iteri (fun i id -> Hashtbl.add line_tbl id (n + m + i)) order;
+      let line_of id = Hashtbl.find line_tbl id in
+      let compute = List.concat_map (fun id -> node_gates man line_of id (line_of id)) order in
+      let copies =
+        List.concat
+          (List.mapi
+             (fun j root ->
+               if root = Bdd.zero then []
+               else if root = Bdd.one then [ Mct.not_ (n + j) ]
+               else [ Mct.cnot (line_of root) (n + j) ])
+             roots)
+      in
+      let total = n + m + List.length order in
+      if total > 62 then invalid_arg "Bdd_synth.synth: too many lines (BDD too large)";
+      let circuit = Rcircuit.of_gates total (compute @ copies @ List.rev compute) in
+      (circuit, { n; m; total_lines = total; ancillae = List.length order })
+
+(** [check (circuit, layout) fs] verifies the Eq. (4) contract: inputs
+    preserved, outputs on the output lines, ancillae restored to 0. *)
+let check (circuit, layout) (fs : Truth_table.t list) =
+  let ok = ref true in
+  for x = 0 to (1 lsl layout.n) - 1 do
+    let out = Rsim.run circuit x in
+    if out land Bitops.mask layout.n <> x then ok := false;
+    List.iteri
+      (fun j f ->
+        if Bitops.bit out (layout.n + j) <> Truth_table.get f x then ok := false)
+      fs;
+    if out lsr (layout.n + layout.m) <> 0 then ok := false
+  done;
+  !ok

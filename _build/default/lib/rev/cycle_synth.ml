@@ -1,0 +1,58 @@
+(** Cycle-based reversible synthesis (Saeedi et al., the paper's ref [48]).
+
+    The permutation is decomposed into disjoint cycles, each cycle into
+    adjacent transpositions, and each transposition [(u, v)] into MCT gates
+    along a Gray path from [u] to [v]: an adjacent transposition (patterns
+    differing in exactly one bit [j]) is a single fully controlled Toffoli
+    with target [j] and controls fixing every other bit. *)
+
+module Bitops = Logic.Bitops
+module Perm = Logic.Perm
+
+(* The fully controlled gate swapping u and (u lxor (1 lsl j)). *)
+let adjacent_transposition ~n u j =
+  let others = Bitops.mask n land lnot (1 lsl j) in
+  Mct.make ~target:j ~pos:(u land others) ~neg:(lnot u land others)
+
+(* Gates realizing the transposition (a, b), a <> b: walk a Gray path
+   a = v0, v1, …, vk = b and expand into 2k−1 adjacent transpositions
+   (conjugation along the path). *)
+let transposition ~n a b =
+  assert (a <> b);
+  let diff_bits = Bitops.bits_of (a lxor b) n in
+  (* path flips the differing bits one at a time *)
+  let path =
+    List.rev
+      (List.fold_left (fun acc j -> (List.hd acc lxor (1 lsl j)) :: acc) [ a ] diff_bits)
+  in
+  (* adjacent transpositions t_i = (v_{i-1}, v_i); (a,b) = t1 t2 … tk … t2 t1
+     (conjugation), where each t is self-inverse *)
+  let steps =
+    List.mapi
+      (fun i v ->
+        let prev = List.nth path i in
+        let j = Bitops.trailing_zeros (prev lxor v) in
+        adjacent_transposition ~n prev j)
+      (List.tl path)
+  in
+  match List.rev steps with
+  | [] -> assert false
+  | last :: before_rev -> List.rev before_rev @ (last :: before_rev)
+
+(** [synth p] decomposes [p] into cycles and transpositions. Correct for
+    every permutation; gate counts are typically worse than {!Tbs}/{!Dbs}
+    (the method's known weakness), which the E5 sweep makes visible. *)
+let synth p =
+  let n = Perm.num_vars p in
+  let gates =
+    List.concat_map
+      (fun cycle ->
+        (* (c1 c2 … ck): apply (c_{k-1} c_k) first, …, (c1 c2) last *)
+        let rec pairs = function
+          | a :: (b :: _ as rest) -> (a, b) :: pairs rest
+          | _ -> []
+        in
+        List.concat_map (fun (a, b) -> transposition ~n a b) (List.rev (pairs cycle)))
+      (Perm.cycles p)
+  in
+  Rcircuit.of_gates (max 1 n) gates

@@ -1,0 +1,95 @@
+(** Decomposition-based reversible synthesis via Young subgroups
+    (De Vos–Van Rentergem, the paper's reference [47] and its [dbs]
+    command).
+
+    For each variable [v] the permutation is factored as
+    [p = R ∘ p' ∘ L] where [L] and [R] are {e single-target gates} on [v]
+    (they flip line [v] controlled by a Boolean function of the other
+    lines) and [p'] preserves line [v]. Recursing over all variables leaves
+    the identity in the middle, i.e. at most [2n − 1] single-target gates.
+    Each single-target gate is realized as an ESOP cascade of MCT gates. *)
+
+module Bitops = Logic.Bitops
+module Perm = Logic.Perm
+module Truth_table = Logic.Truth_table
+module Esop_opt = Logic.Esop_opt
+module Cube = Logic.Cube
+
+(* Factor [p] w.r.t. variable [v]: returns [(fl, fr, p')] where [fl]/[fr]
+   are the control functions of the left/right single-target gates as
+   truth tables over the (n-1)-bit column index (variable [v] deleted), and
+   [p'] preserves bit [v]. Uses 2-coloring of the 2-regular bipartite
+   edge graph between input and output columns. *)
+let factor_var p v =
+  let n = Perm.num_vars p in
+  let sz = 1 lsl n in
+  let table = Perm.to_array p in
+  let inv = Array.make sz 0 in
+  Array.iteri (fun x y -> inv.(y) <- x) table;
+  let color = Array.make sz (-1) in
+  let vbit = 1 lsl v in
+  for x0 = 0 to sz - 1 do
+    if color.(x0) < 0 then begin
+      (* Walk the cycle through alternating out-column / in-column
+         siblings, alternating colors. *)
+      let x = ref x0 and c = ref 0 in
+      let continue_ = ref true in
+      while !continue_ do
+        color.(!x) <- !c;
+        (* sibling edge at the same output column *)
+        let x' = inv.(table.(!x) lxor vbit) in
+        color.(x') <- 1 - !c;
+        (* sibling edge at x''s input column *)
+        let x'' = x' lxor vbit in
+        if color.(x'') >= 0 then continue_ := false
+        else x := x''
+        (* color stays: x'' shares its input column with x', so it gets the
+           complement of x''s color, i.e. !c again *)
+      done
+    end
+  done;
+  let fl =
+    Truth_table.of_fun (n - 1) (fun col -> color.(Bitops.insert_bit col v false) = 1)
+  in
+  let fr =
+    Truth_table.of_fun (n - 1) (fun col ->
+        color.(inv.(Bitops.insert_bit col v false)) = 1)
+  in
+  (* p' = R ∘ p ∘ L (single-target gates are involutions) *)
+  let stg f x =
+    if Truth_table.get f (Bitops.remove_bit x v) then x lxor vbit else x
+  in
+  let p' =
+    Perm.of_array ~n (Array.init sz (fun x -> stg fr table.(stg fl x)))
+  in
+  (fl, fr, p')
+
+(* Realize a single-target gate on line [v] with control function [f] over
+   the column index, as an ESOP cascade of MCT gates. *)
+let stg_gates ~n ~v f =
+  let esop = Esop_opt.minimize f in
+  List.map
+    (fun cube ->
+      let controls =
+        List.map
+          (fun (col_var, pol) ->
+            let line = if col_var < v then col_var else col_var + 1 in
+            (line, pol))
+          (Cube.literals (n - 1) cube)
+      in
+      Mct.of_controls controls v)
+    esop
+
+(** [synth p] synthesizes [p] into at most [2n − 1] single-target gates,
+    each expanded into an ESOP MCT cascade. *)
+let synth p =
+  let n = Perm.num_vars p in
+  let rec go p v =
+    if v >= n || Perm.is_identity p then []
+    else
+      let fl, fr, p' = factor_var p v in
+      let left = stg_gates ~n ~v fl and right = stg_gates ~n ~v fr in
+      (* p = R ∘ p' ∘ L, so the circuit applies L first and R last. *)
+      left @ go p' (v + 1) @ right
+  in
+  Rcircuit.of_gates n (go p 0)

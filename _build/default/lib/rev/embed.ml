@@ -1,0 +1,99 @@
+(** Embedding irreversible functions into reversible ones (Eq. (2) of the
+    paper, refs [53, 54]).
+
+    Given [f : B^n -> B^m], find a reversible [g : B^r -> B^r] with
+    [g(x, 0) = (f(x), garbage)]. The minimum [r] is governed by the
+    {e output multiplicity} [μ] — the largest number of inputs mapping to
+    the same output pattern: [r ≥ max(n, m + ⌈log₂ μ⌉)]. Finding the
+    minimum is coNP-hard in general; this module computes the bound exactly
+    (by counting) and constructs an embedding achieving it. *)
+
+module Bitops = Logic.Bitops
+module Perm = Logic.Perm
+module Truth_table = Logic.Truth_table
+
+(** [output_multiplicity fs] is [μ]: the maximal preimage size over output
+    patterns, for the multi-output function given as per-output tables. *)
+let output_multiplicity (fs : Truth_table.t list) =
+  match fs with
+  | [] -> invalid_arg "Embed.output_multiplicity: no outputs"
+  | f0 :: _ ->
+      let n = Truth_table.num_vars f0 in
+      let counts = Hashtbl.create 64 in
+      for x = 0 to (1 lsl n) - 1 do
+        let y =
+          List.fold_left
+            (fun (acc, j) f -> ((if Truth_table.get f x then acc lor (1 lsl j) else acc), j + 1))
+            (0, 0) fs
+          |> fst
+        in
+        Hashtbl.replace counts y (1 + Option.value ~default:0 (Hashtbl.find_opt counts y))
+      done;
+      Hashtbl.fold (fun _ c acc -> max c acc) counts 0
+
+(** [min_lines fs] is the provably minimal reversible line count
+    [r = max(n, m + ⌈log₂ μ⌉)]. *)
+let min_lines (fs : Truth_table.t list) =
+  let n = Truth_table.num_vars (List.hd fs) in
+  let m = List.length fs in
+  max n (m + Bitops.log2_ceil (output_multiplicity fs))
+
+(** The result of an embedding: the permutation [g] on [2^r] points, with
+    inputs of [f] on the low [n] bits (remaining input bits must be 0) and
+    outputs of [f] on the low [m] bits of the result. *)
+type t = { r : int; n : int; m : int; perm : Perm.t }
+
+(** [embed fs] constructs a minimal-line embedding of the multi-output
+    function [fs] by assigning distinct garbage values within each preimage
+    class and completing the map to a bijection greedily. *)
+let embed (fs : Truth_table.t list) =
+  let n = Truth_table.num_vars (List.hd fs) in
+  let m = List.length fs in
+  let r = min_lines fs in
+  let size = 1 lsl r in
+  let image = Array.make size (-1) in
+  let used = Array.make size false in
+  (* Garbage counter per output pattern gives injectivity on the domain. *)
+  let next_garbage = Hashtbl.create 64 in
+  for x = 0 to (1 lsl n) - 1 do
+    let y =
+      List.fold_left
+        (fun (acc, j) f -> ((if Truth_table.get f x then acc lor (1 lsl j) else acc), j + 1))
+        (0, 0) fs
+      |> fst
+    in
+    let garbage = Option.value ~default:0 (Hashtbl.find_opt next_garbage y) in
+    Hashtbl.replace next_garbage y (garbage + 1);
+    let target = y lor (garbage lsl m) in
+    assert (target < size && not used.(target));
+    image.(x) <- target;
+    used.(target) <- true
+  done;
+  (* Complete to a bijection: remaining domain points (those with nonzero
+     constant bits) take the unused codomain points in order. *)
+  let free = ref [] in
+  for y = size - 1 downto 0 do
+    if not used.(y) then free := y :: !free
+  done;
+  for x = 0 to size - 1 do
+    if image.(x) < 0 then begin
+      match !free with
+      | y :: rest ->
+          image.(x) <- y;
+          free := rest
+      | [] -> assert false
+    end
+  done;
+  { r; n; m; perm = Perm.of_array ~n:r image }
+
+(** [check e fs] verifies the embedding contract [g(x, 0) = (f(x), ·)]. *)
+let check e (fs : Truth_table.t list) =
+  let ok = ref true in
+  for x = 0 to (1 lsl e.n) - 1 do
+    let y = Perm.apply e.perm x in
+    List.iteri
+      (fun j f ->
+        if Bitops.bit y j <> Truth_table.get f x then ok := false)
+      fs
+  done;
+  !ok

@@ -1,0 +1,47 @@
+(** ESOP-based reversible synthesis (the paper's Sec. V, refs [56–58]).
+
+    Realizes an irreversible function [f : B^n -> B^m] under the Bennett
+    embedding of Eq. (3)/(4) with [k = 0] ancillae: an [(n+m)]-line circuit
+    computing [|x⟩|y⟩ ↦ |x⟩|y ⊕ f(x)⟩]. Each cube of a (minimized) ESOP
+    cover of output [j] becomes one MCT gate with controls on the input
+    lines and target on output line [n + j]. *)
+
+module Cube = Logic.Cube
+module Esop = Logic.Esop
+module Esop_opt = Logic.Esop_opt
+module Truth_table = Logic.Truth_table
+
+(** [cube_gate ~n ~target cube] is the MCT gate of one cube, controls on
+    lines [0..n-1]. *)
+let cube_gate ~n ~target cube =
+  Mct.of_controls (Cube.literals n cube) target
+
+(** [of_esops ~n esops] builds the circuit from pre-computed covers (one per
+    output, in order). *)
+let of_esops ~n (esops : Esop.t list) =
+  let m = List.length esops in
+  let gates =
+    List.concat
+      (List.mapi
+         (fun j esop -> List.map (cube_gate ~n ~target:(n + j)) esop)
+         esops)
+  in
+  Rcircuit.of_gates (n + m) gates
+
+(** [synth fs] synthesizes the multi-output function given as one truth
+    table per output (all on the same variable count), minimizing each
+    cover with {!Logic.Esop_opt.minimize}. *)
+let synth (fs : Truth_table.t list) =
+  match fs with
+  | [] -> invalid_arg "Esop_synth.synth: no outputs"
+  | f0 :: rest ->
+      let n = Truth_table.num_vars f0 in
+      if List.exists (fun f -> Truth_table.num_vars f <> n) rest then
+        invalid_arg "Esop_synth.synth: arity mismatch";
+      of_esops ~n (List.map Esop_opt.minimize fs)
+
+(** [synth1 f] is {!synth} for a single output. *)
+let synth1 f = synth [ f ]
+
+(** [synth_expr ?n e] synthesizes a Boolean expression directly. *)
+let synth_expr ?n e = synth1 (Logic.Bexpr.to_truth_table ?n e)

@@ -1,0 +1,144 @@
+(** Hierarchical reversible synthesis from multi-level logic networks
+    (paper Sec. V, refs [45, 55, 63, 65]).
+
+    Internal XAG nodes are computed onto {e ancilla} lines with Toffoli /
+    CNOT gates, outputs are copied out, and the ancillae are uncomputed so
+    they return to |0⟩ (Eq. (4) with [k > 0]). Two scheduling modes expose
+    the qubit/gate trade-off the paper discusses:
+
+    - {!bennett}: compute every node once, copy outputs, uncompute — one
+      ancilla per internal node, minimal gates;
+    - {!output_batched}: process outputs in batches of [b], uncomputing each
+      batch's cone before the next — ancillae bounded by the largest batch
+      cone, at the price of recomputing shared nodes. *)
+
+module Bitops = Logic.Bitops
+
+(* Line layout: inputs on [0, n); outputs on [n, n+m); ancillae above. *)
+
+type layout = {
+  n : int;
+  m : int;
+  total_lines : int;
+  ancillae : int;
+}
+
+(* Emit the gates computing node [id] onto line [line], given [line_of] for
+   operand nodes. An And becomes one Toffoli (complemented operands =
+   negative controls); an Xor becomes two CNOTs plus possibly a NOT. *)
+let node_gates g line_of id line =
+  match Xag.node g id with
+  | Xag.And (a, b) ->
+      let ctrl s = (line_of (Xag.node_of_signal s), not (Xag.is_complemented s)) in
+      [ Mct.of_controls [ ctrl a; ctrl b ] line ]
+  | Xag.Xor (a, b) ->
+      let base =
+        [ Mct.cnot (line_of (Xag.node_of_signal a)) line;
+          Mct.cnot (line_of (Xag.node_of_signal b)) line ]
+      in
+      if Xag.is_complemented a <> Xag.is_complemented b then base @ [ Mct.not_ line ]
+      else base
+  | Xag.Const | Xag.Input _ -> invalid_arg "Hier_synth.node_gates: not internal"
+
+let copy_output g line_of s out_line =
+  let id = Xag.node_of_signal s in
+  let gates =
+    match Xag.node g id with
+    | Xag.Const -> []
+    | _ -> [ Mct.cnot (line_of id) out_line ]
+  in
+  if Xag.is_complemented s then gates @ [ Mct.not_ out_line ] else gates
+
+(** [bennett g] is the keep-everything schedule: [k] = number of internal
+    nodes ancillae; gate count [2·gates(nodes) + outputs]. Returns the
+    circuit and its layout. *)
+let bennett g =
+  let n = Xag.num_inputs g in
+  let outputs = Xag.outputs g in
+  let m = List.length outputs in
+  let nodes = Xag.internal_nodes_topological g in
+  let line_of_tbl = Hashtbl.create 64 in
+  List.iteri (fun i id -> Hashtbl.add line_of_tbl id (n + m + i)) nodes;
+  let line_of id =
+    match Xag.node g id with
+    | Xag.Input i -> i
+    | _ -> Hashtbl.find line_of_tbl id
+  in
+  let compute = List.concat_map (fun id -> node_gates g line_of id (line_of id)) nodes in
+  let copies = List.concat (List.mapi (fun j s -> copy_output g line_of s (n + j)) outputs) in
+  let uncompute = List.rev compute in
+  let total = n + m + List.length nodes in
+  let circuit = Rcircuit.of_gates total (compute @ copies @ uncompute) in
+  (circuit, { n; m; total_lines = total; ancillae = List.length nodes })
+
+(** [output_batched ~batch g] processes outputs in groups of [batch]:
+    each group's cone is computed, copied and immediately uncomputed, and
+    its ancilla lines are reused by the next group. Smaller batches mean
+    fewer ancillae but repeated recomputation of shared logic. *)
+let output_batched ~batch g =
+  if batch < 1 then invalid_arg "Hier_synth.output_batched";
+  let n = Xag.num_inputs g in
+  let outputs = Xag.outputs g in
+  let m = List.length outputs in
+  let rec chunks i = function
+    | [] -> []
+    | l ->
+        let rec take k = function
+          | x :: r when k > 0 ->
+              let a, b = take (k - 1) r in
+              (x :: a, b)
+          | r -> ([], r)
+        in
+        let group, rest = take batch l in
+        (i, group) :: chunks (i + List.length group) rest
+  in
+  let groups = chunks 0 outputs in
+  let max_cone =
+    List.fold_left (fun acc (_, group) -> max acc (List.length (Xag.cone g group))) 0 groups
+  in
+  let gates =
+    List.concat_map
+      (fun (j0, group) ->
+        let cone = Xag.cone g group in
+        let line_of_tbl = Hashtbl.create 64 in
+        List.iteri (fun i id -> Hashtbl.add line_of_tbl id (n + m + i)) cone;
+        let line_of id =
+          match Xag.node g id with
+          | Xag.Input i -> i
+          | _ -> Hashtbl.find line_of_tbl id
+        in
+        let compute =
+          List.concat_map (fun id -> node_gates g line_of id (line_of id)) cone
+        in
+        let copies =
+          List.concat
+            (List.mapi (fun dj s -> copy_output g line_of s (n + j0 + dj)) group)
+        in
+        compute @ copies @ List.rev compute)
+      groups
+  in
+  let total = n + m + max_cone in
+  let circuit = Rcircuit.of_gates total gates in
+  (circuit, { n; m; total_lines = total; ancillae = max_cone })
+
+(** [synth_tables ?batch fs] is the convenience front end: ESOP covers →
+    XAG → hierarchical circuit ({!bennett} when [batch] is omitted). *)
+let synth_tables ?batch (fs : Logic.Truth_table.t list) =
+  let n = Logic.Truth_table.num_vars (List.hd fs) in
+  let g = Xag.of_esops n (List.map Logic.Esop_opt.minimize fs) in
+  match batch with None -> bennett g | Some b -> output_batched ~batch:b g
+
+(** [check (circuit, layout) fs] verifies Eq. (4): inputs preserved, each
+    output line [j] receives [fⱼ(x)], and every ancilla returns to 0. *)
+let check (circuit, layout) (fs : Logic.Truth_table.t list) =
+  let ok = ref true in
+  for x = 0 to (1 lsl layout.n) - 1 do
+    let out = Rsim.run circuit x in
+    if out land Bitops.mask layout.n <> x then ok := false;
+    List.iteri
+      (fun j f ->
+        if Bitops.bit out (layout.n + j) <> Logic.Truth_table.get f x then ok := false)
+      fs;
+    if out lsr (layout.n + layout.m) <> 0 then ok := false
+  done;
+  !ok

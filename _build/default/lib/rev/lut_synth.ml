@@ -1,0 +1,157 @@
+(** LUT-based hierarchical reversible synthesis (Soeken–Roetteler–Wiebe–
+    De Micheli DAC'17, the paper's ref [65]).
+
+    The XAG is first mapped into a network of [k]-input lookup tables
+    (greedy k-feasible cuts), then each LUT — rather than each gate — is
+    computed onto one ancilla line as an ESOP cascade over its cut leaves.
+    Larger [k] means {e fewer ancillae} but {e wider gates}: exactly the
+    qubit/quality dial the paper's Sec. IX says synthesis needs to expose. *)
+
+module Truth_table = Logic.Truth_table
+module Bitops = Logic.Bitops
+
+type lut = {
+  root : int; (* XAG node id this LUT computes *)
+  leaves : int list; (* XAG node ids (inputs or other LUT roots) *)
+  table : Truth_table.t; (* local function over the leaves, in list order *)
+}
+
+type layout = { n : int; m : int; total_lines : int; ancillae : int; k : int }
+
+(* Greedy k-feasible cut per node: merge the children's cuts when small
+   enough, else cut at the children. *)
+let compute_cuts g ~k =
+  let cuts = Hashtbl.create 64 in
+  let cut_of id =
+    match Xag.node g id with
+    | Xag.Input _ -> [ id ]
+    | _ -> Hashtbl.find cuts id
+  in
+  List.iter
+    (fun id ->
+      match Xag.node g id with
+      | Xag.And (a, b) | Xag.Xor (a, b) ->
+          let ca = cut_of (Xag.node_of_signal a) and cb = cut_of (Xag.node_of_signal b) in
+          let merged = List.sort_uniq compare (ca @ cb) in
+          let cut =
+            if List.length merged <= k then merged
+            else
+              List.sort_uniq compare
+                [ Xag.node_of_signal a; Xag.node_of_signal b ]
+          in
+          Hashtbl.add cuts id cut
+      | _ -> ())
+    (Xag.internal_nodes_topological g);
+  cut_of
+
+(* Tabulate the cone of [root] over the ordered [leaves]. *)
+let local_table g ~root ~leaves =
+  let k = List.length leaves in
+  Truth_table.of_fun k (fun assignment ->
+      let values = Hashtbl.create 16 in
+      List.iteri (fun i leaf -> Hashtbl.add values leaf (Bitops.bit assignment i)) leaves;
+      let rec eval id =
+        match Hashtbl.find_opt values id with
+        | Some v -> v
+        | None ->
+            let v =
+              match Xag.node g id with
+              | Xag.Const -> false
+              | Xag.Input _ ->
+                  invalid_arg "Lut_synth: cut does not cover an input"
+              | Xag.And (a, b) -> eval_signal a && eval_signal b
+              | Xag.Xor (a, b) -> eval_signal a <> eval_signal b
+            in
+            Hashtbl.add values id v;
+            v
+      and eval_signal s =
+        let v = eval (Xag.node_of_signal s) in
+        if Xag.is_complemented s then not v else v
+      in
+      eval root)
+
+(** [map_luts ~k g] covers the XAG with k-input LUTs: returns the selected
+    LUTs in dependency order (leaves' LUTs before users'). *)
+let map_luts ~k g =
+  if k < 2 then invalid_arg "Lut_synth.map_luts: k >= 2";
+  let cut_of = compute_cuts g ~k in
+  (* covering: walk back from the outputs *)
+  let selected = Hashtbl.create 64 in
+  let order = ref [] in
+  let rec need id =
+    match Xag.node g id with
+    | Xag.Input _ | Xag.Const -> ()
+    | _ ->
+        if not (Hashtbl.mem selected id) then begin
+          Hashtbl.add selected id ();
+          let leaves = cut_of id in
+          List.iter need leaves;
+          order := { root = id; leaves; table = local_table g ~root:id ~leaves } :: !order
+        end
+  in
+  List.iter (fun s -> need (Xag.node_of_signal s)) (Xag.outputs g);
+  List.rev !order
+
+(** [synth ~k g] is the full flow: LUT mapping, one ancilla per LUT
+    computed as an ESOP cascade, outputs copied off, Bennett uncompute.
+    Line layout: inputs, outputs, LUT ancillae. *)
+let synth ~k g =
+  let n = Xag.num_inputs g in
+  let outputs = Xag.outputs g in
+  let m = List.length outputs in
+  let luts = map_luts ~k g in
+  let line_tbl = Hashtbl.create 64 in
+  List.iteri (fun i l -> Hashtbl.add line_tbl l.root (n + m + i)) luts;
+  let line_of id =
+    match Xag.node g id with
+    | Xag.Input i -> i
+    | _ -> Hashtbl.find line_tbl id
+  in
+  let lut_gates l =
+    let target = line_of l.root in
+    List.map
+      (fun cube ->
+        let controls =
+          List.map
+            (fun (v, pol) -> (line_of (List.nth l.leaves v), pol))
+            (Logic.Cube.literals (List.length l.leaves) cube)
+        in
+        Mct.of_controls controls target)
+      (Logic.Esop_opt.minimize l.table)
+  in
+  let compute = List.concat_map lut_gates luts in
+  let copies =
+    List.concat
+      (List.mapi
+         (fun j s ->
+           let id = Xag.node_of_signal s in
+           let base =
+             match Xag.node g id with
+             | Xag.Const -> []
+             | _ -> [ Mct.cnot (line_of id) (n + j) ]
+           in
+           if Xag.is_complemented s then base @ [ Mct.not_ (n + j) ] else base)
+         outputs)
+  in
+  let total = n + m + List.length luts in
+  if total > 62 then invalid_arg "Lut_synth.synth: too many lines";
+  let circuit = Rcircuit.of_gates total (compute @ copies @ List.rev compute) in
+  (circuit, { n; m; total_lines = total; ancillae = List.length luts; k })
+
+(** [synth_tables ~k fs] is the truth-table front end (via ESOP → XAG). *)
+let synth_tables ~k (fs : Truth_table.t list) =
+  let n = Truth_table.num_vars (List.hd fs) in
+  synth ~k (Xag.of_esops n (List.map Logic.Esop_opt.minimize fs))
+
+(** [check (circuit, layout) fs] verifies the Eq. (4) contract. *)
+let check (circuit, layout) (fs : Truth_table.t list) =
+  let ok = ref true in
+  for x = 0 to (1 lsl layout.n) - 1 do
+    let out = Rsim.run circuit x in
+    if out land Bitops.mask layout.n <> x then ok := false;
+    List.iteri
+      (fun j f -> if Bitops.bit out (layout.n + j) <> Truth_table.get f x then ok := false)
+      fs;
+    if out lsr (layout.n + layout.m) <> 0 then ok := false
+  done;
+  !ok

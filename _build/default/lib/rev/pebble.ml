@@ -1,0 +1,90 @@
+(** Reversible pebbling strategies (paper refs [66, 67]).
+
+    Abstract model: a chain of [s] segments where computing segment [i]
+    requires segment [i−1] to be pebbled (present on ancilla qubits).
+    Bennett's recursive strategy with fan-out [f] trades pebbles (qubits)
+    for segment executions (gates): [f = s] is compute-everything
+    (s pebbles, s moves); [f = 2] uses [O(log s)] pebbles and
+    [O(s^{log₂ 3})] moves.
+
+    The schedules produced here are used both for the E6 cost tables and to
+    validate the strategy against the chain dependency rule. *)
+
+type action = Compute of int | Uncompute of int
+
+(* Reverse a schedule (compute <-> uncompute, reversed order). *)
+let invert actions =
+  List.rev_map (function Compute i -> Uncompute i | Uncompute i -> Compute i) actions
+
+(** [bennett ~segments ~fanout] is the recursive Bennett schedule that
+    leaves all of [0 .. segments-1]'s {e final} segment pebbled and all
+    intermediate segments clean, assuming segment 0's input (the circuit
+    inputs) is always available. All segments are left pebbled at the top
+    level of each recursion frame except those explicitly uncomputed. The
+    returned schedule leaves exactly the last segment pebbled. *)
+let bennett ~segments ~fanout =
+  if segments < 1 then invalid_arg "Pebble.bennett: segments";
+  if fanout < 2 then invalid_arg "Pebble.bennett: fanout";
+  (* compute_range lo hi: starting with segment lo-1 pebbled (or nothing if
+     lo = 0), leave exactly segment hi-1 pebbled among [lo, hi). *)
+  let rec compute_range lo hi =
+    let len = hi - lo in
+    if len = 1 then [ Compute lo ]
+    else begin
+      (* split into at most [fanout] nearly equal parts *)
+      let parts = min fanout len in
+      let bounds =
+        List.init (parts + 1) (fun i -> lo + (len * i / parts))
+      in
+      let ranges =
+        List.filteri (fun i _ -> i < parts) bounds
+        |> List.mapi (fun i b -> (b, List.nth bounds (i + 1)))
+      in
+      let forward = List.concat_map (fun (a, b) -> compute_range a b) ranges in
+      let backward =
+        List.concat_map
+          (fun (a, b) -> invert (compute_range a b))
+          (List.rev (List.filteri (fun i _ -> i < parts - 1) ranges))
+      in
+      forward @ backward
+    end
+  in
+  compute_range 0 segments
+
+(** Cost summary of a schedule. *)
+type cost = { pebbles : int; moves : int }
+
+(** [simulate ~segments actions] validates [actions] against the chain
+    rule — [Compute i] / [Uncompute i] require segment [i−1] pebbled and
+    segment [i] in the complementary state — and returns the peak pebble
+    count and total move count. Raises [Invalid_argument] on an illegal
+    schedule. *)
+let simulate ~segments actions =
+  let pebbled = Array.make segments false in
+  let peak = ref 0 and live = ref 0 and moves = ref 0 in
+  List.iter
+    (fun act ->
+      incr moves;
+      let need_prev i =
+        if i > 0 && not pebbled.(i - 1) then
+          invalid_arg (Printf.sprintf "Pebble.simulate: segment %d not ready" i)
+      in
+      match act with
+      | Compute i ->
+          need_prev i;
+          if pebbled.(i) then invalid_arg "Pebble.simulate: double compute";
+          pebbled.(i) <- true;
+          incr live;
+          peak := max !peak !live
+      | Uncompute i ->
+          need_prev i;
+          if not pebbled.(i) then invalid_arg "Pebble.simulate: uncompute clean";
+          pebbled.(i) <- false;
+          decr live)
+    actions;
+  { pebbles = !peak; moves = !moves }
+
+(** [strategy_cost ~segments ~fanout] is {!simulate} of {!bennett} — the
+    row generator of the E6 trade-off table. *)
+let strategy_cost ~segments ~fanout =
+  simulate ~segments (bennett ~segments ~fanout)

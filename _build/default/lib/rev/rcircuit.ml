@@ -1,0 +1,94 @@
+(** Reversible circuits: cascades of MCT gates over a fixed set of lines. *)
+
+module Bitops = Logic.Bitops
+
+type t = { lines : int; gates : Mct.t list }
+
+(** [empty lines] is the identity circuit on [lines] lines. *)
+let empty lines =
+  if lines < 1 || lines > 62 then invalid_arg "Rcircuit.empty: bad line count";
+  { lines; gates = [] }
+
+let check_gate c (g : Mct.t) =
+  if Mct.lines g land lnot (Bitops.mask c.lines) <> 0 then
+    invalid_arg "Rcircuit: gate exceeds line count"
+
+(** [add c g] appends gate [g] at the output side. *)
+let add c g =
+  check_gate c g;
+  { c with gates = g :: c.gates }
+
+(** [add_list c gs] appends the gates in order. *)
+let add_list c gs = List.fold_left add c gs
+
+(** [gates c] lists gates in application order (input to output). *)
+let gates c = List.rev c.gates
+
+(** [of_gates lines gs] builds a circuit from an application-order list. *)
+let of_gates lines gs = add_list (empty lines) gs
+
+let num_lines c = c.lines
+let num_gates c = List.length c.gates
+
+(** [reverse c] is the inverse circuit (MCT gates are self-inverse, so the
+    cascade is just reversed). *)
+let reverse c = { c with gates = List.rev c.gates }
+
+(** [append a b] runs [a] then [b]. *)
+let append a b =
+  if a.lines <> b.lines then invalid_arg "Rcircuit.append: line mismatch";
+  { a with gates = b.gates @ a.gates }
+
+(** [map_lines f c] relabels lines through [f] (which must be injective on
+    the used lines and stay within [new_lines]). *)
+let map_lines ~new_lines f c =
+  let remap_mask m = Bitops.fold_bits (fun acc l -> acc lor (1 lsl f l)) 0 m in
+  let gates =
+    List.rev_map
+      (fun (g : Mct.t) ->
+        Mct.make ~target:(f g.Mct.target) ~pos:(remap_mask g.Mct.pos)
+          ~neg:(remap_mask g.Mct.neg))
+      c.gates
+  in
+  { lines = new_lines; gates = List.rev gates }
+
+(** [widen c lines] reinterprets [c] on a larger line count. *)
+let widen c lines =
+  if lines < c.lines then invalid_arg "Rcircuit.widen: shrinking";
+  { c with lines }
+
+(** Gate-count statistics used by the [ps] shell command. *)
+type stats = {
+  lines : int;
+  gate_count : int;
+  not_count : int;
+  cnot_count : int;
+  toffoli_count : int;
+  larger_count : int; (* gates with three or more controls *)
+  quantum_cost : int;
+}
+
+let stats (c : t) =
+  let init =
+    { lines = c.lines; gate_count = 0; not_count = 0; cnot_count = 0;
+      toffoli_count = 0; larger_count = 0; quantum_cost = 0 }
+  in
+  List.fold_left
+    (fun s g ->
+      let s = { s with gate_count = s.gate_count + 1;
+                quantum_cost = s.quantum_cost + Mct.quantum_cost c.lines g } in
+      match Mct.num_controls g with
+      | 0 -> { s with not_count = s.not_count + 1 }
+      | 1 -> { s with cnot_count = s.cnot_count + 1 }
+      | 2 -> { s with toffoli_count = s.toffoli_count + 1 }
+      | _ -> { s with larger_count = s.larger_count + 1 })
+    init c.gates
+
+let pp_stats ppf s =
+  Fmt.pf ppf
+    "lines: %d, gates: %d (NOT %d, CNOT %d, Toffoli %d, larger %d), quantum cost: %d"
+    s.lines s.gate_count s.not_count s.cnot_count s.toffoli_count s.larger_count
+    s.quantum_cost
+
+let pp ppf c =
+  Fmt.pf ppf "@[<v>%a@]" Fmt.(list ~sep:cut Mct.pp) (gates c)

@@ -1,0 +1,96 @@
+(** Window-based resynthesis of reversible circuits.
+
+    A peephole optimizer stronger than {!Rsimp}'s rewrite rules: grow
+    windows of consecutive gates whose combined support fits in at most
+    [max_lines] lines (default 3), extract the sub-permutation each window
+    computes, re-synthesize it with the {e provably minimal} BFS engine
+    ({!Exact_synth}), and splice the result back when strictly smaller.
+    Iterates to a fixpoint. The function computed by the circuit is
+    preserved exactly — each replacement is a local identity rewrite. *)
+
+module Bitops = Logic.Bitops
+module Perm = Logic.Perm
+
+(* Extract the window's permutation on its own (relabeled) lines and
+   resynthesize; returns the replacement gates (original labels) if
+   strictly smaller. *)
+let improve_window ~lines_mask gates =
+  let lines = Bitops.bits_of lines_mask 62 in
+  let width = List.length lines in
+  let to_local = Hashtbl.create 8 and to_global = Array.make width 0 in
+  List.iteri
+    (fun i l ->
+      Hashtbl.add to_local l i;
+      to_global.(i) <- l)
+    lines;
+  let local_gates =
+    List.map
+      (fun (g : Mct.t) ->
+        let remap m = Bitops.fold_bits (fun acc l -> acc lor (1 lsl Hashtbl.find to_local l)) 0 m in
+        Mct.make ~target:(Hashtbl.find to_local g.Mct.target) ~pos:(remap g.Mct.pos)
+          ~neg:(remap g.Mct.neg))
+      gates
+  in
+  let sub = Rcircuit.of_gates width local_gates in
+  let p = Rsim.to_perm sub in
+  let optimal = Exact_synth.synth p in
+  if Rcircuit.num_gates optimal < List.length gates then
+    Some
+      (List.map
+         (fun (g : Mct.t) ->
+           let remap m = Bitops.fold_bits (fun acc l -> acc lor (1 lsl to_global.(l))) 0 m in
+           Mct.make ~target:to_global.(g.Mct.target) ~pos:(remap g.Mct.pos)
+             ~neg:(remap g.Mct.neg))
+         (Rcircuit.gates optimal))
+  else None
+
+(* One left-to-right sweep; returns (gates', improved). *)
+let sweep ~max_lines gates =
+  let arr = Array.of_list gates in
+  let n = Array.length arr in
+  let out = ref [] in
+  let improved = ref false in
+  let i = ref 0 in
+  while !i < n do
+    (* grow the window while the union of supports stays small *)
+    let mask = ref (Mct.lines arr.(!i)) in
+    let j = ref (!i + 1) in
+    while
+      !j < n
+      && Bitops.popcount (!mask lor Mct.lines arr.(!j)) <= max_lines
+    do
+      mask := !mask lor Mct.lines arr.(!j);
+      incr j
+    done;
+    let window = Array.to_list (Array.sub arr !i (!j - !i)) in
+    if !j - !i >= 2 && Bitops.popcount !mask <= max_lines then begin
+      match improve_window ~lines_mask:!mask window with
+      | Some better ->
+          improved := true;
+          List.iter (fun g -> out := g :: !out) better;
+          i := !j
+      | None ->
+          out := arr.(!i) :: !out;
+          incr i
+    end
+    else begin
+      out := arr.(!i) :: !out;
+      incr i
+    end
+  done;
+  (List.rev !out, !improved)
+
+(** [optimize ?max_lines c] runs sweeps to a fixpoint. [max_lines] is
+    capped at {!Exact_synth.max_vars} (3). *)
+let optimize ?(max_lines = 3) c =
+  let max_lines = min max_lines Exact_synth.max_vars in
+  let gates = ref (Rcircuit.gates c) in
+  let continue_ = ref true in
+  let budget = ref 64 in
+  while !continue_ && !budget > 0 do
+    decr budget;
+    let gates', improved = sweep ~max_lines !gates in
+    gates := gates';
+    continue_ := improved
+  done;
+  Rcircuit.of_gates (Rcircuit.num_lines c) !gates

@@ -1,0 +1,48 @@
+(** Bit-level simulation of reversible circuits.
+
+    A reversible circuit on [n] lines computes a permutation of [B^n]; this
+    module evaluates it on single patterns and extracts the full
+    permutation — the ground truth every synthesis test checks against. *)
+
+module Perm = Logic.Perm
+
+(** [run c x] propagates the basis pattern [x] through [c]. *)
+let run c x =
+  List.fold_left (fun x g -> Mct.apply g x) x (Rcircuit.gates c)
+
+(** [to_perm c] is the permutation of [{0, …, 2^lines − 1}] computed by
+    [c]. Exponential in the line count; intended for [lines ≤ ~20]. *)
+let to_perm c =
+  let n = Rcircuit.num_lines c in
+  Perm.of_array ~n (Array.init (1 lsl n) (fun x -> run c x))
+
+(** [realizes c p] holds when [c] computes exactly the permutation [p]. *)
+let realizes c p = Perm.equal (to_perm c) p
+
+(** [realizes_function c ~inputs ~outputs fs] checks the Bennett convention
+    of Eq. (4) with [k = 0]: on input [x] on lines [inputs] and [0] on lines
+    [outputs], the circuit must leave [x] intact and produce [fᵢ(x)] on the
+    [i]-th output line. [fs] are single-output truth tables on
+    [List.length inputs] variables. *)
+let realizes_function c ~inputs ~outputs fs =
+  let n_in = List.length inputs in
+  let ok = ref true in
+  for x = 0 to (1 lsl n_in) - 1 do
+    let word =
+      List.fold_left
+        (fun (w, i) line -> ((if Logic.Bitops.bit x i then w lor (1 lsl line) else w), i + 1))
+        (0, 0) inputs
+      |> fst
+    in
+    let out = run c word in
+    (* inputs preserved *)
+    List.iteri
+      (fun i line -> if Logic.Bitops.bit out line <> Logic.Bitops.bit x i then ok := false)
+      inputs;
+    List.iteri
+      (fun j line ->
+        let expect = Logic.Truth_table.get (List.nth fs j) x in
+        if Logic.Bitops.bit out line <> expect then ok := false)
+      outputs
+  done;
+  !ok

@@ -1,0 +1,95 @@
+(** Reversible-circuit simplification — the paper's [revsimp] command.
+
+    Function-preserving peephole rewriting on MCT cascades:
+
+    - {e cancellation}: two equal gates compose to the identity;
+    - {e merging}: two gates with the same target whose control cubes are at
+      EXORLINK-distance 1 fuse into one gate
+      ([C_{S,b}X · C_{S,¬b}X = C_S X] and [C_{S·l}X · C_S X = C_{S·¬l}X]);
+    - gates may move across {e commuting} gates to meet a partner.
+
+    All rules are applied to a fixpoint (with a pass bound as a safety
+    net). *)
+
+module Bitops = Logic.Bitops
+
+(* Two MCT gates commute when neither target is a control line of the other
+   (equal targets always commute: both XOR into the same line and neither
+   control function reads it). *)
+let commute (a : Mct.t) (b : Mct.t) =
+  let actrl = a.Mct.pos lor a.Mct.neg and bctrl = b.Mct.pos lor b.Mct.neg in
+  (a.Mct.target = b.Mct.target)
+  || (bctrl land (1 lsl a.Mct.target) = 0 && actrl land (1 lsl b.Mct.target) = 0)
+
+(* Merge two same-target gates at control-cube distance <= 1.
+   Returns [Some None] for cancellation, [Some (Some g)] for a fused gate,
+   [None] when not mergeable. *)
+let merge (a : Mct.t) (b : Mct.t) =
+  if a.Mct.target <> b.Mct.target then None
+  else
+    let amask = a.Mct.pos lor a.Mct.neg and bmask = b.Mct.pos lor b.Mct.neg in
+    let presence = amask lxor bmask in
+    let poldiff = (a.Mct.pos lxor b.Mct.pos) land amask land bmask in
+    let diff = presence lor poldiff in
+    if diff = 0 then Some None (* identical: cancel *)
+    else if Bitops.popcount diff <> 1 then None
+    else if presence = 0 then
+      (* polarity clash on one line: drop that control *)
+      Some
+        (Some
+           (Mct.make ~target:a.Mct.target ~pos:(a.Mct.pos land lnot diff)
+              ~neg:(a.Mct.neg land lnot diff)))
+    else
+      (* one gate has an extra literal: flip its polarity *)
+      let wide = if amask land presence <> 0 then a else b in
+      Some
+        (Some
+           (Mct.make ~target:wide.Mct.target
+              ~pos:(wide.Mct.pos lxor presence)
+              ~neg:(wide.Mct.neg lxor presence)))
+
+(* One scan over the gate array; returns [Some gates'] on the first applied
+   rewrite, [None] at a local fixpoint. *)
+let rewrite_once gates =
+  let n = Array.length gates in
+  let result = ref None in
+  (try
+     for i = 0 to n - 2 do
+       let rec probe j =
+         if j >= n then ()
+         else
+           match merge gates.(i) gates.(j) with
+           | Some fused ->
+               (* Gate i commutes past everything up to j, so
+                  g_j ∘ C ∘ g_i = (g_j ∘ g_i) ∘ C: the fused gate replaces
+                  g_j in place and g_i is dropped. *)
+               let out = ref [] in
+               for k = n - 1 downto 0 do
+                 if k = j then (
+                   match fused with
+                   | Some g -> out := g :: !out
+                   | None -> ())
+                 else if k <> i then out := gates.(k) :: !out
+               done;
+               result := Some (Array.of_list !out);
+               raise Exit
+           | None -> if commute gates.(i) gates.(j) then probe (j + 1) else ()
+       in
+       probe (i + 1)
+     done
+   with Exit -> ());
+  !result
+
+(** [simplify c] rewrites [c] to a fixpoint of the rules above. The result
+    computes the same permutation. *)
+let simplify c =
+  let gates = ref (Array.of_list (Rcircuit.gates c)) in
+  let budget = ref (Array.length !gates * Array.length !gates * 4 + 64) in
+  let continue_ = ref true in
+  while !continue_ && !budget > 0 do
+    decr budget;
+    match rewrite_once !gates with
+    | Some g -> gates := g
+    | None -> continue_ := false
+  done;
+  Rcircuit.of_gates (Rcircuit.num_lines c) (Array.to_list !gates)

@@ -1,0 +1,101 @@
+(** Transformation-based reversible synthesis (Miller–Maslov–Dueck, DAC'03 —
+    the paper's reference [43] and its [tbs] shell command).
+
+    The algorithm walks the truth table of the permutation in increasing
+    input order and appends MCT gates that make each row a fixed point
+    without disturbing the rows already fixed. The {e bidirectional} variant
+    may instead prepend gates at the circuit input when that is cheaper. *)
+
+module Bitops = Logic.Bitops
+module Perm = Logic.Perm
+
+(* Gates that transform value [v] into value [target] assuming every value
+   < [row] is a fixed point that must not be disturbed. Preconditions
+   maintained by the caller: [v > row], [target >= row], and either
+   [target = row] (output side) or [v = row] (input side). Returns gates in
+   the order they are applied to the truth table. *)
+let steer ~row v target =
+  let gates = ref [] in
+  let cur = ref v in
+  (* Set the bits missing from [cur]: controls on all current ones. *)
+  let to_set = target land lnot !cur in
+  Bitops.fold_bits
+    (fun () j ->
+      gates := Mct.make ~target:j ~pos:!cur ~neg:0 :: !gates;
+      cur := !cur lor (1 lsl j))
+    () to_set;
+  (* Clear the extra bits: controls on the ones of [target], which the
+     current value contains; never fires on fixed rows < row <= target. *)
+  let to_clear = !cur land lnot target in
+  Bitops.fold_bits
+    (fun () j ->
+      gates := Mct.make ~target:j ~pos:(target land lnot (1 lsl j)) ~neg:0 :: !gates;
+      cur := !cur land lnot (1 lsl j))
+    () to_clear;
+  ignore row;
+  List.rev !gates
+
+let cost_of gates =
+  List.fold_left (fun acc g -> acc + 1 + Mct.num_controls g) 0 gates
+
+(* Common driver.  [bidi] enables the input-side option. *)
+let synthesize ~bidi p =
+  let n = Perm.num_vars p in
+  let table = Perm.to_array p in
+  let inv = Array.make (Array.length table) 0 in
+  Array.iteri (fun x y -> inv.(y) <- x) table;
+  let front = ref [] (* input-side gates, application order (reversed at end) *)
+  and back = ref [] (* output-side gates, collection order *) in
+  let apply_output g =
+    (* t := g ∘ t *)
+    Array.iteri
+      (fun x y ->
+        let y' = Mct.apply g y in
+        if y' <> y then begin
+          table.(x) <- y';
+          inv.(y') <- x
+        end)
+      (Array.copy table);
+    back := g :: !back
+  in
+  let apply_input g =
+    (* t := t ∘ g; relabel the input rows *)
+    let old = Array.copy table in
+    Array.iteri
+      (fun x _ ->
+        let x' = Mct.apply g x in
+        table.(x) <- old.(x');
+        inv.(old.(x')) <- x)
+      old;
+    front := g :: !front
+  in
+  for row = 0 to Array.length table - 1 do
+    let v = table.(row) in
+    if v <> row then begin
+      let out_gates = steer ~row v row in
+      if not bidi then List.iter apply_output out_gates
+      else begin
+        let x = inv.(row) in
+        (* input side: transform row -> x so that t(row) = old t(x) = row *)
+        let in_gates = steer ~row row x in
+        (* [apply_input] composes on the right (t := t ∘ h), so the gate
+           applied first to the value must be passed last. *)
+        if cost_of in_gates < cost_of out_gates then
+          List.iter apply_input (List.rev in_gates)
+        else List.iter apply_output out_gates
+      end
+    end
+  done;
+  (* Circuit order: front gates in collection order, then back gates
+     reversed (see module tests for the algebra). *)
+  Rcircuit.of_gates n (List.rev !front @ !back)
+
+(** [basic p] is unidirectional transformation-based synthesis. *)
+let basic p = synthesize ~bidi:false p
+
+(** [bidirectional p] additionally considers prepending gates at the circuit
+    input when cheaper (the variant recommended in [43]). *)
+let bidirectional p = synthesize ~bidi:true p
+
+(** [synth p] is the library default ({!bidirectional}). *)
+let synth p = bidirectional p

@@ -1,0 +1,219 @@
+(** XOR-AND graphs (XAGs): multi-level logic networks with structural
+    hashing, the representation behind hierarchical reversible synthesis
+    (paper refs [55, 63]).
+
+    Signals are node ids with an optional complement bit, encoded as
+    [2*id + c]. Node 0 is the constant false, so signal 1 is constant
+    true. *)
+
+type node =
+  | Const (* node 0 only *)
+  | Input of int
+  | And of int * int (* operand signals *)
+  | Xor of int * int
+
+type t = {
+  mutable nodes : node array;
+  mutable next : int;
+  strash : (node, int) Hashtbl.t;
+  num_inputs : int;
+  mutable outputs : int list; (* output signals, in reverse insertion order *)
+}
+
+(* --- signals --- *)
+
+let signal_of_node id = 2 * id
+let node_of_signal s = s / 2
+let is_complemented s = s land 1 = 1
+let complement s = s lxor 1
+let const_false = 0
+let const_true = 1
+
+let create num_inputs =
+  let nodes = Array.make (max 16 (2 * num_inputs)) Const in
+  for i = 0 to num_inputs - 1 do
+    nodes.(i + 1) <- Input i
+  done;
+  { nodes; next = num_inputs + 1; strash = Hashtbl.create 256; num_inputs;
+    outputs = [] }
+
+(** [input g i] is the signal of primary input [i]. *)
+let input g i =
+  if i < 0 || i >= g.num_inputs then invalid_arg "Xag.input";
+  signal_of_node (i + 1)
+
+let alloc g n =
+  match Hashtbl.find_opt g.strash n with
+  | Some id -> signal_of_node id
+  | None ->
+      if g.next >= Array.length g.nodes then begin
+        let bigger = Array.make (2 * Array.length g.nodes) Const in
+        Array.blit g.nodes 0 bigger 0 g.next;
+        g.nodes <- bigger
+      end;
+      let id = g.next in
+      g.nodes.(id) <- n;
+      g.next <- id + 1;
+      Hashtbl.add g.strash n id;
+      signal_of_node id
+
+(** [and_ g a b] builds (or reuses) an AND node, with constant propagation
+    and normalization of operand order. *)
+let and_ g a b =
+  let a, b = if a <= b then (a, b) else (b, a) in
+  if a = const_false then const_false
+  else if a = const_true then b
+  else if a = b then a
+  else if a = complement b then const_false
+  else alloc g (And (a, b))
+
+(** [xor g a b] builds (or reuses) an XOR node; complements are pulled out
+    so stored operands are always uncomplemented. *)
+let xor g a b =
+  let c = (a land 1) lxor (b land 1) in
+  let a = a land lnot 1 and b = b land lnot 1 in
+  let a, b = if a <= b then (a, b) else (b, a) in
+  let s =
+    if a = const_false then b
+    else if a = b then const_false
+    else alloc g (Xor (a, b))
+  in
+  s lxor c
+
+let not_ s = complement s
+let or_ g a b = complement (and_ g (complement a) (complement b))
+
+(** [add_output g s] registers [s] as the next primary output. *)
+let add_output g s = g.outputs <- s :: g.outputs
+
+(** [outputs g] lists output signals in registration order. *)
+let outputs g = List.rev g.outputs
+
+let num_inputs g = g.num_inputs
+
+(** [num_nodes g] counts internal (And/Xor) nodes. *)
+let num_nodes g =
+  let c = ref 0 in
+  for id = 0 to g.next - 1 do
+    match g.nodes.(id) with And _ | Xor _ -> incr c | _ -> ()
+  done;
+  !c
+
+(** [num_ands g] counts AND nodes (the multiplicative complexity proxy). *)
+let num_ands g =
+  let c = ref 0 in
+  for id = 0 to g.next - 1 do
+    match g.nodes.(id) with And _ -> incr c | _ -> ()
+  done;
+  !c
+
+(** [of_bexpr n e] builds a single-output XAG from an expression on [n]
+    inputs. *)
+let of_bexpr n e =
+  let g = create n in
+  let rec go = function
+    | Logic.Bexpr.Const b -> if b then const_true else const_false
+    | Logic.Bexpr.Var i -> input g i
+    | Logic.Bexpr.Not a -> complement (go a)
+    | Logic.Bexpr.And (a, b) -> and_ g (go a) (go b)
+    | Logic.Bexpr.Or (a, b) -> or_ g (go a) (go b)
+    | Logic.Bexpr.Xor (a, b) -> xor g (go a) (go b)
+  in
+  add_output g (go e);
+  g
+
+(** [of_esops n esops] builds a multi-output XAG from ESOP covers: each
+    cube is an AND tree, each cover an XOR chain. *)
+let of_esops n (esops : Logic.Esop.t list) =
+  let g = create n in
+  List.iter
+    (fun esop ->
+      let cube_signal c =
+        List.fold_left
+          (fun acc (v, pol) ->
+            let lit = if pol then input g v else complement (input g v) in
+            and_ g acc lit)
+          const_true
+          (Logic.Cube.literals n c)
+      in
+      let s = List.fold_left (fun acc c -> xor g acc (cube_signal c)) const_false esop in
+      add_output g s)
+    esops;
+  g
+
+(** [ripple_adder n] builds the structural ripple-carry adder
+    [(a, b) ↦ a + b] on two [n]-bit operands ([a] on inputs [0..n-1], [b]
+    on [n..2n-1]; [n+1] sum outputs, LSB first). Unlike the ESOP route this
+    is a genuinely multi-level network (≈ 5 nodes per bit), the natural
+    workload for hierarchical synthesis and pebbling experiments. *)
+let ripple_adder n =
+  let g = create (2 * n) in
+  let carry = ref const_false in
+  for i = 0 to n - 1 do
+    let a = input g i and b = input g (n + i) in
+    let axb = xor g a b in
+    let sum = xor g axb !carry in
+    (* carry' = (a ∧ b) ⊕ (carry ∧ (a ⊕ b)) — the standard full adder *)
+    carry := xor g (and_ g a b) (and_ g !carry axb);
+    add_output g sum
+  done;
+  add_output g !carry;
+  g
+
+(** [eval g x] evaluates all outputs on assignment [x], packed as an
+    integer (output [j] = bit [j]). *)
+let eval g x =
+  let values = Array.make g.next false in
+  for id = 1 to g.next - 1 do
+    values.(id) <-
+      (match g.nodes.(id) with
+      | Const -> false
+      | Input i -> Logic.Bitops.bit x i
+      | And (a, b) ->
+          (values.(node_of_signal a) <> is_complemented a)
+          && (values.(node_of_signal b) <> is_complemented b)
+      | Xor (a, b) ->
+          (values.(node_of_signal a) <> is_complemented a)
+          <> (values.(node_of_signal b) <> is_complemented b))
+  done;
+  List.fold_left
+    (fun (acc, j) s ->
+      let v = values.(node_of_signal s) <> is_complemented s in
+      ((if v then acc lor (1 lsl j) else acc), j + 1))
+    (0, 0) (outputs g)
+  |> fst
+
+(** [to_truth_tables g] tabulates every output. *)
+let to_truth_tables g =
+  List.mapi
+    (fun j _ -> Logic.Truth_table.of_fun g.num_inputs (fun x -> Logic.Bitops.bit (eval g x) j))
+    (outputs g)
+
+(** [internal_nodes_topological g] lists internal node ids in dependency
+    order (operands before users — node ids are already topological by
+    construction). *)
+let internal_nodes_topological g =
+  let out = ref [] in
+  for id = g.next - 1 downto 1 do
+    match g.nodes.(id) with And _ | Xor _ -> out := id :: !out | _ -> ()
+  done;
+  !out
+
+(** [node g id] exposes the node for synthesis back ends. *)
+let node g id = g.nodes.(id)
+
+(** [cone g signals] is the set of internal node ids feeding the given
+    signals, as a sorted list. *)
+let cone g signals =
+  let seen = Hashtbl.create 64 in
+  let rec go id =
+    if id > 0 && not (Hashtbl.mem seen id) then
+      match g.nodes.(id) with
+      | And (a, b) | Xor (a, b) ->
+          Hashtbl.add seen id ();
+          go (node_of_signal a);
+          go (node_of_signal b)
+      | _ -> ()
+  in
+  List.iter (fun s -> go (node_of_signal s)) signals;
+  List.sort compare (Hashtbl.fold (fun id () acc -> id :: acc) seen [])

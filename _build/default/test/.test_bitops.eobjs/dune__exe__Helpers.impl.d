@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Logic QCheck2 QCheck_alcotest Qc Random Rev String

@@ -1,0 +1,1 @@
+test/test_arith.ml: Alcotest Arith Array Core Helpers Logic Printf QCheck2 Rcircuit Rev Rsim Tbs

@@ -1,0 +1,1 @@
+test/test_bdd.ml: Alcotest Bdd Bexpr Bitops Float Funcgen Hashtbl Helpers List Logic QCheck2 Truth_table

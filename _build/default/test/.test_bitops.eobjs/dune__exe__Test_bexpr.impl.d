@@ -1,0 +1,1 @@
+test/test_bexpr.ml: Alcotest Bent Bexpr Helpers List Logic QCheck2 Truth_table

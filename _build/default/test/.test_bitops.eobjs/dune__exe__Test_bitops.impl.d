@@ -1,0 +1,1 @@
+test/test_bitops.ml: Alcotest Bitops Helpers Logic QCheck2

@@ -1,0 +1,1 @@
+test/test_circuit.ml: Alcotest Circuit Draw Gate Helpers List Qc Resource Statevector String

@@ -1,0 +1,1 @@
+test/test_clifford_t.ml: Alcotest Array Circuit Clifford_t Fun Gate Helpers List Logic Printf Qc Rev Statevector Unitary

@@ -1,0 +1,1 @@
+test/test_dbs.ml: Alcotest Dbs Helpers List Logic Mct Printf Rcircuit Rev Rsim Tbs

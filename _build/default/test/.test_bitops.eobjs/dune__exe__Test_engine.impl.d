@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Array Circuit Complex Gate Helpers List Logic Pq Qc Statevector Unitary

@@ -1,0 +1,1 @@
+test/test_equiv.ml: Alcotest Circuit Clifford_t Equiv Fmt Gate Helpers Logic Opt Qc Rev Tpar

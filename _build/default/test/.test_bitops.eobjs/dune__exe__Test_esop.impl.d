@@ -1,0 +1,1 @@
+test/test_esop.ml: Alcotest Bitops Cube Esop Esop_opt Funcgen Helpers Logic Truth_table

@@ -1,0 +1,1 @@
+test/test_esop_synth.ml: Alcotest Embed Esop_synth Helpers List Logic QCheck2 Rcircuit Rev Rsim Tbs

@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Core Helpers List Printf String

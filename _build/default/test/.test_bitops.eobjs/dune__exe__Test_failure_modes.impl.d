@@ -1,0 +1,1 @@
+test/test_failure_modes.ml: Alcotest Core List Logic Pq Printexc Qc Rev

@@ -1,0 +1,1 @@
+test/test_flow.ml: Alcotest Array Core Helpers List Logic Qc Rev

@@ -1,0 +1,1 @@
+test/test_funcgen.ml: Alcotest Bitops Fun Funcgen Helpers List Logic Perm Truth_table

@@ -1,0 +1,1 @@
+test/test_grover.ml: Alcotest Core Helpers Logic Printf QCheck2 Random

@@ -1,0 +1,1 @@
+test/test_hidden_shift.ml: Alcotest Array Core Helpers Logic Pq QCheck2 Qc Random

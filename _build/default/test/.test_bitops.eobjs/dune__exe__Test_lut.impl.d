@@ -1,0 +1,1 @@
+test/test_lut.ml: Alcotest Hashtbl Helpers Hier_synth List Logic Lut_synth Printf QCheck2 Rev Xag

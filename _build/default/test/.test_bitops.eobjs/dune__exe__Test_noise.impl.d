@@ -1,0 +1,1 @@
+test/test_noise.ml: Alcotest Array Circuit Core Float Gate Helpers List Noise Qc Random Statevector

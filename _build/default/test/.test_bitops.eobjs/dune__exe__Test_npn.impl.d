@@ -1,0 +1,1 @@
+test/test_npn.ml: Alcotest Array Bent Funcgen Helpers List Logic Npn QCheck2 Random Truth_table Walsh

@@ -1,0 +1,1 @@
+test/test_oracle_algorithms.ml: Alcotest Core Helpers List Logic QCheck2 Qc

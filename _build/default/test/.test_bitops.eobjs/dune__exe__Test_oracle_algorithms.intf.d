@@ -1,0 +1,1 @@
+test/test_oracle_algorithms.mli:

@@ -1,0 +1,1 @@
+test/test_perm.ml: Alcotest Bitops Fun Funcgen Helpers List Logic Perm QCheck2 Truth_table

@@ -1,0 +1,1 @@
+test/test_qasm.ml: Alcotest Circuit Clifford_t Float Gate Helpers List Logic Qasm Qc Qsharp_gen Rev String

@@ -1,0 +1,1 @@
+test/test_qft.ml: Alcotest Array Circuit Complex Float Gate Helpers List Logic Printf Qc Qft Qpe Rev Statevector Tpar Unitary

@@ -1,0 +1,1 @@
+test/test_rcircuit.ml: Alcotest Helpers Logic Mct QCheck2 Rcircuit Rev Rsim

@@ -1,0 +1,1 @@
+test/test_resynth.ml: Alcotest Core Cycle_synth Exact_synth Helpers Logic Mct Rcircuit Resynth Rev Rsim Rsimp

@@ -1,0 +1,1 @@
+test/test_route.ml: Alcotest Array Circuit Core Gate Helpers List Logic Qc Route

@@ -1,0 +1,1 @@
+test/test_rsimp.ml: Alcotest Helpers Logic Mct Rcircuit Rev Rsim Rsimp Tbs

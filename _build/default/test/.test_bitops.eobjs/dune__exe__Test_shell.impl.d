@@ -1,0 +1,1 @@
+test/test_shell.ml: Alcotest Core Helpers List Printf String

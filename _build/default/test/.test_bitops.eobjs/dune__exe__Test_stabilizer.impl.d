@@ -1,0 +1,1 @@
+test/test_stabilizer.ml: Alcotest Array Circuit Core Gate Helpers List Logic Pq Qc Random Stabilizer Statevector

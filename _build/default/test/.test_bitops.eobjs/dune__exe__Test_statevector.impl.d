@@ -1,0 +1,1 @@
+test/test_statevector.ml: Alcotest Array Circuit Complex Float Gate Helpers List QCheck2 Qc Random Statevector Unitary

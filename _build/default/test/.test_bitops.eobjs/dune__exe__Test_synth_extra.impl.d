@@ -1,0 +1,1 @@
+test/test_synth_extra.ml: Alcotest Array Bdd_synth Core Cycle_synth Dbs Exact_synth Helpers List Logic Printf QCheck2 Qc Rcircuit Rev Rsim Tbs

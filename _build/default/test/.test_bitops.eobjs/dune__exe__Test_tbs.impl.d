@@ -1,0 +1,1 @@
+test/test_tbs.ml: Alcotest Helpers List Logic Printf Rcircuit Rev Rsim Tbs

@@ -1,0 +1,1 @@
+test/test_tpar.ml: Alcotest Circuit Clifford_t Gate Helpers List Opt Qc Tpar

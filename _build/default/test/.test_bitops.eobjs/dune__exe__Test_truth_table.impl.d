@@ -1,0 +1,1 @@
+test/test_truth_table.ml: Alcotest Bitops Helpers Logic QCheck2 Truth_table

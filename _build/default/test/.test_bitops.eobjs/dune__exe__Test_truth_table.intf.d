@@ -1,0 +1,1 @@
+test/test_truth_table.mli:

@@ -1,0 +1,1 @@
+test/test_walsh_bent.ml: Alcotest Array Bent Bitops Funcgen Helpers Logic Perm QCheck2 Truth_table Walsh

@@ -1,0 +1,1 @@
+test/test_walsh_bent.mli:

@@ -1,0 +1,1 @@
+test/test_xag.ml: Alcotest Helpers Hier_synth List Logic Pebble Printf QCheck2 Rcircuit Rev Xag

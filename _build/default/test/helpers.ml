@@ -1,0 +1,95 @@
+(** Shared test utilities: deterministic PRNG streams, QCheck generators
+    for the domain types, and comparison helpers. *)
+
+let rng seed = Random.State.make [| seed; 0xBEEF |]
+
+(* --- QCheck generators --- *)
+
+(** Random permutation on [n] variables. *)
+let perm_gen n =
+  QCheck2.Gen.map
+    (fun seed -> Logic.Perm.random (rng seed) n)
+    QCheck2.Gen.(int_bound 1_000_000)
+
+(** Random truth table on [n] variables. *)
+let tt_gen n =
+  QCheck2.Gen.map
+    (fun seed -> Logic.Truth_table.random (rng seed) n)
+    QCheck2.Gen.(int_bound 1_000_000)
+
+(** Random Boolean expression on [vars] variables. *)
+let bexpr_gen ?(vars = 4) ?(depth = 4) () =
+  QCheck2.Gen.map
+    (fun seed -> Logic.Bexpr.random (rng seed) ~vars ~depth)
+    QCheck2.Gen.(int_bound 1_000_000)
+
+(** Random MCT gate on [n] lines. *)
+let mct_gen n =
+  let open QCheck2.Gen in
+  let* target = int_bound (n - 1) in
+  let* pos = int_bound ((1 lsl n) - 1) in
+  let* neg = int_bound ((1 lsl n) - 1) in
+  let tmask = lnot (1 lsl target) in
+  let pos = pos land tmask in
+  let neg = neg land tmask land lnot pos in
+  return (Rev.Mct.make ~target ~pos ~neg)
+
+(** Random reversible circuit on [n] lines with [gates] gates. *)
+let rcircuit_gen n gates =
+  QCheck2.Gen.map (Rev.Rcircuit.of_gates n) (QCheck2.Gen.list_size (QCheck2.Gen.return gates) (mct_gen n))
+
+(** Random Clifford+T(+X, CZ, CCZ) circuit on [n] qubits, [len] gates. *)
+let qcircuit_gen ?(diagonals = true) n len =
+  let open QCheck2.Gen in
+  let gate =
+    let* k = int_bound (if diagonals then 9 else 7) in
+    let* q = int_bound (n - 1) in
+    let* q2 = int_bound (n - 1) in
+    let q2 = if q2 = q then (q + 1) mod n else q2 in
+    match k with
+    | 0 -> return (Qc.Gate.H q)
+    | 1 -> return (Qc.Gate.T q)
+    | 2 -> return (Qc.Gate.Tdg q)
+    | 3 -> return (Qc.Gate.S q)
+    | 4 -> return (Qc.Gate.Sdg q)
+    | 5 -> return (Qc.Gate.X q)
+    | 6 -> return (Qc.Gate.Z q)
+    | 7 -> return (Qc.Gate.Cnot (q, q2))
+    | 8 -> return (Qc.Gate.Cz (q, q2))
+    | _ ->
+        if n >= 3 then
+          let a = q and b = q2 in
+          let c = (max a b + 1) mod n in
+          let c = if c = a || c = b then (c + 1) mod n else c in
+          if c = a || c = b then return (Qc.Gate.Cz (a, b))
+          else return (Qc.Gate.Ccz (a, b, c))
+        else return (Qc.Gate.Cz (q, q2))
+  in
+  QCheck2.Gen.map (Qc.Circuit.of_gates n) (list_size (return len) gate)
+
+(** [contains ~needle haystack] is plain substring search. *)
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
+(* --- assertions --- *)
+
+let check_perm_eq msg expected actual =
+  Alcotest.(check bool) msg true (Logic.Perm.equal expected actual)
+
+let check_tt_eq msg expected actual =
+  Alcotest.(check bool) msg true (Logic.Truth_table.equal expected actual)
+
+(** Register a QCheck2 property as an alcotest case. *)
+let prop name ?(count = 100) gen law =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name ~count gen law)
+
+(** Unitary equivalence of two circuits (exact). *)
+let same_unitary a b =
+  Qc.Unitary.equal (Qc.Unitary.of_circuit a) (Qc.Unitary.of_circuit b)
+
+(** Unitary equivalence up to global phase. *)
+let same_unitary_phase a b =
+  Qc.Unitary.equal_up_to_phase (Qc.Unitary.of_circuit a) (Qc.Unitary.of_circuit b)

@@ -1,0 +1,141 @@
+open Rev
+module Perm = Logic.Perm
+
+let test_cuccaro_exhaustive () =
+  for n = 1 to 4 do
+    let adder = Arith.cuccaro_adder n in
+    Alcotest.(check bool) (Printf.sprintf "adder %d" n) true (Arith.check_adder adder n)
+  done
+
+let test_cuccaro_no_carry () =
+  for n = 1 to 4 do
+    let adder = Arith.cuccaro_adder ~with_carry:false n in
+    Alcotest.(check bool) (Printf.sprintf "mod-2^%d adder" n) true (Arith.check_adder adder n)
+  done
+
+let test_gate_counts () =
+  (* 2n Toffolis + carry CNOT: linear scaling, the CDKM signature *)
+  let c, _ = Arith.cuccaro_adder 8 in
+  let s = Rcircuit.stats c in
+  Alcotest.(check int) "toffolis" 16 s.Rcircuit.toffoli_count;
+  Alcotest.(check int) "no larger gates" 0 s.Rcircuit.larger_count
+
+let test_subtractor_inverts () =
+  for n = 1 to 4 do
+    let add, _ = Arith.cuccaro_adder ~with_carry:false n in
+    let sub, _ = Arith.subtractor n in
+    Alcotest.(check bool) "add then sub" true
+      (Perm.is_identity (Rsim.to_perm (Rcircuit.append add sub)))
+  done
+
+let test_subtractor_values () =
+  let sub, lay = Arith.subtractor 3 in
+  for a = 0 to 7 do
+    for b = 0 to 7 do
+      let input = ref 0 in
+      Array.iteri (fun i l -> if Logic.Bitops.bit a i then input := !input lor (1 lsl l)) lay.Arith.a;
+      Array.iteri (fun i l -> if Logic.Bitops.bit b i then input := !input lor (1 lsl l)) lay.Arith.b;
+      let out = Rsim.run sub !input in
+      let b' = ref 0 in
+      Array.iteri (fun i l -> if Logic.Bitops.bit out l then b' := !b' lor (1 lsl i)) lay.Arith.b;
+      Alcotest.(check int) "b - a" ((b - a) land 7) !b'
+    done
+  done
+
+let test_incrementer () =
+  for n = 1 to 5 do
+    let p = Rsim.to_perm (Arith.incrementer n) in
+    for x = 0 to (1 lsl n) - 1 do
+      Alcotest.(check int) "increment" ((x + 1) land Logic.Bitops.mask n) (Perm.apply p x)
+    done
+  done
+
+let test_decrementer () =
+  let p = Rsim.to_perm (Arith.decrementer 4) in
+  for x = 0 to 15 do
+    Alcotest.(check int) "decrement" ((x - 1) land 15) (Perm.apply p x)
+  done
+
+let test_controlled_incrementer () =
+  let p = Rsim.to_perm (Arith.controlled_incrementer 3) in
+  for x = 0 to 15 do
+    let ctrl = x land 1 and v = x lsr 1 in
+    let expect = if ctrl = 1 then (((v + 1) land 7) lsl 1) lor 1 else x in
+    Alcotest.(check int) "controlled" expect (Perm.apply p x)
+  done
+
+let test_incrementer_equals_cycle_shift () =
+  (* the structural incrementer equals the Funcgen specification *)
+  for n = 1 to 5 do
+    Helpers.check_perm_eq "inc = cycle_shift" (Logic.Funcgen.cycle_shift n)
+      (Rsim.to_perm (Arith.incrementer n))
+  done
+
+let test_mod_add_const () =
+  let p = Arith.mod_add_const 4 ~m:13 ~k:5 in
+  for x = 0 to 12 do
+    Alcotest.(check int) "residues" ((x + 5) mod 13) (Perm.apply p x)
+  done;
+  for x = 13 to 15 do
+    Alcotest.(check int) "identity above m" x (Perm.apply p x)
+  done;
+  (* negative constants normalize *)
+  let q = Arith.mod_add_const 4 ~m:13 ~k:(-8) in
+  Helpers.check_perm_eq "negative k" p q
+
+let test_mod_mult_const () =
+  let p = Arith.mod_mult_const 4 ~m:15 ~c:7 in
+  for x = 0 to 14 do
+    Alcotest.(check int) "7x mod 15" (7 * x mod 15) (Perm.apply p x)
+  done;
+  match Arith.mod_mult_const 4 ~m:15 ~c:5 with
+  | exception Invalid_argument _ -> () (* gcd(5,15) != 1 *)
+  | _ -> Alcotest.fail "non-invertible multiplier accepted"
+
+let test_mod_exp_step_composition () =
+  (* composing e steps of x -> 2x mod 13 equals x -> 2^e x mod 13 *)
+  let step = Arith.mod_exp_step 4 ~m:13 ~base:2 in
+  let four = Perm.compose step (Perm.compose step (Perm.compose step step)) in
+  let direct = Arith.mod_mult_const 4 ~m:13 ~c:16 in
+  Helpers.check_perm_eq "2^4 = 16 mod 13" direct four
+
+let test_modular_through_flow () =
+  (* the paper's pitch: modular arithmetic compiles automatically *)
+  let p = Arith.mod_add_const 3 ~m:5 ~k:3 in
+  let circuit, _ = Core.Flow.compile_perm p in
+  Alcotest.(check bool) "mod-adder compiled and verified" true
+    (Core.Flow.verify_perm p circuit);
+  let q = Arith.mod_mult_const 3 ~m:7 ~c:3 in
+  let circuit, _ = Core.Flow.compile_perm ~options:{ Core.Flow.default with synth = Core.Flow.Dbs } q in
+  Alcotest.(check bool) "mod-multiplier compiled and verified" true
+    (Core.Flow.verify_perm q circuit)
+
+let prop_adder_via_tbs =
+  (* synthesizing the adder's permutation from scratch matches the
+     structural circuit *)
+  Helpers.prop "structural adder equals resynthesized permutation" ~count:4
+    (QCheck2.Gen.int_range 1 3)
+    (fun n ->
+      let c, _ = Arith.cuccaro_adder ~with_carry:false n in
+      let p = Rsim.to_perm c in
+      Rsim.realizes (Tbs.synth p) p)
+
+let () =
+  Alcotest.run "arith"
+    [ ( "adder",
+        [ Alcotest.test_case "cuccaro exhaustive" `Quick test_cuccaro_exhaustive;
+          Alcotest.test_case "no-carry variant" `Quick test_cuccaro_no_carry;
+          Alcotest.test_case "gate counts" `Quick test_gate_counts;
+          Alcotest.test_case "subtractor inverts" `Quick test_subtractor_inverts;
+          Alcotest.test_case "subtractor values" `Quick test_subtractor_values;
+          prop_adder_via_tbs ] );
+      ( "counters",
+        [ Alcotest.test_case "incrementer" `Quick test_incrementer;
+          Alcotest.test_case "decrementer" `Quick test_decrementer;
+          Alcotest.test_case "controlled incrementer" `Quick test_controlled_incrementer;
+          Alcotest.test_case "equals cycle_shift spec" `Quick test_incrementer_equals_cycle_shift ] );
+      ( "modular",
+        [ Alcotest.test_case "mod add const" `Quick test_mod_add_const;
+          Alcotest.test_case "mod mult const" `Quick test_mod_mult_const;
+          Alcotest.test_case "mod exp composition" `Quick test_mod_exp_step_composition;
+          Alcotest.test_case "through the flow" `Quick test_modular_through_flow ] ) ]

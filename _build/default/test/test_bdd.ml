@@ -1,0 +1,135 @@
+open Logic
+
+let test_terminals () =
+  let m = Bdd.create 3 in
+  Alcotest.(check bool) "zero evals false" false (Bdd.eval m Bdd.zero 5);
+  Alcotest.(check bool) "one evals true" true (Bdd.eval m Bdd.one 5);
+  Alcotest.(check int) "const" Bdd.one (Bdd.const true)
+
+let test_var_and_ops () =
+  let m = Bdd.create 3 in
+  let a = Bdd.var m 0 and b = Bdd.var m 1 in
+  let ab = Bdd.and_ m a b in
+  for x = 0 to 7 do
+    Alcotest.(check bool) "and" (Bitops.bit x 0 && Bitops.bit x 1) (Bdd.eval m ab x)
+  done;
+  let aob = Bdd.or_ m a b in
+  Alcotest.(check bool) "or" true (Bdd.eval m aob 0b001);
+  let axb = Bdd.xor m a b in
+  Alcotest.(check bool) "xor" false (Bdd.eval m axb 0b011)
+
+let test_hash_consing () =
+  let m = Bdd.create 4 in
+  let a = Bdd.var m 0 and b = Bdd.var m 1 in
+  let x1 = Bdd.and_ m a b and x2 = Bdd.and_ m b a in
+  Alcotest.(check int) "commutative ANDs share a node" x1 x2;
+  Alcotest.(check int) "a AND a = a" a (Bdd.and_ m a a);
+  Alcotest.(check int) "a XOR a = 0" Bdd.zero (Bdd.xor m a a);
+  Alcotest.(check int) "a AND !a = 0" Bdd.zero (Bdd.and_ m a (Bdd.not_ m a))
+
+let test_restrict_quantify () =
+  let m = Bdd.create 3 in
+  let f = Bdd.of_bexpr m (Bexpr.parse "(a & b) | c") in
+  let f_a1 = Bdd.restrict m f 0 true in
+  for x = 0 to 7 do
+    Alcotest.(check bool) "restrict a=1" (Bdd.eval m f (x lor 1)) (Bdd.eval m f_a1 x)
+  done;
+  let ex = Bdd.exists m f 2 in
+  Alcotest.(check bool) "exists c" true (Bdd.eval m ex 0);
+  let fa = Bdd.forall m f 2 in
+  Alcotest.(check bool) "forall c, ab=0" false (Bdd.eval m fa 0);
+  Alcotest.(check bool) "forall c, ab=1" true (Bdd.eval m fa 0b011)
+
+let test_truth_table_roundtrip () =
+  let m = Bdd.create 6 in
+  let tt = Funcgen.majority 6 in
+  let f = Bdd.of_truth_table m tt in
+  Helpers.check_tt_eq "roundtrip" tt (Bdd.to_truth_table m f 6)
+
+let test_sat_count () =
+  let m = Bdd.create 4 in
+  let tt = Funcgen.threshold 4 2 in
+  let f = Bdd.of_truth_table m tt in
+  Alcotest.(check (float 1e-9)) "sat count matches popcount"
+    (Float.of_int (Truth_table.count_ones tt)) (Bdd.sat_count m f);
+  Alcotest.(check (float 1e-9)) "sat count one" 16. (Bdd.sat_count m Bdd.one);
+  Alcotest.(check (float 1e-9)) "sat count zero" 0. (Bdd.sat_count m Bdd.zero)
+
+let test_support_size () =
+  let m = Bdd.create 5 in
+  let f = Bdd.of_bexpr m (Bexpr.parse "a ^ d") in
+  Alcotest.(check (list int)) "support" [ 0; 3 ] (Bdd.support m f);
+  Alcotest.(check int) "xor of 2 vars has 3 nodes" 3 (Bdd.size m f)
+
+let test_topological () =
+  let m = Bdd.create 4 in
+  let f = Bdd.of_truth_table m (Funcgen.majority 4) in
+  let order = Bdd.nodes_topological m f in
+  Alcotest.(check int) "covers all reachable nodes" (Bdd.size m f) (List.length order);
+  (* children precede parents *)
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun id ->
+      let n = Bdd.node m id in
+      let ok child = Bdd.is_terminal child || Hashtbl.mem seen child in
+      Alcotest.(check bool) "child before parent" true (ok n.Bdd.lo && ok n.Bdd.hi);
+      Hashtbl.add seen id ())
+    order
+
+let test_ite () =
+  let m = Bdd.create 3 in
+  let a = Bdd.var m 0 and b = Bdd.var m 1 and c = Bdd.var m 2 in
+  let f = Bdd.ite m a b c in
+  for x = 0 to 7 do
+    let expect = if Bitops.bit x 0 then Bitops.bit x 1 else Bitops.bit x 2 in
+    Alcotest.(check bool) "ite" expect (Bdd.eval m f x)
+  done
+
+let prop_bdd_matches_expr =
+  Helpers.prop "BDD of expression computes the expression"
+    (Helpers.bexpr_gen ~vars:6 ~depth:5 ())
+    (fun e ->
+      let m = Bdd.create 6 in
+      let f = Bdd.of_bexpr m e in
+      Truth_table.equal (Bexpr.to_truth_table ~n:6 e) (Bdd.to_truth_table m f 6))
+
+let prop_bdd_ops_match_tt =
+  Helpers.prop "apply ops agree with truth-table ops"
+    QCheck2.Gen.(pair (Helpers.tt_gen 5) (Helpers.tt_gen 5))
+    (fun (a, b) ->
+      let m = Bdd.create 5 in
+      let fa = Bdd.of_truth_table m a and fb = Bdd.of_truth_table m b in
+      Truth_table.equal (Truth_table.and_ a b) (Bdd.to_truth_table m (Bdd.and_ m fa fb) 5)
+      && Truth_table.equal (Truth_table.xor a b) (Bdd.to_truth_table m (Bdd.xor m fa fb) 5)
+      && Truth_table.equal (Truth_table.or_ a b) (Bdd.to_truth_table m (Bdd.or_ m fa fb) 5))
+
+let prop_canonical =
+  Helpers.prop "equal functions get the same node id" (Helpers.tt_gen 5) (fun a ->
+      let m = Bdd.create 5 in
+      let f1 = Bdd.of_truth_table m a in
+      let f2 = Bdd.of_bexpr m (Bexpr.parse "0") in
+      let f2 = Bdd.or_ m f2 f1 in
+      f1 = f2)
+
+let prop_sat_count =
+  Helpers.prop "sat_count equals count_ones" (Helpers.tt_gen 6) (fun tt ->
+      let m = Bdd.create 6 in
+      let f = Bdd.of_truth_table m tt in
+      Float.abs (Bdd.sat_count m f -. Float.of_int (Truth_table.count_ones tt)) < 1e-9)
+
+let () =
+  Alcotest.run "bdd"
+    [ ( "bdd",
+        [ Alcotest.test_case "terminals" `Quick test_terminals;
+          Alcotest.test_case "var and ops" `Quick test_var_and_ops;
+          Alcotest.test_case "hash consing" `Quick test_hash_consing;
+          Alcotest.test_case "restrict/quantify" `Quick test_restrict_quantify;
+          Alcotest.test_case "truth-table roundtrip" `Quick test_truth_table_roundtrip;
+          Alcotest.test_case "sat count" `Quick test_sat_count;
+          Alcotest.test_case "support/size" `Quick test_support_size;
+          Alcotest.test_case "topological order" `Quick test_topological;
+          Alcotest.test_case "ite" `Quick test_ite;
+          prop_bdd_matches_expr;
+          prop_bdd_ops_match_tt;
+          prop_canonical;
+          prop_sat_count ] ) ]

@@ -1,0 +1,87 @@
+open Logic
+
+let ev e x = Bexpr.eval e x
+
+let test_combinators () =
+  let open Bexpr in
+  let e = var 0 &&& var 1 ^^^ (var 2 ||| ~!(var 3)) in
+  (* ^^^ binds per OCaml operator precedence: check a concrete point *)
+  ignore e;
+  let f = var 0 &&& var 1 in
+  Alcotest.(check bool) "and true" true (ev f 0b11);
+  Alcotest.(check bool) "and false" false (ev f 0b01);
+  Alcotest.(check bool) "not" true (ev ~!(var 0) 0b10)
+
+let test_parse_paper_predicate () =
+  (* the paper's Fig. 4 predicate: (a and b) ^ (c and d) *)
+  let e = Bexpr.parse "(a and b) ^ (c and d)" in
+  let tt = Bexpr.to_truth_table ~n:4 e in
+  Helpers.check_tt_eq "matches inner_product_adjacent" (Bent.inner_product_adjacent 2) tt
+
+let test_parse_precedence () =
+  (* '^' binds loosest: a & b ^ c & d = (a&b) ^ (c&d) *)
+  let a = Bexpr.parse "a & b ^ c & d" in
+  let b = Bexpr.parse "(a & b) ^ (c & d)" in
+  Helpers.check_tt_eq "precedence" (Bexpr.to_truth_table ~n:4 a) (Bexpr.to_truth_table ~n:4 b);
+  (* '|' binds tighter than '^' *)
+  let c = Bexpr.parse "a | b ^ c" in
+  let d = Bexpr.parse "(a | b) ^ c" in
+  Helpers.check_tt_eq "or precedence" (Bexpr.to_truth_table ~n:3 c) (Bexpr.to_truth_table ~n:3 d)
+
+let test_parse_identifiers () =
+  let e = Bexpr.parse "x1 ^ x3" in
+  Alcotest.(check bool) "x1 is var 0" true (ev e 0b001);
+  Alcotest.(check bool) "x3 is var 2" true (ev e 0b100);
+  Alcotest.(check bool) "both cancel" false (ev e 0b101)
+
+let test_parse_constants_and_not () =
+  Alcotest.(check bool) "1" true (ev (Bexpr.parse "1") 0);
+  Alcotest.(check bool) "0" false (ev (Bexpr.parse "0") 0);
+  Alcotest.(check bool) "!!a" true (ev (Bexpr.parse "!!a") 1);
+  Alcotest.(check bool) "not a" false (ev (Bexpr.parse "not a") 1);
+  Alcotest.(check bool) "true keyword" true (ev (Bexpr.parse "true") 0)
+
+let test_parse_errors () =
+  List.iter
+    (fun bad ->
+      match Bexpr.parse bad with
+      | exception Bexpr.Parse_error _ -> ()
+      | _ -> Alcotest.failf "expected parse error on %S" bad)
+    [ ""; "a &"; "(a"; "a )"; "a ? b"; "x0"; "a b" ]
+
+let test_max_var () =
+  Alcotest.(check int) "max_var" 4 (Bexpr.max_var (Bexpr.parse "a ^ x4"));
+  Alcotest.(check int) "max_var const" 0 (Bexpr.max_var (Bexpr.parse "1"))
+
+let test_pp_roundtrip () =
+  let e = Bexpr.parse "(a & !b) ^ (c | d)" in
+  let printed = Bexpr.to_string e in
+  let e2 = Bexpr.parse printed in
+  Helpers.check_tt_eq "pp/parse roundtrip" (Bexpr.to_truth_table ~n:4 e)
+    (Bexpr.to_truth_table ~n:4 e2)
+
+let prop_pp_roundtrip =
+  Helpers.prop "printing then parsing preserves the function"
+    (Helpers.bexpr_gen ~vars:5 ())
+    (fun e ->
+      let e2 = Bexpr.parse (Bexpr.to_string e) in
+      Truth_table.equal (Bexpr.to_truth_table ~n:5 e) (Bexpr.to_truth_table ~n:5 e2))
+
+let prop_eval_matches_tt =
+  Helpers.prop "eval agrees with the tabulated function"
+    QCheck2.Gen.(pair (Helpers.bexpr_gen ~vars:4 ()) (int_bound 15))
+    (fun (e, x) -> Bexpr.eval e x = Truth_table.get (Bexpr.to_truth_table ~n:4 e) x)
+
+let () =
+  Alcotest.run "bexpr"
+    [ ( "bexpr",
+        [ Alcotest.test_case "combinators" `Quick test_combinators;
+          Alcotest.test_case "paper predicate" `Quick test_parse_paper_predicate;
+          Alcotest.test_case "precedence" `Quick test_parse_precedence;
+          Alcotest.test_case "identifiers" `Quick test_parse_identifiers;
+          Alcotest.test_case "constants and not" `Quick test_parse_constants_and_not;
+          Alcotest.test_case "parse errors" `Quick test_parse_errors;
+          Alcotest.test_case "max_var" `Quick test_max_var;
+          Alcotest.test_case "pp roundtrip" `Quick test_pp_roundtrip;
+          prop_pp_roundtrip;
+          prop_eval_matches_tt ] ) ]

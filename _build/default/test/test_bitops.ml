@@ -1,0 +1,99 @@
+open Logic
+
+let test_popcount () =
+  Alcotest.(check int) "popcount 0" 0 (Bitops.popcount 0);
+  Alcotest.(check int) "popcount 0b1011" 3 (Bitops.popcount 0b1011);
+  Alcotest.(check int) "popcount max" 16 (Bitops.popcount 0xFFFF)
+
+let test_parity () =
+  Alcotest.(check int) "parity 0" 0 (Bitops.parity 0);
+  Alcotest.(check int) "parity 0b111" 1 (Bitops.parity 0b111);
+  Alcotest.(check int) "parity 0b1111" 0 (Bitops.parity 0b1111)
+
+let test_bit_ops () =
+  Alcotest.(check bool) "bit set" true (Bitops.bit 0b100 2);
+  Alcotest.(check bool) "bit clear" false (Bitops.bit 0b100 1);
+  Alcotest.(check int) "set_bit on" 0b110 (Bitops.set_bit 0b100 1 true);
+  Alcotest.(check int) "set_bit off" 0b100 (Bitops.set_bit 0b110 1 false);
+  Alcotest.(check int) "flip" 0b101 (Bitops.flip_bit 0b100 0)
+
+let test_mask () =
+  Alcotest.(check int) "mask 0" 0 (Bitops.mask 0);
+  Alcotest.(check int) "mask 4" 15 (Bitops.mask 4)
+
+let test_gray () =
+  (* successive Gray codes differ in exactly one bit *)
+  for i = 0 to 254 do
+    let d = Bitops.gray i lxor Bitops.gray (i + 1) in
+    Alcotest.(check int) "gray adjacency" 1 (Bitops.popcount d)
+  done
+
+let test_trailing_zeros () =
+  Alcotest.(check int) "tz 1" 0 (Bitops.trailing_zeros 1);
+  Alcotest.(check int) "tz 8" 3 (Bitops.trailing_zeros 8);
+  Alcotest.(check int) "tz 12" 2 (Bitops.trailing_zeros 12);
+  Alcotest.check_raises "tz 0" (Invalid_argument "Bitops.trailing_zeros: zero") (fun () ->
+      ignore (Bitops.trailing_zeros 0))
+
+let test_bits_of () =
+  Alcotest.(check (list int)) "bits_of" [ 0; 2; 3 ] (Bitops.bits_of 0b1101 4);
+  Alcotest.(check (list int)) "bits_of truncated" [ 0; 2 ] (Bitops.bits_of 0b1101 3);
+  Alcotest.(check (list int)) "bits_of empty" [] (Bitops.bits_of 0 8)
+
+let test_fold_bits () =
+  let collected = Bitops.fold_bits (fun acc i -> i :: acc) [] 0b10110 in
+  Alcotest.(check (list int)) "fold order lsb-first" [ 4; 2; 1 ] collected
+
+let test_insert_remove () =
+  (* remove_bit inverts insert_bit at every position and value *)
+  for x = 0 to 63 do
+    for i = 0 to 5 do
+      Alcotest.(check int) "remove/insert false" x (Bitops.remove_bit (Bitops.insert_bit x i false) i);
+      Alcotest.(check int) "remove/insert true" x (Bitops.remove_bit (Bitops.insert_bit x i true) i);
+      Alcotest.(check bool) "inserted bit value" true
+        (Bitops.bit (Bitops.insert_bit x i true) i)
+    done
+  done
+
+let test_log2_ceil () =
+  Alcotest.(check int) "log2 1" 0 (Bitops.log2_ceil 1);
+  Alcotest.(check int) "log2 2" 1 (Bitops.log2_ceil 2);
+  Alcotest.(check int) "log2 3" 2 (Bitops.log2_ceil 3);
+  Alcotest.(check int) "log2 1024" 10 (Bitops.log2_ceil 1024);
+  Alcotest.(check int) "log2 1025" 11 (Bitops.log2_ceil 1025)
+
+let test_int64_popcount () =
+  Alcotest.(check int) "i64 popcount 0" 0 (Bitops.int64_popcount 0L);
+  Alcotest.(check int) "i64 popcount -1" 64 (Bitops.int64_popcount (-1L));
+  Alcotest.(check int) "i64 popcount pattern" 32 (Bitops.int64_popcount 0x5555555555555555L)
+
+let prop_popcount_split =
+  Helpers.prop "popcount(a|b) + popcount(a&b) = popcount a + popcount b"
+    QCheck2.Gen.(pair (int_bound 0xFFFFFF) (int_bound 0xFFFFFF))
+    (fun (a, b) ->
+      Bitops.popcount (a lor b) + Bitops.popcount (a land b)
+      = Bitops.popcount a + Bitops.popcount b)
+
+let prop_insert_bit_order =
+  Helpers.prop "insert_bit preserves relative bit order"
+    QCheck2.Gen.(pair (int_bound 255) (int_bound 7))
+    (fun (x, i) ->
+      let y = Bitops.insert_bit x i false in
+      Bitops.remove_bit y i = x && not (Bitops.bit y i))
+
+let () =
+  Alcotest.run "bitops"
+    [ ( "bitops",
+        [ Alcotest.test_case "popcount" `Quick test_popcount;
+          Alcotest.test_case "parity" `Quick test_parity;
+          Alcotest.test_case "bit set/clear/flip" `Quick test_bit_ops;
+          Alcotest.test_case "mask" `Quick test_mask;
+          Alcotest.test_case "gray codes" `Quick test_gray;
+          Alcotest.test_case "trailing zeros" `Quick test_trailing_zeros;
+          Alcotest.test_case "bits_of" `Quick test_bits_of;
+          Alcotest.test_case "fold_bits" `Quick test_fold_bits;
+          Alcotest.test_case "insert/remove bit" `Quick test_insert_remove;
+          Alcotest.test_case "log2_ceil" `Quick test_log2_ceil;
+          Alcotest.test_case "int64 popcount" `Quick test_int64_popcount;
+          prop_popcount_split;
+          prop_insert_bit_order ] ) ]

@@ -1,0 +1,175 @@
+open Qc
+module Mct = Rev.Mct
+module Rcircuit = Rev.Rcircuit
+
+let toffoli_ref = Circuit.of_gates 3 [ Gate.Ccx (0, 1, 2) ]
+
+let test_toffoli_7t () =
+  let c = Circuit.of_gates 3 (Clifford_t.toffoli_7t 0 1 2) in
+  Alcotest.(check bool) "exact unitary" true (Helpers.same_unitary toffoli_ref c);
+  Alcotest.(check int) "7 T gates" 7 (Circuit.t_count c)
+
+let test_ccz_7t () =
+  let c = Circuit.of_gates 3 (Clifford_t.ccz_7t 0 1 2) in
+  let r = Circuit.of_gates 3 [ Gate.Ccz (0, 1, 2) ] in
+  Alcotest.(check bool) "exact unitary" true (Helpers.same_unitary r c);
+  (* pure {CNOT, T}: no Hadamards, so T-par can see through it *)
+  Alcotest.(check bool) "no H" true
+    (List.for_all (function Gate.H _ -> false | _ -> true) (Circuit.gates c))
+
+let test_rccx_relative_phase () =
+  let c = Circuit.of_gates 3 (Clifford_t.rccx 0 1 2) in
+  Alcotest.(check int) "4 T gates" 4 (Circuit.t_count c);
+  match Unitary.is_permutation (Unitary.of_circuit c) with
+  | Some p ->
+      for x = 0 to 7 do
+        let expect = if x land 3 = 3 then x lxor 4 else x in
+        Alcotest.(check int) "toffoli action up to phase" expect p.(x)
+      done
+  | None -> Alcotest.fail "rccx is not classical-up-to-phase"
+
+let test_rccx_pair_cancels_phases () =
+  (* rccx ; CNOT(t -> other) ; rccx† must be exactly unitary-equal to the
+     Toffoli-conjugated version *)
+  let with_rccx =
+    Circuit.of_gates 4
+      (Clifford_t.rccx 0 1 2 @ [ Gate.Cnot (2, 3) ] @ Clifford_t.rccx_dag 0 1 2)
+  in
+  let with_toffoli =
+    Circuit.of_gates 4 [ Gate.Ccx (0, 1, 2); Gate.Cnot (2, 3); Gate.Ccx (0, 1, 2) ]
+  in
+  Alcotest.(check bool) "phases cancel exactly" true
+    (Helpers.same_unitary with_rccx with_toffoli)
+
+let check_mcx k rccx_ladder =
+  let n = k + 1 in
+  let c = Circuit.of_gates n [ Gate.Mcx (List.init k Fun.id, k) ] in
+  let options = { Clifford_t.default_options with rccx_ladder } in
+  let lowered, anc = Clifford_t.compile ~options c in
+  Alcotest.(check int) "ancilla count" (k - 2) anc;
+  match Unitary.is_permutation (Unitary.of_circuit lowered) with
+  | Some p ->
+      (* the contract covers clean ancillae only (they start and end |0>) *)
+      for x = 0 to (1 lsl n) - 1 do
+        let all = (1 lsl k) - 1 in
+        let expect = if x land all = all then x lxor (1 lsl k) else x in
+        Alcotest.(check int) "mcx semantics with clean ancillae" expect p.(x)
+      done
+  | None -> Alcotest.fail "lowered mcx not classical"
+
+let test_mcx_lowering () =
+  List.iter (fun k -> check_mcx k true) [ 3; 4; 5 ];
+  check_mcx 3 false;
+  check_mcx 4 false
+
+let test_rccx_ladder_saves_t () =
+  let c = Circuit.of_gates 5 [ Gate.Mcx ([ 0; 1; 2; 3 ], 4) ] in
+  let with_rccx, _ = Clifford_t.compile c in
+  let without, _ =
+    Clifford_t.compile ~options:{ Clifford_t.default_options with rccx_ladder = false } c
+  in
+  Alcotest.(check bool) "Maslov's trick saves T gates" true
+    (Circuit.t_count with_rccx < Circuit.t_count without)
+
+let test_mcz_lowering () =
+  (* Mcz of 1, 2, 3, 4 qubits; compared on clean-ancilla columns *)
+  List.iter
+    (fun k ->
+      let c = Circuit.of_gates k [ Gate.Mcz (List.init k Fun.id) ] in
+      let lowered, _ = Clifford_t.compile c in
+      let m = Circuit.num_qubits lowered in
+      (* apply to the uniform superposition of the k data qubits (ancillae
+         clean): one up-to-global-phase comparison checks all relative
+         phases at once *)
+      let prep = List.init k (fun q -> Gate.H q) in
+      let a = Statevector.run (Circuit.of_gates m (prep @ Circuit.gates lowered)) in
+      let b =
+        Statevector.run (Circuit.of_gates m (prep @ [ Gate.Mcz (List.init k Fun.id) ]))
+      in
+      Alcotest.(check bool) (Printf.sprintf "mcz %d" k) true
+        (Statevector.equal_up_to_phase a b))
+    [ 1; 2; 3; 4 ]
+
+let test_swap_cz_lowering () =
+  let c = Circuit.of_gates 2 [ Gate.Swap (0, 1) ] in
+  let lowered, _ = Clifford_t.compile c in
+  Alcotest.(check bool) "swap" true (Helpers.same_unitary c lowered);
+  let c = Circuit.of_gates 2 [ Gate.Cz (0, 1) ] in
+  let lowered, _ = Clifford_t.compile c in
+  Alcotest.(check bool) "cz kept native" true (Circuit.gates lowered = [ Gate.Cz (0, 1) ])
+
+let test_of_rcircuit_negative_controls () =
+  let rc =
+    Rcircuit.of_gates 3 [ Mct.of_controls [ (0, false); (1, true) ] 2; Mct.not_ 0 ]
+  in
+  let qc = Clifford_t.of_rcircuit rc in
+  (* semantics match the reversible simulation on every basis state *)
+  match Unitary.is_permutation (Unitary.of_circuit qc) with
+  | Some p ->
+      for x = 0 to 7 do
+        Alcotest.(check int) "matches Rsim" (Rev.Rsim.run rc x) p.(x)
+      done
+  | None -> Alcotest.fail "of_rcircuit produced a non-classical circuit"
+
+let test_output_basis () =
+  (* compiled circuits contain only basis gates (+ CZ + Rz) *)
+  let rc = Rev.Tbs.synth (Logic.Funcgen.hwb 4) in
+  let qc, _ = Clifford_t.compile_rcircuit rc in
+  List.iter
+    (fun g ->
+      let ok =
+        match g with
+        | Gate.X _ | Gate.Y _ | Gate.Z _ | Gate.H _ | Gate.S _ | Gate.Sdg _ | Gate.T _
+        | Gate.Tdg _ | Gate.Cnot _ | Gate.Cz _ | Gate.Rz _ -> true
+        | _ -> false
+      in
+      Alcotest.(check bool) "basis gate" true ok)
+    (Circuit.gates qc)
+
+let prop_compile_preserves_permutation =
+  Helpers.prop "compiled reversible circuits realize the same permutation" ~count:40
+    (Helpers.rcircuit_gen 4 6)
+    (fun rc ->
+      let p = Rev.Rsim.to_perm rc in
+      let qc, _ = Clifford_t.compile_rcircuit rc in
+      if Circuit.num_qubits qc > 9 then true
+      else
+        match Unitary.is_permutation (Unitary.of_circuit qc) with
+        | Some table ->
+            let ok = ref true in
+            for x = 0 to 15 do
+              if table.(x) land 15 <> Logic.Perm.apply p x then ok := false
+            done;
+            !ok
+        | None -> false)
+
+let prop_tbs_flow_preserves =
+  Helpers.prop "synthesize + compile preserves random permutations" ~count:25
+    (Helpers.perm_gen 3)
+    (fun p ->
+      let qc, _ = Clifford_t.compile_rcircuit (Rev.Tbs.synth p) in
+      match Unitary.is_permutation (Unitary.of_circuit qc) with
+      | Some table ->
+          let ok = ref true in
+          for x = 0 to 7 do
+            if table.(x) land 7 <> Logic.Perm.apply p x then ok := false
+          done;
+          !ok
+      | None -> false)
+
+let () =
+  Alcotest.run "clifford_t"
+    [ ( "decompositions",
+        [ Alcotest.test_case "toffoli 7T" `Quick test_toffoli_7t;
+          Alcotest.test_case "ccz 7T" `Quick test_ccz_7t;
+          Alcotest.test_case "rccx relative phase" `Quick test_rccx_relative_phase;
+          Alcotest.test_case "rccx pair exact" `Quick test_rccx_pair_cancels_phases ] );
+      ( "lowering",
+        [ Alcotest.test_case "mcx with ancillae" `Quick test_mcx_lowering;
+          Alcotest.test_case "rccx ladder saves T" `Quick test_rccx_ladder_saves_t;
+          Alcotest.test_case "mcz" `Quick test_mcz_lowering;
+          Alcotest.test_case "swap and cz" `Quick test_swap_cz_lowering;
+          Alcotest.test_case "negative controls" `Quick test_of_rcircuit_negative_controls;
+          Alcotest.test_case "output basis" `Quick test_output_basis;
+          prop_compile_preserves_permutation;
+          prop_tbs_flow_preserves ] ) ]

@@ -1,0 +1,84 @@
+open Rev
+module Perm = Logic.Perm
+
+let exhaustive_n2 () =
+  let rec perms = function
+    | [] -> [ [] ]
+    | l -> List.concat_map (fun x -> List.map (fun r -> x :: r) (perms (List.filter (( <> ) x) l))) l
+  in
+  List.iter
+    (fun pts ->
+      let p = Perm.of_list pts in
+      Alcotest.(check bool) "dbs" true (Rsim.realizes (Dbs.synth p) p))
+    (perms [ 0; 1; 2; 3 ])
+
+let test_identity () =
+  Alcotest.(check int) "identity has no gates" 0 (Rcircuit.num_gates (Dbs.synth (Perm.identity 4)))
+
+let test_paper_permutation () =
+  (* Fig. 7's pi, synthesized as in the paper's line 29 (synth=revkit.dbs) *)
+  let p = Perm.of_list [ 0; 2; 3; 5; 7; 1; 4; 6 ] in
+  let c = Dbs.synth p in
+  Alcotest.(check bool) "realizes paper pi" true (Rsim.realizes c p)
+
+let test_all_gates_single_target_structure () =
+  (* every gate produced for variable-v processing targets some line; a
+     target's control mask never includes the target *)
+  let p = Perm.random (Helpers.rng 5) 5 in
+  let c = Dbs.synth p in
+  List.iter
+    (fun (g : Mct.t) ->
+      Alcotest.(check bool) "no self control" true
+        ((g.Mct.pos lor g.Mct.neg) land (1 lsl g.Mct.target) = 0))
+    (Rcircuit.gates c)
+
+let test_linear_perm_cheap () =
+  (* the Gray-code permutation is linear; DBS should find a CNOT-only
+     realization (all gates with at most 1 control) *)
+  let p = Logic.Funcgen.gray_code 4 in
+  let c = Dbs.synth p in
+  Alcotest.(check bool) "realizes" true (Rsim.realizes c p);
+  List.iter
+    (fun (g : Mct.t) ->
+      Alcotest.(check bool) "at most 1 control" true (Mct.num_controls g <= 1))
+    (Rcircuit.gates c)
+
+let prop_roundtrip n =
+  Helpers.prop
+    (Printf.sprintf "DBS round-trips on %d variables" n)
+    ~count:(if n >= 6 then 15 else 60)
+    (Helpers.perm_gen n)
+    (fun p -> Rsim.realizes (Dbs.synth p) p)
+
+let prop_hwb_family () =
+  for n = 2 to 7 do
+    let p = Logic.Funcgen.hwb n in
+    Alcotest.(check bool) (Printf.sprintf "hwb%d" n) true (Rsim.realizes (Dbs.synth p) p)
+  done
+
+let test_smaller_than_tbs_at_scale () =
+  (* the E5 shape: DBS beats TBS in quantum cost for larger n, on average *)
+  let st = Helpers.rng 11 in
+  let dbs_cost = ref 0 and tbs_cost = ref 0 in
+  for _ = 1 to 10 do
+    let p = Perm.random st 6 in
+    let cost c = (Rcircuit.stats c).Rcircuit.quantum_cost in
+    dbs_cost := !dbs_cost + cost (Dbs.synth p);
+    tbs_cost := !tbs_cost + cost (Tbs.synth p)
+  done;
+  Alcotest.(check bool) "dbs cheaper on average at n=6" true (!dbs_cost < !tbs_cost)
+
+let () =
+  Alcotest.run "dbs"
+    [ ( "dbs",
+        [ Alcotest.test_case "exhaustive n=2" `Quick exhaustive_n2;
+          Alcotest.test_case "identity" `Quick test_identity;
+          Alcotest.test_case "paper permutation" `Quick test_paper_permutation;
+          Alcotest.test_case "gate structure" `Quick test_all_gates_single_target_structure;
+          Alcotest.test_case "linear permutations stay linear" `Quick test_linear_perm_cheap;
+          Alcotest.test_case "hwb family" `Quick prop_hwb_family;
+          prop_roundtrip 3;
+          prop_roundtrip 4;
+          prop_roundtrip 6;
+          Alcotest.test_case "cheaper than TBS at scale" `Quick
+            test_smaller_than_tbs_at_scale ] ) ]

@@ -1,0 +1,196 @@
+module Engine = Pq.Engine
+module Oracles = Pq.Oracles
+open Qc
+
+let test_allocate () =
+  let eng = Engine.create () in
+  let a = Engine.allocate_qureg eng 3 in
+  let b = Engine.allocate_qureg eng 2 in
+  Alcotest.(check (array int)) "first block" [| 0; 1; 2 |] a;
+  Alcotest.(check (array int)) "second block" [| 3; 4 |] b;
+  Engine.h eng a.(0);
+  Alcotest.(check int) "width" 5 (Circuit.num_qubits (Engine.flush eng))
+
+let test_gate_recording_order () =
+  let eng = Engine.create () in
+  let q = Engine.allocate_qureg eng 2 in
+  Engine.h eng q.(0);
+  Engine.cnot eng q.(0) q.(1);
+  Alcotest.(check bool) "order" true
+    (Circuit.gates (Engine.flush eng) = [ Gate.H 0; Gate.Cnot (0, 1) ])
+
+let test_compute_uncompute () =
+  (* the Fig. 4 pattern: Compute(H, X); body; Uncompute *)
+  let eng = Engine.create () in
+  let q = Engine.allocate_qureg eng 2 in
+  let blk =
+    Engine.compute eng (fun () ->
+        Engine.h eng q.(0);
+        Engine.x eng q.(1))
+  in
+  Engine.z eng q.(0);
+  Engine.uncompute eng blk;
+  Alcotest.(check bool) "sandwich structure" true
+    (Circuit.gates (Engine.flush eng)
+    = [ Gate.H 0; Gate.X 1; Gate.Z 0; Gate.X 1; Gate.H 0 ])
+
+let test_uncompute_adjoints () =
+  let eng = Engine.create () in
+  let q = Engine.allocate_qureg eng 1 in
+  let blk = Engine.compute eng (fun () -> Engine.t eng q.(0)) in
+  Engine.uncompute eng blk;
+  Alcotest.(check bool) "T then Tdg" true
+    (Circuit.gates (Engine.flush eng) = [ Gate.T 0; Gate.Tdg 0 ])
+
+let test_uncompute_twice_rejected () =
+  let eng = Engine.create () in
+  let q = Engine.allocate_qureg eng 1 in
+  let blk = Engine.compute eng (fun () -> Engine.h eng q.(0)) in
+  Engine.uncompute eng blk;
+  match Engine.uncompute eng blk with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "double uncompute accepted"
+
+let test_dagger () =
+  (* Dagger applies the adjoint of the block instead of the block *)
+  let eng = Engine.create () in
+  let q = Engine.allocate_qureg eng 2 in
+  Engine.dagger eng (fun () ->
+      Engine.h eng q.(0);
+      Engine.s eng q.(0);
+      Engine.cnot eng q.(0) q.(1));
+  Alcotest.(check bool) "reversed adjoints" true
+    (Circuit.gates (Engine.flush eng) = [ Gate.Cnot (0, 1); Gate.Sdg 0; Gate.H 0 ])
+
+let test_dagger_of_dagger () =
+  let eng = Engine.create () in
+  let q = Engine.allocate_qureg eng 1 in
+  Engine.dagger eng (fun () -> Engine.dagger eng (fun () -> Engine.t eng q.(0)));
+  Alcotest.(check bool) "double dagger" true (Circuit.gates (Engine.flush eng) = [ Gate.T 0 ])
+
+let test_apply_circuit_mapping () =
+  let sub = Circuit.of_gates 2 [ Gate.Cnot (0, 1) ] in
+  let eng = Engine.create () in
+  let q = Engine.allocate_qureg eng 4 in
+  Engine.apply_circuit eng sub [| q.(3); q.(1) |];
+  Alcotest.(check bool) "remapped" true
+    (Circuit.gates (Engine.flush eng) = [ Gate.Cnot (3, 1) ])
+
+(* ---- oracles ---- *)
+
+let phase_of_oracle tt =
+  (* apply the phase oracle to the uniform superposition and read the signs *)
+  let n = Logic.Truth_table.num_vars tt in
+  let eng = Engine.create () in
+  let qs = Engine.allocate_qureg eng n in
+  Engine.all Engine.h eng qs;
+  Oracles.phase_oracle_tt eng tt qs;
+  let sv = Statevector.run (Engine.flush eng) in
+  let amp0 = Statevector.amplitude sv 0 in
+  (* normalize by the sign convention of x = 0 *)
+  let sign_flip = amp0.Complex.re < 0. in
+  fun x ->
+    let a = Statevector.amplitude sv x in
+    (a.Complex.re < 0.) <> sign_flip <> Logic.Truth_table.get tt 0
+
+let test_phase_oracle_semantics () =
+  let st = Helpers.rng 77 in
+  for _ = 1 to 15 do
+    let tt = Logic.Truth_table.random st 4 in
+    let phase = phase_of_oracle tt in
+    for x = 0 to 15 do
+      Alcotest.(check bool) "(-1)^f(x) phase" (Logic.Truth_table.get tt x) (phase x)
+    done
+  done
+
+let test_phase_oracle_expr () =
+  let eng = Engine.create () in
+  let qs = Engine.allocate_qureg eng 4 in
+  Oracles.phase_oracle eng (Logic.Bexpr.parse "(a and b) ^ (c and d)") qs;
+  let c = Engine.flush eng in
+  (* the inner-product phase oracle is two CZ gates (order immaterial) *)
+  Alcotest.(check bool) "two CZs" true
+    (List.sort compare (Circuit.gates c)
+    = [ Gate.Cz (0, 1); Gate.Cz (2, 3) ])
+
+let test_permutation_oracle () =
+  let st = Helpers.rng 13 in
+  List.iter
+    (fun synth ->
+      for _ = 1 to 5 do
+        let pi = Logic.Perm.random st 3 in
+        let eng = Engine.create () in
+        let qs = Engine.allocate_qureg eng 3 in
+        Oracles.permutation_oracle ~synth eng pi qs;
+        let c = Engine.flush eng in
+        match Unitary.is_permutation (Unitary.of_circuit c) with
+        | Some p ->
+            for x = 0 to 7 do
+              Alcotest.(check int) "permutation realized" (Logic.Perm.apply pi x) p.(x)
+            done
+        | None -> Alcotest.fail "oracle is not classical"
+      done)
+    [ Oracles.Tbs; Oracles.Tbs_basic; Oracles.Dbs ]
+
+let test_mm_phase_oracle () =
+  (* U_f from the MM construction equals the generic ESOP phase oracle *)
+  let st = Helpers.rng 21 in
+  for _ = 1 to 5 do
+    let mm = Logic.Bent.random_mm st 2 in
+    let f_inter = Logic.Bent.interleave_table 2 (Logic.Bent.mm_function mm) in
+    let build_mm () =
+      let eng = Engine.create () in
+      let qs = Engine.allocate_qureg eng 4 in
+      let xs = [| qs.(0); qs.(2) |] and ys = [| qs.(1); qs.(3) |] in
+      Oracles.mm_phase_oracle eng mm ~xs ~ys;
+      Engine.flush eng
+    in
+    let build_generic () =
+      let eng = Engine.create () in
+      let qs = Engine.allocate_qureg eng 4 in
+      Oracles.phase_oracle_tt eng f_inter qs;
+      Engine.flush eng
+    in
+    Alcotest.(check bool) "mm oracle == generic phase oracle" true
+      (Helpers.same_unitary_phase (build_mm ()) (build_generic ()))
+  done
+
+let test_mm_dual_phase_oracle () =
+  let st = Helpers.rng 22 in
+  for _ = 1 to 5 do
+    let mm = Logic.Bent.random_mm st 2 in
+    let dual_inter = Logic.Bent.interleave_table 2 (Logic.Bent.mm_dual mm) in
+    let build_mm () =
+      let eng = Engine.create () in
+      let qs = Engine.allocate_qureg eng 4 in
+      let xs = [| qs.(0); qs.(2) |] and ys = [| qs.(1); qs.(3) |] in
+      Oracles.mm_dual_phase_oracle eng mm ~xs ~ys;
+      Engine.flush eng
+    in
+    let build_generic () =
+      let eng = Engine.create () in
+      let qs = Engine.allocate_qureg eng 4 in
+      Oracles.phase_oracle_tt eng dual_inter qs;
+      Engine.flush eng
+    in
+    Alcotest.(check bool) "mm dual oracle == generic dual oracle" true
+      (Helpers.same_unitary_phase (build_mm ()) (build_generic ()))
+  done
+
+let () =
+  Alcotest.run "engine"
+    [ ( "engine",
+        [ Alcotest.test_case "allocate" `Quick test_allocate;
+          Alcotest.test_case "recording order" `Quick test_gate_recording_order;
+          Alcotest.test_case "compute/uncompute" `Quick test_compute_uncompute;
+          Alcotest.test_case "uncompute adjoints" `Quick test_uncompute_adjoints;
+          Alcotest.test_case "double uncompute" `Quick test_uncompute_twice_rejected;
+          Alcotest.test_case "dagger" `Quick test_dagger;
+          Alcotest.test_case "nested dagger" `Quick test_dagger_of_dagger;
+          Alcotest.test_case "apply_circuit" `Quick test_apply_circuit_mapping ] );
+      ( "oracles",
+        [ Alcotest.test_case "phase oracle semantics" `Quick test_phase_oracle_semantics;
+          Alcotest.test_case "paper predicate oracle" `Quick test_phase_oracle_expr;
+          Alcotest.test_case "permutation oracle" `Quick test_permutation_oracle;
+          Alcotest.test_case "MM phase oracle" `Quick test_mm_phase_oracle;
+          Alcotest.test_case "MM dual phase oracle" `Quick test_mm_dual_phase_oracle ] ) ]

@@ -1,0 +1,90 @@
+open Qc
+
+let bell = Circuit.of_gates 2 [ Gate.H 0; Gate.Cnot (0, 1) ]
+let bell_padded = Circuit.of_gates 2 [ Gate.H 0; Gate.Cnot (0, 1); Gate.T 1; Gate.Tdg 1 ]
+let not_bell = Circuit.of_gates 2 [ Gate.H 0 ]
+
+let test_exact () =
+  Alcotest.(check bool) "equal" true (Equiv.exact bell bell_padded = Equiv.Equivalent);
+  Alcotest.(check bool) "unequal" true (Equiv.exact bell not_bell = Equiv.Not_equivalent);
+  Alcotest.(check bool) "width mismatch" true
+    (Equiv.exact bell (Circuit.empty 3) = Equiv.Not_equivalent)
+
+let test_up_to_phase () =
+  (* Z X Z X = -I *)
+  let minus_id = Circuit.of_gates 1 [ Gate.Z 0; Gate.X 0; Gate.Z 0; Gate.X 0 ] in
+  Alcotest.(check bool) "exact says no" true
+    (Equiv.exact minus_id (Circuit.empty 1) = Equiv.Not_equivalent);
+  Alcotest.(check bool) "phase says yes" true
+    (Equiv.up_to_phase minus_id (Circuit.empty 1) = Equiv.Equivalent)
+
+let test_classical () =
+  let a = Circuit.of_gates 3 [ Gate.Ccx (0, 1, 2) ] in
+  let b = Circuit.of_gates 3 (Clifford_t.toffoli_7t 0 1 2) in
+  Alcotest.(check bool) "toffoli vs 7T" true (Equiv.classical a b = Equiv.Equivalent);
+  Alcotest.(check bool) "H is not classical" true
+    (Equiv.classical a (Circuit.of_gates 3 [ Gate.H 0 ]) = Equiv.Not_equivalent)
+
+let test_randomized_accepts () =
+  match Equiv.randomized bell bell_padded with
+  | Equiv.Probably_equivalent t -> Alcotest.(check bool) "trials recorded" true (t > 0)
+  | _ -> Alcotest.fail "should pass"
+
+let test_randomized_rejects () =
+  Alcotest.(check bool) "rejects" true (Equiv.randomized bell not_bell = Equiv.Not_equivalent)
+
+let test_randomized_catches_relative_phase () =
+  (* identical magnitudes everywhere, wrong relative phase: T on one arm *)
+  let tweaked = Circuit.of_gates 2 [ Gate.H 0; Gate.Cnot (0, 1); Gate.T 1 ] in
+  Alcotest.(check bool) "relative phase caught" true
+    (Equiv.randomized bell tweaked = Equiv.Not_equivalent)
+
+let test_check_dispatch () =
+  Alcotest.(check bool) "small goes exact" true (Equiv.check bell bell_padded = Equiv.Equivalent);
+  (* wide circuits dispatch to the randomized check *)
+  let wide_a = Circuit.of_gates 11 [ Gate.H 0; Gate.Cnot (0, 10) ] in
+  let wide_b = Circuit.of_gates 11 [ Gate.H 0; Gate.Cnot (0, 10); Gate.Z 5; Gate.Z 5 ] in
+  (match Equiv.check wide_a wide_b with
+  | Equiv.Probably_equivalent _ -> ()
+  | v -> Alcotest.failf "expected probabilistic verdict, got %s" (Fmt.str "%a" Equiv.pp_verdict v));
+  let wide_c = Circuit.of_gates 11 [ Gate.H 0; Gate.Cnot (0, 10); Gate.T 3 ] in
+  Alcotest.(check bool) "wide rejection" true (Equiv.check wide_a wide_c = Equiv.Not_equivalent)
+
+let test_flow_optimizations_verified () =
+  (* the Sec. IX obligation: every optimizer pass is equivalence-checked *)
+  let p = Logic.Funcgen.hwb 4 in
+  let rc = Rev.Tbs.synth p in
+  let mapped, _ = Clifford_t.compile_rcircuit rc in
+  let tpared = Tpar.optimize mapped in
+  let peeped = Opt.simplify tpared in
+  Alcotest.(check bool) "tpar verified" true (Equiv.up_to_phase mapped tpared = Equiv.Equivalent);
+  Alcotest.(check bool) "peephole verified" true (Equiv.exact tpared peeped = Equiv.Equivalent)
+
+let prop_optimizers_equivalent =
+  Helpers.prop "Tpar and Opt always pass the randomized miter" ~count:50
+    (Helpers.qcircuit_gen 4 18)
+    (fun c ->
+      let t = Tpar.optimize c and o = Opt.simplify c in
+      (match Equiv.randomized c t with Equiv.Not_equivalent -> false | _ -> true)
+      && match Equiv.randomized c o with Equiv.Not_equivalent -> false | _ -> true)
+
+let prop_randomized_one_sided =
+  Helpers.prop "randomized never rejects a padded-identity variant" ~count:40
+    (Helpers.qcircuit_gen 3 12)
+    (fun c ->
+      let padded = Circuit.add_list c [ Gate.S 0; Gate.Sdg 0 ] in
+      match Equiv.randomized c padded with Equiv.Not_equivalent -> false | _ -> true)
+
+let () =
+  Alcotest.run "equiv"
+    [ ( "equiv",
+        [ Alcotest.test_case "exact" `Quick test_exact;
+          Alcotest.test_case "up to phase" `Quick test_up_to_phase;
+          Alcotest.test_case "classical" `Quick test_classical;
+          Alcotest.test_case "randomized accepts" `Quick test_randomized_accepts;
+          Alcotest.test_case "randomized rejects" `Quick test_randomized_rejects;
+          Alcotest.test_case "relative phase caught" `Quick test_randomized_catches_relative_phase;
+          Alcotest.test_case "check dispatch" `Quick test_check_dispatch;
+          Alcotest.test_case "flow optimizations verified" `Quick test_flow_optimizations_verified;
+          prop_optimizers_equivalent;
+          prop_randomized_one_sided ] ) ]

@@ -1,0 +1,126 @@
+open Logic
+
+let test_cube_eval () =
+  let c = Cube.of_literals [ (0, true); (2, false) ] in
+  Alcotest.(check bool) "x0=1 x2=0" true (Cube.eval c 0b001);
+  Alcotest.(check bool) "x0=1 x2=1" false (Cube.eval c 0b101);
+  Alcotest.(check bool) "x0=0" false (Cube.eval c 0b000);
+  Alcotest.(check bool) "tautology" true (Cube.eval Cube.tautology 0b111);
+  Alcotest.(check int) "literal count" 2 (Cube.num_literals c)
+
+let test_cube_contradiction () =
+  match Cube.of_literals [ (1, true); (1, false) ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected contradiction error"
+
+let test_cube_distance () =
+  let c1 = Cube.of_literals [ (0, true); (1, true) ] in
+  let c2 = Cube.of_literals [ (0, true); (1, false) ] in
+  let c3 = Cube.of_literals [ (0, true) ] in
+  let c4 = Cube.of_literals [ (2, true); (3, false) ] in
+  Alcotest.(check int) "polarity distance" 1 (Cube.distance c1 c2);
+  Alcotest.(check int) "presence distance" 1 (Cube.distance c1 c3);
+  Alcotest.(check int) "self distance" 0 (Cube.distance c1 c1);
+  Alcotest.(check int) "far distance" 4 (Cube.distance c1 c4)
+
+let test_cube_restrict () =
+  let c = Cube.of_literals [ (0, true); (1, false) ] in
+  (match Cube.restrict c 0 true with
+  | Some c' -> Alcotest.(check int) "literal removed" 1 (Cube.num_literals c')
+  | None -> Alcotest.fail "restrict should succeed");
+  (match Cube.restrict c 0 false with
+  | None -> ()
+  | Some _ -> Alcotest.fail "restrict should contradict");
+  match Cube.restrict c 3 true with
+  | Some c' -> Alcotest.(check bool) "unconstrained var" true (Cube.equal c c')
+  | None -> Alcotest.fail "unconstrained restrict"
+
+let test_esop_eval () =
+  (* x0 ^ x1x2 *)
+  let e = [ Cube.of_literals [ (0, true) ]; Cube.of_literals [ (1, true); (2, true) ] ] in
+  Alcotest.(check bool) "just x0" true (Esop.eval e 0b001);
+  Alcotest.(check bool) "both terms cancel" false (Esop.eval e 0b111);
+  Alcotest.(check bool) "product term" true (Esop.eval e 0b110)
+
+let test_pprm_known () =
+  (* PPRM of x0 XOR x1 is exactly the two monomials x0, x1 *)
+  let f = Truth_table.of_fun 2 (fun x -> Bitops.parity x = 1) in
+  let e = Esop.of_pprm f in
+  Alcotest.(check int) "two cubes" 2 (Esop.num_cubes e);
+  Alcotest.(check bool) "function preserved" true
+    (Truth_table.equal f (Esop.to_truth_table 2 e));
+  (* PPRM of AND is one monomial *)
+  let g = Truth_table.of_fun 2 (fun x -> x = 3) in
+  Alcotest.(check int) "and is one cube" 1 (Esop.num_cubes (Esop.of_pprm g))
+
+let test_minterms () =
+  let f = Truth_table.of_fun 3 (fun x -> x = 2 || x = 5) in
+  let e = Esop.of_minterms f in
+  Alcotest.(check int) "one cube per minterm" 2 (Esop.num_cubes e);
+  Alcotest.(check bool) "function preserved" true (Truth_table.equal f (Esop.to_truth_table 3 e))
+
+let test_dedup () =
+  let c = Cube.of_literals [ (0, true) ] in
+  let d = Cube.of_literals [ (1, true) ] in
+  Alcotest.(check int) "pair cancels" 1 (Esop.num_cubes (Esop.dedup [ c; d; c ]));
+  Alcotest.(check int) "triple leaves one" 2 (Esop.num_cubes (Esop.dedup [ c; d; c; c ]))
+
+let test_pkrm_majority () =
+  (* PKRM never exceeds PPRM in cube count *)
+  let f = Funcgen.majority 5 in
+  let pkrm = Esop_opt.pkrm f and pprm = Esop.of_pprm f in
+  Alcotest.(check bool) "pkrm <= pprm" true (Esop.num_cubes pkrm <= Esop.num_cubes pprm);
+  Alcotest.(check bool) "pkrm correct" true (Truth_table.equal f (Esop.to_truth_table 5 pkrm))
+
+let test_exorcise_merges () =
+  (* x0x1 + x0!x1 should merge to x0 *)
+  let e = [ Cube.of_literals [ (0, true); (1, true) ]; Cube.of_literals [ (0, true); (1, false) ] ] in
+  let e' = Esop_opt.exorcise e in
+  Alcotest.(check int) "merged" 1 (Esop.num_cubes e');
+  Alcotest.(check bool) "same function" true (Esop.equal_function 2 e e')
+
+let test_minimize_constants () =
+  Alcotest.(check int) "zero" 0 (Esop.num_cubes (Esop_opt.minimize (Truth_table.create 4)));
+  Alcotest.(check int) "one" 1 (Esop.num_cubes (Esop_opt.minimize (Truth_table.const 4 true)))
+
+let prop_pprm_correct =
+  Helpers.prop "PPRM represents the function" (Helpers.tt_gen 6) (fun f ->
+      Truth_table.equal f (Esop.to_truth_table 6 (Esop.of_pprm f)))
+
+let prop_pkrm_correct =
+  Helpers.prop "PKRM represents the function" (Helpers.tt_gen 6) (fun f ->
+      Truth_table.equal f (Esop.to_truth_table 6 (Esop_opt.pkrm f)))
+
+let prop_minimize_correct_and_smaller =
+  Helpers.prop "minimize preserves function and never beats PPRM in size"
+    (Helpers.tt_gen 6) (fun f ->
+      let e = Esop_opt.minimize f in
+      Truth_table.equal f (Esop.to_truth_table 6 e)
+      && Esop.num_cubes e <= Esop.num_cubes (Esop.of_pprm f))
+
+let prop_exorcise_never_grows =
+  Helpers.prop "exorcise preserves function and never grows" (Helpers.tt_gen 5) (fun f ->
+      let e = Esop.of_minterms f in
+      let e' = Esop_opt.exorcise e in
+      Esop.num_cubes e' <= Esop.num_cubes e && Esop.equal_function 5 e e')
+
+let () =
+  Alcotest.run "esop"
+    [ ( "cube",
+        [ Alcotest.test_case "eval" `Quick test_cube_eval;
+          Alcotest.test_case "contradiction" `Quick test_cube_contradiction;
+          Alcotest.test_case "distance" `Quick test_cube_distance;
+          Alcotest.test_case "restrict" `Quick test_cube_restrict ] );
+      ( "esop",
+        [ Alcotest.test_case "eval" `Quick test_esop_eval;
+          Alcotest.test_case "pprm known cases" `Quick test_pprm_known;
+          Alcotest.test_case "minterms" `Quick test_minterms;
+          Alcotest.test_case "dedup" `Quick test_dedup;
+          prop_pprm_correct ] );
+      ( "esop_opt",
+        [ Alcotest.test_case "pkrm majority" `Quick test_pkrm_majority;
+          Alcotest.test_case "exorcise merges" `Quick test_exorcise_merges;
+          Alcotest.test_case "minimize constants" `Quick test_minimize_constants;
+          prop_pkrm_correct;
+          prop_minimize_correct_and_smaller;
+          prop_exorcise_never_grows ] ) ]

@@ -1,0 +1,125 @@
+open Rev
+module Truth_table = Logic.Truth_table
+module Funcgen = Logic.Funcgen
+
+let test_single_output_and () =
+  (* f = x0 AND x1 should be a single Toffoli onto line 2 *)
+  let f = Truth_table.of_fun 2 (fun x -> x = 3) in
+  let c = Esop_synth.synth1 f in
+  Alcotest.(check int) "lines" 3 (Rcircuit.num_lines c);
+  Alcotest.(check int) "one gate" 1 (Rcircuit.num_gates c);
+  Alcotest.(check bool) "bennett semantics" true
+    (Rsim.realizes_function c ~inputs:[ 0; 1 ] ~outputs:[ 2 ] [ f ])
+
+let test_constant_outputs () =
+  let t = Truth_table.const 3 true and z = Truth_table.create 3 in
+  let c = Esop_synth.synth [ t; z ] in
+  Alcotest.(check bool) "constants" true
+    (Rsim.realizes_function c ~inputs:[ 0; 1; 2 ] ~outputs:[ 3; 4 ] [ t; z ]);
+  (* constant true = one uncontrolled NOT; constant false = nothing *)
+  Alcotest.(check int) "one NOT gate" 1 (Rcircuit.num_gates c)
+
+let test_multi_output_adder () =
+  let fs = Funcgen.adder_outputs 2 in
+  let c = Esop_synth.synth fs in
+  Alcotest.(check int) "lines = 2n + (n+1)" 7 (Rcircuit.num_lines c);
+  Alcotest.(check bool) "adder semantics" true
+    (Rsim.realizes_function c ~inputs:[ 0; 1; 2; 3 ] ~outputs:[ 4; 5; 6 ] fs)
+
+let test_xor_semantics () =
+  (* Eq. (4): output line starts at y, ends at y XOR f(x) *)
+  let f = Funcgen.parity 3 in
+  let c = Esop_synth.synth1 f in
+  for x = 0 to 7 do
+    for y = 0 to 1 do
+      let input = x lor (y lsl 3) in
+      let out = Rsim.run c input in
+      let fy = if Truth_table.get f x then 1 - y else y in
+      Alcotest.(check int) "y xor f(x)" (x lor (fy lsl 3)) out
+    done
+  done
+
+let test_synth_expr () =
+  let c = Esop_synth.synth_expr ~n:4 (Logic.Bexpr.parse "(a and b) ^ (c and d)") in
+  let f = Logic.Bent.inner_product_adjacent 2 in
+  Alcotest.(check bool) "paper predicate" true
+    (Rsim.realizes_function c ~inputs:[ 0; 1; 2; 3 ] ~outputs:[ 4 ] [ f ])
+
+let test_arity_mismatch () =
+  match Esop_synth.synth [ Funcgen.parity 3; Funcgen.parity 4 ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "arity mismatch accepted"
+
+let prop_single_roundtrip =
+  Helpers.prop "ESOP synthesis realizes random single-output functions"
+    (Helpers.tt_gen 5)
+    (fun f ->
+      Rsim.realizes_function (Esop_synth.synth1 f) ~inputs:[ 0; 1; 2; 3; 4 ] ~outputs:[ 5 ]
+        [ f ])
+
+let prop_multi_roundtrip =
+  Helpers.prop "ESOP synthesis realizes random 3-output functions" ~count:40
+    QCheck2.Gen.(triple (Helpers.tt_gen 4) (Helpers.tt_gen 4) (Helpers.tt_gen 4))
+    (fun (f, g, h) ->
+      Rsim.realizes_function (Esop_synth.synth [ f; g; h ]) ~inputs:[ 0; 1; 2; 3 ]
+        ~outputs:[ 4; 5; 6 ] [ f; g; h ])
+
+(* ---- embedding ---- *)
+
+let test_multiplicity () =
+  Alcotest.(check int) "parity multiplicity" 8 (Embed.output_multiplicity [ Funcgen.parity 4 ]);
+  Alcotest.(check int) "id multiplicity" 1
+    (Embed.output_multiplicity
+       (List.init 3 (fun j -> Logic.Perm.output_bit (Logic.Perm.identity 3) j)))
+
+let test_min_lines_known () =
+  (* single-output on n inputs with balanced outputs: mu = 2^(n-1),
+     r = max(n, 1 + (n-1)) = n *)
+  Alcotest.(check int) "balanced single output" 4 (Embed.min_lines [ Funcgen.parity 4 ]);
+  (* constant output: mu = 2^n, r = 1 + n *)
+  Alcotest.(check int) "constant needs n+1" 4
+    (Embed.min_lines [ Truth_table.const 3 true ])
+
+let test_embed_check () =
+  let fs = [ Funcgen.majority 3; Funcgen.parity 3 ] in
+  let e = Embed.embed fs in
+  Alcotest.(check bool) "embedding contract" true (Embed.check e fs);
+  Alcotest.(check int) "r is the bound" (Embed.min_lines fs) e.Embed.r
+
+let test_embed_then_synthesize () =
+  (* the Flow path: embed an irreversible function, then TBS the result *)
+  let fs = [ Funcgen.majority 3 ] in
+  let e = Embed.embed fs in
+  let c = Tbs.synth e.Embed.perm in
+  Alcotest.(check bool) "tbs realizes embedding" true (Rsim.realizes c e.Embed.perm);
+  (* low output bit equals majority on inputs with zeroed constants *)
+  for x = 0 to 7 do
+    let out = Rsim.run c x in
+    Alcotest.(check bool) "maj via circuit" (Truth_table.get (List.hd fs) x)
+      (Logic.Bitops.bit out 0)
+  done
+
+let prop_embed_random =
+  Helpers.prop "random multi-output embeddings satisfy the contract" ~count:40
+    QCheck2.Gen.(pair (Helpers.tt_gen 4) (Helpers.tt_gen 4))
+    (fun (f, g) ->
+      let e = Embed.embed [ f; g ] in
+      Embed.check e [ f; g ])
+
+let () =
+  Alcotest.run "esop_synth"
+    [ ( "esop_synth",
+        [ Alcotest.test_case "single AND" `Quick test_single_output_and;
+          Alcotest.test_case "constants" `Quick test_constant_outputs;
+          Alcotest.test_case "multi-output adder" `Quick test_multi_output_adder;
+          Alcotest.test_case "XOR accumulate semantics" `Quick test_xor_semantics;
+          Alcotest.test_case "expression front end" `Quick test_synth_expr;
+          Alcotest.test_case "arity mismatch" `Quick test_arity_mismatch;
+          prop_single_roundtrip;
+          prop_multi_roundtrip ] );
+      ( "embed",
+        [ Alcotest.test_case "output multiplicity" `Quick test_multiplicity;
+          Alcotest.test_case "min_lines known values" `Quick test_min_lines_known;
+          Alcotest.test_case "contract" `Quick test_embed_check;
+          Alcotest.test_case "embed + TBS" `Quick test_embed_then_synthesize;
+          prop_embed_random ] ) ]

@@ -1,0 +1,49 @@
+(* Integration smoke tests: every experiment generator must run and its
+   output must contain the markers EXPERIMENTS.md quotes. These catch
+   regressions in the glue that the unit tests cannot see. *)
+
+let contains = Helpers.contains
+
+let case name gen markers =
+  Alcotest.test_case name `Slow (fun () ->
+      let out = gen () in
+      Alcotest.(check bool) (name ^ " non-empty") true (String.length out > 40);
+      List.iter
+        (fun needle ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s mentions %S" name needle)
+            true (contains ~needle out))
+        markers)
+
+let () =
+  Alcotest.run "experiments"
+    [ ( "experiments",
+        [ case "e1" Core.Experiments.e1
+            [ "measured shift: 1 (planted 1) -> OK"; "all 16 shifts recovered" ];
+          case "e2"
+            (fun () -> Core.Experiments.e2 ~shots:256 ~runs:2 ())
+            [ "planted shift"; "success probability"; "T1 relaxation" ];
+          case "e3" Core.Experiments.e3
+            [ "measured shift 5 (planted 5)"; "transformation-based"; "decomposition-based";
+              "Clifford+T" ];
+          case "e4" Core.Experiments.e4
+            [ "loaded hwb(4)"; "tbs:"; "revsimp:"; "cliffordt:"; "tpar:";
+              "verify: quantum circuit OK" ];
+          case "e5"
+            (fun () -> Core.Experiments.e5 ~max_n:5 ())
+            [ "hwb/tbs"; "hwb/dbs"; "hwb/cycle"; "hwb/exact"; "esop"; "bdd" ];
+          case "e6" Core.Experiments.e6
+            [ "fanout"; "pebbles"; "ripple-carry adder"; "batch" ];
+          case "e7"
+            (fun () -> Core.Experiments.e7 ~trials:2 ())
+            [ "2/2"; "quantum oracle queries are always exactly 2" ];
+          case "e8" Core.Experiments.e8
+            [ "operation PermutationOracle"; "adjoint auto"; "verified to realize pi: true" ];
+          case "e9"
+            (fun () -> Core.Experiments.e9 ~max_n:12 ())
+            [ "qubits"; "exponential state growth" ];
+          case "e10"
+            (fun () -> Core.Experiments.e10 ~max_2n:32 ())
+            [ "stabilizer backend"; "true" ];
+          case "e11" Core.Experiments.e11
+            [ "full flow"; "no rccx ladder"; "no tpar"; "with tpar:    T = 8" ] ] ) ]

@@ -1,0 +1,126 @@
+(* Failure injection: every public entry point must reject malformed input
+   with a clean [Invalid_argument] (or its documented exception) instead of
+   crashing or silently mis-computing. *)
+
+let rejects name f =
+  Alcotest.test_case name `Quick (fun () ->
+      match f () with
+      | exception Invalid_argument _ -> ()
+      | exception e ->
+          Alcotest.failf "%s: expected Invalid_argument, got %s" name (Printexc.to_string e)
+      | _ -> Alcotest.failf "%s: malformed input accepted" name)
+
+let logic_cases =
+  [ rejects "truth table: negative arity" (fun () -> Logic.Truth_table.create (-1));
+    rejects "truth table: oversized arity" (fun () -> Logic.Truth_table.create 25);
+    rejects "truth table: bad string char" (fun () -> Logic.Truth_table.of_string "01x0");
+    rejects "truth table: arity mismatch in xor" (fun () ->
+        Logic.Truth_table.xor (Logic.Truth_table.create 2) (Logic.Truth_table.create 3));
+    rejects "truth table: cofactor out of range" (fun () ->
+        Logic.Truth_table.cofactor (Logic.Truth_table.create 2) 5 true);
+    rejects "perm: not a bijection" (fun () -> Logic.Perm.of_list [ 0; 0 ]);
+    rejects "perm: bad length" (fun () -> Logic.Perm.of_list [ 0; 1; 2 ]);
+    rejects "perm: compose arity mismatch" (fun () ->
+        Logic.Perm.compose (Logic.Perm.identity 2) (Logic.Perm.identity 3));
+    rejects "perm: xor_shift out of range" (fun () -> Logic.Perm.xor_shift 2 9);
+    rejects "bdd: var out of range" (fun () -> Logic.Bdd.var (Logic.Bdd.create 3) 3);
+    rejects "bdd: table larger than manager" (fun () ->
+        Logic.Bdd.of_truth_table (Logic.Bdd.create 2) (Logic.Truth_table.create 3));
+    rejects "cube: contradictory literals" (fun () ->
+        Logic.Cube.of_literals [ (0, true); (0, false) ]);
+    rejects "pkrm: too many variables" (fun () ->
+        Logic.Esop_opt.pkrm (Logic.Truth_table.create 14));
+    rejects "walsh: dual of non-bent" (fun () -> Logic.Walsh.dual (Logic.Funcgen.parity 4));
+    rejects "bexpr: negative var" (fun () -> Logic.Bexpr.var (-1));
+    rejects "bent: h arity mismatch" (fun () ->
+        Logic.Bent.mm ~h:(Logic.Truth_table.create 3) (Logic.Perm.identity 2)) ]
+
+let rev_cases =
+  [ rejects "mct: target as control" (fun () -> Rev.Mct.make ~target:0 ~pos:1 ~neg:0);
+    rejects "mct: polarity overlap" (fun () -> Rev.Mct.make ~target:2 ~pos:1 ~neg:1);
+    rejects "rcircuit: zero lines" (fun () -> Rev.Rcircuit.empty 0);
+    rejects "rcircuit: too many lines" (fun () -> Rev.Rcircuit.empty 63);
+    rejects "rcircuit: gate off the end" (fun () ->
+        Rev.Rcircuit.add (Rev.Rcircuit.empty 2) (Rev.Mct.cnot 0 3));
+    rejects "rcircuit: append width mismatch" (fun () ->
+        Rev.Rcircuit.append (Rev.Rcircuit.empty 2) (Rev.Rcircuit.empty 3));
+    rejects "esop synth: no outputs" (fun () -> Rev.Esop_synth.synth []);
+    rejects "esop synth: arity mismatch" (fun () ->
+        Rev.Esop_synth.synth [ Logic.Funcgen.parity 2; Logic.Funcgen.parity 3 ]);
+    rejects "embed: no outputs" (fun () -> Rev.Embed.output_multiplicity []);
+    rejects "exact: too wide" (fun () -> Rev.Exact_synth.synth (Logic.Perm.identity 4));
+    rejects "hier: zero batch" (fun () ->
+        Rev.Hier_synth.output_batched ~batch:0 (Rev.Xag.ripple_adder 2));
+    rejects "lut: k too small" (fun () ->
+        Rev.Lut_synth.map_luts ~k:1 (Rev.Xag.ripple_adder 2));
+    rejects "pebble: zero segments" (fun () -> Rev.Pebble.bennett ~segments:0 ~fanout:2);
+    rejects "pebble: fanout 1" (fun () -> Rev.Pebble.bennett ~segments:4 ~fanout:1);
+    rejects "pebble: invalid schedule" (fun () ->
+        Rev.Pebble.simulate ~segments:3 [ Rev.Pebble.Compute 2 ]);
+    rejects "arith: adder size" (fun () -> Rev.Arith.cuccaro_adder 0);
+    rejects "arith: modulus too large" (fun () -> Rev.Arith.mod_add_const 2 ~m:9 ~k:1);
+    rejects "arith: non-invertible multiplier" (fun () ->
+        Rev.Arith.mod_mult_const 4 ~m:12 ~c:4);
+    rejects "xag: input out of range" (fun () -> Rev.Xag.input (Rev.Xag.create 2) 2) ]
+
+let qc_cases =
+  [ rejects "circuit: zero qubits" (fun () -> Qc.Circuit.empty 0);
+    rejects "circuit: qubit out of range" (fun () ->
+        Qc.Circuit.add (Qc.Circuit.empty 2) (Qc.Gate.H 2));
+    rejects "circuit: append mismatch" (fun () ->
+        Qc.Circuit.append (Qc.Circuit.empty 2) (Qc.Circuit.empty 3));
+    rejects "statevector: too wide" (fun () -> Qc.Statevector.init 27);
+    rejects "unitary: too wide" (fun () -> Qc.Unitary.of_circuit (Qc.Circuit.empty 13));
+    rejects "tpar: too wide" (fun () -> Qc.Tpar.optimize (Qc.Circuit.empty 62));
+    rejects "qft: bad width" (fun () -> Qc.Qft.qft 0);
+    rejects "qpe: no counting qubits" (fun () -> Qc.Qpe.circuit ~t:0 ~phi:0.5);
+    Alcotest.test_case "qasm: unsupported gate" `Quick (fun () ->
+        match Qc.Qasm.to_string (Qc.Circuit.of_gates 4 [ Qc.Gate.Mcx ([ 0; 1; 2 ], 3) ]) with
+        | exception Qc.Qasm.Unsupported _ -> ()
+        | _ -> Alcotest.fail "unsupported gate accepted");
+    Alcotest.test_case "route: 3-qubit gate" `Quick (fun () ->
+        match Qc.Route.lnn (Qc.Circuit.of_gates 3 [ Qc.Gate.Ccz (0, 1, 2) ]) with
+        | exception Qc.Route.Not_two_qubit _ -> ()
+        | _ -> Alcotest.fail "3q gate accepted");
+    Alcotest.test_case "stabilizer: T gate" `Quick (fun () ->
+        match Qc.Stabilizer.apply (Qc.Stabilizer.create 1) (Qc.Gate.T 0) with
+        | exception Qc.Stabilizer.Not_clifford _ -> ()
+        | _ -> Alcotest.fail "T accepted") ]
+
+let engine_core_cases =
+  [ rejects "engine: gate before allocation" (fun () ->
+        let eng = Pq.Engine.create () in
+        Pq.Engine.h eng 0);
+    rejects "engine: flush with no qubits" (fun () -> Pq.Engine.flush (Pq.Engine.create ()));
+    rejects "engine: zero-size register" (fun () ->
+        Pq.Engine.allocate_qureg (Pq.Engine.create ()) 0);
+    rejects "oracles: register mismatch" (fun () ->
+        let eng = Pq.Engine.create () in
+        let qs = Pq.Engine.allocate_qureg eng 2 in
+        Pq.Oracles.phase_oracle_tt eng (Logic.Funcgen.parity 3) qs);
+    rejects "oracles: permutation mismatch" (fun () ->
+        let eng = Pq.Engine.create () in
+        let qs = Pq.Engine.allocate_qureg eng 2 in
+        Pq.Oracles.permutation_oracle eng (Logic.Perm.identity 3) qs);
+    rejects "hidden shift: non-bent generic" (fun () ->
+        Core.Hidden_shift.build
+          (Core.Hidden_shift.Generic { f = Logic.Funcgen.majority 4; s = 0 }));
+    rejects "grover: unsatisfiable" (fun () -> Core.Grover.circuit (Logic.Truth_table.create 2));
+    rejects "flow: esop on a permutation" (fun () ->
+        Core.Flow.compile_perm
+          ~options:{ Core.Flow.default with Core.Flow.synth = Core.Flow.Esop }
+          (Logic.Perm.identity 2));
+    rejects "dj: promise violation" (fun () ->
+        Core.Oracle_algorithms.deutsch_jozsa (Logic.Funcgen.majority 4));
+    Alcotest.test_case "shell: errors surface as Shell.Error" `Quick (fun () ->
+        List.iter
+          (fun script ->
+            match Core.Shell.run_script script with
+            | exception Core.Shell.Error _ -> ()
+            | out -> Alcotest.failf "script %S succeeded: %s" script out)
+          [ "perm 1 0 0 1"; "tt abc"; "exact"; "lut"; "revgen hwb 4; tbs; cliffordt; stabsim" ]) ]
+
+let () =
+  Alcotest.run "failure_modes"
+    [ ("logic", logic_cases); ("rev", rev_cases); ("qc", qc_cases);
+      ("engine_core", engine_core_cases) ]

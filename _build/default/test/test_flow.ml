@@ -1,0 +1,131 @@
+module Flow = Core.Flow
+module Funcgen = Logic.Funcgen
+module Perm = Logic.Perm
+
+let test_eq5_flow () =
+  (* the paper's Eq. (5) pipeline on hwb4 *)
+  let p = Funcgen.hwb 4 in
+  let circuit, report = Flow.compile_perm p in
+  Alcotest.(check bool) "verified" true (Flow.verify_perm p circuit);
+  Alcotest.(check bool) "revsimp did not grow" true
+    (report.Flow.rev_stats_simplified.Rev.Rcircuit.gate_count
+    <= report.Flow.rev_stats.Rev.Rcircuit.gate_count);
+  Alcotest.(check bool) "tpar ran" true (report.Flow.tpar <> None);
+  Alcotest.(check bool) "T-count positive" true
+    (report.Flow.resources_final.Qc.Resource.t_count > 0)
+
+let test_flow_methods_agree () =
+  let p = Perm.random (Helpers.rng 4) 4 in
+  List.iter
+    (fun synth ->
+      let circuit, _ = Flow.compile_perm ~options:{ Flow.default with synth } p in
+      Alcotest.(check bool) "method verified" true (Flow.verify_perm p circuit))
+    [ Flow.Tbs; Flow.Tbs_basic; Flow.Dbs ]
+
+let test_flow_option_toggles () =
+  let p = Funcgen.hwb 4 in
+  List.iter
+    (fun options ->
+      let circuit, _ = Flow.compile_perm ~options p in
+      Alcotest.(check bool) "toggled option verified" true (Flow.verify_perm p circuit))
+    [ { Flow.default with simplify_rev = false };
+      { Flow.default with tpar = false };
+      { Flow.default with peephole = false };
+      { Flow.default with rccx_ladder = false } ]
+
+let test_compile_function_esop () =
+  let f = Funcgen.majority 3 in
+  let circuit, _ = Flow.compile_function [ f ] in
+  (* Bennett layout: inputs 0..2, output on line 3 *)
+  match Qc.Unitary.is_permutation (Qc.Unitary.of_circuit circuit) with
+  | Some table ->
+      for x = 0 to 7 do
+        let out = table.(x) in
+        Alcotest.(check int) "inputs preserved" x (out land 7);
+        Alcotest.(check bool) "output bit" (Logic.Truth_table.get f x)
+          (Logic.Bitops.bit out 3)
+      done
+  | None -> Alcotest.fail "not classical"
+
+let test_compile_function_embedding_path () =
+  (* synth = Tbs on an irreversible function goes through explicit embedding *)
+  let f = Funcgen.majority 3 in
+  let circuit, _ =
+    Flow.compile_function ~options:{ Flow.default with synth = Flow.Tbs } [ f ]
+  in
+  match Qc.Unitary.is_permutation (Qc.Unitary.of_circuit circuit) with
+  | Some table ->
+      for x = 0 to 7 do
+        Alcotest.(check bool) "embedded output bit" (Logic.Truth_table.get f x)
+          (Logic.Bitops.bit table.(x) 0)
+      done
+  | None -> Alcotest.fail "not classical"
+
+let test_compile_function_hier () =
+  let f = Funcgen.parity 4 in
+  let circuit, _ =
+    Flow.compile_function ~options:{ Flow.default with synth = Flow.Hier None } [ f ]
+  in
+  match Qc.Unitary.is_permutation (Qc.Unitary.of_circuit circuit) with
+  | Some table ->
+      for x = 0 to 15 do
+        Alcotest.(check bool) "hier output bit" (Logic.Truth_table.get f x)
+          (Logic.Bitops.bit table.(x) 4)
+      done
+  | None -> Alcotest.fail "not classical"
+
+let test_compile_expr () =
+  let circuit, _ = Flow.compile_expr ~n:4 (Logic.Bexpr.parse "(a & b) ^ (c & d)") in
+  let f = Logic.Bent.inner_product_adjacent 2 in
+  match Qc.Unitary.is_permutation (Qc.Unitary.of_circuit circuit) with
+  | Some table ->
+      for x = 0 to 15 do
+        Alcotest.(check bool) "expression compiled" (Logic.Truth_table.get f x)
+          (Logic.Bitops.bit table.(x) 4)
+      done
+  | None -> Alcotest.fail "not classical"
+
+let test_verify_catches_bugs () =
+  (* verify_perm must reject a circuit computing a different permutation *)
+  let p = Funcgen.hwb 3 in
+  let wrong, _ = Flow.compile_perm (Funcgen.cycle_shift 3) in
+  Alcotest.(check bool) "wrong circuit rejected" false (Flow.verify_perm p wrong)
+
+let test_reject_wrong_method () =
+  match Flow.compile_perm ~options:{ Flow.default with synth = Flow.Esop } (Funcgen.hwb 3) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "Esop on a permutation should be rejected"
+
+let prop_flow_roundtrip =
+  Helpers.prop "full flow preserves random permutations" ~count:25 (Helpers.perm_gen 3)
+    (fun p ->
+      let circuit, _ = Flow.compile_perm p in
+      Flow.verify_perm p circuit)
+
+let prop_flow_function_roundtrip =
+  Helpers.prop "full flow preserves random functions" ~count:20 (Helpers.tt_gen 4)
+    (fun f ->
+      let circuit, _ = Flow.compile_function [ f ] in
+      match Qc.Unitary.is_permutation (Qc.Unitary.of_circuit circuit) with
+      | Some table ->
+          let ok = ref true in
+          for x = 0 to 15 do
+            if Logic.Bitops.bit table.(x) 4 <> Logic.Truth_table.get f x then ok := false
+          done;
+          !ok
+      | None -> false)
+
+let () =
+  Alcotest.run "flow"
+    [ ( "flow",
+        [ Alcotest.test_case "Eq. 5 pipeline" `Quick test_eq5_flow;
+          Alcotest.test_case "all methods verify" `Quick test_flow_methods_agree;
+          Alcotest.test_case "option toggles" `Quick test_flow_option_toggles;
+          Alcotest.test_case "function via ESOP" `Quick test_compile_function_esop;
+          Alcotest.test_case "function via embedding" `Quick test_compile_function_embedding_path;
+          Alcotest.test_case "function via hierarchical" `Quick test_compile_function_hier;
+          Alcotest.test_case "expression front end" `Quick test_compile_expr;
+          Alcotest.test_case "verification catches bugs" `Quick test_verify_catches_bugs;
+          Alcotest.test_case "method validation" `Quick test_reject_wrong_method;
+          prop_flow_roundtrip;
+          prop_flow_function_roundtrip ] ) ]

@@ -1,0 +1,110 @@
+open Logic
+
+let test_hwb_values () =
+  (* hwb rotates by the population count: hwb(0b0011) on 4 bits, wt=2 -> 0b1100 *)
+  let p = Funcgen.hwb 4 in
+  Alcotest.(check int) "hwb 0" 0 (Perm.apply p 0);
+  Alcotest.(check int) "hwb 0b0011" 0b1100 (Perm.apply p 0b0011);
+  Alcotest.(check int) "hwb 0b0001" 0b0010 (Perm.apply p 0b0001);
+  Alcotest.(check int) "hwb all ones fixed" 0b1111 (Perm.apply p 0b1111)
+
+let test_hwb_is_permutation () =
+  for n = 1 to 8 do
+    (* of_array validates bijectivity; just construct *)
+    ignore (Funcgen.hwb n)
+  done
+
+let test_cycle_shift () =
+  let p = Funcgen.cycle_shift 3 in
+  Alcotest.(check int) "inc" 1 (Perm.apply p 0);
+  Alcotest.(check int) "wraps" 0 (Perm.apply p 7);
+  Alcotest.(check (list (list int))) "single full cycle" [ List.init 8 Fun.id ] (Perm.cycles p)
+
+let test_bit_reverse () =
+  let p = Funcgen.bit_reverse 4 in
+  Alcotest.(check int) "reverse 0b0001" 0b1000 (Perm.apply p 0b0001);
+  Alcotest.(check int) "reverse palindrome" 0b1001 (Perm.apply p 0b1001);
+  Alcotest.(check bool) "involutive" true (Perm.is_identity (Perm.compose p p))
+
+let test_gray_code () =
+  let p = Funcgen.gray_code 5 in
+  for x = 0 to 30 do
+    let d = Perm.apply p x lxor Perm.apply p (x + 1) in
+    Alcotest.(check int) "gray neighbours" 1 (Bitops.popcount d)
+  done
+
+let test_majority_threshold () =
+  let m = Funcgen.majority 5 in
+  Alcotest.(check bool) "maj 0b00111" true (Truth_table.get m 0b00111);
+  Alcotest.(check bool) "maj 0b00011" false (Truth_table.get m 0b00011);
+  Helpers.check_tt_eq "majority is threshold (n+1)/2" m (Funcgen.threshold 5 3);
+  let t = Funcgen.threshold 4 0 in
+  Alcotest.(check bool) "threshold 0 is const true" true (Truth_table.is_const t true)
+
+let test_parity () =
+  let p = Funcgen.parity 6 in
+  Alcotest.(check int) "balanced" 32 (Truth_table.count_ones p)
+
+let test_adder () =
+  let fs = Funcgen.adder_outputs 3 in
+  Alcotest.(check int) "n+1 outputs" 4 (List.length fs);
+  for a = 0 to 7 do
+    for b = 0 to 7 do
+      let z = a lor (b lsl 3) in
+      let sum =
+        List.fold_left
+          (fun (acc, j) f -> ((if Truth_table.get f z then acc lor (1 lsl j) else acc), j + 1))
+          (0, 0) fs
+        |> fst
+      in
+      Alcotest.(check int) "adder" (a + b) sum
+    done
+  done
+
+let test_multiplier () =
+  let fs = Funcgen.multiplier_outputs 2 in
+  for a = 0 to 3 do
+    for b = 0 to 3 do
+      let z = a lor (b lsl 2) in
+      let prod =
+        List.fold_left
+          (fun (acc, j) f -> ((if Truth_table.get f z then acc lor (1 lsl j) else acc), j + 1))
+          (0, 0) fs
+        |> fst
+      in
+      Alcotest.(check int) "multiplier" (a * b) prod
+    done
+  done
+
+let test_reciprocal () =
+  let fs = Funcgen.reciprocal_outputs 4 in
+  let value z =
+    List.fold_left
+      (fun (acc, j) f -> ((if Truth_table.get f z then acc lor (1 lsl j) else acc), j + 1))
+      (0, 0) fs
+    |> fst
+  in
+  Alcotest.(check int) "1/1 saturates" 15 (value 1);
+  Alcotest.(check int) "1/0 is all ones" 15 (value 0);
+  Alcotest.(check int) "15/15 = 1" 1 (value 15);
+  Alcotest.(check int) "15/5 = 3" 3 (value 5)
+
+let test_named () =
+  Alcotest.(check bool) "hwb known" true (Funcgen.named_reversible "hwb" <> None);
+  Alcotest.(check bool) "unknown" true (Funcgen.named_reversible "nope" = None);
+  Alcotest.(check bool) "maj known" true (Funcgen.named_function "maj" <> None)
+
+let () =
+  Alcotest.run "funcgen"
+    [ ( "funcgen",
+        [ Alcotest.test_case "hwb values" `Quick test_hwb_values;
+          Alcotest.test_case "hwb bijective" `Quick test_hwb_is_permutation;
+          Alcotest.test_case "cycle shift" `Quick test_cycle_shift;
+          Alcotest.test_case "bit reverse" `Quick test_bit_reverse;
+          Alcotest.test_case "gray code" `Quick test_gray_code;
+          Alcotest.test_case "majority/threshold" `Quick test_majority_threshold;
+          Alcotest.test_case "parity" `Quick test_parity;
+          Alcotest.test_case "adder" `Quick test_adder;
+          Alcotest.test_case "multiplier" `Quick test_multiplier;
+          Alcotest.test_case "reciprocal" `Quick test_reciprocal;
+          Alcotest.test_case "named lookup" `Quick test_named ] ) ]

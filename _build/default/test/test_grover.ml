@@ -1,0 +1,92 @@
+module Grover = Core.Grover
+module Truth_table = Logic.Truth_table
+
+let test_optimal_iterations () =
+  Alcotest.(check int) "n=4 single" 3 (Grover.optimal_iterations ~n:4 ~marked:1);
+  Alcotest.(check int) "n=2 single" 1 (Grover.optimal_iterations ~n:2 ~marked:1);
+  Alcotest.(check bool) "more marked, fewer iterations" true
+    (Grover.optimal_iterations ~n:6 ~marked:4 < Grover.optimal_iterations ~n:6 ~marked:1)
+
+let test_single_marked_item () =
+  (* the canonical case: 1 solution among 16 *)
+  let tt = Truth_table.of_fun 4 (fun x -> x = 11) in
+  let p = Grover.success_probability tt in
+  Alcotest.(check bool) "amplified above 0.9" true (p > 0.9);
+  Alcotest.(check int) "search finds it" 11 (Grover.search tt)
+
+let test_compiled_predicate () =
+  (* predicate through the parser, as a user would write it *)
+  let found = Grover.search_expr ~n:4 (Logic.Bexpr.parse "a & b & !c & d") in
+  Alcotest.(check int) "a & b & !c & d" 0b1011 found
+
+let test_multiple_solutions () =
+  let tt = Truth_table.of_fun 4 (fun x -> x land 3 = 3) in
+  (* 4 solutions among 16 *)
+  let p = Grover.success_probability tt in
+  Alcotest.(check bool) "mass on solutions" true (p > 0.9);
+  let found = Grover.search tt in
+  Alcotest.(check bool) "found a solution" true (Truth_table.get tt found)
+
+let test_zero_iterations_is_uniform () =
+  let tt = Truth_table.of_fun 4 (fun x -> x = 5) in
+  let p = Grover.success_probability ~iterations:0 tt in
+  Alcotest.(check (float 1e-9)) "uniform baseline" (1. /. 16.) p
+
+let test_one_iteration_amplifies () =
+  let tt = Truth_table.of_fun 4 (fun x -> x = 5) in
+  let p0 = Grover.success_probability ~iterations:0 tt in
+  let p1 = Grover.success_probability ~iterations:1 tt in
+  Alcotest.(check bool) "one iteration helps" true (p1 > (2. *. p0))
+
+let test_overrotation () =
+  (* going far past the optimum loses probability again — the Grover
+     signature *)
+  let tt = Truth_table.of_fun 3 (fun x -> x = 6) in
+  let opt = Grover.optimal_iterations ~n:3 ~marked:1 in
+  let p_opt = Grover.success_probability ~iterations:opt tt in
+  let p_over = Grover.success_probability ~iterations:(2 * opt) tt in
+  Alcotest.(check bool) "overrotation hurts" true (p_over < p_opt)
+
+let test_unsatisfiable_rejected () =
+  match Grover.circuit (Truth_table.create 3) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "unsatisfiable predicate accepted"
+
+let test_all_marked_positions () =
+  (* every position can be amplified: exhaustive over n = 3 *)
+  for target = 0 to 7 do
+    let tt = Truth_table.of_fun 3 (fun x -> x = target) in
+    Alcotest.(check bool)
+      (Printf.sprintf "target %d" target)
+      true
+      (Grover.success_probability tt > 0.8)
+  done
+
+let prop_search_returns_solutions =
+  Helpers.prop "search returns a satisfying assignment" ~count:30
+    (QCheck2.Gen.map
+       (fun seed ->
+         let st = Helpers.rng seed in
+         (* random predicate with 1-3 solutions *)
+         let tt = Truth_table.create 4 in
+         let k = 1 + Random.State.int st 3 in
+         for _ = 1 to k do
+           Truth_table.set tt (Random.State.int st 16) true
+         done;
+         tt)
+       QCheck2.Gen.(int_bound 100000))
+    (fun tt -> Truth_table.get tt (Grover.search tt))
+
+let () =
+  Alcotest.run "grover"
+    [ ( "grover",
+        [ Alcotest.test_case "optimal iterations" `Quick test_optimal_iterations;
+          Alcotest.test_case "single marked item" `Quick test_single_marked_item;
+          Alcotest.test_case "compiled predicate" `Quick test_compiled_predicate;
+          Alcotest.test_case "multiple solutions" `Quick test_multiple_solutions;
+          Alcotest.test_case "zero iterations" `Quick test_zero_iterations_is_uniform;
+          Alcotest.test_case "one iteration amplifies" `Quick test_one_iteration_amplifies;
+          Alcotest.test_case "overrotation" `Quick test_overrotation;
+          Alcotest.test_case "unsatisfiable rejected" `Quick test_unsatisfiable_rejected;
+          Alcotest.test_case "all marked positions" `Quick test_all_marked_positions;
+          prop_search_returns_solutions ] ) ]

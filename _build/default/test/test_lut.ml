@@ -1,0 +1,111 @@
+open Rev
+module Funcgen = Logic.Funcgen
+module Truth_table = Logic.Truth_table
+
+let test_map_luts_covers_outputs () =
+  let g = Xag.ripple_adder 3 in
+  let luts = Lut_synth.map_luts ~k:3 g in
+  (* every non-trivial output root is some LUT's root *)
+  List.iter
+    (fun s ->
+      let id = Xag.node_of_signal s in
+      match Xag.node g id with
+      | Xag.Input _ | Xag.Const -> ()
+      | _ ->
+          Alcotest.(check bool) "output covered" true
+            (List.exists (fun l -> l.Lut_synth.root = id) luts))
+    (Xag.outputs g)
+
+let test_lut_leaf_bound () =
+  let g = Xag.ripple_adder 4 in
+  List.iter
+    (fun k ->
+      List.iter
+        (fun l ->
+          Alcotest.(check bool)
+            (Printf.sprintf "k=%d bound" k)
+            true
+            (List.length l.Lut_synth.leaves <= k))
+        (Lut_synth.map_luts ~k g))
+    [ 2; 3; 4; 6 ]
+
+let test_dependency_order () =
+  let g = Xag.ripple_adder 4 in
+  let luts = Lut_synth.map_luts ~k:4 g in
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun l ->
+      List.iter
+        (fun leaf ->
+          match Xag.node g leaf with
+          | Xag.Input _ | Xag.Const -> ()
+          | _ ->
+              Alcotest.(check bool) "leaf LUT precedes user" true (Hashtbl.mem seen leaf))
+        l.Lut_synth.leaves;
+      Hashtbl.add seen l.Lut_synth.root ())
+    luts
+
+let test_adder_k_sweep () =
+  let g = Xag.ripple_adder 4 in
+  let fs = Xag.to_truth_tables g in
+  let prev_anc = ref max_int in
+  List.iter
+    (fun k ->
+      let c, lay = Lut_synth.synth ~k g in
+      Alcotest.(check bool) (Printf.sprintf "k=%d correct" k) true
+        (Lut_synth.check (c, lay) fs);
+      (* larger k never needs more ancillae (greedy cuts only merge) *)
+      Alcotest.(check bool) "ancillae nonincreasing in k" true
+        (lay.Lut_synth.ancillae <= !prev_anc);
+      prev_anc := lay.Lut_synth.ancillae)
+    [ 2; 3; 4; 5; 6 ]
+
+let test_fewer_ancillae_than_gate_level () =
+  (* LUT granularity beats one-ancilla-per-gate hierarchical synthesis *)
+  let g = Xag.ripple_adder 4 in
+  let _, gate_level = Hier_synth.bennett g in
+  let _, lut_level = Lut_synth.synth ~k:4 g in
+  Alcotest.(check bool) "fewer ancillae" true
+    (lut_level.Lut_synth.ancillae < gate_level.Hier_synth.ancillae)
+
+let test_single_lut_when_function_fits () =
+  (* a 4-input function with k=4 needs exactly one LUT *)
+  let f = Funcgen.majority 3 in
+  let c, lay = Lut_synth.synth_tables ~k:4 [ f ] in
+  Alcotest.(check int) "one ancilla" 1 lay.Lut_synth.ancillae;
+  Alcotest.(check bool) "correct" true (Lut_synth.check (c, lay) [ f ])
+
+let test_constant_and_complement_outputs () =
+  let fs = [ Truth_table.const 3 true; Truth_table.not_ (Funcgen.majority 3) ] in
+  let c, lay = Lut_synth.synth_tables ~k:3 fs in
+  Alcotest.(check bool) "constants and complements" true (Lut_synth.check (c, lay) fs)
+
+let prop_lut_roundtrip k =
+  Helpers.prop
+    (Printf.sprintf "LUT synthesis (k=%d) realizes random functions" k)
+    ~count:40 (Helpers.tt_gen 4)
+    (fun f ->
+      let c, lay = Lut_synth.synth_tables ~k [ f ] in
+      Lut_synth.check (c, lay) [ f ])
+
+let prop_lut_multi_output =
+  Helpers.prop "LUT synthesis on 2-output functions" ~count:25
+    QCheck2.Gen.(pair (Helpers.tt_gen 4) (Helpers.tt_gen 4))
+    (fun (f, g) ->
+      let c, lay = Lut_synth.synth_tables ~k:3 [ f; g ] in
+      Lut_synth.check (c, lay) [ f; g ])
+
+let () =
+  Alcotest.run "lut_synth"
+    [ ( "mapping",
+        [ Alcotest.test_case "covers outputs" `Quick test_map_luts_covers_outputs;
+          Alcotest.test_case "leaf bound" `Quick test_lut_leaf_bound;
+          Alcotest.test_case "dependency order" `Quick test_dependency_order ] );
+      ( "synthesis",
+        [ Alcotest.test_case "adder k sweep" `Quick test_adder_k_sweep;
+          Alcotest.test_case "beats gate-level ancillae" `Quick test_fewer_ancillae_than_gate_level;
+          Alcotest.test_case "single LUT" `Quick test_single_lut_when_function_fits;
+          Alcotest.test_case "constants/complements" `Quick test_constant_and_complement_outputs;
+          prop_lut_roundtrip 2;
+          prop_lut_roundtrip 4;
+          prop_lut_multi_output ] ) ]

@@ -1,0 +1,125 @@
+open Qc
+
+let bell = Circuit.of_gates 2 [ Gate.H 0; Gate.Cnot (0, 1) ]
+
+let test_noiseless_params () =
+  (* with the zero channel, a basis-state circuit gives one outcome *)
+  let c = Circuit.of_gates 2 [ Gate.X 1 ] in
+  let counts = Noise.run_shots Noise.noiseless c ~shots:200 in
+  Alcotest.(check int) "all shots on |10>" 200 counts.(0b10);
+  Alcotest.(check int) "nothing elsewhere" 0 counts.(0)
+
+let test_noiseless_bell () =
+  let counts = Noise.run_shots Noise.noiseless bell ~shots:2000 in
+  Alcotest.(check int) "no |01>" 0 counts.(1);
+  Alcotest.(check int) "no |10>" 0 counts.(2);
+  let f = Float.of_int counts.(0) /. 2000. in
+  Alcotest.(check bool) "balanced" true (f > 0.43 && f < 0.57)
+
+let test_shots_conserved () =
+  let counts = Noise.run_shots Noise.ibm_qx2017 bell ~shots:512 in
+  Alcotest.(check int) "histogram sums to shots" 512 (Array.fold_left ( + ) 0 counts)
+
+let test_determinism_by_seed () =
+  let a = Noise.run_shots ~seed:11 Noise.ibm_qx2017 bell ~shots:256 in
+  let b = Noise.run_shots ~seed:11 Noise.ibm_qx2017 bell ~shots:256 in
+  let c = Noise.run_shots ~seed:12 Noise.ibm_qx2017 bell ~shots:256 in
+  Alcotest.(check bool) "same seed, same histogram" true (a = b);
+  Alcotest.(check bool) "different seed differs" true (a <> c)
+
+let test_noise_degrades () =
+  (* readout-only noise flips some outcomes of a deterministic circuit *)
+  let c = Circuit.of_gates 3 [ Gate.X 0; Gate.X 1; Gate.X 2 ] in
+  let params = { Noise.noiseless with Noise.readout = 0.2 } in
+  let counts = Noise.run_shots params c ~shots:2000 in
+  let correct = Float.of_int counts.(7) /. 2000. in
+  (* expect (1-0.2)^3 = 0.512 *)
+  Alcotest.(check bool) "readout errors visible" true (correct > 0.42 && correct < 0.6)
+
+let test_gate_noise_scales_with_depth () =
+  (* more gates, lower success: compare 2 vs 20 identity-equivalent X pairs *)
+  let params = { Noise.noiseless with Noise.p1 = 0.02 } in
+  let mk reps = Circuit.of_gates 1 (List.concat (List.init reps (fun _ -> [ Gate.X 0; Gate.X 0 ]))) in
+  let p_of reps =
+    let counts = Noise.run_shots ~seed:5 params (mk reps) ~shots:3000 in
+    Float.of_int counts.(0) /. 3000.
+  in
+  Alcotest.(check bool) "deeper circuit is noisier" true (p_of 20 < p_of 2)
+
+let test_success_probability () =
+  let counts = [| 10; 70; 20; 0 |] in
+  Alcotest.(check (float 1e-12)) "success prob" 0.7 (Noise.success_probability counts 1)
+
+let test_runs_statistics_shape () =
+  let mean, std = Noise.runs_statistics Noise.ibm_qx2017 bell ~shots:256 ~runs:3 in
+  Alcotest.(check int) "mean size" 4 (Array.length mean);
+  Alcotest.(check int) "std size" 4 (Array.length std);
+  let total = Array.fold_left ( +. ) 0. mean in
+  Alcotest.(check (float 1e-9)) "means sum to 1" 1. total;
+  Array.iter (fun s -> Alcotest.(check bool) "std nonnegative" true (s >= 0.)) std
+
+let test_amplitude_damping_rate () =
+  (* one X gate with damping γ: P(decay back to 0) ≈ γ *)
+  let gamma = 0.3 in
+  let params = { Noise.noiseless with Noise.gamma } in
+  let c = Circuit.of_gates 1 [ Gate.X 0 ] in
+  let counts = Noise.run_shots ~seed:2 params c ~shots:5000 in
+  let p0 = Float.of_int counts.(0) /. 5000. in
+  Alcotest.(check bool) "decay rate ~ gamma" true (Float.abs (p0 -. gamma) < 0.03)
+
+let test_amplitude_damping_accumulates () =
+  (* deeper circuits relax more: |1> through k waiting gates *)
+  let params = { Noise.noiseless with Noise.gamma = 0.05 } in
+  let mk k =
+    Circuit.of_gates 2 (Gate.X 0 :: List.concat (List.init k (fun _ -> [ Gate.Z 0; Gate.Z 0 ])))
+  in
+  let survival k =
+    let counts = Noise.run_shots ~seed:3 params (mk k) ~shots:3000 in
+    Float.of_int counts.(1) /. 3000.
+  in
+  Alcotest.(check bool) "more depth, more decay" true (survival 20 < survival 2)
+
+let test_amplitude_damping_fixes_ground_state () =
+  (* |0> is a fixed point of the T1 channel *)
+  let params = { Noise.noiseless with Noise.gamma = 0.5 } in
+  let c = Circuit.of_gates 1 [ Gate.Z 0; Gate.Z 0 ] in
+  let counts = Noise.run_shots params c ~shots:500 in
+  Alcotest.(check int) "ground state untouched" 500 counts.(0)
+
+let test_damping_preserves_norm () =
+  let st = Helpers.rng 9 in
+  for _ = 1 to 30 do
+    let s = Statevector.run (Circuit.of_gates 3 [ Gate.H 0; Gate.Cnot (0, 1); Gate.T 1; Gate.H 2 ]) in
+    let q = Random.State.int st 3 in
+    let gamma = 0.2 +. Random.State.float st 0.5 in
+    let p_jump = gamma *. Statevector.prob_of_qubit s q in
+    let jump = Random.State.float st 1. < p_jump in
+    Statevector.amplitude_damp s q ~gamma ~jump;
+    Alcotest.(check (float 1e-9)) "norm 1" 1. (Statevector.norm2 s)
+  done
+
+let test_e2_shape () =
+  (* the Fig. 6 shape: correct shift dominates but is well below 1 *)
+  let inst = Core.Hidden_shift.Inner_product { n = 2; s = 1 } in
+  let mean, _ = Core.Hidden_shift.run_noisy ~seed:3 Noise.ibm_qx2017 inst ~shots:1024 ~runs:3 in
+  let best = ref 0 in
+  Array.iteri (fun x m -> if m > mean.(!best) then best := x) mean;
+  Alcotest.(check int) "mode is the planted shift" 1 !best;
+  Alcotest.(check bool) "success in the paper's band" true (mean.(1) > 0.45 && mean.(1) < 0.85)
+
+let () =
+  Alcotest.run "noise"
+    [ ( "noise",
+        [ Alcotest.test_case "noiseless params" `Quick test_noiseless_params;
+          Alcotest.test_case "noiseless bell" `Quick test_noiseless_bell;
+          Alcotest.test_case "shots conserved" `Quick test_shots_conserved;
+          Alcotest.test_case "seed determinism" `Quick test_determinism_by_seed;
+          Alcotest.test_case "readout errors" `Quick test_noise_degrades;
+          Alcotest.test_case "noise scales with depth" `Quick test_gate_noise_scales_with_depth;
+          Alcotest.test_case "success probability" `Quick test_success_probability;
+          Alcotest.test_case "runs statistics" `Quick test_runs_statistics_shape;
+          Alcotest.test_case "T1 decay rate" `Quick test_amplitude_damping_rate;
+          Alcotest.test_case "T1 accumulates" `Quick test_amplitude_damping_accumulates;
+          Alcotest.test_case "T1 fixes ground state" `Quick test_amplitude_damping_fixes_ground_state;
+          Alcotest.test_case "damping preserves norm" `Quick test_damping_preserves_norm;
+          Alcotest.test_case "Fig. 6 shape" `Quick test_e2_shape ] ) ]

@@ -1,0 +1,97 @@
+open Logic
+
+let test_identity_transform () =
+  let f = Funcgen.majority 3 in
+  Helpers.check_tt_eq "identity transform" f (Npn.apply (Npn.identity 3) f)
+
+let test_output_negation () =
+  let f = Funcgen.majority 3 in
+  let t = { (Npn.identity 3) with Npn.output_neg = true } in
+  Helpers.check_tt_eq "output negation" (Truth_table.not_ f) (Npn.apply t f)
+
+let test_input_negation () =
+  (* negating every input of majority gives its complement (self-duality) *)
+  let f = Funcgen.majority 3 in
+  let t = { (Npn.identity 3) with Npn.input_neg = 0b111 } in
+  Helpers.check_tt_eq "majority is self-dual" (Truth_table.not_ f) (Npn.apply t f)
+
+let test_permutation_symmetric () =
+  (* symmetric functions are invariant under every input permutation *)
+  let f = Funcgen.threshold 4 2 in
+  List.iter
+    (fun perm ->
+      let t = { (Npn.identity 4) with Npn.perm = Array.of_list perm } in
+      Helpers.check_tt_eq "symmetric invariance" f (Npn.apply t f))
+    [ [ 1; 0; 2; 3 ]; [ 3; 2; 1; 0 ]; [ 2; 3; 0; 1 ] ]
+
+let test_and_or_same_class () =
+  (* AND and OR are NPN equivalent (De Morgan) but XOR is not with AND *)
+  let and2 = Truth_table.of_fun 2 (fun x -> x = 3) in
+  let or2 = Truth_table.of_fun 2 (fun x -> x <> 0) in
+  let xor2 = Funcgen.parity 2 in
+  Alcotest.(check bool) "AND ~ OR" true (Npn.equivalent and2 or2);
+  Alcotest.(check bool) "AND !~ XOR" false (Npn.equivalent and2 xor2)
+
+let test_class_counts () =
+  (* the textbook NPN class counts *)
+  Alcotest.(check int) "n=1" 2 (List.length (Npn.classes 1));
+  Alcotest.(check int) "n=2" 4 (List.length (Npn.classes 2));
+  Alcotest.(check int) "n=3" 14 (List.length (Npn.classes 3))
+
+let test_canonical_is_class_invariant () =
+  let st = Helpers.rng 7 in
+  for _ = 1 to 20 do
+    let f = Truth_table.random st 3 in
+    (* apply assorted transforms; the canonical form must not move *)
+    let transforms =
+      [ { (Npn.identity 3) with Npn.input_neg = Random.State.int st 8 };
+        { (Npn.identity 3) with Npn.output_neg = true };
+        { Npn.perm = [| 2; 0; 1 |]; input_neg = Random.State.int st 8; output_neg = Random.State.bool st } ]
+    in
+    List.iter
+      (fun t ->
+        let g = Npn.apply t f in
+        Helpers.check_tt_eq "canonical invariant" (fst (Npn.canonical f)) (fst (Npn.canonical g)))
+      transforms
+  done
+
+let test_canonical_transform_is_witness () =
+  (* the returned transform actually produces the canonical function *)
+  let st = Helpers.rng 13 in
+  for _ = 1 to 20 do
+    let f = Truth_table.random st 4 in
+    let rep, t = Npn.canonical f in
+    Helpers.check_tt_eq "witness" rep (Npn.apply t f)
+  done
+
+let test_bent_class_invariance () =
+  (* NPN transforms preserve bentness: flat spectra survive affine input
+     changes and output complement *)
+  let f = Bent.inner_product 2 in
+  let t = { Npn.perm = [| 3; 1; 0; 2 |]; input_neg = 0b0110; output_neg = true } in
+  Alcotest.(check bool) "bent after transform" true (Walsh.is_bent (Npn.apply t f))
+
+let prop_equivalence_reflexive_symmetric =
+  Helpers.prop "NPN equivalence is reflexive and symmetric"
+    QCheck2.Gen.(pair (Helpers.tt_gen 3) (Helpers.tt_gen 3))
+    (fun (a, b) -> Npn.equivalent a a && Npn.equivalent a b = Npn.equivalent b a)
+
+let prop_canonical_idempotent =
+  Helpers.prop "canonical is idempotent" (Helpers.tt_gen 4) (fun f ->
+      let rep, _ = Npn.canonical f in
+      Truth_table.equal rep (fst (Npn.canonical rep)))
+
+let () =
+  Alcotest.run "npn"
+    [ ( "npn",
+        [ Alcotest.test_case "identity" `Quick test_identity_transform;
+          Alcotest.test_case "output negation" `Quick test_output_negation;
+          Alcotest.test_case "input negation" `Quick test_input_negation;
+          Alcotest.test_case "symmetric invariance" `Quick test_permutation_symmetric;
+          Alcotest.test_case "AND/OR/XOR classes" `Quick test_and_or_same_class;
+          Alcotest.test_case "class counts" `Quick test_class_counts;
+          Alcotest.test_case "class invariance" `Quick test_canonical_is_class_invariant;
+          Alcotest.test_case "transform witness" `Quick test_canonical_transform_is_witness;
+          Alcotest.test_case "bentness preserved" `Quick test_bent_class_invariance;
+          prop_equivalence_reflexive_symmetric;
+          prop_canonical_idempotent ] ) ]

@@ -1,0 +1,72 @@
+module Oa = Core.Oracle_algorithms
+module Truth_table = Logic.Truth_table
+
+let test_bv_exhaustive_small () =
+  for n = 1 to 4 do
+    for a = 0 to (1 lsl n) - 1 do
+      Alcotest.(check int) "recovers a (b=0)" a (Oa.bernstein_vazirani ~n ~a ~b:false);
+      Alcotest.(check int) "recovers a (b=1)" a (Oa.bernstein_vazirani ~n ~a ~b:true)
+    done
+  done
+
+let test_bv_oracle_is_z_layer () =
+  (* the compiled affine oracle must be a layer of Z gates on the bits of a
+     (possibly after exorcism) — confirming the ESOP compiler finds the
+     linear structure *)
+  let c = Oa.bv_circuit ~n:4 ~a:0b1010 ~b:false in
+  let non_h = List.filter (function Qc.Gate.H _ -> false | _ -> true) (Qc.Circuit.gates c) in
+  Alcotest.(check bool) "only Z gates" true
+    (List.for_all (function Qc.Gate.Z _ -> true | _ -> false) non_h);
+  Alcotest.(check int) "two Z gates" 2 (List.length non_h)
+
+let test_bv_wider_register () =
+  Alcotest.(check int) "8 qubits" 0b10110101
+    (Oa.bernstein_vazirani ~n:8 ~a:0b10110101 ~b:false)
+
+let test_dj_constant () =
+  Alcotest.(check bool) "const 0" true (Oa.deutsch_jozsa (Truth_table.create 4) = Oa.Constant);
+  Alcotest.(check bool) "const 1" true
+    (Oa.deutsch_jozsa (Truth_table.const 4 true) = Oa.Constant)
+
+let test_dj_balanced () =
+  Alcotest.(check bool) "parity" true
+    (Oa.deutsch_jozsa (Logic.Funcgen.parity 4) = Oa.Balanced);
+  Alcotest.(check bool) "projection" true
+    (Oa.deutsch_jozsa (Truth_table.var 4 2) = Oa.Balanced);
+  (* a nonlinear balanced function: x1x2 ⊕ x3 (weight 8 of 16) *)
+  let f = Logic.Bexpr.to_truth_table ~n:4 (Logic.Bexpr.parse "(a & b) ^ c") in
+  Alcotest.(check bool) "nonlinear balanced" true (Oa.deutsch_jozsa f = Oa.Balanced)
+
+let test_dj_promise_enforced () =
+  (* majority of 4 has 5 ones: neither constant nor balanced *)
+  match Oa.deutsch_jozsa (Logic.Funcgen.majority 4) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "promise violation accepted"
+
+let prop_bv_random =
+  Helpers.prop "BV recovers random hidden strings" ~count:50
+    QCheck2.Gen.(pair (int_bound 63) QCheck2.Gen.bool)
+    (fun (a, b) -> Oa.bernstein_vazirani ~n:6 ~a ~b = a)
+
+let prop_dj_balanced_random =
+  Helpers.prop "DJ answers Balanced on random balanced functions" ~count:30
+    QCheck2.Gen.(int_bound 100000)
+    (fun seed ->
+      (* build a random balanced function by shuffling half ones *)
+      let st = Helpers.rng seed in
+      let perm = Logic.Perm.random st 4 in
+      let f = Truth_table.of_fun 4 (fun x -> Logic.Perm.apply perm x < 8) in
+      Oa.deutsch_jozsa f = Oa.Balanced)
+
+let () =
+  Alcotest.run "oracle_algorithms"
+    [ ( "bernstein_vazirani",
+        [ Alcotest.test_case "exhaustive small" `Quick test_bv_exhaustive_small;
+          Alcotest.test_case "oracle is a Z layer" `Quick test_bv_oracle_is_z_layer;
+          Alcotest.test_case "wide register" `Quick test_bv_wider_register;
+          prop_bv_random ] );
+      ( "deutsch_jozsa",
+        [ Alcotest.test_case "constant" `Quick test_dj_constant;
+          Alcotest.test_case "balanced" `Quick test_dj_balanced;
+          Alcotest.test_case "promise enforced" `Quick test_dj_promise_enforced;
+          prop_dj_balanced_random ] ) ]

@@ -1,0 +1,87 @@
+open Logic
+
+let test_of_list_validation () =
+  let p = Perm.of_list [ 0; 2; 3; 5; 7; 1; 4; 6 ] in
+  Alcotest.(check int) "n" 3 (Perm.num_vars p);
+  Alcotest.(check int) "apply" 5 (Perm.apply p 3);
+  (match Perm.of_list [ 0; 1; 1; 3 ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "not injective accepted");
+  (match Perm.of_list [ 0; 1; 2 ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "bad length accepted");
+  match Perm.of_list [ 0; 4 ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "out of range accepted"
+
+let test_identity () =
+  let p = Perm.identity 3 in
+  Alcotest.(check bool) "is identity" true (Perm.is_identity p);
+  Alcotest.(check bool) "xor_shift 0 is identity" true (Perm.is_identity (Perm.xor_shift 3 0))
+
+let test_inverse_compose () =
+  let p = Perm.of_list [ 0; 2; 3; 5; 7; 1; 4; 6 ] in
+  let q = Perm.inverse p in
+  Alcotest.(check bool) "p ∘ p⁻¹ = id" true (Perm.is_identity (Perm.compose p q));
+  Alcotest.(check bool) "p⁻¹ ∘ p = id" true (Perm.is_identity (Perm.compose q p))
+
+let test_xor_shift () =
+  let p = Perm.xor_shift 4 0b1010 in
+  Alcotest.(check int) "shift" 0b1010 (Perm.apply p 0);
+  Alcotest.(check bool) "involutive" true (Perm.is_identity (Perm.compose p p))
+
+let test_cycles () =
+  let p = Perm.of_list [ 1; 0; 3; 2 ] in
+  Alcotest.(check (list (list int))) "two transpositions" [ [ 0; 1 ]; [ 2; 3 ] ] (Perm.cycles p);
+  Alcotest.(check int) "even parity" 0 (Perm.parity p);
+  let q = Perm.of_list [ 1; 2; 0; 3 ] in
+  Alcotest.(check (list (list int))) "3-cycle" [ [ 0; 1; 2 ] ] (Perm.cycles q);
+  Alcotest.(check int) "3-cycle even" 0 (Perm.parity q);
+  Alcotest.(check (list (list int))) "identity has no cycles" [] (Perm.cycles (Perm.identity 2))
+
+let test_output_bit () =
+  let p = Funcgen.gray_code 4 in
+  for j = 0 to 3 do
+    let tt = Perm.output_bit p j in
+    for x = 0 to 15 do
+      Alcotest.(check bool) "output bit" (Bitops.bit (Perm.apply p x) j) (Truth_table.get tt x)
+    done
+  done
+
+let prop_random_is_perm =
+  Helpers.prop "random permutations are valid and invertible" (Helpers.perm_gen 6) (fun p ->
+      Perm.is_identity (Perm.compose p (Perm.inverse p)))
+
+let prop_compose_assoc =
+  Helpers.prop "composition is associative"
+    QCheck2.Gen.(triple (Helpers.perm_gen 4) (Helpers.perm_gen 4) (Helpers.perm_gen 4))
+    (fun (a, b, c) ->
+      Perm.equal (Perm.compose (Perm.compose a b) c) (Perm.compose a (Perm.compose b c)))
+
+let prop_parity_multiplicative =
+  Helpers.prop "parity of a product is the sum of parities"
+    QCheck2.Gen.(pair (Helpers.perm_gen 4) (Helpers.perm_gen 4))
+    (fun (a, b) -> Perm.parity (Perm.compose a b) = (Perm.parity a + Perm.parity b) land 1)
+
+let prop_cycles_partition =
+  Helpers.prop "cycles partition the non-fixed points" (Helpers.perm_gen 5) (fun p ->
+      let moved = List.concat (Perm.cycles p) in
+      let sorted = List.sort compare moved in
+      let expected =
+        List.filter (fun x -> Perm.apply p x <> x) (List.init (Perm.size p) Fun.id)
+      in
+      sorted = expected && List.length moved = List.length (List.sort_uniq compare moved))
+
+let () =
+  Alcotest.run "perm"
+    [ ( "perm",
+        [ Alcotest.test_case "of_list validation" `Quick test_of_list_validation;
+          Alcotest.test_case "identity" `Quick test_identity;
+          Alcotest.test_case "inverse/compose" `Quick test_inverse_compose;
+          Alcotest.test_case "xor shift" `Quick test_xor_shift;
+          Alcotest.test_case "cycles/parity" `Quick test_cycles;
+          Alcotest.test_case "output bits" `Quick test_output_bit;
+          prop_random_is_perm;
+          prop_compose_assoc;
+          prop_parity_multiplicative;
+          prop_cycles_partition ] ) ]

@@ -1,0 +1,99 @@
+open Qc
+
+let sample =
+  Circuit.of_gates 3
+    [ Gate.H 0; Gate.Cnot (0, 1); Gate.T 2; Gate.Tdg 0; Gate.S 1; Gate.Sdg 2;
+      Gate.X 0; Gate.Y 1; Gate.Z 2; Gate.Cz (0, 2); Gate.Swap (1, 2);
+      Gate.Rz (0.125, 1); Gate.Ccx (0, 1, 2) ]
+
+let test_header () =
+  let text = Qasm.to_string sample in
+  Alcotest.(check bool) "version line" true
+    (String.length text > 12 && String.sub text 0 12 = "OPENQASM 2.0");
+  Alcotest.(check bool) "qelib include" true
+    (Helpers.contains ~needle:"qelib1.inc" text)
+
+let test_measure_flag () =
+  let with_m = Qasm.to_string ~measure:true sample in
+  let without = Qasm.to_string ~measure:false sample in
+  Alcotest.(check bool) "measures present" true (Helpers.contains ~needle:"measure" with_m);
+  Alcotest.(check bool) "no measures" false (Helpers.contains ~needle:"measure" without)
+
+let test_roundtrip () =
+  let parsed = Qasm.parse (Qasm.to_string sample) in
+  Alcotest.(check int) "qubits" 3 (Circuit.num_qubits parsed);
+  Alcotest.(check bool) "gates identical" true (Circuit.gates parsed = Circuit.gates sample)
+
+let test_roundtrip_rz_precision () =
+  let c = Circuit.of_gates 1 [ Gate.Rz (Float.pi /. 3., 0) ] in
+  match Circuit.gates (Qasm.parse (Qasm.to_string c)) with
+  | [ Gate.Rz (a, 0) ] -> Alcotest.(check (float 1e-15)) "angle survives" (Float.pi /. 3.) a
+  | _ -> Alcotest.fail "rz lost"
+
+let test_unsupported () =
+  let c = Circuit.of_gates 4 [ Gate.Mcx ([ 0; 1; 2 ], 3) ] in
+  match Qasm.to_string c with
+  | exception Qasm.Unsupported _ -> ()
+  | _ -> Alcotest.fail "mcx should be rejected before lowering"
+
+let test_parse_comments_and_blanks () =
+  let text = "OPENQASM 2.0;\nqreg q[2];\n// a comment\n\nh q[0]; \ncx q[0],q[1];\n" in
+  let c = Qasm.parse text in
+  Alcotest.(check bool) "parsed" true
+    (Circuit.gates c = [ Gate.H 0; Gate.Cnot (0, 1) ])
+
+let test_parse_errors () =
+  List.iter
+    (fun bad ->
+      match Qasm.parse bad with
+      | exception Qasm.Parse_error _ -> ()
+      | _ -> Alcotest.failf "expected parse error on %S" bad)
+    [ "qreg q[2];\nfrobnicate q[0];\n"; "qreg q[2];\nh nonsense;\n" ]
+
+let test_compiled_flow_exports () =
+  (* the full pipeline output is always exportable *)
+  let qc, _ = Clifford_t.compile_rcircuit (Rev.Tbs.synth (Logic.Funcgen.hwb 4)) in
+  let parsed = Qasm.parse (Qasm.to_string qc) in
+  Alcotest.(check int) "same gate count" (Circuit.num_gates qc) (Circuit.num_gates parsed)
+
+let prop_roundtrip =
+  Helpers.prop "qasm roundtrips random Clifford+T circuits"
+    (Helpers.qcircuit_gen ~diagonals:false 4 20)
+    (fun c -> Circuit.gates (Qasm.parse (Qasm.to_string c)) = Circuit.gates c)
+
+(* ---- Q# generation ---- *)
+
+let test_qsharp_structure () =
+  let c = Circuit.of_gates 3 [ Gate.H 0; Gate.Cnot (0, 1); Gate.Tdg 2 ] in
+  let text = Qsharp_gen.operation ~name:"MyOracle" c in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) needle true (Helpers.contains ~needle text))
+    [ "namespace"; "operation MyOracle (qubits : Qubit[]) : ()"; "body {";
+      "H(qubits[0]);"; "CNOT(qubits[0], qubits[1]);"; "(Adjoint T)(qubits[2]);";
+      "adjoint auto"; "controlled auto"; "controlled adjoint auto" ]
+
+let test_qsharp_paper_fig10 () =
+  (* the Fig. 10 flow: synthesize the paper's pi and emit Q# *)
+  let pi = Logic.Perm.of_list [ 0; 2; 3; 5; 7; 1; 4; 6 ] in
+  let qc, _ = Clifford_t.compile_rcircuit (Rev.Tbs.synth pi) in
+  let text = Qsharp_gen.operation ~name:"PermutationOracle" qc in
+  Alcotest.(check bool) "has T gates like Fig. 10" true
+    (Helpers.contains ~needle:"T(qubits[" text);
+  Alcotest.(check bool) "has CNOTs" true (Helpers.contains ~needle:"CNOT(" text)
+
+let () =
+  Alcotest.run "qasm"
+    [ ( "qasm",
+        [ Alcotest.test_case "header" `Quick test_header;
+          Alcotest.test_case "measure flag" `Quick test_measure_flag;
+          Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+          Alcotest.test_case "rz precision" `Quick test_roundtrip_rz_precision;
+          Alcotest.test_case "unsupported gates" `Quick test_unsupported;
+          Alcotest.test_case "comments and blanks" `Quick test_parse_comments_and_blanks;
+          Alcotest.test_case "parse errors" `Quick test_parse_errors;
+          Alcotest.test_case "compiled flow exports" `Quick test_compiled_flow_exports;
+          prop_roundtrip ] );
+      ( "qsharp",
+        [ Alcotest.test_case "operation structure" `Quick test_qsharp_structure;
+          Alcotest.test_case "paper Fig. 10 flow" `Quick test_qsharp_paper_fig10 ] ) ]

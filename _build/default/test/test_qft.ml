@@ -1,0 +1,140 @@
+open Qc
+
+let dft_matrix n =
+  let sz = 1 lsl n in
+  Array.init sz (fun r ->
+      Array.init sz (fun c ->
+          Complex.polar (1. /. sqrt (Float.of_int sz))
+            (2. *. Float.pi *. Float.of_int (r * c) /. Float.of_int sz)))
+
+let test_qft_matrix () =
+  for n = 1 to 4 do
+    let u = Unitary.of_circuit (Qft.qft n) in
+    Alcotest.(check bool)
+      (Printf.sprintf "qft %d = DFT up to phase" n)
+      true
+      (Unitary.equal_up_to_phase u (dft_matrix n))
+  done
+
+let test_qft_inverse () =
+  for n = 1 to 4 do
+    let c = Circuit.append (Qft.qft n) (Qft.qft_dag n) in
+    let sv = Statevector.run c in
+    Alcotest.(check bool) "qft then inverse is identity" true
+      (Statevector.is_basis_state ~eps:1e-9 sv 0)
+  done
+
+let test_qft_of_basis_state_is_uniform () =
+  let sv = Statevector.init 3 in
+  Statevector.apply sv (Gate.X 1);
+  Statevector.run_on sv (Qft.qft 3);
+  for x = 0 to 7 do
+    Alcotest.(check (float 1e-9)) "uniform magnitudes" 0.125 (Statevector.prob sv x)
+  done
+
+let test_controlled_phase () =
+  (* the gadget equals diag(1,1,1,e^{iθ}) up to global phase *)
+  let theta = 1.234 in
+  let c = Circuit.of_gates 2 (Qft.controlled_phase theta 0 1) in
+  let expect =
+    [| [| Complex.one; Complex.zero; Complex.zero; Complex.zero |];
+       [| Complex.zero; Complex.one; Complex.zero; Complex.zero |];
+       [| Complex.zero; Complex.zero; Complex.one; Complex.zero |];
+       [| Complex.zero; Complex.zero; Complex.zero; Complex.polar 1. theta |] |]
+  in
+  Alcotest.(check bool) "cp gadget" true
+    (Unitary.equal_up_to_phase (Unitary.of_circuit c) expect)
+
+let test_draper_add_const () =
+  List.iter
+    (fun (n, k) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "x+%d mod 2^%d" k n)
+        true
+        (Qft.check_add_const (Qft.draper_add_const n k) n k))
+    [ (2, 1); (3, 3); (4, 7); (4, 15); (3, 0) ]
+
+let test_draper_adder () =
+  let n = 3 in
+  match Unitary.is_permutation ~eps:1e-6 (Unitary.of_circuit (Qft.draper_adder n)) with
+  | Some p ->
+      for a = 0 to 7 do
+        for b = 0 to 7 do
+          let x = a lor (b lsl n) in
+          Alcotest.(check int) "a, b -> a, a+b" (a lor (((a + b) land 7) lsl n)) p.(x)
+        done
+      done
+  | None -> Alcotest.fail "draper adder is not a permutation"
+
+let test_draper_matches_cuccaro () =
+  (* two completely different adder constructions compute the same
+     function (on the shared registers) *)
+  let n = 2 in
+  let draper = Qft.draper_adder n in
+  let cuccaro, lay = Rev.Arith.cuccaro_adder ~with_carry:false n in
+  match Unitary.is_permutation ~eps:1e-6 (Unitary.of_circuit draper) with
+  | None -> Alcotest.fail "not classical"
+  | Some p ->
+      for a = 0 to 3 do
+        for b = 0 to 3 do
+          let dx = a lor (b lsl n) in
+          (* map into the cuccaro layout (carry line 0) *)
+          let cin = ref 0 in
+          Array.iteri (fun i l -> if Logic.Bitops.bit a i then cin := !cin lor (1 lsl l)) lay.Rev.Arith.a;
+          Array.iteri (fun i l -> if Logic.Bitops.bit b i then cin := !cin lor (1 lsl l)) lay.Rev.Arith.b;
+          let cout = Rev.Rsim.run cuccaro !cin in
+          let cb = ref 0 in
+          Array.iteri (fun i l -> if Logic.Bitops.bit cout l then cb := !cb lor (1 lsl i)) lay.Rev.Arith.b;
+          Alcotest.(check int) "same sum" !cb (p.(dx) lsr n)
+        done
+      done
+
+let test_tpar_folds_rz () =
+  (* two consecutive constant adders fold their Rz layers *)
+  let c =
+    Circuit.append (Qft.phase_add_const 4 3) (Qft.phase_add_const 4 5)
+  in
+  let c' = Tpar.optimize c in
+  Alcotest.(check bool) "rz count reduced" true
+    (Circuit.num_gates c' < Circuit.num_gates c);
+  Alcotest.(check bool) "still equivalent" true (Helpers.same_unitary_phase c c')
+
+(* ---- phase estimation ---- *)
+
+let test_qpe_exact_dyadic () =
+  for j = 0 to 7 do
+    let phi = Float.of_int j /. 8. in
+    Alcotest.(check (float 1e-9)) (Printf.sprintf "phi = %d/8" j) phi
+      (Qpe.estimate ~t:3 ~phi)
+  done
+
+let test_qpe_resolution () =
+  List.iter
+    (fun phi ->
+      Alcotest.(check bool)
+        (Printf.sprintf "error bound at phi=%.3f" phi)
+        true
+        (Qpe.error ~t:6 ~phi <= 1. /. 64.))
+    [ 0.1; 0.333; 0.77; 0.912 ]
+
+let test_qpe_more_bits_more_accuracy () =
+  let phi = 0.3141 in
+  Alcotest.(check bool) "t=7 beats t=3" true
+    (Qpe.error ~t:7 ~phi <= Qpe.error ~t:3 ~phi)
+
+let () =
+  Alcotest.run "qft"
+    [ ( "qft",
+        [ Alcotest.test_case "matches the DFT matrix" `Quick test_qft_matrix;
+          Alcotest.test_case "inverse" `Quick test_qft_inverse;
+          Alcotest.test_case "uniform magnitudes" `Quick test_qft_of_basis_state_is_uniform;
+          Alcotest.test_case "controlled phase gadget" `Quick test_controlled_phase ] );
+      ( "draper",
+        [ Alcotest.test_case "constant adder" `Quick test_draper_add_const;
+          Alcotest.test_case "two-register adder" `Quick test_draper_adder;
+          Alcotest.test_case "agrees with Cuccaro" `Quick test_draper_matches_cuccaro;
+          Alcotest.test_case "T-par folds Rz layers" `Quick test_tpar_folds_rz ] );
+      ( "qpe",
+        [ Alcotest.test_case "exact dyadic phases" `Quick test_qpe_exact_dyadic;
+          Alcotest.test_case "resolution bound" `Quick test_qpe_resolution;
+          Alcotest.test_case "more bits, more accuracy" `Quick test_qpe_more_bits_more_accuracy ] ) ]

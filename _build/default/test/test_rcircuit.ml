@@ -1,0 +1,114 @@
+open Rev
+
+let test_mct_constructors () =
+  let g = Mct.cnot 0 2 in
+  Alcotest.(check int) "cnot controls" 1 (Mct.num_controls g);
+  Alcotest.(check int) "cnot fires" 0b101 (Mct.apply g 0b001);
+  Alcotest.(check int) "cnot idle" 0b100 (Mct.apply g 0b100);
+  let t = Mct.toffoli 0 1 2 in
+  Alcotest.(check int) "toffoli fires" 0b111 (Mct.apply t 0b011);
+  Alcotest.(check int) "toffoli idle" 0b001 (Mct.apply t 0b001);
+  let n = Mct.not_ 1 in
+  Alcotest.(check int) "not" 0b010 (Mct.apply n 0)
+
+let test_negative_controls () =
+  let g = Mct.of_controls [ (0, true); (1, false) ] 2 in
+  Alcotest.(check int) "fires on x0=1,x1=0" 0b101 (Mct.apply g 0b001);
+  Alcotest.(check int) "blocked by x1=1" 0b011 (Mct.apply g 0b011);
+  Alcotest.(check (list (pair int bool))) "controls listing"
+    [ (0, true); (1, false) ]
+    (Mct.controls 3 g)
+
+let test_mct_validation () =
+  (match Mct.make ~target:1 ~pos:0b010 ~neg:0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "target-as-control accepted");
+  (match Mct.make ~target:2 ~pos:0b001 ~neg:0b001 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "overlapping polarities accepted");
+  match Mct.of_controls [ (0, true); (0, false) ] 1 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "duplicate control accepted"
+
+let test_self_inverse () =
+  let st = Helpers.rng 3 in
+  for _ = 1 to 50 do
+    let g = QCheck2.Gen.generate1 ~rand:st (Helpers.mct_gen 5) in
+    for x = 0 to 31 do
+      Alcotest.(check int) "involution" x (Mct.apply g (Mct.apply g x))
+    done
+  done
+
+let test_circuit_basics () =
+  let c = Rcircuit.of_gates 3 [ Mct.not_ 0; Mct.cnot 0 1; Mct.toffoli 0 1 2 ] in
+  Alcotest.(check int) "gates" 3 (Rcircuit.num_gates c);
+  Alcotest.(check int) "lines" 3 (Rcircuit.num_lines c);
+  Alcotest.(check int) "run" 0b111 (Rsim.run c 0);
+  let r = Rcircuit.reverse c in
+  Alcotest.(check int) "reverse undoes" 0 (Rsim.run r 0b111)
+
+let test_append () =
+  let a = Rcircuit.of_gates 2 [ Mct.not_ 0 ] in
+  let b = Rcircuit.of_gates 2 [ Mct.cnot 0 1 ] in
+  let c = Rcircuit.append a b in
+  Alcotest.(check int) "appended order" 0b11 (Rsim.run c 0)
+
+let test_map_lines () =
+  let c = Rcircuit.of_gates 2 [ Mct.cnot 0 1 ] in
+  let c' = Rcircuit.map_lines ~new_lines:4 (fun l -> l + 2) c in
+  Alcotest.(check int) "remapped" 0b1100 (Rsim.run c' 0b0100)
+
+let test_stats () =
+  let c =
+    Rcircuit.of_gates 5
+      [ Mct.not_ 0; Mct.cnot 0 1; Mct.toffoli 0 1 2;
+        Mct.of_controls [ (0, true); (1, true); (2, true) ] 3 ]
+  in
+  let s = Rcircuit.stats c in
+  Alcotest.(check int) "gate count" 4 s.Rcircuit.gate_count;
+  Alcotest.(check int) "not count" 1 s.Rcircuit.not_count;
+  Alcotest.(check int) "cnot count" 1 s.Rcircuit.cnot_count;
+  Alcotest.(check int) "toffoli count" 1 s.Rcircuit.toffoli_count;
+  Alcotest.(check int) "larger count" 1 s.Rcircuit.larger_count;
+  Alcotest.(check bool) "cost positive" true (s.Rcircuit.quantum_cost > 7)
+
+let test_gate_exceeding_lines () =
+  let c = Rcircuit.empty 2 in
+  match Rcircuit.add c (Mct.cnot 0 5) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "out-of-range gate accepted"
+
+let prop_to_perm_bijective =
+  Helpers.prop "every MCT cascade computes a permutation" (Helpers.rcircuit_gen 5 12)
+    (fun c ->
+      (* Perm.of_array validates bijectivity *)
+      ignore (Rsim.to_perm c);
+      true)
+
+let prop_reverse_inverts =
+  Helpers.prop "reverse computes the inverse permutation" (Helpers.rcircuit_gen 5 10)
+    (fun c ->
+      let p = Rsim.to_perm c and q = Rsim.to_perm (Rcircuit.reverse c) in
+      Logic.Perm.is_identity (Logic.Perm.compose p q))
+
+let prop_run_matches_perm =
+  Helpers.prop "run agrees with to_perm"
+    QCheck2.Gen.(pair (Helpers.rcircuit_gen 4 8) (int_bound 15))
+    (fun (c, x) -> Rsim.run c x = Logic.Perm.apply (Rsim.to_perm c) x)
+
+let () =
+  Alcotest.run "rcircuit"
+    [ ( "mct",
+        [ Alcotest.test_case "constructors" `Quick test_mct_constructors;
+          Alcotest.test_case "negative controls" `Quick test_negative_controls;
+          Alcotest.test_case "validation" `Quick test_mct_validation;
+          Alcotest.test_case "self inverse" `Quick test_self_inverse ] );
+      ( "rcircuit",
+        [ Alcotest.test_case "basics" `Quick test_circuit_basics;
+          Alcotest.test_case "append" `Quick test_append;
+          Alcotest.test_case "map_lines" `Quick test_map_lines;
+          Alcotest.test_case "stats" `Quick test_stats;
+          Alcotest.test_case "line bound" `Quick test_gate_exceeding_lines;
+          prop_to_perm_bijective;
+          prop_reverse_inverts;
+          prop_run_matches_perm ] ) ]

@@ -1,0 +1,79 @@
+open Rev
+module Perm = Logic.Perm
+
+let test_swap_pattern_minimized () =
+  (* three CNOTs + a redundant one on two lines: the window engine finds
+     the 2-gate minimum for the combined permutation *)
+  let c = Rcircuit.of_gates 4 [ Mct.cnot 0 1; Mct.cnot 1 0; Mct.cnot 0 1; Mct.cnot 0 1 ] in
+  let p = Rsim.to_perm c in
+  let c' = Resynth.optimize c in
+  Alcotest.(check bool) "function preserved" true (Rsim.realizes c' p);
+  Alcotest.(check int) "minimal window" 2 (Rcircuit.num_gates c')
+
+let test_identity_window_vanishes () =
+  (* a gate followed by itself across a commuting neighbour *)
+  let g = Mct.toffoli 0 1 2 in
+  let c = Rcircuit.of_gates 3 [ g; g ] in
+  Alcotest.(check int) "cancelled" 0 (Rcircuit.num_gates (Resynth.optimize c))
+
+let test_wide_gates_untouched () =
+  (* windows never cover gates whose support exceeds max_lines *)
+  let g = Mct.of_controls [ (0, true); (1, true); (2, true) ] 3 in
+  let c = Rcircuit.of_gates 4 [ g; g ] in
+  (* support is 4 lines: the window engine skips, so both gates remain
+     (Rsimp would cancel them — the passes are complementary) *)
+  let c' = Resynth.optimize c in
+  Alcotest.(check bool) "function preserved" true
+    (Perm.equal (Rsim.to_perm c) (Rsim.to_perm c'))
+
+let test_improves_cycle_synthesis () =
+  (* cycle-based synthesis is gate-hungry; resynthesis recovers some *)
+  let p = Logic.Funcgen.hwb 4 in
+  let c = Cycle_synth.synth p in
+  let c' = Resynth.optimize (Rsimp.simplify c) in
+  Alcotest.(check bool) "still realizes hwb4" true (Rsim.realizes c' p);
+  Alcotest.(check bool) "strictly smaller than raw cycle output" true
+    (Rcircuit.num_gates c' < Rcircuit.num_gates c)
+
+let test_exact_output_is_fixpoint () =
+  (* a minimal circuit cannot be improved *)
+  let p = Perm.random (Helpers.rng 3) 3 in
+  let c = Exact_synth.synth p in
+  Alcotest.(check int) "fixpoint" (Rcircuit.num_gates c)
+    (Rcircuit.num_gates (Resynth.optimize c))
+
+let prop_preserves_function =
+  Helpers.prop "resynthesis preserves the permutation" ~count:80
+    (Helpers.rcircuit_gen 5 12)
+    (fun c -> Perm.equal (Rsim.to_perm c) (Rsim.to_perm (Resynth.optimize c)))
+
+let prop_never_grows =
+  Helpers.prop "resynthesis never grows" (Helpers.rcircuit_gen 5 12) (fun c ->
+      Rcircuit.num_gates (Resynth.optimize c) <= Rcircuit.num_gates c)
+
+let prop_composes_with_rsimp =
+  Helpers.prop "rsimp then resynth preserves and never grows" ~count:50
+    (Helpers.rcircuit_gen 4 12)
+    (fun c ->
+      let c' = Resynth.optimize (Rsimp.simplify c) in
+      Perm.equal (Rsim.to_perm c) (Rsim.to_perm c')
+      && Rcircuit.num_gates c' <= Rcircuit.num_gates c)
+
+let test_shell_command () =
+  let out = Core.Shell.run_script "revgen hwb 4; cycle; revsimp; resynth; verify" in
+  Alcotest.(check bool) "shell resynth verifies" true
+    (Helpers.contains ~needle:"verify: reversible circuit OK" out);
+  Alcotest.(check bool) "resynth line present" true (Helpers.contains ~needle:"resynth:" out)
+
+let () =
+  Alcotest.run "resynth"
+    [ ( "resynth",
+        [ Alcotest.test_case "swap pattern" `Quick test_swap_pattern_minimized;
+          Alcotest.test_case "identity window" `Quick test_identity_window_vanishes;
+          Alcotest.test_case "wide gates untouched" `Quick test_wide_gates_untouched;
+          Alcotest.test_case "improves cycle synthesis" `Quick test_improves_cycle_synthesis;
+          Alcotest.test_case "exact output is a fixpoint" `Quick test_exact_output_is_fixpoint;
+          Alcotest.test_case "shell command" `Quick test_shell_command;
+          prop_preserves_function;
+          prop_never_grows;
+          prop_composes_with_rsimp ] ) ]

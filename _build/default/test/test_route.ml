@@ -1,0 +1,78 @@
+open Qc
+
+let test_already_lnn () =
+  let c = Circuit.of_gates 3 [ Gate.H 0; Gate.Cnot (0, 1); Gate.Cnot (1, 2) ] in
+  let r = Route.lnn c in
+  Alcotest.(check int) "no swaps" 0 r.Route.swaps_inserted;
+  Alcotest.(check bool) "unchanged" true (Circuit.gates r.Route.circuit = Circuit.gates c);
+  Alcotest.(check (array int)) "identity placement" [| 0; 1; 2 |] r.Route.final_placement
+
+let test_distant_cnot () =
+  let c = Circuit.of_gates 4 [ Gate.Cnot (0, 3) ] in
+  let r = Route.lnn c in
+  Alcotest.(check int) "two swaps" 2 r.Route.swaps_inserted;
+  Alcotest.(check bool) "now lnn" true (Route.is_lnn r.Route.circuit);
+  Alcotest.(check bool) "verified" true (Route.verify ~original:c r)
+
+let test_is_lnn_detector () =
+  Alcotest.(check bool) "adjacent ok" true
+    (Route.is_lnn (Circuit.of_gates 3 [ Gate.Cz (1, 2) ]));
+  Alcotest.(check bool) "distant not ok" false
+    (Route.is_lnn (Circuit.of_gates 3 [ Gate.Cz (0, 2) ]))
+
+let test_three_qubit_rejected () =
+  match Route.lnn (Circuit.of_gates 3 [ Gate.Ccx (0, 1, 2) ]) with
+  | exception Route.Not_two_qubit _ -> ()
+  | _ -> Alcotest.fail "3-qubit gate accepted (compile first)"
+
+let test_placement_tracked () =
+  (* after routing, 1-qubit gates land on the moved positions *)
+  let c = Circuit.of_gates 3 [ Gate.Cnot (0, 2); Gate.T 0; Gate.T 2 ] in
+  let r = Route.lnn c in
+  Alcotest.(check bool) "verified" true (Route.verify ~original:c r);
+  (* every logical qubit has a unique physical slot *)
+  let sorted = List.sort compare (Array.to_list r.Route.final_placement) in
+  Alcotest.(check (list int)) "placement is a permutation" [ 0; 1; 2 ] sorted
+
+let test_compiled_flow_routes () =
+  (* full pipeline: synthesize, compile, route, verify *)
+  let p = Logic.Funcgen.hwb 4 in
+  let circuit, _ = Core.Flow.compile_perm p in
+  let r = Route.lnn circuit in
+  Alcotest.(check bool) "lnn after routing" true (Route.is_lnn r.Route.circuit);
+  Alcotest.(check bool) "still correct" true (Route.verify ~original:circuit r);
+  Alcotest.(check bool) "swap overhead positive" true (r.Route.swaps_inserted > 0)
+
+let prop_routing_preserves_semantics =
+  Helpers.prop "routing preserves the unitary up to final placement" ~count:60
+    (Helpers.qcircuit_gen ~diagonals:false 5 15)
+    (fun c ->
+      let two_qubit_only =
+        List.for_all (fun g -> List.length (Gate.qubits g) <= 2) (Circuit.gates c)
+      in
+      if not two_qubit_only then true
+      else
+        let r = Route.lnn c in
+        Route.is_lnn r.Route.circuit && Route.verify ~original:c r)
+
+let prop_swap_overhead_bounded =
+  Helpers.prop "swap overhead is at most (n-1) per 2-qubit gate" ~count:40
+    (Helpers.qcircuit_gen ~diagonals:false 5 20)
+    (fun c ->
+      let two_q =
+        Circuit.count_matching (fun g -> List.length (Gate.qubits g) = 2) c
+      in
+      let r = Route.lnn c in
+      r.Route.swaps_inserted <= two_q * (Circuit.num_qubits c - 1))
+
+let () =
+  Alcotest.run "route"
+    [ ( "route",
+        [ Alcotest.test_case "already LNN" `Quick test_already_lnn;
+          Alcotest.test_case "distant CNOT" `Quick test_distant_cnot;
+          Alcotest.test_case "LNN detector" `Quick test_is_lnn_detector;
+          Alcotest.test_case "3-qubit rejected" `Quick test_three_qubit_rejected;
+          Alcotest.test_case "placement tracked" `Quick test_placement_tracked;
+          Alcotest.test_case "compiled flow routes" `Quick test_compiled_flow_routes;
+          prop_routing_preserves_semantics;
+          prop_swap_overhead_bounded ] ) ]

@@ -1,0 +1,84 @@
+open Rev
+module Perm = Logic.Perm
+
+let test_adjacent_cancellation () =
+  let g = Mct.toffoli 0 1 2 in
+  let c = Rcircuit.of_gates 3 [ g; g ] in
+  Alcotest.(check int) "pair cancels" 0 (Rcircuit.num_gates (Rsimp.simplify c))
+
+let test_polarity_merge () =
+  (* C(a, b)X ; C(a, !b)X == C(a)X *)
+  let g1 = Mct.of_controls [ (0, true); (1, true) ] 2 in
+  let g2 = Mct.of_controls [ (0, true); (1, false) ] 2 in
+  let c = Rcircuit.of_gates 3 [ g1; g2 ] in
+  let c' = Rsimp.simplify c in
+  Alcotest.(check int) "merged to one" 1 (Rcircuit.num_gates c');
+  Alcotest.(check bool) "same function" true
+    (Perm.equal (Rsim.to_perm c) (Rsim.to_perm c'));
+  match Rcircuit.gates c' with
+  | [ g ] -> Alcotest.(check int) "single control" 1 (Mct.num_controls g)
+  | _ -> Alcotest.fail "expected one gate"
+
+let test_presence_merge () =
+  (* C(a,b)X ; C(a)X == C(a,!b)X *)
+  let g1 = Mct.of_controls [ (0, true); (1, true) ] 2 in
+  let g2 = Mct.of_controls [ (0, true) ] 2 in
+  let c = Rcircuit.of_gates 3 [ g1; g2 ] in
+  let c' = Rsimp.simplify c in
+  Alcotest.(check int) "merged" 1 (Rcircuit.num_gates c');
+  Alcotest.(check bool) "same function" true (Perm.equal (Rsim.to_perm c) (Rsim.to_perm c'))
+
+let test_cancellation_across_commuting () =
+  (* X(0) ; CNOT(1->2) ; X(0): the NOTs meet across the commuting CNOT *)
+  let c = Rcircuit.of_gates 3 [ Mct.not_ 0; Mct.cnot 1 2; Mct.not_ 0 ] in
+  let c' = Rsimp.simplify c in
+  Alcotest.(check int) "one gate left" 1 (Rcircuit.num_gates c');
+  Alcotest.(check bool) "same function" true (Perm.equal (Rsim.to_perm c) (Rsim.to_perm c'))
+
+let test_blocked_by_noncommuting () =
+  (* X(0) ; CNOT(0->1) ; X(0) must NOT cancel blindly *)
+  let c = Rcircuit.of_gates 2 [ Mct.not_ 0; Mct.cnot 0 1; Mct.not_ 0 ] in
+  let c' = Rsimp.simplify c in
+  Alcotest.(check bool) "function preserved" true (Perm.equal (Rsim.to_perm c) (Rsim.to_perm c'))
+
+let test_eq5_shrinks_hwb4 () =
+  (* the revsimp step of Eq. (5) should not grow the circuit *)
+  let p = Logic.Funcgen.hwb 4 in
+  let c = Tbs.synth p in
+  let c' = Rsimp.simplify c in
+  Alcotest.(check bool) "no growth" true (Rcircuit.num_gates c' <= Rcircuit.num_gates c);
+  Alcotest.(check bool) "still realizes hwb4" true (Rsim.realizes c' p)
+
+let prop_preserves_function =
+  Helpers.prop "simplify preserves the permutation" ~count:150 (Helpers.rcircuit_gen 4 14)
+    (fun c -> Perm.equal (Rsim.to_perm c) (Rsim.to_perm (Rsimp.simplify c)))
+
+let prop_never_grows =
+  Helpers.prop "simplify never grows the gate count" (Helpers.rcircuit_gen 4 12) (fun c ->
+      Rcircuit.num_gates (Rsimp.simplify c) <= Rcircuit.num_gates c)
+
+let prop_idempotent =
+  Helpers.prop "simplify is idempotent" ~count:60 (Helpers.rcircuit_gen 4 10) (fun c ->
+      let once = Rsimp.simplify c in
+      Rcircuit.num_gates (Rsimp.simplify once) = Rcircuit.num_gates once)
+
+let prop_doubled_circuit_cancels =
+  Helpers.prop "circuit followed by its reverse simplifies to identity" ~count:40
+    (Helpers.rcircuit_gen 4 6)
+    (fun c ->
+      let cc = Rcircuit.append c (Rcircuit.reverse c) in
+      Perm.is_identity (Rsim.to_perm (Rsimp.simplify cc)))
+
+let () =
+  Alcotest.run "rsimp"
+    [ ( "rsimp",
+        [ Alcotest.test_case "adjacent cancellation" `Quick test_adjacent_cancellation;
+          Alcotest.test_case "polarity merge" `Quick test_polarity_merge;
+          Alcotest.test_case "presence merge" `Quick test_presence_merge;
+          Alcotest.test_case "cancel across commuting" `Quick test_cancellation_across_commuting;
+          Alcotest.test_case "non-commuting blocked" `Quick test_blocked_by_noncommuting;
+          Alcotest.test_case "Eq. 5 revsimp on hwb4" `Quick test_eq5_shrinks_hwb4;
+          prop_preserves_function;
+          prop_never_grows;
+          prop_idempotent;
+          prop_doubled_circuit_cancels ] ) ]

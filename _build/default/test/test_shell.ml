@@ -1,0 +1,163 @@
+module Shell = Core.Shell
+
+let run script = Shell.run_script script
+
+let test_eq5_script () =
+  (* the paper's Eq. (5) command sequence *)
+  let out = run "revgen hwb 4; tbs; revsimp; cliffordt; tpar; ps" in
+  List.iter
+    (fun needle -> Alcotest.(check bool) needle true (Helpers.contains ~needle out))
+    [ "loaded hwb(4)"; "tbs:"; "revsimp:"; "cliffordt:"; "T-count"; "tpar:";
+      "reversible:"; "quantum:" ]
+
+let test_verify_command () =
+  let out = run "revgen hwb 4; tbs; verify" in
+  Alcotest.(check bool) "reversible verify" true
+    (Helpers.contains ~needle:"verify: reversible circuit OK" out);
+  let out = run "revgen hwb 4; tbs; cliffordt; verify" in
+  Alcotest.(check bool) "quantum verify" true
+    (Helpers.contains ~needle:"verify: quantum circuit OK" out)
+
+let test_dbs_and_perm_literal () =
+  let out = run "perm 0 2 3 5 7 1 4 6; dbs; verify" in
+  Alcotest.(check bool) "dbs on paper pi" true
+    (Helpers.contains ~needle:"verify: reversible circuit OK" out)
+
+let test_expr_esop_flow () =
+  let out = run "expr (a & b) ^ (c & d); esop; ps" in
+  Alcotest.(check bool) "loaded" true (Helpers.contains ~needle:"loaded expression on 4" out);
+  Alcotest.(check bool) "esop ran" true (Helpers.contains ~needle:"esop:" out)
+
+let test_tt_command () =
+  let out = run "tt 0110; esop" in
+  Alcotest.(check bool) "loaded tt" true
+    (Helpers.contains ~needle:"loaded truth table on 2 variables" out)
+
+let test_embed_command () =
+  let out = run "revgen maj 3; embed; tbs; verify" in
+  Alcotest.(check bool) "embed reports mu" true (Helpers.contains ~needle:"mu = " out);
+  Alcotest.(check bool) "synthesized embedding" true
+    (Helpers.contains ~needle:"verify: reversible circuit OK" out)
+
+let test_hier_command () =
+  let out = run "revgen parity 4; hier; ps" in
+  Alcotest.(check bool) "ancillae reported" true (Helpers.contains ~needle:"ancillae" out)
+
+let test_simulate_command () =
+  (* hwb(4) maps 0b0011 to 0b1100 = 12 *)
+  let out = run "revgen hwb 4; tbs; simulate 3" in
+  Alcotest.(check bool) "simulation value" true (Helpers.contains ~needle:"f(3) = 12" out)
+
+let test_draw_and_qasm () =
+  let out = run "perm 0 1 3 2; tbs; cliffordt; draw" in
+  Alcotest.(check bool) "drawing present" true (Helpers.contains ~needle:"q0 :" out);
+  let out = run "perm 0 1 3 2; tbs; cliffordt; write_qasm -" in
+  Alcotest.(check bool) "qasm header" true (Helpers.contains ~needle:"OPENQASM 2.0" out)
+
+let test_qsharp_command () =
+  let out = run "perm 0 2 3 5 7 1 4 6; tbs; cliffordt; qsharp PermutationOracle" in
+  Alcotest.(check bool) "Q# operation" true
+    (Helpers.contains ~needle:"operation PermutationOracle" out)
+
+let test_random_perm_seeded () =
+  let a = run "random_perm 4 7; tbs; ps" and b = run "random_perm 4 7; tbs; ps" in
+  Alcotest.(check string) "deterministic by seed" a b
+
+let test_errors () =
+  List.iter
+    (fun (script, fragment) ->
+      match run script with
+      | exception Shell.Error msg ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s -> %s" script fragment)
+            true (Helpers.contains ~needle:fragment msg)
+      | out -> Alcotest.failf "expected error for %s, got %s" script out)
+    [ ("tbs", "no permutation");
+      ("esop", "no function");
+      ("revsimp", "no reversible circuit");
+      ("tpar", "no quantum circuit");
+      ("revgen nosuch 4", "unknown generator");
+      ("frobnicate", "unknown command");
+      ("perm 0 0", "not injective");
+      ("revgen hwb", "missing argument");
+      ("expr a &", "expr:") ]
+
+let test_help () =
+  Alcotest.(check bool) "help lists commands" true (Helpers.contains ~needle:"revgen" (run "help"))
+
+let test_tbs_basic_flag () =
+  let out = run "revgen hwb 4; tbs -b; verify" in
+  Alcotest.(check bool) "basic variant works" true
+    (Helpers.contains ~needle:"verify: reversible circuit OK" out)
+
+let test_no_rccx_flag () =
+  let with_rccx = run "revgen hwb 5; tbs; cliffordt" in
+  let without = run "revgen hwb 5; tbs; cliffordt --no-rccx" in
+  let t_of out =
+    (* parse "T-count <n>" *)
+    let words = String.split_on_char ' ' out in
+    let rec find = function
+      | "T-count" :: n :: _ -> int_of_string (String.trim (List.hd (String.split_on_char ',' n)))
+      | _ :: rest -> find rest
+      | [] -> -1
+    in
+    find words
+  in
+  Alcotest.(check bool) "rccx ladder lowers T-count" true (t_of with_rccx <= t_of without)
+
+let test_cycle_exact_commands () =
+  let out = run "perm 0 2 3 5 7 1 4 6; cycle; verify" in
+  Alcotest.(check bool) "cycle verifies" true
+    (Helpers.contains ~needle:"verify: reversible circuit OK" out);
+  let out = run "perm 0 2 3 5 7 1 4 6; exact; verify" in
+  Alcotest.(check bool) "exact verifies" true
+    (Helpers.contains ~needle:"verify: reversible circuit OK" out);
+  Alcotest.(check bool) "minimality reported" true
+    (Helpers.contains ~needle:"provably minimal" out)
+
+let test_bdd_lut_commands () =
+  let out = run "revgen maj 5; bdd; ps" in
+  Alcotest.(check bool) "bdd ancillae" true (Helpers.contains ~needle:"ancillae" out);
+  let out = run "revgen maj 5; lut 4; ps" in
+  Alcotest.(check bool) "lut header" true (Helpers.contains ~needle:"lut(k=4):" out)
+
+let test_adder_command () =
+  (* Cuccaro layout: carry on line 0, a on lines 1-2, b on lines 3-4.
+     Input word 10 = 0b01010 encodes a = 1, b = 1; the sum replaces b,
+     so the output is 0b10010 = 18. *)
+  let out = run "adder 2; simulate 10" in
+  Alcotest.(check bool) "adder simulate" true (Helpers.contains ~needle:"f(10) = 18" out)
+
+let test_route_command () =
+  let out = run "perm 0 2 3 5 7 1 4 6; tbs; cliffordt; route; ps" in
+  Alcotest.(check bool) "route reports swaps" true (Helpers.contains ~needle:"SWAPs" out)
+
+let test_stabsim_command () =
+  (* a Clifford-only reversible circuit (CNOT chain) can be stab-simulated *)
+  let out = run "perm 0 1 3 2; tbs; cliffordt; stabsim" in
+  Alcotest.(check bool) "stabsim deterministic" true
+    (Helpers.contains ~needle:"deterministic" out)
+
+let () =
+  Alcotest.run "shell"
+    [ ( "shell",
+        [ Alcotest.test_case "Eq. 5 script" `Quick test_eq5_script;
+          Alcotest.test_case "verify" `Quick test_verify_command;
+          Alcotest.test_case "dbs + literal perm" `Quick test_dbs_and_perm_literal;
+          Alcotest.test_case "expr + esop" `Quick test_expr_esop_flow;
+          Alcotest.test_case "tt" `Quick test_tt_command;
+          Alcotest.test_case "embed" `Quick test_embed_command;
+          Alcotest.test_case "hier" `Quick test_hier_command;
+          Alcotest.test_case "simulate" `Quick test_simulate_command;
+          Alcotest.test_case "draw + qasm" `Quick test_draw_and_qasm;
+          Alcotest.test_case "qsharp" `Quick test_qsharp_command;
+          Alcotest.test_case "seeded random_perm" `Quick test_random_perm_seeded;
+          Alcotest.test_case "errors" `Quick test_errors;
+          Alcotest.test_case "help" `Quick test_help;
+          Alcotest.test_case "tbs -b" `Quick test_tbs_basic_flag;
+          Alcotest.test_case "--no-rccx" `Quick test_no_rccx_flag;
+          Alcotest.test_case "cycle and exact" `Quick test_cycle_exact_commands;
+          Alcotest.test_case "bdd and lut" `Quick test_bdd_lut_commands;
+          Alcotest.test_case "adder" `Quick test_adder_command;
+          Alcotest.test_case "route" `Quick test_route_command;
+          Alcotest.test_case "stabsim" `Quick test_stabsim_command ] ) ]

@@ -1,0 +1,169 @@
+(* Tests for the additional synthesis methods: cycle-based, exact (BFS),
+   and BDD-based hierarchical synthesis. *)
+
+open Rev
+module Perm = Logic.Perm
+module Funcgen = Logic.Funcgen
+
+(* ---- cycle-based ---- *)
+
+let test_cycle_transposition () =
+  (* a single swap of two adjacent codes is one fully controlled gate *)
+  let p = Perm.of_list [ 0; 1; 3; 2 ] in
+  let c = Cycle_synth.synth p in
+  Alcotest.(check bool) "realizes" true (Rsim.realizes c p);
+  Alcotest.(check int) "single gate" 1 (Rcircuit.num_gates c)
+
+let test_cycle_identity () =
+  Alcotest.(check int) "identity empty" 0 (Rcircuit.num_gates (Cycle_synth.synth (Perm.identity 4)))
+
+let test_cycle_long_cycle () =
+  let p = Funcgen.cycle_shift 4 in
+  let c = Cycle_synth.synth p in
+  Alcotest.(check bool) "full 16-cycle" true (Rsim.realizes c p)
+
+let test_cycle_exhaustive_n2 () =
+  let rec perms = function
+    | [] -> [ [] ]
+    | l -> List.concat_map (fun x -> List.map (fun r -> x :: r) (perms (List.filter (( <> ) x) l))) l
+  in
+  List.iter
+    (fun pts ->
+      let p = Perm.of_list pts in
+      Alcotest.(check bool) "n=2" true (Rsim.realizes (Cycle_synth.synth p) p))
+    (perms [ 0; 1; 2; 3 ])
+
+let prop_cycle_roundtrip n =
+  Helpers.prop
+    (Printf.sprintf "cycle synthesis round-trips on %d variables" n)
+    ~count:(if n >= 5 then 25 else 60)
+    (Helpers.perm_gen n)
+    (fun p -> Rsim.realizes (Cycle_synth.synth p) p)
+
+(* ---- exact ---- *)
+
+let test_exact_known_minima () =
+  (* NOT is 1 gate; CNOT is 1 gate; SWAP needs 3 *)
+  Alcotest.(check int) "not" 1 (Exact_synth.min_gates (Perm.xor_shift 2 1));
+  let cnot = Perm.of_array ~n:2 [| 0; 3; 2; 1 |] in
+  (* x1 ^= x0: 0->0 1->3 2->2 3->1 *)
+  Alcotest.(check int) "cnot" 1 (Exact_synth.min_gates cnot);
+  let swap = Perm.of_array ~n:2 [| 0; 2; 1; 3 |] in
+  Alcotest.(check int) "swap needs 3" 3 (Exact_synth.min_gates swap)
+
+let test_exact_identity () =
+  Alcotest.(check int) "identity is 0 gates" 0 (Exact_synth.min_gates (Perm.identity 3));
+  Alcotest.(check int) "empty circuit" 0 (Rcircuit.num_gates (Exact_synth.synth (Perm.identity 3)))
+
+let test_exact_never_worse_than_heuristics () =
+  let st = Helpers.rng 41 in
+  for _ = 1 to 25 do
+    let p = Perm.random st 3 in
+    let exact = Exact_synth.min_gates p in
+    Alcotest.(check bool) "<= tbs" true (exact <= Rcircuit.num_gates (Tbs.synth p));
+    Alcotest.(check bool) "<= dbs" true (exact <= Rcircuit.num_gates (Dbs.synth p));
+    Alcotest.(check bool) "<= cycle" true (exact <= Rcircuit.num_gates (Cycle_synth.synth p))
+  done
+
+let test_exact_rejects_large () =
+  match Exact_synth.synth (Perm.identity 4) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "n=4 accepted"
+
+let prop_exact_roundtrip =
+  Helpers.prop "exact synthesis realizes the permutation with min_gates gates"
+    ~count:40 (Helpers.perm_gen 3)
+    (fun p ->
+      let c = Exact_synth.synth p in
+      Rsim.realizes c p && Rcircuit.num_gates c = Exact_synth.min_gates p)
+
+(* ---- BDD-based ---- *)
+
+let test_bdd_single_outputs () =
+  List.iter
+    (fun (name, tt) ->
+      let c, lay = Bdd_synth.synth [ tt ] in
+      Alcotest.(check bool) name true (Bdd_synth.check (c, lay) [ tt ]))
+    [ ("maj5", Funcgen.majority 5);
+      ("parity6", Funcgen.parity 6);
+      ("thresh5_2", Funcgen.threshold 5 2);
+      ("const0", Logic.Truth_table.create 3);
+      ("const1", Logic.Truth_table.const 3 true) ]
+
+let test_bdd_multi_output_sharing () =
+  (* shared BDD nodes are synthesized once: the adder's outputs share
+     carry logic, so ancillae < sum of single-output ancillae *)
+  let fs = Funcgen.adder_outputs 2 in
+  let _, lay_shared = Bdd_synth.synth fs in
+  let separate =
+    List.fold_left (fun acc f -> acc + (snd (Bdd_synth.synth [ f ])).Bdd_synth.ancillae) 0 fs
+  in
+  Alcotest.(check bool) "sharing helps" true (lay_shared.Bdd_synth.ancillae < separate);
+  let c, lay = Bdd_synth.synth fs in
+  Alcotest.(check bool) "adder correct" true (Bdd_synth.check (c, lay) fs)
+
+let test_bdd_parity_is_linear_size () =
+  (* the parity ROBDD is linear: 2 nodes per level below the root (the
+     function and its complement — we have no complement edges), 2n-1
+     total. Linear, where the minterm/ESOP view is exponential. *)
+  let _, lay = Bdd_synth.synth [ Funcgen.parity 8 ] in
+  Alcotest.(check int) "2n-1 ancillae" 15 lay.Bdd_synth.ancillae
+
+let prop_bdd_roundtrip =
+  Helpers.prop "BDD synthesis realizes random functions" ~count:40 (Helpers.tt_gen 4)
+    (fun f ->
+      let c, lay = Bdd_synth.synth [ f ] in
+      Bdd_synth.check (c, lay) [ f ])
+
+let prop_bdd_two_outputs =
+  Helpers.prop "BDD synthesis on 2-output functions" ~count:25
+    QCheck2.Gen.(pair (Helpers.tt_gen 4) (Helpers.tt_gen 4))
+    (fun (f, g) ->
+      let c, lay = Bdd_synth.synth [ f; g ] in
+      Bdd_synth.check (c, lay) [ f; g ])
+
+(* ---- flow integration ---- *)
+
+let test_flow_new_methods () =
+  let p = Perm.random (Helpers.rng 77) 3 in
+  List.iter
+    (fun synth ->
+      let circuit, _ = Core.Flow.compile_perm ~options:{ Core.Flow.default with synth } p in
+      Alcotest.(check bool) "flow verifies" true (Core.Flow.verify_perm p circuit))
+    [ Core.Flow.Cycle; Core.Flow.Exact ];
+  let f = Funcgen.majority 3 in
+  let circuit, _ =
+    Core.Flow.compile_function ~options:{ Core.Flow.default with synth = Core.Flow.Bdd_hier }
+      [ f ]
+  in
+  match Qc.Unitary.is_permutation (Qc.Unitary.of_circuit circuit) with
+  | Some table ->
+      for x = 0 to 7 do
+        Alcotest.(check bool) "bdd flow output" (Logic.Truth_table.get f x)
+          (Logic.Bitops.bit table.(x) 3)
+      done
+  | None -> Alcotest.fail "not classical"
+
+let () =
+  Alcotest.run "synth_extra"
+    [ ( "cycle",
+        [ Alcotest.test_case "transposition" `Quick test_cycle_transposition;
+          Alcotest.test_case "identity" `Quick test_cycle_identity;
+          Alcotest.test_case "long cycle" `Quick test_cycle_long_cycle;
+          Alcotest.test_case "exhaustive n=2" `Quick test_cycle_exhaustive_n2;
+          prop_cycle_roundtrip 3;
+          prop_cycle_roundtrip 5 ] );
+      ( "exact",
+        [ Alcotest.test_case "known minima" `Quick test_exact_known_minima;
+          Alcotest.test_case "identity" `Quick test_exact_identity;
+          Alcotest.test_case "never worse" `Quick test_exact_never_worse_than_heuristics;
+          Alcotest.test_case "large rejected" `Quick test_exact_rejects_large;
+          prop_exact_roundtrip ] );
+      ( "bdd_synth",
+        [ Alcotest.test_case "single outputs" `Quick test_bdd_single_outputs;
+          Alcotest.test_case "multi-output sharing" `Quick test_bdd_multi_output_sharing;
+          Alcotest.test_case "parity linear" `Quick test_bdd_parity_is_linear_size;
+          prop_bdd_roundtrip;
+          prop_bdd_two_outputs ] );
+      ( "flow",
+        [ Alcotest.test_case "new methods in the flow" `Quick test_flow_new_methods ] ) ]

@@ -1,0 +1,86 @@
+open Rev
+module Perm = Logic.Perm
+
+let exhaustive_n2 () =
+  (* all 24 permutations of B^2 synthesize correctly, both variants *)
+  let rec perms = function
+    | [] -> [ [] ]
+    | l -> List.concat_map (fun x -> List.map (fun r -> x :: r) (perms (List.filter (( <> ) x) l))) l
+  in
+  List.iter
+    (fun pts ->
+      let p = Perm.of_list pts in
+      Alcotest.(check bool) "basic" true (Rsim.realizes (Tbs.basic p) p);
+      Alcotest.(check bool) "bidirectional" true (Rsim.realizes (Tbs.bidirectional p) p))
+    (perms [ 0; 1; 2; 3 ])
+
+let test_identity_is_empty () =
+  let c = Tbs.synth (Perm.identity 4) in
+  Alcotest.(check int) "no gates for identity" 0 (Rcircuit.num_gates c)
+
+let test_single_not () =
+  (* x -> x ^ 1 should synthesize to one NOT gate *)
+  let p = Perm.xor_shift 3 0b001 in
+  let c = Tbs.synth p in
+  Alcotest.(check bool) "realizes" true (Rsim.realizes c p);
+  Alcotest.(check int) "one gate" 1 (Rcircuit.num_gates c)
+
+let test_hwb4_matches_paper_flow () =
+  (* the Eq. (5) benchmark *)
+  let p = Logic.Funcgen.hwb 4 in
+  let c = Tbs.synth p in
+  Alcotest.(check bool) "realizes hwb4" true (Rsim.realizes c p);
+  let s = Rcircuit.stats c in
+  (* RevKit's TBS lands in the same ballpark (paper-era: ~17-23 gates) *)
+  Alcotest.(check bool) "reasonable gate count" true
+    (s.Rcircuit.gate_count >= 10 && s.Rcircuit.gate_count <= 30)
+
+let test_bidirectional_never_worse_avg () =
+  (* aggregate over a deterministic family: the bidirectional variant should
+     win on average (its whole point) *)
+  let st = Helpers.rng 5 in
+  let total_basic = ref 0 and total_bidi = ref 0 in
+  for _ = 1 to 30 do
+    let p = Perm.random st 5 in
+    total_basic := !total_basic + Rcircuit.num_gates (Tbs.basic p);
+    total_bidi := !total_bidi + Rcircuit.num_gates (Tbs.bidirectional p)
+  done;
+  Alcotest.(check bool) "bidirectional <= basic on average" true (!total_bidi <= !total_basic)
+
+let prop_basic_roundtrip n =
+  Helpers.prop
+    (Printf.sprintf "basic TBS round-trips on %d variables" n)
+    ~count:(if n >= 6 then 20 else 80)
+    (Helpers.perm_gen n)
+    (fun p -> Rsim.realizes (Tbs.basic p) p)
+
+let prop_bidi_roundtrip n =
+  Helpers.prop
+    (Printf.sprintf "bidirectional TBS round-trips on %d variables" n)
+    ~count:(if n >= 6 then 20 else 80)
+    (Helpers.perm_gen n)
+    (fun p -> Rsim.realizes (Tbs.bidirectional p) p)
+
+let prop_inverse_composition =
+  Helpers.prop "circuit of p followed by circuit of p⁻¹ is the identity"
+    (Helpers.perm_gen 4)
+    (fun p ->
+      let c = Rcircuit.append (Tbs.synth p) (Tbs.synth (Perm.inverse p)) in
+      Perm.is_identity (Rsim.to_perm c))
+
+let () =
+  Alcotest.run "tbs"
+    [ ( "tbs",
+        [ Alcotest.test_case "exhaustive n=2" `Quick exhaustive_n2;
+          Alcotest.test_case "identity" `Quick test_identity_is_empty;
+          Alcotest.test_case "single NOT" `Quick test_single_not;
+          Alcotest.test_case "hwb4 (Eq. 5)" `Quick test_hwb4_matches_paper_flow;
+          Alcotest.test_case "bidirectional is better on average" `Quick
+            test_bidirectional_never_worse_avg;
+          prop_basic_roundtrip 3;
+          prop_basic_roundtrip 5;
+          prop_basic_roundtrip 6;
+          prop_bidi_roundtrip 3;
+          prop_bidi_roundtrip 5;
+          prop_bidi_roundtrip 6;
+          prop_inverse_composition ] ) ]

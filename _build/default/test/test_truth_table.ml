@@ -1,0 +1,145 @@
+open Logic
+
+let test_create_const () =
+  let t = Truth_table.create 3 in
+  Alcotest.(check bool) "all false" true (Truth_table.is_const t false);
+  Alcotest.(check bool) "not all true" false (Truth_table.is_const t true);
+  let t1 = Truth_table.const 3 true in
+  Alcotest.(check bool) "const true" true (Truth_table.is_const t1 true);
+  Alcotest.(check int) "count_ones" 8 (Truth_table.count_ones t1)
+
+let test_set_get () =
+  let t = Truth_table.create 4 in
+  Truth_table.set t 5 true;
+  Truth_table.set t 11 true;
+  Alcotest.(check bool) "get 5" true (Truth_table.get t 5);
+  Alcotest.(check bool) "get 6" false (Truth_table.get t 6);
+  Alcotest.(check int) "count" 2 (Truth_table.count_ones t);
+  Truth_table.set t 5 false;
+  Alcotest.(check bool) "cleared" false (Truth_table.get t 5)
+
+let test_var () =
+  let v1 = Truth_table.var 3 1 in
+  for x = 0 to 7 do
+    Alcotest.(check bool) "projection" (Bitops.bit x 1) (Truth_table.get v1 x)
+  done
+
+let test_large_tables () =
+  (* exercise the multi-word path (n > 6) *)
+  let t = Truth_table.of_fun 10 (fun x -> x mod 3 = 0) in
+  Alcotest.(check int) "count n=10" 342 (Truth_table.count_ones t);
+  let nt = Truth_table.not_ t in
+  Alcotest.(check int) "complement count" (1024 - 342) (Truth_table.count_ones nt);
+  Alcotest.(check bool) "xor with self is zero" true
+    (Truth_table.is_const (Truth_table.xor t t) false)
+
+let test_bool_algebra () =
+  let a = Truth_table.var 3 0 and b = Truth_table.var 3 1 in
+  let ab = Truth_table.and_ a b in
+  let a_or_b = Truth_table.or_ a b in
+  let axb = Truth_table.xor a b in
+  for x = 0 to 7 do
+    let va = Bitops.bit x 0 and vb = Bitops.bit x 1 in
+    Alcotest.(check bool) "and" (va && vb) (Truth_table.get ab x);
+    Alcotest.(check bool) "or" (va || vb) (Truth_table.get a_or_b x);
+    Alcotest.(check bool) "xor" (va <> vb) (Truth_table.get axb x)
+  done
+
+let test_cofactor () =
+  let f = Truth_table.of_fun 4 (fun x -> Bitops.popcount x >= 2) in
+  let f0 = Truth_table.cofactor f 2 false and f1 = Truth_table.cofactor f 2 true in
+  for y = 0 to 7 do
+    Alcotest.(check bool) "cofactor 0" (Truth_table.get f (Bitops.insert_bit y 2 false))
+      (Truth_table.get f0 y);
+    Alcotest.(check bool) "cofactor 1" (Truth_table.get f (Bitops.insert_bit y 2 true))
+      (Truth_table.get f1 y)
+  done
+
+let test_depends_on () =
+  let f = Truth_table.of_fun 4 (fun x -> Bitops.bit x 0 <> Bitops.bit x 2) in
+  Alcotest.(check bool) "depends 0" true (Truth_table.depends_on f 0);
+  Alcotest.(check bool) "ignores 1" false (Truth_table.depends_on f 1);
+  Alcotest.(check bool) "depends 2" true (Truth_table.depends_on f 2);
+  Alcotest.(check bool) "ignores 3" false (Truth_table.depends_on f 3)
+
+let test_shift_inputs () =
+  let f = Truth_table.of_fun 4 (fun x -> x = 3) in
+  let g = Truth_table.shift_inputs f 5 in
+  for x = 0 to 15 do
+    Alcotest.(check bool) "shifted" (Truth_table.get f (x lxor 5)) (Truth_table.get g x)
+  done
+
+let test_string_roundtrip () =
+  Alcotest.(check string) "xor string" "0110" (Truth_table.to_string (Truth_table.of_string "0110"));
+  let t = Truth_table.of_string "10010110" in
+  Alcotest.(check int) "arity from length" 3 (Truth_table.num_vars t);
+  Alcotest.(check bool) "msb is x=7" true (Truth_table.get t 7);
+  Alcotest.(check bool) "x=0 false" false (Truth_table.get t 0)
+
+let test_extend () =
+  let f = Truth_table.of_fun 2 (fun x -> x = 3) in
+  let g = Truth_table.extend f 4 in
+  for x = 0 to 15 do
+    Alcotest.(check bool) "extend ignores high vars" (x land 3 = 3) (Truth_table.get g x)
+  done
+
+let test_bad_inputs () =
+  Alcotest.check_raises "n too large"
+    (Invalid_argument "Truth_table: n = 30 out of range [0,24]") (fun () ->
+      ignore (Truth_table.create 30));
+  Alcotest.check_raises "bad string length"
+    (Invalid_argument "Truth_table.of_string: length not a power of 2") (fun () ->
+      ignore (Truth_table.of_string "011"))
+
+let prop_string_roundtrip =
+  Helpers.prop "to_string/of_string roundtrip" (Helpers.tt_gen 5) (fun t ->
+      Truth_table.equal t (Truth_table.of_string (Truth_table.to_string t)))
+
+let prop_double_shift =
+  Helpers.prop "shift twice is identity"
+    QCheck2.Gen.(pair (Helpers.tt_gen 6) (int_bound 63))
+    (fun (t, s) -> Truth_table.equal t (Truth_table.shift_inputs (Truth_table.shift_inputs t s) s))
+
+let prop_demorgan =
+  Helpers.prop "De Morgan on tables"
+    QCheck2.Gen.(pair (Helpers.tt_gen 5) (Helpers.tt_gen 5))
+    (fun (a, b) ->
+      Truth_table.equal
+        (Truth_table.not_ (Truth_table.and_ a b))
+        (Truth_table.or_ (Truth_table.not_ a) (Truth_table.not_ b)))
+
+let prop_shannon =
+  Helpers.prop "Shannon expansion rebuilds the function" (Helpers.tt_gen 5) (fun f ->
+      let v = 2 in
+      let f0 = Truth_table.cofactor f v false and f1 = Truth_table.cofactor f v true in
+      let rebuilt =
+        Truth_table.of_fun 5 (fun x ->
+            let y = Bitops.remove_bit x v in
+            if Bitops.bit x v then Truth_table.get f1 y else Truth_table.get f0 y)
+      in
+      Truth_table.equal f rebuilt)
+
+let prop_hash_consistent =
+  Helpers.prop "equal tables hash equally"
+    (Helpers.tt_gen 4)
+    (fun t -> Truth_table.hash t = Truth_table.hash (Truth_table.copy t))
+
+let () =
+  Alcotest.run "truth_table"
+    [ ( "truth_table",
+        [ Alcotest.test_case "create/const" `Quick test_create_const;
+          Alcotest.test_case "set/get" `Quick test_set_get;
+          Alcotest.test_case "var projection" `Quick test_var;
+          Alcotest.test_case "multi-word tables" `Quick test_large_tables;
+          Alcotest.test_case "boolean algebra" `Quick test_bool_algebra;
+          Alcotest.test_case "cofactors" `Quick test_cofactor;
+          Alcotest.test_case "depends_on" `Quick test_depends_on;
+          Alcotest.test_case "shift_inputs" `Quick test_shift_inputs;
+          Alcotest.test_case "string roundtrip" `Quick test_string_roundtrip;
+          Alcotest.test_case "extend" `Quick test_extend;
+          Alcotest.test_case "bad inputs" `Quick test_bad_inputs;
+          prop_string_roundtrip;
+          prop_double_shift;
+          prop_demorgan;
+          prop_shannon;
+          prop_hash_consistent ] ) ]

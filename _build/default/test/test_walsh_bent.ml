@@ -1,0 +1,123 @@
+open Logic
+
+let test_transform_constant () =
+  (* W of constant 0 is (2^n, 0, 0, …) *)
+  let w = Walsh.transform (Truth_table.create 3) in
+  Alcotest.(check int) "dc term" 8 w.(0);
+  for i = 1 to 7 do
+    Alcotest.(check int) "off terms" 0 w.(i)
+  done
+
+let test_transform_linear () =
+  (* W of the linear function <a,x> is concentrated at a, with weight +2^n
+     (f(x) and <a,x> cancel there) *)
+  let a = 0b101 in
+  let f = Truth_table.of_fun 3 (fun x -> Bitops.parity (x land a) = 1) in
+  let w = Walsh.transform f in
+  Array.iteri
+    (fun i wi -> Alcotest.(check int) "linear spectrum" (if i = a then 8 else 0) wi)
+    w
+
+let test_parseval () =
+  let st = Helpers.rng 17 in
+  for _ = 1 to 20 do
+    let f = Truth_table.random st 4 in
+    let w = Walsh.transform f in
+    let sum = Array.fold_left (fun acc x -> acc + (x * x)) 0 w in
+    Alcotest.(check int) "Parseval" (16 * 16) sum
+  done
+
+let test_inner_product_bent () =
+  for n = 1 to 4 do
+    let f = Bent.inner_product n in
+    Alcotest.(check bool) "ip bent" true (Walsh.is_bent f);
+    Helpers.check_tt_eq "ip self-dual" f (Walsh.dual f);
+    let fa = Bent.inner_product_adjacent n in
+    Alcotest.(check bool) "adjacent ip bent" true (Walsh.is_bent fa);
+    Helpers.check_tt_eq "adjacent ip self-dual" fa (Walsh.dual fa)
+  done
+
+let test_not_bent () =
+  Alcotest.(check bool) "odd arity never bent" false (Walsh.is_bent (Funcgen.majority 3));
+  Alcotest.(check bool) "linear not bent" false (Walsh.is_bent (Funcgen.parity 4));
+  Alcotest.(check bool) "constant not bent" false (Walsh.is_bent (Truth_table.create 4));
+  match Walsh.dual (Funcgen.parity 4) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "dual of non-bent accepted"
+
+let test_dual_involution () =
+  let st = Helpers.rng 23 in
+  for _ = 1 to 10 do
+    let i = Bent.random_mm st 2 in
+    let f = Bent.mm_function i in
+    Helpers.check_tt_eq "dual of dual" f (Walsh.dual (Walsh.dual f))
+  done
+
+let test_mm_dual_formula () =
+  let st = Helpers.rng 31 in
+  for _ = 1 to 10 do
+    let i = Bent.random_mm st 3 in
+    let f = Bent.mm_function i in
+    Alcotest.(check bool) "mm bent" true (Walsh.is_bent f);
+    Helpers.check_tt_eq "closed-form dual matches Walsh dual" (Walsh.dual f) (Bent.mm_dual i)
+  done
+
+let test_paper_instance () =
+  (* pi = [0,2,3,5,7,1,4,6], h = 0 (paper Fig. 7) *)
+  let i = Bent.mm (Perm.of_list [ 0; 2; 3; 5; 7; 1; 4; 6 ]) in
+  let f = Bent.mm_function i in
+  Alcotest.(check bool) "paper mm bent" true (Walsh.is_bent f);
+  Helpers.check_tt_eq "paper dual" (Walsh.dual f) (Bent.mm_dual i)
+
+let test_interleave () =
+  for z = 0 to 63 do
+    Alcotest.(check int) "deinterleave inverts interleave" z
+      (Bent.deinterleave 3 (Bent.interleave 3 z))
+  done;
+  (* interleave maps (x,y) = (1, 0) to qubit line 0 *)
+  Alcotest.(check int) "x0 to line 0" 1 (Bent.interleave 3 1);
+  Alcotest.(check int) "y0 to line 1" 2 (Bent.interleave 3 (1 lsl 3))
+
+let test_interleave_table_bent () =
+  let st = Helpers.rng 7 in
+  let i = Bent.random_mm st 2 in
+  let f = Bent.mm_function i in
+  let fi = Bent.interleave_table 2 f in
+  Alcotest.(check bool) "interleaving preserves bentness" true (Walsh.is_bent fi)
+
+let test_correlation () =
+  let f = Funcgen.parity 4 in
+  Alcotest.(check (float 1e-12)) "self correlation" 1. (Walsh.correlation f f);
+  Alcotest.(check (float 1e-12)) "anti correlation" (-1.)
+    (Walsh.correlation f (Truth_table.not_ f))
+
+let prop_shift_preserves_bent =
+  Helpers.prop "shifting preserves bentness"
+    QCheck2.Gen.(pair (int_bound 1_000_000) (int_bound 15))
+    (fun (seed, s) ->
+      let i = Bent.random_mm (Helpers.rng seed) 2 in
+      let f = Bent.mm_function i in
+      Walsh.is_bent (Bent.shifted f s))
+
+let prop_mm_always_bent =
+  Helpers.prop "Maiorana-McFarland functions are bent"
+    QCheck2.Gen.(int_bound 1_000_000)
+    (fun seed -> Walsh.is_bent (Bent.mm_function (Bent.random_mm (Helpers.rng seed) 2)))
+
+let () =
+  Alcotest.run "walsh_bent"
+    [ ( "walsh",
+        [ Alcotest.test_case "constant spectrum" `Quick test_transform_constant;
+          Alcotest.test_case "linear spectrum" `Quick test_transform_linear;
+          Alcotest.test_case "Parseval" `Quick test_parseval;
+          Alcotest.test_case "correlation" `Quick test_correlation ] );
+      ( "bent",
+        [ Alcotest.test_case "inner product" `Quick test_inner_product_bent;
+          Alcotest.test_case "non-bent rejections" `Quick test_not_bent;
+          Alcotest.test_case "dual involution" `Quick test_dual_involution;
+          Alcotest.test_case "MM dual closed form" `Quick test_mm_dual_formula;
+          Alcotest.test_case "paper instance" `Quick test_paper_instance;
+          Alcotest.test_case "interleave" `Quick test_interleave;
+          Alcotest.test_case "interleaved stays bent" `Quick test_interleave_table_bent;
+          prop_shift_preserves_bent;
+          prop_mm_always_bent ] ) ]

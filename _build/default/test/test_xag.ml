@@ -1,0 +1,172 @@
+open Rev
+module Truth_table = Logic.Truth_table
+module Funcgen = Logic.Funcgen
+
+let test_constant_folding () =
+  let g = Xag.create 2 in
+  let a = Xag.input g 0 in
+  Alcotest.(check int) "a AND 0" Xag.const_false (Xag.and_ g a Xag.const_false);
+  Alcotest.(check int) "a AND 1" a (Xag.and_ g a Xag.const_true);
+  Alcotest.(check int) "a AND a" a (Xag.and_ g a a);
+  Alcotest.(check int) "a AND !a" Xag.const_false (Xag.and_ g a (Xag.complement a));
+  Alcotest.(check int) "a XOR a" Xag.const_false (Xag.xor g a a);
+  Alcotest.(check int) "a XOR 0" a (Xag.xor g a Xag.const_false);
+  Alcotest.(check int) "a XOR 1" (Xag.complement a) (Xag.xor g a Xag.const_true)
+
+let test_structural_hashing () =
+  let g = Xag.create 2 in
+  let a = Xag.input g 0 and b = Xag.input g 1 in
+  let x1 = Xag.and_ g a b and x2 = Xag.and_ g b a in
+  Alcotest.(check int) "shared node" x1 x2;
+  Alcotest.(check int) "one internal node" 1 (Xag.num_nodes g)
+
+let test_of_bexpr_eval () =
+  let e = Logic.Bexpr.parse "(a & b) ^ (c | !d)" in
+  let g = Xag.of_bexpr 4 e in
+  let tt = Logic.Bexpr.to_truth_table ~n:4 e in
+  List.iteri
+    (fun _ out -> Helpers.check_tt_eq "xag evaluates the expression" tt out)
+    (Xag.to_truth_tables g)
+
+let test_of_esops () =
+  let f = Funcgen.majority 5 in
+  let g = Xag.of_esops 5 [ Logic.Esop_opt.minimize f ] in
+  Helpers.check_tt_eq "xag of esop" f (List.hd (Xag.to_truth_tables g))
+
+let test_ripple_adder () =
+  for n = 1 to 4 do
+    let g = Xag.ripple_adder n in
+    for a = 0 to (1 lsl n) - 1 do
+      for b = 0 to (1 lsl n) - 1 do
+        let z = a lor (b lsl n) in
+        Alcotest.(check int) "ripple adder" (a + b) (Xag.eval g z)
+      done
+    done;
+    (* structural adder is small: ~5 nodes per bit *)
+    Alcotest.(check bool) "compact" true (Xag.num_nodes g <= (5 * n) + 1)
+  done
+
+let test_cone () =
+  let g = Xag.ripple_adder 3 in
+  let outs = Xag.outputs g in
+  (* cone of the LSB sum is much smaller than the full network *)
+  let c0 = Xag.cone g [ List.hd outs ] in
+  let call = Xag.cone g outs in
+  Alcotest.(check bool) "lsb cone smaller" true (List.length c0 < List.length call);
+  Alcotest.(check int) "full cone covers all nodes" (Xag.num_nodes g) (List.length call)
+
+(* ---- hierarchical synthesis ---- *)
+
+let test_bennett_adder () =
+  let g = Xag.ripple_adder 3 in
+  let c, layout = Hier_synth.bennett g in
+  Alcotest.(check bool) "Eq. (4) contract" true
+    (Hier_synth.check (c, layout) (Xag.to_truth_tables g));
+  Alcotest.(check int) "ancillae = nodes" (Xag.num_nodes g) layout.Hier_synth.ancillae
+
+let test_batched_tradeoff () =
+  let g = Xag.ripple_adder 4 in
+  let fs = Xag.to_truth_tables g in
+  let _, lay_all = Hier_synth.bennett g in
+  let prev_gates = ref 0 in
+  List.iter
+    (fun batch ->
+      let c, lay = Hier_synth.output_batched ~batch g in
+      Alcotest.(check bool) (Printf.sprintf "batch %d correct" batch) true
+        (Hier_synth.check (c, lay) fs);
+      Alcotest.(check bool) "fewer or equal ancillae than keep-all" true
+        (lay.Hier_synth.ancillae <= lay_all.Hier_synth.ancillae);
+      (* smaller batches cost at least as many gates *)
+      if !prev_gates > 0 then
+        Alcotest.(check bool) "monotone gate cost" true
+          (Rcircuit.num_gates c >= !prev_gates);
+      prev_gates := Rcircuit.num_gates c)
+    [ 5; 2; 1 ]
+
+let test_synth_tables_front_end () =
+  let fs = [ Funcgen.majority 3; Funcgen.parity 3 ] in
+  let c, lay = Hier_synth.synth_tables fs in
+  Alcotest.(check bool) "table front end" true (Hier_synth.check (c, lay) fs)
+
+let prop_hier_random =
+  Helpers.prop "hierarchical synthesis realizes random functions" ~count:40
+    (Helpers.tt_gen 4)
+    (fun f ->
+      let c, lay = Hier_synth.synth_tables [ f ] in
+      Hier_synth.check (c, lay) [ f ])
+
+let prop_hier_batched_random =
+  Helpers.prop "batched hierarchical synthesis is correct" ~count:30
+    QCheck2.Gen.(pair (Helpers.tt_gen 4) (Helpers.tt_gen 4))
+    (fun (f, g) ->
+      let c, lay = Hier_synth.synth_tables ~batch:1 [ f; g ] in
+      Hier_synth.check (c, lay) [ f; g ])
+
+(* ---- pebbling ---- *)
+
+let test_bennett_full_fanout () =
+  (* fanout = segments: one forward sweep keeping everything (peak = s
+     pebbles), then the s-1 intermediate segments are uncomputed *)
+  let c = Pebble.strategy_cost ~segments:8 ~fanout:8 in
+  Alcotest.(check int) "pebbles" 8 c.Pebble.pebbles;
+  Alcotest.(check int) "moves" 15 c.Pebble.moves
+
+let test_bennett_binary () =
+  (* fanout 2 on a chain of 2^k: pebbles ~ k+1, moves = 3^k *)
+  let c = Pebble.strategy_cost ~segments:16 ~fanout:2 in
+  Alcotest.(check bool) "few pebbles" true (c.Pebble.pebbles <= 5);
+  Alcotest.(check int) "3^4 moves" 81 c.Pebble.moves
+
+let test_schedule_validity () =
+  List.iter
+    (fun (segments, fanout) ->
+      (* simulate raises on invalid schedules *)
+      ignore (Pebble.simulate ~segments (Pebble.bennett ~segments ~fanout)))
+    [ (1, 2); (2, 2); (7, 2); (13, 3); (16, 4); (33, 5); (40, 2) ]
+
+let test_invalid_schedule_rejected () =
+  (match Pebble.simulate ~segments:3 [ Pebble.Compute 2 ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "dependency violation accepted");
+  (match Pebble.simulate ~segments:2 [ Pebble.Compute 0; Pebble.Compute 0 ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "double compute accepted");
+  match Pebble.simulate ~segments:2 [ Pebble.Uncompute 0 ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "uncompute of clean segment accepted"
+
+let test_tradeoff_monotone () =
+  (* larger fanout: more pebbles, fewer moves (the E6 shape) *)
+  let costs =
+    List.map (fun f -> Pebble.strategy_cost ~segments:32 ~fanout:f) [ 2; 4; 8; 16; 32 ]
+  in
+  let rec check = function
+    | a :: (b :: _ as rest) ->
+        Alcotest.(check bool) "pebbles nondecreasing" true (a.Pebble.pebbles <= b.Pebble.pebbles);
+        Alcotest.(check bool) "moves nonincreasing" true (a.Pebble.moves >= b.Pebble.moves);
+        check rest
+    | _ -> ()
+  in
+  check costs
+
+let () =
+  Alcotest.run "xag"
+    [ ( "xag",
+        [ Alcotest.test_case "constant folding" `Quick test_constant_folding;
+          Alcotest.test_case "structural hashing" `Quick test_structural_hashing;
+          Alcotest.test_case "of_bexpr" `Quick test_of_bexpr_eval;
+          Alcotest.test_case "of_esops" `Quick test_of_esops;
+          Alcotest.test_case "ripple adder" `Quick test_ripple_adder;
+          Alcotest.test_case "cones" `Quick test_cone ] );
+      ( "hier_synth",
+        [ Alcotest.test_case "bennett adder" `Quick test_bennett_adder;
+          Alcotest.test_case "batched trade-off" `Quick test_batched_tradeoff;
+          Alcotest.test_case "table front end" `Quick test_synth_tables_front_end;
+          prop_hier_random;
+          prop_hier_batched_random ] );
+      ( "pebble",
+        [ Alcotest.test_case "full fanout" `Quick test_bennett_full_fanout;
+          Alcotest.test_case "binary recursion" `Quick test_bennett_binary;
+          Alcotest.test_case "schedule validity" `Quick test_schedule_validity;
+          Alcotest.test_case "invalid schedules rejected" `Quick test_invalid_schedule_rejected;
+          Alcotest.test_case "trade-off monotone" `Quick test_tradeoff_monotone ] ) ]
