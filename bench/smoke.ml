@@ -1,0 +1,28 @@
+(* Bench smoke test, wired into the default test alias: one hidden-shift
+   compile + simulate through the full pass pipeline. Catches gross
+   performance or correctness regressions in the compile flow without the
+   cost of the full Bechamel harness (bench/main.exe). *)
+
+let () =
+  let instance = Core.Hidden_shift.Inner_product { n = 3; s = 5 } in
+  let t0 = Unix.gettimeofday () in
+  let compiled, ancillae = Core.Hidden_shift.build_compiled instance in
+  let sv = Qc.Statevector.run compiled in
+  let outcome = Qc.Statevector.most_likely sv in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  if outcome <> 5 then begin
+    Printf.eprintf "bench smoke: hidden shift mis-solved (got %d, want 5)\n" outcome;
+    exit 1
+  end;
+  if not (Qc.Statevector.is_basis_state ~eps:1e-6 sv outcome) then begin
+    Printf.eprintf "bench smoke: outcome not deterministic\n";
+    exit 1
+  end;
+  (* generous ceiling: the seed compiles+simulates this in well under a
+     second; only a catastrophic regression trips it *)
+  if elapsed > 30.0 then begin
+    Printf.eprintf "bench smoke: compile+simulate took %.1fs (> 30s ceiling)\n" elapsed;
+    exit 1
+  end;
+  Printf.printf "bench smoke: compiled (+%d ancillae, %d gates), solved in %.0fms\n"
+    ancillae (Qc.Circuit.num_gates compiled) (elapsed *. 1000.)

@@ -1,5 +1,5 @@
-(* Regenerate every paper artifact (E1-E9; see DESIGN.md).
-   Usage: experiments [e1|e2|...|e9|all] *)
+(* Regenerate every paper artifact (E1-E13; see DESIGN.md).
+   Usage: experiments [e1|e2|...|e13|all] *)
 
 let table = [
   ("e1", fun () -> Core.Experiments.e1 ());
@@ -14,6 +14,7 @@ let table = [
   ("e10", fun () -> Core.Experiments.e10 ());
   ("e11", fun () -> Core.Experiments.e11 ());
   ("e12", fun () -> Core.Experiments.e12 ());
+  ("e13", fun () -> Core.Experiments.e13 ());
 ]
 
 let () =
@@ -23,8 +24,8 @@ let () =
       match List.assoc_opt (String.lowercase_ascii name) table with
       | Some f -> print_string (f ())
       | None ->
-          Printf.eprintf "unknown experiment %s (e1..e10 or all)\n" name;
+          Printf.eprintf "unknown experiment %s (e1..e13 or all)\n" name;
           exit 2)
   | _ ->
-      prerr_endline "usage: experiments [e1..e10|all]";
+      prerr_endline "usage: experiments [e1..e13|all]";
       exit 2

@@ -1,10 +1,11 @@
 (* Command-line driver for the hidden-shift benchmark (paper Secs. VI-VIII).
 
    Examples:
-     hidden-shift ip --n 2 --shift 1
+     hidden-shift ip -n 2 --shift 1
      hidden-shift mm --pi 0,2,3,5,7,1,4,6 --shift 5 --synth dbs --draw
-     hidden-shift random --n 3 --seed 7 --noisy --shots 1024 --runs 3
-     hidden-shift ip --n 2 --shift 1 --qasm *)
+     hidden-shift random -n 3 --seed 7 --noisy --shots 1024 --runs 3
+     hidden-shift ip -n 2 --shift 1 --qasm
+     hidden-shift ip -n 2 --passes tpar,peephole --target statevector *)
 
 open Cmdliner
 
@@ -32,12 +33,30 @@ let pi_conv =
         with _ -> Error (`Msg "expected comma-separated permutation, e.g. 0,2,3,5,7,1,4,6")),
       fun ppf p -> Logic.Perm.pp ppf p )
 
-let run instance ~noisy ~shots ~runs ~draw ~qasm =
+let run instance ~noisy ~shots ~runs ~draw ~qasm ~passes ~target =
   let circuit = Core.Hidden_shift.build instance in
+  let circuit =
+    match passes with
+    | None -> circuit
+    | Some spec ->
+        (* Clifford+T lowering, then the named quantum-layer passes *)
+        let ps = Core.Pass.parse_qc spec in
+        let mapped, ancillae = Qc.Clifford_t.compile circuit in
+        let c, trace = Core.Pass.run_qc ps mapped in
+        Printf.printf "compiled to Clifford+T (+%d ancillae), passes: %s\n%s\n" ancillae
+          spec
+          (Core.Pass.trace_to_string trace);
+        c
+  in
   Printf.printf "qubits: %d, gates: %d\n"
     (Qc.Circuit.num_qubits circuit) (Qc.Circuit.num_gates circuit);
   if draw then print_string (Qc.Draw.to_string circuit);
   if qasm then print_string (Qc.Qasm.to_string circuit);
+  (match target with
+  | None -> ()
+  | Some spec ->
+      let backend = Qc.Backend.of_spec spec in
+      print_endline (Qc.Backend.outcome_to_string (backend.Qc.Backend.run circuit)));
   if noisy then begin
     let mean, std =
       Core.Hidden_shift.run_noisy Qc.Noise.ibm_qx2017 instance ~shots ~runs
@@ -49,11 +68,17 @@ let run instance ~noisy ~shots ~runs ~draw ~qasm =
     let s = Core.Hidden_shift.shift instance in
     Printf.printf "Shift is %d (success probability %.3f)\n" s mean.(s)
   end
-  else begin
+  else if target = None then begin
     let found = Core.Hidden_shift.solve instance in
     Printf.printf "Shift is %d%s\n" found
       (if found = Core.Hidden_shift.shift instance then "" else "  (MISMATCH!)")
   end
+
+let run instance ~noisy ~shots ~runs ~draw ~qasm ~passes ~target =
+  try run instance ~noisy ~shots ~runs ~draw ~qasm ~passes ~target with
+  | Core.Pass.Spec_error msg | Qc.Backend.Unsupported msg ->
+      Printf.eprintf "error: %s\n" msg;
+      exit 1
 
 (* common flags *)
 let noisy = Arg.(value & flag & info [ "noisy" ] ~doc:"Run on the noisy (IBM-like) backend.")
@@ -63,14 +88,29 @@ let draw = Arg.(value & flag & info [ "draw" ] ~doc:"Print an ASCII drawing of t
 let qasm = Arg.(value & flag & info [ "qasm" ] ~doc:"Print the circuit as OpenQASM 2.0.")
 let shift_arg = Arg.(value & opt int 1 & info [ "shift"; "s" ] ~doc:"The planted hidden shift.")
 
+let passes_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "passes" ]
+        ~doc:"Lower to Clifford+T and run the named quantum-layer passes (e.g. tpar,peephole,route).")
+
+let target_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "target" ]
+        ~doc:"Hand the circuit to a unified backend: statevector | stabilizer | noisy[:shots=N] | qasm | qsharp[:Name] | draw.")
+
 let ip_cmd =
   let n = Arg.(value & opt int 2 & info [ "n" ] ~doc:"Half the qubit count (f is on 2n qubits).") in
-  let go n s noisy shots runs draw qasm =
-    run (Core.Hidden_shift.Inner_product { n; s }) ~noisy ~shots ~runs ~draw ~qasm
+  let go n s noisy shots runs draw qasm passes target =
+    run (Core.Hidden_shift.Inner_product { n; s }) ~noisy ~shots ~runs ~draw ~qasm ~passes
+      ~target
   in
   Cmd.v
     (Cmd.info "ip" ~doc:"Inner-product instance (the paper's Fig. 4).")
-    Term.(const go $ n $ shift_arg $ noisy $ shots $ runs $ draw $ qasm)
+    Term.(const go $ n $ shift_arg $ noisy $ shots $ runs $ draw $ qasm $ passes_arg $ target_arg)
 
 let mm_cmd =
   let pi =
@@ -80,26 +120,26 @@ let mm_cmd =
       & info [ "pi" ] ~doc:"Permutation as comma-separated points, e.g. 0,2,3,5,7,1,4,6.")
   in
   let synth = Arg.(value & opt synth_conv Pq.Oracles.Tbs & info [ "synth" ] ~doc:"tbs | tbs-basic | dbs.") in
-  let go pi s synth noisy shots runs draw qasm =
+  let go pi s synth noisy shots runs draw qasm passes target =
     let mm = Logic.Bent.mm pi in
-    run (Core.Hidden_shift.Mm { mm; s; synth }) ~noisy ~shots ~runs ~draw ~qasm
+    run (Core.Hidden_shift.Mm { mm; s; synth }) ~noisy ~shots ~runs ~draw ~qasm ~passes ~target
   in
   Cmd.v
     (Cmd.info "mm" ~doc:"Maiorana-McFarland instance (the paper's Fig. 7).")
-    Term.(const go $ pi $ shift_arg $ synth $ noisy $ shots $ runs $ draw $ qasm)
+    Term.(const go $ pi $ shift_arg $ synth $ noisy $ shots $ runs $ draw $ qasm $ passes_arg $ target_arg)
 
 let random_cmd =
   let n = Arg.(value & opt int 2 & info [ "n" ] ~doc:"Half register size (2n qubits).") in
   let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"PRNG seed.") in
-  let go n seed noisy shots runs draw qasm =
+  let go n seed noisy shots runs draw qasm passes target =
     let st = Random.State.make [| seed |] in
     let inst = Core.Hidden_shift.random_mm_instance st n in
     Printf.printf "random MM instance, planted shift %d\n" (Core.Hidden_shift.shift inst);
-    run inst ~noisy ~shots ~runs ~draw ~qasm
+    run inst ~noisy ~shots ~runs ~draw ~qasm ~passes ~target
   in
   Cmd.v
     (Cmd.info "random" ~doc:"Random Maiorana-McFarland instance.")
-    Term.(const go $ n $ seed $ noisy $ shots $ runs $ draw $ qasm)
+    Term.(const go $ n $ seed $ noisy $ shots $ runs $ draw $ qasm $ passes_arg $ target_arg)
 
 let () =
   let doc = "Boolean hidden shift on the automatic quantum compilation flow." in

@@ -8,6 +8,12 @@
      qasm_tool route    file.qasm     LNN-route and re-emit QASM
      qasm_tool tpar     file.qasm     T-par optimize and re-emit QASM
      qasm_tool qsharp   file.qasm     emit as a Q# operation
+     qasm_tool passes <spec> file.qasm   run registered quantum-layer passes
+                                         (e.g. tpar,peephole,route); trace on
+                                         stderr, QASM on stdout
+     qasm_tool run <target> file.qasm    hand to a unified backend (statevector,
+                                         stabilizer, noisy[:shots=N], qasm,
+                                         qsharp[:Name], draw)
 
    '-' reads from stdin. *)
 
@@ -27,15 +33,33 @@ let read_file = function
       close_in ic;
       s
 
+let parse_file file =
+  try Qc.Qasm.parse (read_file file)
+  with Qc.Qasm.Parse_error msg ->
+    Printf.eprintf "parse error: %s\n" msg;
+    exit 1
+
 let () =
   match Array.to_list Sys.argv with
+  | [ _; "passes"; spec; file ] -> (
+      try
+        let ps = Core.Pass.parse_qc spec in
+        let circuit, trace = Core.Pass.run_qc ps (parse_file file) in
+        Printf.eprintf "%s\n" (Core.Pass.trace_to_string trace);
+        print_string (Qc.Qasm.to_string ~measure:false circuit)
+      with Core.Pass.Spec_error msg ->
+        Printf.eprintf "passes: %s\n" msg;
+        exit 1)
+  | [ _; "run"; target; file ] -> (
+      try
+        let backend = Qc.Backend.of_spec target in
+        print_endline
+          (Qc.Backend.outcome_to_string (backend.Qc.Backend.run (parse_file file)))
+      with Qc.Backend.Unsupported msg ->
+        Printf.eprintf "run: %s\n" msg;
+        exit 1)
   | [ _; cmd; file ] -> (
-      let circuit =
-        try Qc.Qasm.parse (read_file file)
-        with Qc.Qasm.Parse_error msg ->
-          Printf.eprintf "parse error: %s\n" msg;
-          exit 1
-      in
+      let circuit = parse_file file in
       match cmd with
       | "stats" ->
           print_endline (Qc.Resource.to_string_v (Qc.Resource.count circuit))
@@ -75,5 +99,8 @@ let () =
           Printf.eprintf "unknown command %s\n" other;
           exit 2)
   | _ ->
-      prerr_endline "usage: qasm_tool {stats|draw|sim|stabsim|route|tpar|qsharp} <file.qasm|->";
+      prerr_endline
+        "usage: qasm_tool {stats|draw|sim|stabsim|route|tpar|qsharp} <file.qasm|->\n\
+        \       qasm_tool passes <spec> <file.qasm|->\n\
+        \       qasm_tool run <target> <file.qasm|->";
       exit 2

@@ -356,9 +356,27 @@ let e12 () =
     "(routed circuits verified equivalent up to the tracked output placement)\n";
   Buffer.contents buf
 
+(* ------------------------------------------------------------------ *)
+(* E13 — extension: the pass-manager trace of the unified pipeline.    *)
+(* ------------------------------------------------------------------ *)
+
+let e13 () =
+  let buf = Buffer.create 1024 in
+  let spec = Flow.spec_of_options Flow.default in
+  buf_printf buf "E13 (extension): per-pass instrumentation of the flow on hwb5\n";
+  buf_printf buf "pipeline spec: %s\n" spec;
+  let rc = Rev.Tbs.synth (Logic.Funcgen.hwb 5) in
+  let res = Pass.run (Pass.parse spec) rc in
+  buf_printf buf "%s\n" (Pass.trace_to_string res.Pass.trace);
+  buf_printf buf "total: %d passes, %d ancillae, %.2fms wall clock\n"
+    (List.length res.Pass.trace) res.Pass.ancillae
+    (Pass.total_elapsed res.Pass.trace *. 1000.);
+  buf_printf buf "registered passes: %s\n" (String.concat ", " (Pass.names ()));
+  Buffer.contents buf
+
 (** [all ()] runs every experiment in order; the output of this function is
     what EXPERIMENTS.md records. *)
 let all () =
   String.concat "\n"
     [ e1 (); e2 (); e3 (); e4 (); e5 (); e6 (); e7 (); e8 (); e9 (); e10 (); e11 ();
-      e12 () ]
+      e12 (); e13 () ]

@@ -7,9 +7,10 @@
       reversible synthesis → [revsimp] → Clifford+T mapping → T-par
 
     and handed to a target (state-vector simulation, noisy backend, QASM,
-    Q# source, ASCII drawing). Every stage is a library call; this module
-    wires them together and collects the statistics the RevKit shell prints
-    along the way. *)
+    Q# source, ASCII drawing). Every stage is a registered {!Pass}; this
+    module only picks the synthesis front end, assembles the pass
+    pipeline, and derives the per-stage {!report} from the pass manager's
+    instrumentation trace. *)
 
 module Perm = Logic.Perm
 module Truth_table = Logic.Truth_table
@@ -38,14 +39,29 @@ type options = {
 let default = { synth = Tbs; simplify_rev = true; rccx_ladder = true; tpar = true;
                 peephole = true }
 
-(** Per-stage statistics of one run of the flow. *)
+(** [pipeline_of_options o] is the pass pipeline the option record
+    denotes — the [options] API is nothing but pipeline construction. *)
+let pipeline_of_options o =
+  Pass.of_passes
+    ((if o.simplify_rev then [ Pass.find "revsimp" ] else [])
+    @ [ Pass.find ?arg:(if o.rccx_ladder then None else Some "no-rccx") "cliffordt" ]
+    @ (if o.tpar then [ Pass.find "tpar" ] else [])
+    @ if o.peephole then [ Pass.find "peephole" ] else [])
+
+(** [spec_of_options o] renders the equivalent pipeline-spec string;
+    [Pass.parse (spec_of_options o)] rebuilds the same pipeline. *)
+let spec_of_options o = Pass.to_spec (pipeline_of_options o)
+
+(** Per-stage statistics of one run of the flow, derived from the pass
+    trace. *)
 type report = {
   rev_stats : Rev.Rcircuit.stats; (* after synthesis *)
-  rev_stats_simplified : Rev.Rcircuit.stats; (* after revsimp *)
+  rev_stats_simplified : Rev.Rcircuit.stats; (* after the reversible layer *)
   ancillae : int; (* added by Clifford+T lowering *)
   resources_mapped : Qc.Resource.t; (* after Clifford+T mapping *)
-  resources_final : Qc.Resource.t; (* after T-par + peephole *)
+  resources_final : Qc.Resource.t; (* after the full quantum layer *)
   tpar : Qc.Tpar.report option;
+  trace : Pass.trace; (* the full per-pass instrumentation record *)
 }
 
 let pp_report ppf r =
@@ -60,50 +76,65 @@ let pp_report ppf r =
           t.Qc.Tpar.t_after t.Qc.Tpar.t_depth_before t.Qc.Tpar.t_depth_after))
     r.tpar
 
-let finish options rc =
-  let rc' = if options.simplify_rev then Rev.Rsimp.simplify rc else rc in
-  let copts = { Qc.Clifford_t.default_options with rccx_ladder = options.rccx_ladder } in
-  let mapped, ancillae = Qc.Clifford_t.compile_rcircuit ~options:copts rc' in
-  let tpar_report = ref None in
-  let after_tpar =
-    if options.tpar then begin
-      let c, rep = Qc.Tpar.optimize_report mapped in
-      tpar_report := Some rep;
-      c
-    end
-    else mapped
+(* The report is a projection of the trace: the lowering entry separates
+   the reversible layer (Rev snapshots) from the quantum layer (Qc
+   snapshots). *)
+let report_of_result (res : Pass.result) =
+  let lower_entry =
+    List.find
+      (fun (e : Pass.entry) ->
+        match (e.Pass.before, e.Pass.after) with
+        | Pass.Rev_snap _, Pass.Qc_snap _ -> true
+        | _ -> false)
+      res.Pass.trace
   in
-  let final = if options.peephole then Qc.Opt.simplify after_tpar else after_tpar in
-  let report =
-    { rev_stats = Rev.Rcircuit.stats rc;
-      rev_stats_simplified = Rev.Rcircuit.stats rc';
-      ancillae;
-      resources_mapped = Qc.Resource.count mapped;
-      resources_final = Qc.Resource.count final;
-      tpar = !tpar_report }
-  in
-  (final, report)
+  let first_entry = List.hd res.Pass.trace in
+  let last_entry = List.nth res.Pass.trace (List.length res.Pass.trace - 1) in
+  let rev_of = function Pass.Rev_snap s -> s | Pass.Qc_snap _ -> assert false in
+  let qc_of = function Pass.Qc_snap r -> r | Pass.Rev_snap _ -> assert false in
+  { rev_stats = rev_of first_entry.Pass.before;
+    rev_stats_simplified = rev_of lower_entry.Pass.before;
+    ancillae = res.Pass.ancillae;
+    resources_mapped = qc_of lower_entry.Pass.after;
+    resources_final = qc_of last_entry.Pass.after;
+    tpar = Pass.tpar_report res.Pass.trace;
+    trace = res.Pass.trace }
 
-(** [compile_perm ?options p] runs the full flow on a reversible
+(** [finish_pipeline pipeline rc] runs a pass pipeline on a synthesized
+    reversible circuit and projects the report out of the trace. *)
+let finish_pipeline pipeline rc =
+  let res = Pass.run pipeline rc in
+  (res.Pass.circuit, report_of_result res)
+
+let finish options rc = finish_pipeline (pipeline_of_options options) rc
+
+let synthesize_perm options p =
+  match options.synth with
+  | Tbs -> Rev.Tbs.synth p
+  | Tbs_basic -> Rev.Tbs.basic p
+  | Dbs -> Rev.Dbs.synth p
+  | Cycle -> Rev.Cycle_synth.synth p
+  | Exact -> Rev.Exact_synth.synth p
+  | Esop | Hier _ | Bdd_hier | Lut _ ->
+      invalid_arg "Flow.compile_perm: pick a reversible method (Tbs/Dbs/Cycle/Exact)"
+
+(** [compile_perm ?options ?pipeline p] runs the full flow on a reversible
     specification. The result acts on [num_vars p] qubits plus the reported
-    ancillae (all returned clean). *)
-let compile_perm ?(options = default) p =
-  let rc =
-    match options.synth with
-    | Tbs -> Rev.Tbs.synth p
-    | Tbs_basic -> Rev.Tbs.basic p
-    | Dbs -> Rev.Dbs.synth p
-    | Cycle -> Rev.Cycle_synth.synth p
-    | Exact -> Rev.Exact_synth.synth p
-    | Esop | Hier _ | Bdd_hier | Lut _ ->
-        invalid_arg "Flow.compile_perm: pick a reversible method (Tbs/Dbs/Cycle/Exact)"
+    ancillae (all returned clean). [pipeline] overrides the pass sequence
+    the [options] toggles denote (the synthesis front end still comes from
+    [options.synth]). *)
+let compile_perm ?(options = default) ?pipeline p =
+  let rc = synthesize_perm options p in
+  let pipeline =
+    match pipeline with Some pl -> pl | None -> pipeline_of_options options
   in
-  finish options rc
+  finish_pipeline pipeline rc
 
-(** [compile_function ?options fs] runs the flow on an irreversible
-    multi-output specification (Bennett convention of Eq. (4): inputs on the
-    low lines, outputs above, ancillae above that). *)
-let compile_function ?(options = { default with synth = Esop }) fs =
+(** [compile_function ?options ?pipeline fs] runs the flow on an
+    irreversible multi-output specification (Bennett convention of
+    Eq. (4): inputs on the low lines, outputs above, ancillae above
+    that). *)
+let compile_function ?(options = { default with synth = Esop }) ?pipeline fs =
   let rc =
     match options.synth with
     | Esop -> Rev.Esop_synth.synth fs
@@ -123,12 +154,19 @@ let compile_function ?(options = { default with synth = Esop }) fs =
         in
         synth e.Rev.Embed.perm
   in
-  finish options rc
+  let pipeline =
+    match pipeline with Some pl -> pl | None -> pipeline_of_options options
+  in
+  finish_pipeline pipeline rc
 
 (** [compile_expr ?options ?n e] compiles a Boolean expression (single
     output). *)
 let compile_expr ?options ?n e =
   compile_function ?options [ Logic.Bexpr.to_truth_table ?n e ]
+
+(** [execute backend circuit] hands a compiled circuit to any unified
+    execution target — simulation, noisy sampling, or export. *)
+let execute (backend : Qc.Backend.t) circuit = backend.Qc.Backend.run circuit
 
 (** [verify_perm p circuit] checks that the compiled circuit implements
     [|x⟩|0…0⟩ ↦ |p(x)⟩|0…0⟩] exactly (full unitary extraction; small

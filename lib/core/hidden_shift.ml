@@ -103,14 +103,20 @@ let build instance =
       Engine.all Engine.h eng qs);
   Engine.flush eng
 
-(** [build_compiled ?tpar i] is {!build} followed by Clifford+T lowering
-    (and T-par by default) — the circuit a hardware backend would actually
-    receive. Returns the circuit and the ancilla count the lowering
-    added. *)
-let build_compiled ?(tpar = true) instance =
+(** [build_compiled ?tpar ?passes i] is {!build} followed by Clifford+T
+    lowering and the quantum-layer pass list (T-par by default; [passes]
+    overrides with any registered passes) — the circuit a hardware backend
+    would actually receive. Returns the circuit and the ancilla count the
+    lowering added. *)
+let build_compiled ?(tpar = true) ?passes instance =
   let c = build instance in
   let mapped, ancillae = Qc.Clifford_t.compile c in
-  let final = if tpar then Qc.Tpar.optimize mapped else mapped in
+  let passes =
+    match passes with
+    | Some ps -> ps
+    | None -> if tpar then [ Pass.find "tpar" ] else []
+  in
+  let final, _trace = Pass.run_qc passes mapped in
   (final, ancillae)
 
 (** [solve i] runs the noiseless simulation and returns the measured shift.

@@ -18,11 +18,13 @@ type state = {
   func : Truth_table.t list option;
   rev : Rev.Rcircuit.t option;
   qc : Qc.Circuit.t option;
+  trace : Pass.trace option; (* instrumentation of the last [pipeline] run *)
   out : Buffer.t;
 }
 
 let init () =
-  { perm = None; func = None; rev = None; qc = None; out = Buffer.create 256 }
+  { perm = None; func = None; rev = None; qc = None; trace = None;
+    out = Buffer.create 256 }
 
 exception Error of string
 
@@ -46,7 +48,7 @@ let int_arg name = function
   | None -> failf "%s: missing argument" name
 
 (* One command, given as argv-style words. Returns the new state. *)
-let exec st words =
+let exec_cmd st words =
   match words with
   | [] -> st
   | cmd :: args -> (
@@ -191,6 +193,46 @@ let exec st words =
           let c' = Qc.Opt.simplify c in
           say st "peephole: %d -> %d gates" (Qc.Circuit.num_gates c) (Qc.Circuit.num_gates c');
           { st with qc = Some c' }
+      | "pipeline" ->
+          (* pass-manager pipeline on the current reversible circuit, e.g.
+             [pipeline revsimp,cliffordt,tpar,peephole] (commas, because
+             ';' separates shell commands) *)
+          let rc = need_rev st in
+          let spec = String.concat " " args in
+          if String.trim spec = "" then
+            failf "pipeline: missing spec (e.g. pipeline revsimp,cliffordt,tpar)";
+          let pipeline = Pass.parse spec in
+          let res = Pass.run pipeline rc in
+          List.iter
+            (fun (e : Pass.entry) ->
+              say st "%s: gates %d -> %d (%.2fms)%s" e.Pass.pass_name
+                (Pass.snapshot_gates e.Pass.before) (Pass.snapshot_gates e.Pass.after)
+                (e.Pass.elapsed *. 1000.)
+                (match e.Pass.detail with
+                | None -> ""
+                | Some d -> Fmt.str " [%a]" Pass.pp_detail d))
+            res.Pass.trace;
+          say st "pipeline: %d passes, %d ancillae, %.2fms total"
+            (List.length res.Pass.trace) res.Pass.ancillae
+            (Pass.total_elapsed res.Pass.trace *. 1000.);
+          { st with rev = Some res.Pass.rev; qc = Some res.Pass.circuit;
+            trace = Some res.Pass.trace }
+      | "passes" ->
+          List.iter (fun (name, doc) -> say st "%-12s %s" name doc) (Pass.catalog ());
+          st
+      | "trace" -> (
+          match st.trace with
+          | Some trace -> say st "%s" (Pass.trace_to_string trace); st
+          | None -> failf "trace: no pipeline has run yet (use pipeline)")
+      | "run" ->
+          let c = need_qc st in
+          let spec = match arg 0 with Some s -> s | None -> failf "run: missing target" in
+          let backend = Qc.Backend.of_spec spec in
+          say st "%s" (Qc.Backend.outcome_to_string (backend.Qc.Backend.run c));
+          st
+      | "backends" ->
+          List.iter (fun (name, doc) -> say st "%-18s %s" name doc) (Qc.Backend.catalog ());
+          st
       | "ps" ->
           (match st.rev with
           | Some c -> say st "reversible: %s" (Fmt.str "%a" Rev.Rcircuit.pp_stats (Rev.Rcircuit.stats c))
@@ -242,10 +284,23 @@ let exec st words =
             "commands: revgen <name> <n> | random_perm <n> [seed] | perm <pts…> | expr <e> | tt <bits> | adder <n> |\n\
             \  tbs [-b] | dbs | cycle | exact | esop | hier [batch] | bdd | lut [k] | embed | revsimp | resynth |\n\
             \  cliffordt [--no-rccx] | tpar | peephole | route |\n\
+            \  pipeline <p1,p2,…> | passes | trace | run <target> | backends |\n\
             \  ps | print_rev | draw | write_qasm [file] | qsharp [name] |\n\
             \  simulate <x> | stabsim | verify | help";
           st
       | other -> failf "unknown command %s (try help)" other)
+
+(* Every failure surfaces as [Error] with the offending command named —
+   no silent drops, no bare exceptions escaping to the REPL. *)
+let exec st words =
+  match words with
+  | [] -> st
+  | cmd :: _ -> (
+      try exec_cmd st words with
+      | Error _ as e -> raise e
+      | Invalid_argument msg | Failure msg -> failf "%s: %s" cmd msg
+      | Pass.Spec_error msg | Qc.Backend.Unsupported msg -> failf "%s: %s" cmd msg
+      | Not_found -> failf "%s: internal lookup failed" cmd)
 
 (** [run_line st line] splits on [';'] and executes each command; output
     accumulates in [st.out]. *)
@@ -255,7 +310,7 @@ let run_line st line =
       let words =
         String.split_on_char ' ' (String.trim chunk) |> List.filter (fun w -> w <> "")
       in
-      try exec st words with Invalid_argument msg -> raise (Error msg))
+      exec st words)
     st
     (String.split_on_char ';' line)
 

@@ -61,7 +61,7 @@ let apply_circuit eng sub qs =
   if Qc.Circuit.num_qubits sub > Array.length qs then
     invalid_arg "Engine.apply_circuit: register too small";
   let mapped = Qc.Circuit.map_qubits ~n:eng.n (fun q -> qs.(q)) sub in
-  List.iter (emit eng) (Qc.Circuit.gates mapped)
+  Qc.Circuit.iter (emit eng) mapped
 
 (* --- meta constructs --- *)
 
@@ -115,4 +115,4 @@ let dagger eng f =
 (** [flush eng] returns the accumulated circuit. *)
 let flush eng =
   if eng.n = 0 then invalid_arg "Engine.flush: no qubits allocated";
-  Qc.Circuit.of_gates eng.n (List.rev eng.tape)
+  Qc.Circuit.of_rev_gates eng.n eng.tape

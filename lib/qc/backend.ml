@@ -1,0 +1,160 @@
+(** Unified execution targets — the interchangeable "backends" of the
+    paper's Sec. VI ProjectQ discussion, behind one signature.
+
+    A backend consumes a compiled Clifford+T circuit and produces an
+    {!outcome}: a measured basis state (simulators), an outcome histogram
+    (the noisy Monte-Carlo backend), or exported text (QASM, Q#, ASCII
+    drawing). The flow, the shell ([run <target>]) and the CLIs
+    ([--target]) all hand circuits to backends uniformly; adding a target
+    means adding one value of type {!t}, not editing the flow. *)
+
+exception Unsupported of string
+(** The circuit cannot run on this backend (too wide, non-Clifford, …) or
+    the backend spec is malformed; the message names the offender. *)
+
+let failf fmt = Printf.ksprintf (fun s -> raise (Unsupported s)) fmt
+
+type outcome =
+  | Measured of { outcome : int; deterministic : bool }
+      (** a single computational-basis readout of every qubit *)
+  | Histogram of (int * float) list
+      (** empirical outcome frequencies, most frequent first *)
+  | Exported of string  (** rendered text: QASM, Q# source, drawing *)
+
+type t = {
+  name : string;
+  doc : string;
+  run : Circuit.t -> outcome;
+}
+
+let pp_outcome ppf = function
+  | Measured { outcome; deterministic } ->
+      Fmt.pf ppf "measured %d (%s)" outcome
+        (if deterministic then "deterministic" else "one random branch")
+  | Histogram freqs ->
+      Fmt.pf ppf "@[<v>%a@]"
+        Fmt.(
+          list ~sep:cut (fun ppf (x, f) -> Fmt.pf ppf "%6d  %.4f" x f))
+        freqs
+  | Exported text -> Fmt.string ppf text
+
+let outcome_to_string o = Fmt.str "%a" pp_outcome o
+
+(* --- the built-in targets --- *)
+
+let statevector_width_cap = 24
+
+let statevector =
+  { name = "statevector";
+    doc = "dense noiseless simulation; reports the most likely outcome";
+    run =
+      (fun c ->
+        if Circuit.num_qubits c > statevector_width_cap then
+          failf "statevector: %d qubits exceed the dense cap of %d" (Circuit.num_qubits c)
+            statevector_width_cap;
+        let sv = Statevector.run c in
+        let x = Statevector.most_likely sv in
+        Measured { outcome = x; deterministic = Statevector.is_basis_state ~eps:1e-6 sv x }) }
+
+let stabilizer =
+  { name = "stabilizer";
+    doc = "CHP tableau simulation; Clifford circuits only, polynomial in width";
+    run =
+      (fun c ->
+        if not (Stabilizer.is_clifford_circuit c) then
+          failf "stabilizer: circuit contains non-Clifford gates";
+        let outcome, deterministic = Stabilizer.measure_all (Stabilizer.run c) in
+        Measured { outcome; deterministic }) }
+
+let noisy ?(seed = 0xC0FFEE) ?(shots = 1024) params =
+  { name = Printf.sprintf "noisy:shots=%d" shots;
+    doc = "Monte-Carlo shots with depolarizing + readout noise (IBM-QX-style)";
+    run =
+      (fun c ->
+        let counts = Noise.run_shots ~seed params c ~shots in
+        let freqs = ref [] in
+        Array.iteri
+          (fun x k ->
+            if k > 0 then freqs := (x, Float.of_int k /. Float.of_int shots) :: !freqs)
+          counts;
+        Histogram
+          (List.sort (fun (_, a) (_, b) -> Float.compare b a) !freqs)) }
+
+let qasm =
+  { name = "qasm";
+    doc = "OpenQASM 2.0 export";
+    run = (fun c -> Exported (Qasm.to_string ~measure:false c)) }
+
+let qsharp ?(operation = "GeneratedOracle") () =
+  { name = "qsharp";
+    doc = "Q# operation source export";
+    run = (fun c -> Exported (Qsharp_gen.operation ~name:operation c)) }
+
+let draw =
+  { name = "draw";
+    doc = "ASCII circuit rendering";
+    run = (fun c -> Exported (Draw.to_string c)) }
+
+(* --- spec parsing: "name" or "name:arg[,arg…]" --- *)
+
+let known = [ "statevector"; "stabilizer"; "noisy"; "qasm"; "qsharp"; "draw" ]
+
+(** [catalog ()] lists [(family-name, doc)] pairs for help screens.
+    (Family names, not instance names: the noisy backend instance calls
+    itself [noisy:shots=N].) *)
+let catalog () =
+  List.map
+    (fun b -> (b.name, b.doc))
+    [ statevector; stabilizer; qasm; qsharp (); draw ]
+  @ [ ("noisy", (noisy Noise.ibm_qx2017).doc) ]
+
+let int_param name value =
+  match int_of_string_opt value with
+  | Some i when i > 0 -> i
+  | _ -> failf "%s: expected a positive integer, got %s" name value
+
+(** [of_spec spec] resolves a backend spec string:
+    [statevector | stabilizer | noisy[:shots=N[,seed=N]] | qasm |
+     qsharp[:OperationName] | draw]. Raises {!Unsupported} naming the
+    offending token. *)
+let of_spec spec =
+  let name, arg =
+    match String.index_opt spec ':' with
+    | None -> (String.trim spec, None)
+    | Some i ->
+        ( String.trim (String.sub spec 0 i),
+          Some (String.sub spec (i + 1) (String.length spec - i - 1)) )
+  in
+  let no_arg () =
+    match arg with
+    | None -> ()
+    | Some a -> failf "backend %s takes no argument (got %s)" name a
+  in
+  match name with
+  | "statevector" | "sv" ->
+      no_arg ();
+      statevector
+  | "stabilizer" | "stabsim" | "chp" ->
+      no_arg ();
+      stabilizer
+  | "noisy" ->
+      let shots = ref 1024 and seed = ref 0xC0FFEE in
+      Option.iter
+        (fun a ->
+          List.iter
+            (fun kv ->
+              match String.split_on_char '=' kv with
+              | [ "shots"; v ] -> shots := int_param "noisy:shots" v
+              | [ "seed"; v ] -> seed := int_param "noisy:seed" v
+              | _ -> failf "noisy: unknown parameter %s (expected shots=N or seed=N)" kv)
+            (String.split_on_char ',' a))
+        arg;
+      noisy ~seed:!seed ~shots:!shots Noise.ibm_qx2017
+  | "qasm" ->
+      no_arg ();
+      qasm
+  | "qsharp" -> qsharp ?operation:arg ()
+  | "draw" ->
+      no_arg ();
+      draw
+  | other -> failf "unknown backend %s (known: %s)" other (String.concat ", " known)

@@ -1,13 +1,13 @@
 (** Quantum circuits: ordered gate cascades on a fixed qubit count. *)
 
-type t = { n : int; rev_gates : Gate.t list }
+type t = { n : int; len : int; rev_gates : Gate.t list }
 
 (** [empty n] is the identity circuit on [n] qubits. The container itself
     scales to large registers (the stabilizer backend consumes wide
     Clifford circuits); the dense backends impose their own width caps. *)
 let empty n =
   if n < 1 || n > 4096 then invalid_arg "Circuit.empty: bad qubit count";
-  { n; rev_gates = [] }
+  { n; len = 0; rev_gates = [] }
 
 let check c g =
   List.iter
@@ -17,21 +17,60 @@ let check c g =
 (** [add c g] appends [g]. *)
 let add c g =
   check c g;
-  { c with rev_gates = g :: c.rev_gates }
+  { c with len = c.len + 1; rev_gates = g :: c.rev_gates }
 
 let add_list c gs = List.fold_left add c gs
 let of_gates n gs = add_list (empty n) gs
+
+(** [of_rev_gates n gs] builds a circuit from a {e reversed} gate list
+    (last-applied gate first) — the natural accumulator shape, so callers
+    that build gate lists by consing need not reverse before handing
+    over. *)
+let of_rev_gates n rev_gates =
+  let c = { (empty n) with len = List.length rev_gates; rev_gates } in
+  List.iter (check c) rev_gates;
+  c
 
 (** [gates c] lists gates in application order. *)
 let gates c = List.rev c.rev_gates
 
 let num_qubits c = c.n
-let num_gates c = List.length c.rev_gates
+let num_gates c = c.len
+
+(** [iter f c] applies [f] to every gate in application order. Unlike
+    [List.iter f (gates c)] this allocates a single scratch array instead
+    of a reversed list — the form the hot simulator/export loops use. *)
+let iter f c =
+  let a = Array.of_list c.rev_gates in
+  for i = Array.length a - 1 downto 0 do
+    f (Array.unsafe_get a i)
+  done
+
+(** [fold f init c] folds over the gates in application order, with the
+    same single-array allocation as {!iter}. *)
+let fold f init c =
+  let a = Array.of_list c.rev_gates in
+  let acc = ref init in
+  for i = Array.length a - 1 downto 0 do
+    acc := f !acc (Array.unsafe_get a i)
+  done;
+  !acc
+
+(** [to_array c] is the gates in application order as a fresh array. *)
+let to_array c =
+  let a = Array.of_list c.rev_gates in
+  let len = Array.length a in
+  for i = 0 to (len / 2) - 1 do
+    let tmp = a.(i) in
+    a.(i) <- a.(len - 1 - i);
+    a.(len - 1 - i) <- tmp
+  done;
+  a
 
 (** [append a b] runs [a] then [b]. *)
 let append a b =
   if a.n <> b.n then invalid_arg "Circuit.append: qubit mismatch";
-  { a with rev_gates = b.rev_gates @ a.rev_gates }
+  { a with len = a.len + b.len; rev_gates = b.rev_gates @ a.rev_gates }
 
 (** [dagger c] is the adjoint circuit: each gate inverted, order
     reversed. *)
@@ -64,7 +103,7 @@ let map_qubits ~n f c =
     | Mcx (cs, t) -> Mcx (List.map f cs, f t)
     | Mcz qs -> Mcz (List.map f qs)
   in
-  of_gates n (List.map remap (gates c))
+  of_rev_gates n (List.map remap c.rev_gates)
 
 (** [t_count c] counts T and T† gates. *)
 let t_count c =
@@ -78,14 +117,14 @@ let count_matching p c =
    its qubits. [weight] selects which gates advance the depth counter. *)
 let depth_by weight c =
   let avail = Array.make c.n 0 in
-  List.fold_left
+  fold
     (fun acc g ->
       let qs = Gate.qubits g in
       let start = List.fold_left (fun m q -> max m avail.(q)) 0 qs in
       let d = start + weight g in
       List.iter (fun q -> avail.(q) <- d) qs;
       max acc d)
-    0 (gates c)
+    0 c
 
 (** [depth c] is the circuit depth under greedy ASAP layering. *)
 let depth c = depth_by (fun _ -> 1) c

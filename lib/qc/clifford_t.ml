@@ -86,13 +86,13 @@ let default_options = { rccx_ladder = true; keep_rz = true }
 let compile ?(options = default_options) c =
   let n = Circuit.num_qubits c in
   let max_anc =
-    List.fold_left
+    Circuit.fold
       (fun acc g ->
         match g with
         | Mcx (cs, _) -> max acc (List.length cs - 2)
         | Mcz qs -> max acc (List.length qs - 3)
         | _ -> acc)
-      0 (Circuit.gates c)
+      0 c
   in
   let total = n + max_anc in
   let anc = Array.init max_anc (fun i -> n + i) in

@@ -39,7 +39,7 @@ let random_pauli st q =
     the measured basis state (all qubits, readout errors included). *)
 let run_shot st params circuit =
   let s = Statevector.init (Circuit.num_qubits circuit) in
-  List.iter
+  Circuit.iter
     (fun g ->
       Statevector.apply s g;
       let qs = Gate.qubits g in
@@ -54,7 +54,7 @@ let run_shot st params circuit =
             Statevector.amplitude_damp s q ~gamma:params.gamma ~jump
           end)
         qs)
-    (Circuit.gates circuit);
+    circuit;
   let outcome = Statevector.sample st s in
   (* readout flips *)
   let rec flip q acc =

@@ -80,7 +80,7 @@ let rewrite_once gates =
 (** [simplify c] applies cancellation/fusion to a fixpoint. The unitary is
     preserved exactly. *)
 let simplify c =
-  let gates = ref (Array.of_list (Circuit.gates c)) in
+  let gates = ref (Circuit.to_array c) in
   let budget = ref ((Array.length !gates * 8) + 64) in
   let continue_ = ref true in
   while !continue_ && !budget > 0 do

@@ -37,11 +37,11 @@ let to_string ?(measure = true) circuit =
   Buffer.add_string buf "OPENQASM 2.0;\ninclude \"qelib1.inc\";\n";
   Buffer.add_string buf (Printf.sprintf "qreg q[%d];\n" n);
   if measure then Buffer.add_string buf (Printf.sprintf "creg c[%d];\n" n);
-  List.iter
+  Circuit.iter
     (fun g ->
       Buffer.add_string buf (gate_line g);
       Buffer.add_char buf '\n')
-    (Circuit.gates circuit);
+    circuit;
   if measure then
     for q = 0 to n - 1 do
       Buffer.add_string buf (Printf.sprintf "measure q[%d] -> c[%d];\n" q q)

@@ -43,7 +43,7 @@ let operation ?(namespace = "Repro.Quantum.PermOracle") ~name circuit =
   add "    operation %s (qubits : Qubit[]) : ()" name;
   add "    {";
   add "        body {";
-  List.iter (fun g -> add "            %s" (gate_stmt g)) (Circuit.gates circuit);
+  Circuit.iter (fun g -> add "            %s" (gate_stmt g)) circuit;
   add "        }";
   add "        adjoint auto";
   add "        controlled auto";

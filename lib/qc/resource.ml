@@ -19,7 +19,7 @@ type t = {
 let count circuit =
   let h = ref 0 and x = ref 0 and cx = ref 0 and t = ref 0 and s = ref 0
   and z = ref 0 and other = ref 0 in
-  List.iter
+  Circuit.iter
     (fun g ->
       match (g : Gate.t) with
       | Gate.H _ -> incr h
@@ -29,7 +29,7 @@ let count circuit =
       | Gate.S _ | Gate.Sdg _ -> incr s
       | Gate.Z _ -> incr z
       | _ -> incr other)
-    (Circuit.gates circuit);
+    circuit;
   { qubits = Circuit.num_qubits circuit;
     total_gates = Circuit.num_gates circuit;
     h_count = !h; x_count = !x; cnot_count = !cx; t_count = !t; s_count = !s;

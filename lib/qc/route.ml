@@ -60,7 +60,7 @@ let lnn circuit =
     done;
     (phys.(a), phys.(b))
   in
-  List.iter
+  Circuit.iter
     (fun g ->
       match (g : Gate.t) with
       | Gate.Cnot (a, b) ->
@@ -76,21 +76,22 @@ let lnn circuit =
       | g1 ->
           let q = List.hd (Gate.qubits g1) in
           emit (remap1 g1 q))
-    (Circuit.gates circuit);
-  { circuit = Circuit.of_gates n (List.rev !out);
+    circuit;
+  { circuit = Circuit.of_rev_gates n !out;
     swaps_inserted = !swaps;
     final_placement = Array.copy phys }
 
 (** [is_lnn circuit] holds when every multi-qubit gate already acts on
     adjacent lines. *)
 let is_lnn circuit =
-  List.for_all
-    (fun g ->
-      match Gate.qubits g with
-      | [ a; b ] -> abs (a - b) = 1
-      | [ _ ] -> true
-      | _ -> false)
-    (Circuit.gates circuit)
+  Circuit.fold
+    (fun acc g ->
+      acc
+      && match Gate.qubits g with
+         | [ a; b ] -> abs (a - b) = 1
+         | [ _ ] -> true
+         | _ -> false)
+    true circuit
 
 (** [verify ~original r] checks semantic equivalence on small circuits:
     simulating the routed circuit and permuting the qubits back by the

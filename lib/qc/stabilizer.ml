@@ -128,13 +128,15 @@ let apply t (g : Gate.t) =
 (** [is_clifford_circuit c] holds when every gate is accepted by
     {!apply}. *)
 let is_clifford_circuit c =
-  List.for_all
-    (function
-      | Gate.H _ | Gate.S _ | Gate.Sdg _ | Gate.X _ | Gate.Y _ | Gate.Z _
-      | Gate.Cnot _ | Gate.Cz _ | Gate.Swap _ | Gate.Mcz [ _ ] | Gate.Mcz [ _; _ ] ->
-          true
-      | _ -> false)
-    (Circuit.gates c)
+  Circuit.fold
+    (fun acc g ->
+      acc
+      && match g with
+         | Gate.H _ | Gate.S _ | Gate.Sdg _ | Gate.X _ | Gate.Y _ | Gate.Z _
+         | Gate.Cnot _ | Gate.Cz _ | Gate.Swap _ | Gate.Mcz [ _ ] | Gate.Mcz [ _; _ ] ->
+             true
+         | _ -> false)
+    true c
 
 (* rowsum(h, i): row h := row h * row i, tracking the phase exponent mod 4
    (Aaronson-Gottesman's g function summed over qubits). *)
@@ -239,7 +241,7 @@ let measure ?st t q =
     Raises {!Not_clifford} when a non-Clifford gate is hit. *)
 let run circuit =
   let t = create (Circuit.num_qubits circuit) in
-  List.iter (apply t) (Circuit.gates circuit);
+  Circuit.iter (apply t) circuit;
   t
 
 (** [measure_all ?st t] measures every qubit in order and returns the packed

@@ -146,13 +146,13 @@ let apply s (g : Gate.t) =
 (** [run circuit] simulates [circuit] from |0…0⟩. *)
 let run circuit =
   let s = init (Circuit.num_qubits circuit) in
-  List.iter (apply s) (Circuit.gates circuit);
+  Circuit.iter (apply s) circuit;
   s
 
 (** [run_on s circuit] applies [circuit] to an existing state in place. *)
 let run_on s circuit =
   if Circuit.num_qubits circuit <> s.n then invalid_arg "Statevector.run_on";
-  List.iter (apply s) (Circuit.gates circuit)
+  Circuit.iter (apply s) circuit
 
 (** [prob_of_qubit s q] is the probability of reading 1 on qubit [q]. *)
 let prob_of_qubit s q =

@@ -107,7 +107,7 @@ let optimize c =
     end
   in
   reset_region ();
-  List.iter
+  Circuit.iter
     (fun g ->
       match g with
       | Cnot (cq, t) ->
@@ -136,9 +136,9 @@ let optimize c =
           flush ();
           out := g :: !out;
           reset_region ())
-    (Circuit.gates c);
+    c;
   flush ();
-  Circuit.of_gates n (List.rev !out)
+  Circuit.of_rev_gates n !out
 
 (** Summary of what {!optimize} achieved. *)
 type report = {

@@ -1,0 +1,302 @@
+(* The pass manager (Core.Pass) and the unified backends (Qc.Backend):
+   pipeline validation, spec parsing, instrumentation-trace invariants,
+   unitary equivalence of every registered pipeline permutation against
+   the unoptimized lowering, and the options/spec round trip. *)
+
+module Pass = Core.Pass
+module Flow = Core.Flow
+module Funcgen = Logic.Funcgen
+module Perm = Logic.Perm
+
+(* Widen [c] to [n] qubits (identity on the extra lines) so circuits whose
+   lowerings added different ancilla counts stay comparable. *)
+let widen n c =
+  if Qc.Circuit.num_qubits c = n then c
+  else Qc.Circuit.of_gates n (Qc.Circuit.gates c)
+
+let equivalent a b =
+  let n = max (Qc.Circuit.num_qubits a) (Qc.Circuit.num_qubits b) in
+  Qc.Equiv.up_to_phase (widen n a) (widen n b) = Qc.Equiv.Equivalent
+
+(* Every registered pipeline shape on small specs: reversible-layer
+   subsets x lowering variants x quantum-layer permutations. *)
+let rev_choices = [ []; [ "revsimp" ]; [ "resynth" ]; [ "revsimp"; "resynth" ] ]
+let lower_choices = [ "cliffordt"; "cliffordt:no-rccx" ]
+let qc_choices = [ []; [ "tpar" ]; [ "peephole" ]; [ "tpar"; "peephole" ]; [ "peephole"; "tpar" ] ]
+
+let pipeline_specs =
+  List.concat_map
+    (fun rev ->
+      List.concat_map
+        (fun lower ->
+          List.map (fun qc -> String.concat ";" (rev @ [ lower ] @ qc)) qc_choices)
+        lower_choices)
+    rev_choices
+
+let check_trace_shape spec (res : Pass.result) =
+  let pipeline = Pass.parse spec in
+  let expected = List.map (fun (p : Pass.t) -> p.Pass.name) (Pass.passes pipeline) in
+  Alcotest.(check (list string))
+    (spec ^ ": one trace entry per pass, in order")
+    expected
+    (List.map (fun (e : Pass.entry) -> e.Pass.pass_name) res.Pass.trace);
+  List.iter
+    (fun (e : Pass.entry) ->
+      Alcotest.(check bool) (spec ^ ": elapsed >= 0") true (e.Pass.elapsed >= 0.))
+    res.Pass.trace;
+  Alcotest.(check int)
+    (spec ^ ": exactly one lowering entry")
+    1
+    (List.length
+       (List.filter (fun (e : Pass.entry) -> e.Pass.layer = "lowering") res.Pass.trace));
+  Alcotest.(check bool) (spec ^ ": ancillae >= 0") true (res.Pass.ancillae >= 0);
+  (* snapshots chain: each pass's before is its predecessor's after *)
+  ignore
+    (List.fold_left
+       (fun prev (e : Pass.entry) ->
+         (match prev with
+         | Some after ->
+             Alcotest.(check bool)
+               (spec ^ ": snapshots chain through " ^ e.Pass.pass_name)
+               true
+               (after = e.Pass.before)
+         | None -> ());
+         Some e.Pass.after)
+       None res.Pass.trace)
+
+let test_pipeline_permutations () =
+  List.iter
+    (fun p ->
+      (* reference: bare lowering, no optimization anywhere *)
+      let rc = Rev.Tbs.synth p in
+      let baseline = Pass.run (Pass.parse "cliffordt") rc in
+      List.iter
+        (fun spec ->
+          let res = Pass.run (Pass.parse spec) rc in
+          check_trace_shape spec res;
+          Alcotest.(check bool)
+            (spec ^ ": equivalent to unoptimized lowering")
+            true
+            (equivalent res.Pass.circuit baseline.Pass.circuit))
+        pipeline_specs)
+    [ Funcgen.hwb 3; Funcgen.hwb 4; Perm.random (Helpers.rng 11) 3 ]
+
+let test_route_pipeline () =
+  let rc = Rev.Tbs.synth (Funcgen.hwb 3) in
+  let res = Pass.run (Pass.parse "revsimp;cliffordt;tpar;route") rc in
+  let route_entry =
+    List.find (fun (e : Pass.entry) -> e.Pass.pass_name = "route") res.Pass.trace
+  in
+  (match route_entry.Pass.detail with
+  | Some (Pass.Routed { swaps; final_placement }) ->
+      Alcotest.(check bool) "swaps >= 0" true (swaps >= 0);
+      Alcotest.(check int) "placement covers all qubits"
+        (Qc.Circuit.num_qubits res.Pass.circuit)
+        (Array.length final_placement)
+  | _ -> Alcotest.fail "route left no Routed detail");
+  Alcotest.(check bool) "routed circuit is LNN" true (Qc.Route.is_lnn res.Pass.circuit)
+
+let all_option_records =
+  let bools = [ true; false ] in
+  List.concat_map
+    (fun simplify_rev ->
+      List.concat_map
+        (fun rccx_ladder ->
+          List.concat_map
+            (fun tpar ->
+              List.map
+                (fun peephole ->
+                  { Flow.default with simplify_rev; rccx_ladder; tpar; peephole })
+                bools)
+            bools)
+        bools)
+    bools
+
+let test_spec_round_trip () =
+  let p = Funcgen.hwb 4 in
+  List.iter
+    (fun options ->
+      let spec = Flow.spec_of_options options in
+      (* parse -> to_spec is the identity on canonical specs *)
+      Alcotest.(check string) "spec round-trips" spec (Pass.to_spec (Pass.parse spec));
+      let c_opts, r_opts = Flow.compile_perm ~options p in
+      let c_spec, r_spec =
+        Flow.compile_perm ~options ~pipeline:(Pass.parse spec) p
+      in
+      Alcotest.(check bool) (spec ^ ": identical circuit") true (c_opts = c_spec);
+      Alcotest.(check bool)
+        (spec ^ ": identical final resources")
+        true
+        (r_opts.Flow.resources_final = r_spec.Flow.resources_final))
+    all_option_records
+
+let test_flow_report_from_trace () =
+  let _, report = Flow.compile_perm (Funcgen.hwb 4) in
+  let trace = report.Flow.trace in
+  Alcotest.(check (list string))
+    "default pipeline trace"
+    [ "revsimp"; "cliffordt"; "tpar"; "peephole" ]
+    (List.map (fun (e : Pass.entry) -> e.Pass.pass_name) trace);
+  let lower_entry =
+    List.find (fun (e : Pass.entry) -> e.Pass.layer = "lowering") trace
+  in
+  (* the report is a projection of the trace *)
+  Alcotest.(check bool) "rev_stats_simplified is the lowering's before" true
+    (Pass.Rev_snap report.Flow.rev_stats_simplified = lower_entry.Pass.before);
+  Alcotest.(check bool) "resources_mapped is the lowering's after" true
+    (Pass.Qc_snap report.Flow.resources_mapped = lower_entry.Pass.after);
+  let last = List.nth trace (List.length trace - 1) in
+  Alcotest.(check bool) "resources_final is the last pass's after" true
+    (Pass.Qc_snap report.Flow.resources_final = last.Pass.after);
+  Alcotest.(check bool) "total elapsed >= 0" true (Pass.total_elapsed trace >= 0.)
+
+let spec_error spec =
+  match Pass.parse spec with
+  | _ -> Alcotest.failf "%s: expected Spec_error" spec
+  | exception Pass.Spec_error msg -> msg
+
+let contains hay needle =
+  let lh = String.length hay and ln = String.length needle in
+  let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+  go 0
+
+let test_spec_errors () =
+  let check_msg spec fragment =
+    let msg = spec_error spec in
+    Alcotest.(check bool)
+      (Printf.sprintf "%s: error %S names the token" spec msg)
+      true (contains msg fragment)
+  in
+  check_msg "bogus" "bogus";
+  check_msg "tpar;revsimp" "revsimp";
+  check_msg "cliffordt;cliffordt" "second lowering";
+  check_msg "tpar;cliffordt" "lowering boundary after a quantum-layer pass";
+  check_msg "cliffordt:weird" "weird";
+  check_msg "revsimp:arg" "takes no argument";
+  check_msg "" "empty";
+  (match Pass.parse_qc "revsimp" with
+  | _ -> Alcotest.fail "parse_qc revsimp: expected Spec_error"
+  | exception Pass.Spec_error msg ->
+      Alcotest.(check bool) "parse_qc rejects rev passes" true (contains msg "revsimp"));
+  match Pass.parse_qc "cliffordt" with
+  | _ -> Alcotest.fail "parse_qc cliffordt: expected Spec_error"
+  | exception Pass.Spec_error msg ->
+      Alcotest.(check bool) "parse_qc rejects lowering" true (contains msg "cliffordt")
+
+let test_separators_and_synonym () =
+  let a = Pass.parse "revsimp;cliffordt;tpar" in
+  let b = Pass.parse "revsimp, cliffordt, tpar" in
+  Alcotest.(check string) "';' and ',' parse alike" (Pass.to_spec a) (Pass.to_spec b);
+  let c = Pass.parse "clifford_t" in
+  Alcotest.(check string) "clifford_t synonym" "cliffordt" (Pass.to_spec c);
+  (* a lowering-less spec gets the default boundary inserted *)
+  let d = Pass.parse "revsimp;tpar" in
+  Alcotest.(check string) "default lowering inserted" "revsimp;cliffordt;tpar"
+    (Pass.to_spec d)
+
+let test_registry_catalog () =
+  let names = Pass.names () in
+  List.iter
+    (fun n -> Alcotest.(check bool) (n ^ " registered") true (List.mem n names))
+    [ "revsimp"; "resynth"; "cliffordt"; "clifford_t"; "tpar"; "peephole"; "route" ];
+  List.iter
+    (fun (name, doc) ->
+      Alcotest.(check bool) (name ^ " has doc") true (String.length doc > 0))
+    (Pass.catalog ())
+
+(* --- unified backends --- *)
+
+let compiled_hwb3 =
+  lazy (fst (Flow.compile_perm (Funcgen.hwb 3)))
+
+let test_backend_statevector () =
+  let c = Qc.Circuit.of_gates 2 [ Qc.Gate.X 0 ] in
+  match (Qc.Backend.of_spec "statevector").Qc.Backend.run c with
+  | Qc.Backend.Measured { outcome; deterministic } ->
+      Alcotest.(check int) "X|00> = |01>" 1 outcome;
+      Alcotest.(check bool) "deterministic" true deterministic
+  | _ -> Alcotest.fail "expected Measured"
+
+let test_backend_stabilizer () =
+  let c = Qc.Circuit.of_gates 3 [ Qc.Gate.X 0; Qc.Gate.Cnot (0, 2) ] in
+  match (Qc.Backend.of_spec "stabilizer").Qc.Backend.run c with
+  | Qc.Backend.Measured { outcome; deterministic } ->
+      Alcotest.(check int) "X;CNOT gives |101>" 5 outcome;
+      Alcotest.(check bool) "deterministic" true deterministic
+  | _ -> Alcotest.fail "expected Measured"
+
+let test_backend_noisy () =
+  let c = Lazy.force compiled_hwb3 in
+  match (Qc.Backend.of_spec "noisy:shots=256,seed=7").Qc.Backend.run c with
+  | Qc.Backend.Histogram h ->
+      Alcotest.(check bool) "histogram non-empty" true (h <> []);
+      let total = List.fold_left (fun acc (_, p) -> acc +. p) 0. h in
+      Alcotest.(check bool) "frequencies sum to 1" true (abs_float (total -. 1.) < 1e-9)
+  | _ -> Alcotest.fail "expected Histogram"
+
+let test_backend_exports () =
+  let c = Lazy.force compiled_hwb3 in
+  (match (Qc.Backend.of_spec "qasm").Qc.Backend.run c with
+  | Qc.Backend.Exported s ->
+      Alcotest.(check bool) "QASM header" true (contains s "OPENQASM 2.0")
+  | _ -> Alcotest.fail "expected Exported");
+  (match (Qc.Backend.of_spec "qsharp:Hwb3").Qc.Backend.run c with
+  | Qc.Backend.Exported s ->
+      Alcotest.(check bool) "Q# operation name" true (contains s "operation Hwb3")
+  | _ -> Alcotest.fail "expected Exported");
+  match (Qc.Backend.of_spec "draw").Qc.Backend.run c with
+  | Qc.Backend.Exported s ->
+      Alcotest.(check bool) "drawing non-empty" true (String.length s > 0)
+  | _ -> Alcotest.fail "expected Exported"
+
+let test_backend_errors () =
+  (match Qc.Backend.of_spec "nosuch" with
+  | _ -> Alcotest.fail "expected Unsupported"
+  | exception Qc.Backend.Unsupported msg ->
+      Alcotest.(check bool) "unknown backend names token" true (contains msg "nosuch"));
+  (match Qc.Backend.of_spec "statevector:arg" with
+  | _ -> Alcotest.fail "expected Unsupported"
+  | exception Qc.Backend.Unsupported msg ->
+      Alcotest.(check bool) "no-arg backend rejects arg" true (contains msg "statevector"));
+  (* a T gate is not Clifford: the stabilizer backend must refuse it *)
+  let non_clifford = Qc.Circuit.of_gates 1 [ Qc.Gate.T 0 ] in
+  match (Qc.Backend.of_spec "stabilizer").Qc.Backend.run non_clifford with
+  | _ -> Alcotest.fail "expected Unsupported"
+  | exception Qc.Backend.Unsupported _ -> ()
+
+let test_backend_catalog () =
+  let names = List.map fst (Qc.Backend.catalog ()) in
+  List.iter
+    (fun n -> Alcotest.(check bool) (n ^ " in catalog") true (List.mem n names))
+    [ "statevector"; "stabilizer"; "noisy"; "qasm"; "qsharp"; "draw" ]
+
+let test_flow_execute () =
+  let p = Funcgen.hwb 3 in
+  let circuit, _ = Flow.compile_perm p in
+  match Flow.execute (Qc.Backend.of_spec "statevector") circuit with
+  | Qc.Backend.Measured { outcome; deterministic } ->
+      (* on |0...0> a permutation circuit computes p(0) on the spec lines *)
+      Alcotest.(check bool) "deterministic" true deterministic;
+      Alcotest.(check int) "computes p(0)" (Perm.apply p 0)
+        (outcome land ((1 lsl Perm.num_vars p) - 1))
+  | _ -> Alcotest.fail "expected Measured"
+
+let () =
+  Alcotest.run "pass"
+    [ ( "pipelines",
+        [ Alcotest.test_case "permutations equivalent + traced" `Slow
+            test_pipeline_permutations;
+          Alcotest.test_case "route pipeline" `Quick test_route_pipeline;
+          Alcotest.test_case "spec round trip" `Slow test_spec_round_trip;
+          Alcotest.test_case "report from trace" `Quick test_flow_report_from_trace;
+          Alcotest.test_case "spec errors" `Quick test_spec_errors;
+          Alcotest.test_case "separators + synonym" `Quick test_separators_and_synonym;
+          Alcotest.test_case "registry catalog" `Quick test_registry_catalog ] );
+      ( "backends",
+        [ Alcotest.test_case "statevector" `Quick test_backend_statevector;
+          Alcotest.test_case "stabilizer" `Quick test_backend_stabilizer;
+          Alcotest.test_case "noisy histogram" `Quick test_backend_noisy;
+          Alcotest.test_case "exports" `Quick test_backend_exports;
+          Alcotest.test_case "errors" `Quick test_backend_errors;
+          Alcotest.test_case "catalog" `Quick test_backend_catalog;
+          Alcotest.test_case "flow execute" `Quick test_flow_execute ] ) ]

@@ -132,6 +132,56 @@ let test_route_command () =
   let out = run "perm 0 2 3 5 7 1 4 6; tbs; cliffordt; route; ps" in
   Alcotest.(check bool) "route reports swaps" true (Helpers.contains ~needle:"SWAPs" out)
 
+let test_pipeline_command () =
+  (* pass specs inside a shell line use ',' because ';' separates commands *)
+  let out = run "revgen hwb 4; tbs; pipeline revsimp,cliffordt,tpar,peephole; ps" in
+  List.iter
+    (fun needle -> Alcotest.(check bool) needle true (Helpers.contains ~needle out))
+    [ "revsimp:"; "cliffordt:"; "tpar:"; "peephole:"; "pipeline: 4 passes" ];
+  (* a lowering-less spec gets the default boundary inserted *)
+  let out = run "revgen hwb 4; tbs; pipeline tpar" in
+  Alcotest.(check bool) "default lowering inserted" true
+    (Helpers.contains ~needle:"cliffordt:" out)
+
+let test_passes_and_backends_commands () =
+  let out = run "passes" in
+  List.iter
+    (fun needle -> Alcotest.(check bool) needle true (Helpers.contains ~needle out))
+    [ "revsimp"; "cliffordt"; "tpar"; "peephole"; "route" ];
+  let out = run "backends" in
+  List.iter
+    (fun needle -> Alcotest.(check bool) needle true (Helpers.contains ~needle out))
+    [ "statevector"; "stabilizer"; "noisy"; "qasm"; "qsharp" ]
+
+let test_trace_command () =
+  let out = run "revgen hwb 4; tbs; pipeline revsimp,cliffordt,tpar; trace" in
+  List.iter
+    (fun needle -> Alcotest.(check bool) needle true (Helpers.contains ~needle out))
+    [ "pass"; "layer"; "time"; "lowering"; "quantum" ]
+
+let test_run_command () =
+  let out = run "perm 0 1 3 2; tbs; cliffordt; run statevector" in
+  Alcotest.(check bool) "statevector outcome" true
+    (Helpers.contains ~needle:"deterministic" out);
+  let out = run "perm 0 1 3 2; tbs; cliffordt; run qasm" in
+  Alcotest.(check bool) "qasm export" true (Helpers.contains ~needle:"OPENQASM 2.0" out)
+
+let test_pass_manager_errors () =
+  List.iter
+    (fun (script, fragment) ->
+      match run script with
+      | exception Shell.Error msg ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s -> %s" script fragment)
+            true (Helpers.contains ~needle:fragment msg)
+      | out -> Alcotest.failf "expected error for %s, got %s" script out)
+    [ ("revgen hwb 4; tbs; pipeline bogus", "unknown pass bogus");
+      ("revgen hwb 4; tbs; pipeline tpar,revsimp", "revsimp");
+      ("pipeline tpar", "no reversible circuit");
+      ("perm 0 1 3 2; tbs; cliffordt; run nosuch", "unknown backend nosuch");
+      ("trace", "no pipeline has run");
+      ("run statevector", "no quantum circuit") ]
+
 let test_stabsim_command () =
   (* a Clifford-only reversible circuit (CNOT chain) can be stab-simulated *)
   let out = run "perm 0 1 3 2; tbs; cliffordt; stabsim" in
@@ -160,4 +210,9 @@ let () =
           Alcotest.test_case "bdd and lut" `Quick test_bdd_lut_commands;
           Alcotest.test_case "adder" `Quick test_adder_command;
           Alcotest.test_case "route" `Quick test_route_command;
+          Alcotest.test_case "pipeline" `Quick test_pipeline_command;
+          Alcotest.test_case "passes + backends" `Quick test_passes_and_backends_commands;
+          Alcotest.test_case "trace" `Quick test_trace_command;
+          Alcotest.test_case "run" `Quick test_run_command;
+          Alcotest.test_case "pass-manager errors" `Quick test_pass_manager_errors;
           Alcotest.test_case "stabsim" `Quick test_stabsim_command ] ) ]

@@ -1,0 +1,62 @@
+(* Source-style gate, wired into the default test alias. The container has
+   no ocamlformat, so this enforces the invariants a formatter would:
+
+     - no TAB characters
+     - no trailing whitespace
+     - no CR (Windows line endings)
+     - every file ends in exactly one newline
+
+   over every .ml/.mli under lib/ bin/ test/ bench/ examples/ tools/.
+   Exits non-zero listing each offending file:line, so `dune runtest`
+   fails on style regressions. *)
+
+let roots = [ "lib"; "bin"; "test"; "bench"; "examples"; "tools" ]
+let errors = ref 0
+
+let report path line msg =
+  incr errors;
+  Printf.eprintf "%s:%d: %s\n" path line msg
+
+let check_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  if len = 0 then report path 1 "empty file"
+  else begin
+    if s.[len - 1] <> '\n' then report path 1 "missing final newline";
+    if len >= 2 && s.[len - 1] = '\n' && s.[len - 2] = '\n' then
+      report path 1 "trailing blank line at end of file";
+    let line = ref 1 in
+    String.iteri
+      (fun i c ->
+        (match c with
+        | '\t' -> report path !line "TAB character"
+        | '\r' -> report path !line "CR line ending"
+        | ' ' when i + 1 < len && (s.[i + 1] = '\n' || s.[i + 1] = '\r') ->
+            report path !line "trailing whitespace"
+        | _ -> ());
+        if c = '\n' then incr line)
+      s
+  end
+
+let rec walk dir =
+  Array.iter
+    (fun entry ->
+      let path = Filename.concat dir entry in
+      if Sys.is_directory path then (if entry <> "_build" then walk path)
+      else if Filename.check_suffix entry ".ml" || Filename.check_suffix entry ".mli"
+      then check_file path)
+    (Sys.readdir dir)
+
+let () =
+  (* dune runs actions in the build context; the project root is passed as
+     the first argument (see tools/dune) *)
+  let root = if Array.length Sys.argv > 1 then Sys.argv.(1) else "." in
+  Sys.chdir root;
+  List.iter (fun d -> if Sys.file_exists d then walk d) roots;
+  if !errors > 0 then begin
+    Printf.eprintf "fmt check: %d style error(s)\n" !errors;
+    exit 1
+  end;
+  print_endline "fmt check: ok"
