@@ -5,7 +5,9 @@
    with Bechamel and prints per-run estimates.
 
      dune exec bench/main.exe            -- tables + timings
-     dune exec bench/main.exe quick      -- timings only *)
+     dune exec bench/main.exe quick      -- timings only
+     dune exec bench/main.exe json       -- timings + telemetry counters
+                                            written to BENCH_pr2.json *)
 
 open Bechamel
 open Bechamel.Toolkit
@@ -47,10 +49,14 @@ let tests =
         (stage (fun () -> Core.Hidden_shift.build e1_instance));
       Test.make ~name:"e1_inner_product_sim"
         (stage (fun () -> Qc.Statevector.run e1_circuit));
-      (* E2: Fig. 6 — one noisy shot on the IBM-substitute backend *)
+      (* E2: Fig. 6 — one noisy shot on the IBM-substitute backend. The RNG
+         state is re-seeded inside the staged thunk: a shared state would
+         mutate across Bechamel iterations, so later samples would time a
+         drifted random stream instead of the same deterministic shot. *)
       Test.make ~name:"e2_noisy_shot"
-        (let st = Random.State.make [| 42 |] in
-         stage (fun () -> Qc.Noise.run_shot st Qc.Noise.ibm_qx2017 e1_circuit));
+        (stage (fun () ->
+             let st = Random.State.make [| 42 |] in
+             Qc.Noise.run_shot st Qc.Noise.ibm_qx2017 e1_circuit));
       (* E3: Fig. 7/8 — build and solve the Maiorana-McFarland instance *)
       Test.make ~name:"e3_mm_build"
         (stage (fun () -> Core.Hidden_shift.build e3_instance));
@@ -130,7 +136,8 @@ let tests =
              let m = Logic.Bdd.create 10 in
              Logic.Bdd.of_truth_table m tt)) ]
 
-let run_benchmarks () =
+(* Bechamel estimates as [(name, ns_per_run option)] rows, sorted. *)
+let measure_benchmarks () =
   let ols = Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |] in
   let instances = Instance.[ monotonic_clock ] in
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true () in
@@ -138,26 +145,98 @@ let run_benchmarks () =
   let results = Analyze.all ols Instance.monotonic_clock raw in
   let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
   let rows = List.sort (fun (a, _) (b, _) -> compare a b) rows in
-  Printf.printf "%-42s %16s\n" "benchmark" "time/run";
-  List.iter
+  List.map
     (fun (name, ols) ->
       match Analyze.OLS.estimates ols with
-      | Some [ ns ] ->
-          let pretty =
-            if ns > 1e9 then Printf.sprintf "%8.3f s " (ns /. 1e9)
-            else if ns > 1e6 then Printf.sprintf "%8.3f ms" (ns /. 1e6)
-            else if ns > 1e3 then Printf.sprintf "%8.3f us" (ns /. 1e3)
-            else Printf.sprintf "%8.1f ns" ns
-          in
-          Printf.printf "%-42s %16s\n" name pretty
-      | _ -> Printf.printf "%-42s %16s\n" name "n/a")
+      | Some [ ns ] -> (name, Some ns)
+      | _ -> (name, None))
     rows
+
+let print_rows rows =
+  Printf.printf "%-42s %16s\n" "benchmark" "time/run";
+  List.iter
+    (fun (name, est) ->
+      let pretty =
+        match est with
+        | Some ns when ns > 1e9 -> Printf.sprintf "%8.3f s " (ns /. 1e9)
+        | Some ns when ns > 1e6 -> Printf.sprintf "%8.3f ms" (ns /. 1e6)
+        | Some ns when ns > 1e3 -> Printf.sprintf "%8.3f us" (ns /. 1e3)
+        | Some ns -> Printf.sprintf "%8.1f ns" ns
+        | None -> "n/a"
+      in
+      Printf.printf "%-42s %16s\n" name pretty)
+    rows
+
+(* One instrumented pass over the representative workloads: compile hwb4
+   through the full flow and sample the noisy backend, recording the
+   cross-layer telemetry stream. The counter totals (T-count, gate count,
+   shots, …) land next to the Bechamel estimates in the JSON report. *)
+let capture_telemetry () =
+  let m = Obs.Memory.create () in
+  Obs.reset ();
+  Obs.set_sink (Some (Obs.Memory.sink m));
+  let _compiled, _report = Core.Flow.compile_perm hwb4 in
+  let (_ : int array) =
+    Qc.Noise.run_shots ~seed:42 Qc.Noise.ibm_qx2017 e1_circuit ~shots:256
+  in
+  Obs.set_sink None;
+  Obs.Memory.events m
+
+let write_bench_json path rows events =
+  let open Obs.Json in
+  let benchmarks =
+    List.map
+      (fun (name, est) ->
+        Obj
+          [ ("name", String name);
+            ("ns_per_run", match est with Some ns -> Num ns | None -> Null) ])
+      rows
+  in
+  let counters =
+    List.map
+      (fun (name, total) -> (name, Num (float_of_int total)))
+      (Obs.Summary.counter_totals events)
+  in
+  let histograms =
+    List.map
+      (fun (name, (s : Obs.Summary.hist_stats)) ->
+        ( name,
+          Obj
+            [ ("n", Num (float_of_int s.Obs.Summary.n));
+              ("mean", Num s.Obs.Summary.mean); ("p50", Num s.Obs.Summary.p50);
+              ("p90", Num s.Obs.Summary.p90); ("max", Num s.Obs.Summary.max) ] ))
+      (Obs.Summary.histogram_stats events)
+  in
+  let spans =
+    List.map
+      (fun (name, (dur_us, calls)) ->
+        ( name,
+          Obj [ ("calls", Num (float_of_int calls)); ("total_us", Num dur_us) ] ))
+      (Obs.Summary.span_totals events)
+  in
+  let doc =
+    Obj
+      [ ("pr", Num 2.); ("suite", String "dautoq");
+        ("benchmarks", Arr benchmarks);
+        ("telemetry",
+         Obj [ ("counters", Obj counters); ("histograms", Obj histograms);
+               ("spans", Obj spans) ]) ]
+  in
+  let oc = open_out path in
+  output_string oc (to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %s (%d benchmarks, %d counters)\n" path (List.length rows)
+    (List.length counters)
 
 let () =
   let quick = Array.exists (fun a -> a = "quick") Sys.argv in
-  if not quick then begin
+  let json = Array.exists (fun a -> a = "json") Sys.argv in
+  if (not quick) && not json then begin
     print_endline "================ experiment tables (E1-E9) ================";
     print_string (Core.Experiments.all ());
     print_endline "\n================ bechamel timings =========================="
   end;
-  run_benchmarks ()
+  let rows = measure_benchmarks () in
+  print_rows rows;
+  if json then write_bench_json "BENCH_pr2.json" rows (capture_telemetry ())

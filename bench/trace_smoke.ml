@@ -1,0 +1,115 @@
+(* Telemetry smoke test, wired into the default test alias.
+
+   Three guards, so the telemetry subsystem can never silently rot or
+   slow the hot path:
+
+   1. end-to-end: run hidden_shift_cli with --trace-out and validate the
+      JSONL it writes (parses, spans strictly nested, counters present);
+   2. null-sink micro-overhead: with no sink installed, Obs.with_span
+      must cost no more than a branch (generous per-call ceiling);
+   3. flow overhead: Core.Flow.compile_perm hwb4 with the null sink must
+      not be slower than the same compile with a recording sink (within
+      noise) — if it is, the disabled path has grown real work. *)
+
+let die fmt = Printf.ksprintf (fun m -> prerr_endline ("trace smoke: " ^ m); exit 1) fmt
+
+(* --- 1. CLI --trace-out produces a valid JSONL event log --- *)
+
+let check_cli cli =
+  let tmp = Filename.temp_file "dautoq_trace" ".jsonl" in
+  let dev_null = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+  let pid =
+    Unix.create_process cli
+      [| cli; "ip"; "-n"; "2"; "--shift"; "1"; "--trace-out"; tmp |]
+      Unix.stdin dev_null Unix.stderr
+  in
+  let _, status = Unix.waitpid [] pid in
+  Unix.close dev_null;
+  (match status with
+  | Unix.WEXITED 0 -> ()
+  | _ -> die "hidden_shift_cli --trace-out exited abnormally");
+  let ic = open_in tmp in
+  let text = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove tmp;
+  let events =
+    try Obs.Export.parse_jsonl text
+    with Obs.Json.Parse_error msg -> die "trace JSONL does not parse: %s" msg
+  in
+  if events = [] then die "trace JSONL is empty";
+  (* span begins/ends must pair up by name and be strictly nested *)
+  let stack = ref [] in
+  List.iter
+    (fun e ->
+      match e with
+      | Obs.Span_begin { name; depth; _ } ->
+          if depth <> List.length !stack then
+            die "span %s opens at depth %d, expected %d" name depth
+              (List.length !stack);
+          stack := name :: !stack
+      | Obs.Span_end { name; depth; _ } -> (
+          match !stack with
+          | top :: rest when top = name && depth = List.length rest ->
+              stack := rest
+          | _ -> die "span end %s does not match the innermost open span" name)
+      | Obs.Counter _ | Obs.Sample _ -> ())
+    events;
+  if !stack <> [] then die "trace ends with %d unclosed spans" (List.length !stack);
+  let has_counter =
+    List.exists (function Obs.Counter _ -> true | _ -> false) events
+  in
+  if not has_counter then die "trace has no counter events";
+  Printf.printf "trace smoke: CLI trace OK (%d events)\n" (List.length events)
+
+(* --- 2. null-sink span overhead --- *)
+
+let check_null_overhead () =
+  Obs.set_sink None;
+  let iters = 1_000_000 in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to iters do
+    ignore (Sys.opaque_identity (Obs.with_span "x" (fun () -> Sys.opaque_identity 1)))
+  done;
+  let per_call = (Unix.gettimeofday () -. t0) /. float_of_int iters in
+  (* the disabled path is one branch; 1µs/call would mean it grew real
+     work (timestamps, allocation) — the usual cost is a few ns *)
+  if per_call > 1e-6 then
+    die "null-sink with_span costs %.0fns/call (> 1000ns ceiling)" (per_call *. 1e9);
+  Printf.printf "trace smoke: null-sink span overhead %.0fns/call\n" (per_call *. 1e9)
+
+(* --- 3. compile flow: null sink must not be slower than recording --- *)
+
+let time_compile () =
+  let hwb4 = Logic.Funcgen.hwb 4 in
+  let best = ref infinity in
+  for _ = 1 to 5 do
+    let t0 = Unix.gettimeofday () in
+    ignore (Core.Flow.compile_perm hwb4);
+    best := Float.min !best (Unix.gettimeofday () -. t0)
+  done;
+  !best
+
+let check_flow_overhead () =
+  Obs.set_sink None;
+  let null_time = time_compile () in
+  let m = Obs.Memory.create () in
+  Obs.set_sink (Some (Obs.Memory.sink m));
+  let recording_time = time_compile () in
+  Obs.set_sink None;
+  (* the null sink skips everything the recording sink does, so (within
+     noise — min-of-5 plus 50% headroom and a 5ms floor) it can only be
+     faster; a violation means the disabled path regressed *)
+  if null_time > (recording_time *. 1.5) +. 0.005 then
+    die "null-sink compile took %.2fms vs %.2fms recording — disabled path regressed"
+      (null_time *. 1e3) (recording_time *. 1e3);
+  if Obs.Memory.length m = 0 then die "recording sink captured no events";
+  Printf.printf
+    "trace smoke: compile hwb4 null sink %.2fms, recording %.2fms (%d events)\n"
+    (null_time *. 1e3) (recording_time *. 1e3) (Obs.Memory.length m)
+
+let () =
+  (match Array.to_list Sys.argv with
+  | [ _; cli ] -> check_cli cli
+  | _ -> die "usage: trace_smoke <hidden_shift_cli.exe>");
+  check_null_overhead ();
+  check_flow_overhead ()

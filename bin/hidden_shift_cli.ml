@@ -74,9 +74,24 @@ let run instance ~noisy ~shots ~runs ~draw ~qasm ~passes ~target =
       (if found = Core.Hidden_shift.shift instance then "" else "  (MISMATCH!)")
   end
 
-let run instance ~noisy ~shots ~runs ~draw ~qasm ~passes ~target =
-  try run instance ~noisy ~shots ~runs ~draw ~qasm ~passes ~target with
-  | Core.Pass.Spec_error msg | Qc.Backend.Unsupported msg ->
+(* With --trace-out the whole run records into a memory sink; the file
+   format is inferred from the extension (.jsonl event log, .json Chrome
+   trace loadable in Perfetto, anything else a human table). *)
+let run instance ~noisy ~shots ~runs ~draw ~qasm ~passes ~target ~trace_out =
+  let recorder = Option.map (fun _ -> Obs.Memory.create ()) trace_out in
+  Option.iter (fun m -> Obs.set_sink (Some (Obs.Memory.sink m))) recorder;
+  let finish () =
+    Obs.set_sink None;
+    match (trace_out, recorder) with
+    | Some file, Some m ->
+        Obs.Export.write_file file (Obs.Memory.events m);
+        Printf.eprintf "wrote %d telemetry events to %s\n" (Obs.Memory.length m) file
+    | _ -> ()
+  in
+  match run instance ~noisy ~shots ~runs ~draw ~qasm ~passes ~target with
+  | () -> finish ()
+  | exception (Core.Pass.Spec_error msg | Qc.Backend.Unsupported msg) ->
+      finish ();
       Printf.eprintf "error: %s\n" msg;
       exit 1
 
@@ -102,15 +117,28 @@ let target_arg =
     & info [ "target" ]
         ~doc:"Hand the circuit to a unified backend: statevector | stabilizer | noisy[:shots=N] | qasm | qsharp[:Name] | draw.")
 
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ]
+        ~doc:
+          "Record cross-layer telemetry and write it to $(docv); format by \
+           extension: .jsonl event log, .json Chrome trace (Perfetto), else a \
+           human-readable table."
+        ~docv:"FILE")
+
 let ip_cmd =
   let n = Arg.(value & opt int 2 & info [ "n" ] ~doc:"Half the qubit count (f is on 2n qubits).") in
-  let go n s noisy shots runs draw qasm passes target =
+  let go n s noisy shots runs draw qasm passes target trace_out =
     run (Core.Hidden_shift.Inner_product { n; s }) ~noisy ~shots ~runs ~draw ~qasm ~passes
-      ~target
+      ~target ~trace_out
   in
   Cmd.v
     (Cmd.info "ip" ~doc:"Inner-product instance (the paper's Fig. 4).")
-    Term.(const go $ n $ shift_arg $ noisy $ shots $ runs $ draw $ qasm $ passes_arg $ target_arg)
+    Term.(
+      const go $ n $ shift_arg $ noisy $ shots $ runs $ draw $ qasm $ passes_arg
+      $ target_arg $ trace_out_arg)
 
 let mm_cmd =
   let pi =
@@ -120,26 +148,31 @@ let mm_cmd =
       & info [ "pi" ] ~doc:"Permutation as comma-separated points, e.g. 0,2,3,5,7,1,4,6.")
   in
   let synth = Arg.(value & opt synth_conv Pq.Oracles.Tbs & info [ "synth" ] ~doc:"tbs | tbs-basic | dbs.") in
-  let go pi s synth noisy shots runs draw qasm passes target =
+  let go pi s synth noisy shots runs draw qasm passes target trace_out =
     let mm = Logic.Bent.mm pi in
-    run (Core.Hidden_shift.Mm { mm; s; synth }) ~noisy ~shots ~runs ~draw ~qasm ~passes ~target
+    run (Core.Hidden_shift.Mm { mm; s; synth }) ~noisy ~shots ~runs ~draw ~qasm ~passes
+      ~target ~trace_out
   in
   Cmd.v
     (Cmd.info "mm" ~doc:"Maiorana-McFarland instance (the paper's Fig. 7).")
-    Term.(const go $ pi $ shift_arg $ synth $ noisy $ shots $ runs $ draw $ qasm $ passes_arg $ target_arg)
+    Term.(
+      const go $ pi $ shift_arg $ synth $ noisy $ shots $ runs $ draw $ qasm $ passes_arg
+      $ target_arg $ trace_out_arg)
 
 let random_cmd =
   let n = Arg.(value & opt int 2 & info [ "n" ] ~doc:"Half register size (2n qubits).") in
   let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"PRNG seed.") in
-  let go n seed noisy shots runs draw qasm passes target =
+  let go n seed noisy shots runs draw qasm passes target trace_out =
     let st = Random.State.make [| seed |] in
     let inst = Core.Hidden_shift.random_mm_instance st n in
     Printf.printf "random MM instance, planted shift %d\n" (Core.Hidden_shift.shift inst);
-    run inst ~noisy ~shots ~runs ~draw ~qasm ~passes ~target
+    run inst ~noisy ~shots ~runs ~draw ~qasm ~passes ~target ~trace_out
   in
   Cmd.v
     (Cmd.info "random" ~doc:"Random Maiorana-McFarland instance.")
-    Term.(const go $ n $ seed $ noisy $ shots $ runs $ draw $ qasm $ passes_arg $ target_arg)
+    Term.(
+      const go $ n $ seed $ noisy $ shots $ runs $ draw $ qasm $ passes_arg $ target_arg
+      $ trace_out_arg)
 
 let () =
   let doc = "Boolean hidden shift on the automatic quantum compilation flow." in

@@ -39,8 +39,29 @@ let parse_file file =
     Printf.eprintf "parse error: %s\n" msg;
     exit 1
 
+(* [--trace-out FILE] (anywhere on the command line) records cross-layer
+   telemetry for the whole invocation and writes it to FILE at exit;
+   format by extension (.jsonl | .json Chrome trace | table). *)
+let extract_trace_out argv =
+  let rec scan acc = function
+    | "--trace-out" :: file :: rest -> (Some file, List.rev_append acc rest)
+    | a :: rest -> scan (a :: acc) rest
+    | [] -> (None, List.rev acc)
+  in
+  scan [] argv
+
 let () =
-  match Array.to_list Sys.argv with
+  let trace_out, argv = extract_trace_out (Array.to_list Sys.argv) in
+  (match trace_out with
+  | None -> ()
+  | Some file ->
+      let m = Obs.Memory.create () in
+      Obs.set_sink (Some (Obs.Memory.sink m));
+      at_exit (fun () ->
+          Obs.set_sink None;
+          Obs.Export.write_file file (Obs.Memory.events m);
+          Printf.eprintf "wrote %d telemetry events to %s\n" (Obs.Memory.length m) file));
+  match argv with
   | [ _; "passes"; spec; file ] -> (
       try
         let ps = Core.Pass.parse_qc spec in
@@ -102,5 +123,6 @@ let () =
       prerr_endline
         "usage: qasm_tool {stats|draw|sim|stabsim|route|tpar|qsharp} <file.qasm|->\n\
         \       qasm_tool passes <spec> <file.qasm|->\n\
-        \       qasm_tool run <target> <file.qasm|->";
+        \       qasm_tool run <target> <file.qasm|->\n\
+        \       (any form also accepts --trace-out <file>)";
       exit 2

@@ -124,6 +124,7 @@ let synthesize_perm options p =
     the [options] toggles denote (the synthesis front end still comes from
     [options.synth]). *)
 let compile_perm ?(options = default) ?pipeline p =
+  Obs.with_span "core.flow.compile_perm" @@ fun () ->
   let rc = synthesize_perm options p in
   let pipeline =
     match pipeline with Some pl -> pl | None -> pipeline_of_options options
@@ -135,6 +136,7 @@ let compile_perm ?(options = default) ?pipeline p =
     Eq. (4): inputs on the low lines, outputs above, ancillae above
     that). *)
 let compile_function ?(options = { default with synth = Esop }) ?pipeline fs =
+  Obs.with_span "core.flow.compile_function" @@ fun () ->
   let rc =
     match options.synth with
     | Esop -> Rev.Esop_synth.synth fs

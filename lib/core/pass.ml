@@ -259,11 +259,39 @@ let now () = Unix.gettimeofday ()
 let rev_snap rc = Rev_snap (Rev.Rcircuit.stats rc)
 let qc_snap c = Qc_snap (Qc.Resource.count c)
 
+let snapshot_gates = function
+  | Rev_snap s -> s.Rev.Rcircuit.gate_count
+  | Qc_snap r -> r.Qc.Resource.total_gates
+
+(* Telemetry: every executed pass is a span in the cross-layer stream
+   (taxonomy [core.pass.<name>]), so the pass-manager trace and the
+   synthesis/simulation internals land in one exportable timeline. *)
+let observe_entry (e : entry) =
+  if Obs.enabled () then begin
+    Obs.add_attrs
+      [ ("layer", Obs.Str e.layer);
+        ("gates_before", Obs.Int (snapshot_gates e.before));
+        ("gates_after", Obs.Int (snapshot_gates e.after)) ];
+    (match e.after with
+    | Qc_snap r -> Obs.add_attrs [ ("t_count", Obs.Int r.Qc.Resource.t_count) ]
+    | Rev_snap _ -> ());
+    if e.ancillae_added > 0 then
+      Obs.add_attrs [ ("ancillae_added", Obs.Int e.ancillae_added) ];
+    Obs.count "core.pass.executed"
+  end
+
 (** [run pipeline rc] executes every pass in order, recording one trace
-    entry per pass. *)
+    entry per pass. Each pass also opens a [core.pass.<name>] telemetry
+    span (the whole pipeline is a [core.pipeline.run] span), so the
+    existing trace entries and the cross-layer event stream tell one
+    story. *)
 let run pipeline rc0 =
+  Obs.with_span "core.pipeline.run" @@ fun () ->
   let entries = ref [] in
-  let record e = entries := e :: !entries in
+  let record e =
+    observe_entry e;
+    entries := e :: !entries
+  in
   let timed p before f =
     let t0 = now () in
     let out, detail = f () in
@@ -278,26 +306,33 @@ let run pipeline rc0 =
       (fun rc p ->
         match p.kind with
         | Rev_pass f ->
-            let rc', fin = timed p (rev_snap rc) (fun () -> f rc) in
-            fin (rev_snap rc') 0;
-            rc'
+            Obs.with_span ("core.pass." ^ p.name) (fun () ->
+                let rc', fin = timed p (rev_snap rc) (fun () -> f rc) in
+                fin (rev_snap rc') 0;
+                rc')
         | _ -> assert false)
       rc0 pipeline.rev_passes
   in
-  let (c0, ancillae), fin =
+  let c0, ancillae =
     match pipeline.lower.kind with
-    | Lower f -> timed pipeline.lower (rev_snap rc) (fun () -> f rc)
+    | Lower f ->
+        Obs.with_span ("core.pass." ^ pipeline.lower.name) (fun () ->
+            let (c0, ancillae), fin =
+              timed pipeline.lower (rev_snap rc) (fun () -> f rc)
+            in
+            fin (qc_snap c0) ancillae;
+            (c0, ancillae))
     | _ -> assert false
   in
-  fin (qc_snap c0) ancillae;
   let c =
     List.fold_left
       (fun c p ->
         match p.kind with
         | Qc_pass f ->
-            let c', fin = timed p (qc_snap c) (fun () -> f c) in
-            fin (qc_snap c') 0;
-            c'
+            Obs.with_span ("core.pass." ^ p.name) (fun () ->
+                let c', fin = timed p (qc_snap c) (fun () -> f c) in
+                fin (qc_snap c') 0;
+                c')
         | _ -> assert false)
       c0 pipeline.qc_passes
   in
@@ -306,20 +341,24 @@ let run pipeline rc0 =
 (** [run_qc passes c] executes a quantum-layer pass list on an
     already-lowered circuit, with the same instrumentation. *)
 let run_qc passes c0 =
+  Obs.with_span "core.pipeline.run_qc" @@ fun () ->
   let entries = ref [] in
   let c =
     List.fold_left
       (fun c p ->
         match p.kind with
         | Qc_pass f ->
-            let before = qc_snap c in
-            let t0 = now () in
-            let c', detail = f c in
-            entries :=
-              { pass_name = p.name; layer = "quantum"; elapsed = now () -. t0;
-                before; after = qc_snap c'; ancillae_added = 0; detail }
-              :: !entries;
-            c'
+            Obs.with_span ("core.pass." ^ p.name) (fun () ->
+                let before = qc_snap c in
+                let t0 = now () in
+                let c', detail = f c in
+                let e =
+                  { pass_name = p.name; layer = "quantum"; elapsed = now () -. t0;
+                    before; after = qc_snap c'; ancillae_added = 0; detail }
+                in
+                observe_entry e;
+                entries := e :: !entries;
+                c')
         | _ -> failf "%s: not a quantum-layer pass" p.name)
       c0 passes
   in
@@ -328,10 +367,6 @@ let run_qc passes c0 =
 (* ------------------------------------------------------------------ *)
 (* Trace rendering                                                     *)
 (* ------------------------------------------------------------------ *)
-
-let snapshot_gates = function
-  | Rev_snap s -> s.Rev.Rcircuit.gate_count
-  | Qc_snap r -> r.Qc.Resource.total_gates
 
 let pp_detail ppf = function
   | Tpar t ->

@@ -19,12 +19,13 @@ type state = {
   rev : Rev.Rcircuit.t option;
   qc : Qc.Circuit.t option;
   trace : Pass.trace option; (* instrumentation of the last [pipeline] run *)
+  recorder : Obs.Memory.t; (* cross-layer telemetry of the whole session *)
   out : Buffer.t;
 }
 
 let init () =
   { perm = None; func = None; rev = None; qc = None; trace = None;
-    out = Buffer.create 256 }
+    recorder = Obs.Memory.create (); out = Buffer.create 256 }
 
 exception Error of string
 
@@ -221,9 +222,48 @@ let exec_cmd st words =
           List.iter (fun (name, doc) -> say st "%-12s %s" name doc) (Pass.catalog ());
           st
       | "trace" -> (
-          match st.trace with
-          | Some trace -> say st "%s" (Pass.trace_to_string trace); st
-          | None -> failf "trace: no pipeline has run yet (use pipeline)")
+          match arg 0 with
+          | Some "export" ->
+              (* telemetry stream of the whole session, format by extension:
+                 .jsonl event log | .json Chrome trace | anything else table *)
+              let file =
+                match arg 1 with
+                | Some f -> f
+                | None -> failf "trace export: missing file"
+              in
+              let events = Obs.Memory.events st.recorder in
+              if events = [] then failf "trace export: no telemetry recorded yet";
+              Obs.Export.write_file file events;
+              say st "wrote %d events to %s" (List.length events) file;
+              st
+          | Some other -> failf "trace: unknown subcommand %s (try: trace export <file>)" other
+          | None -> (
+              match st.trace with
+              | Some trace -> say st "%s" (Pass.trace_to_string trace); st
+              | None -> failf "trace: no pipeline has run yet (use pipeline)"))
+      | "stats" ->
+          (* cross-layer telemetry summary: counters and histograms of
+             everything executed in this session *)
+          let events = Obs.Memory.events st.recorder in
+          let counters = Obs.Summary.counter_totals events in
+          let hists = Obs.Summary.histogram_stats events in
+          let spans = Obs.Summary.span_totals events in
+          if counters = [] && hists = [] && spans = [] then
+            say st "no telemetry recorded yet"
+          else begin
+            List.iter
+              (fun (name, (dur, k)) ->
+                say st "span     %-36s %4dx %10.2fms" name k (dur /. 1e3))
+              spans;
+            List.iter (fun (name, total) -> say st "counter  %-36s %12d" name total) counters;
+            List.iter
+              (fun (name, (s : Obs.Summary.hist_stats)) ->
+                say st "hist     %-36s n=%d mean=%.2f p50=%.1f p90=%.1f max=%.1f" name
+                  s.Obs.Summary.n s.Obs.Summary.mean s.Obs.Summary.p50
+                  s.Obs.Summary.p90 s.Obs.Summary.max)
+              hists
+          end;
+          st
       | "run" ->
           let c = need_qc st in
           let spec = match arg 0 with Some s -> s | None -> failf "run: missing target" in
@@ -284,23 +324,31 @@ let exec_cmd st words =
             "commands: revgen <name> <n> | random_perm <n> [seed] | perm <pts…> | expr <e> | tt <bits> | adder <n> |\n\
             \  tbs [-b] | dbs | cycle | exact | esop | hier [batch] | bdd | lut [k] | embed | revsimp | resynth |\n\
             \  cliffordt [--no-rccx] | tpar | peephole | route |\n\
-            \  pipeline <p1,p2,…> | passes | trace | run <target> | backends |\n\
+            \  pipeline <p1,p2,…> | passes | trace | trace export <file> | stats | run <target> | backends |\n\
             \  ps | print_rev | draw | write_qasm [file] | qsharp [name] |\n\
             \  simulate <x> | stabsim | verify | help";
           st
       | other -> failf "unknown command %s (try help)" other)
 
 (* Every failure surfaces as [Error] with the offending command named —
-   no silent drops, no bare exceptions escaping to the REPL. *)
+   no silent drops, no bare exceptions escaping to the REPL. Each command
+   executes with the session's telemetry recorder installed as the global
+   sink (restored afterwards), so [stats] / [trace export] see everything
+   the session did. *)
 let exec st words =
   match words with
   | [] -> st
-  | cmd :: _ -> (
-      try exec_cmd st words with
-      | Error _ as e -> raise e
-      | Invalid_argument msg | Failure msg -> failf "%s: %s" cmd msg
-      | Pass.Spec_error msg | Qc.Backend.Unsupported msg -> failf "%s: %s" cmd msg
-      | Not_found -> failf "%s: internal lookup failed" cmd)
+  | cmd :: _ ->
+      let saved = Obs.sink () in
+      Obs.set_sink (Some (Obs.Memory.sink st.recorder));
+      Fun.protect
+        ~finally:(fun () -> Obs.set_sink saved)
+        (fun () ->
+          try exec_cmd st words with
+          | Error _ as e -> raise e
+          | Invalid_argument msg | Failure msg -> failf "%s: %s" cmd msg
+          | Pass.Spec_error msg | Qc.Backend.Unsupported msg -> failf "%s: %s" cmd msg
+          | Not_found -> failf "%s: internal lookup failed" cmd)
 
 (** [run_line st line] splits on [';'] and executes each command; output
     accumulates in [st.out]. *)

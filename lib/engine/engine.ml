@@ -71,11 +71,16 @@ type compute_block = { start_len : int; mutable recorded : Qc.Gate.t list option
 (** [compute eng f] runs [f ()] (which applies gates normally) and records
     what it emitted; pair with {!uncompute}. *)
 let compute eng f =
+  Obs.with_span "pq.engine.compute" @@ fun () ->
   let start_len = eng.tape_len in
   f ();
   let seg_len = eng.tape_len - start_len in
   let rec take k tape = if k = 0 then [] else List.hd tape :: take (k - 1) (List.tl tape) in
   let segment_rev = take seg_len eng.tape in
+  if Obs.enabled () then begin
+    Obs.count ~by:seg_len "pq.engine.compute_gates";
+    Obs.add_attrs [ ("gates", Obs.Int seg_len) ]
+  end;
   { start_len; recorded = Some (List.rev segment_rev) }
 
 (** [uncompute eng block] appends the adjoint of the recorded block in
@@ -85,7 +90,12 @@ let uncompute eng block =
   match block.recorded with
   | None -> invalid_arg "Engine.uncompute: block already uncomputed"
   | Some gates ->
+      Obs.with_span "pq.engine.uncompute" @@ fun () ->
       block.recorded <- None;
+      if Obs.enabled () then begin
+        Obs.count ~by:(List.length gates) "pq.engine.uncompute_gates";
+        Obs.add_attrs [ ("gates", Obs.Int (List.length gates)) ]
+      end;
       List.iter (fun g -> emit eng (Qc.Gate.adjoint g)) (List.rev gates)
 
 (** [with_compute eng f body] is the common Compute/body/Uncompute
@@ -98,6 +108,7 @@ let with_compute eng f body =
 (** [dagger eng f] applies the {e adjoint} of whatever [f ()] emits —
     ProjectQ's [Dagger]. *)
 let dagger eng f =
+  Obs.with_span "pq.engine.dagger" @@ fun () ->
   let start_len = eng.tape_len in
   f ();
   let seg_len = eng.tape_len - start_len in

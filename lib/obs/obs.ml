@@ -1,0 +1,667 @@
+(** Cross-layer telemetry: spans, counters and histograms behind a
+    pluggable sink.
+
+    Every layer of the flow (reversible synthesis, Clifford+T lowering,
+    T-par, the simulators, the ProjectQ-style engine and the pass
+    manager) emits into this module. The design constraint is that the
+    {e hot path costs one branch when disabled}: the default sink is
+    [None] ("null sink"), and every instrumentation primitive first
+    dereferences {!val-sink} and returns immediately when no sink is
+    installed. No timestamps are taken, no strings built, no allocation
+    performed on the disabled path.
+
+    The vocabulary:
+
+    - {e spans} — nested wall-clock regions ([Span_begin]/[Span_end]
+      pairs carrying depth, duration in µs and words allocated via
+      [Gc.allocated_bytes]); names follow the [layer.component.operation]
+      taxonomy (["qc.tpar.optimize"], ["pq.engine.compute"], …);
+    - {e counters} — monotonic named tallies ([Counter] events carry the
+      delta and the running total);
+    - {e histograms} — point observations ([Sample] events) summarized by
+      {!Summary.histogram_stats}.
+
+    Recording is done by installing a sink ({!Memory} buffers events in
+    process); {!Export} renders an event list as a human table, a JSONL
+    event log, or a Chrome trace-event file loadable in Perfetto. *)
+
+type value = Int of int | Float of float | Str of string
+
+type event =
+  | Span_begin of { name : string; ts : float; depth : int }
+      (** [ts] is µs since the Unix epoch. *)
+  | Span_end of {
+      name : string;
+      ts : float; (* start of the span (matches its Span_begin), µs *)
+      dur : float; (* wall-clock duration, µs *)
+      alloc : float; (* bytes allocated inside the span *)
+      depth : int;
+      attrs : (string * value) list;
+    }
+  | Counter of { name : string; ts : float; delta : int; total : int }
+  | Sample of { name : string; ts : float; value : float }
+
+type sink = { emit : event -> unit }
+
+(* ------------------------------------------------------------------ *)
+(* Global instrumentation state                                        *)
+(* ------------------------------------------------------------------ *)
+
+let current : sink option ref = ref None
+let depth_ref = ref 0
+let totals : (string, int) Hashtbl.t = Hashtbl.create 16
+
+(* Attribute frames for the open spans, innermost first; [add_attrs]
+   appends to the innermost frame. *)
+let attr_frames : (string * value) list ref list ref = ref []
+
+(** [set_sink s] installs (or, with [None], removes) the global sink.
+    Open-span bookkeeping is reset; counter totals persist until
+    {!reset}. *)
+let set_sink s =
+  current := s;
+  depth_ref := 0;
+  attr_frames := []
+
+let sink () = !current
+
+(** [enabled ()] is [true] iff a sink is installed. Use it to guard
+    attribute computations that would otherwise cost on the null path. *)
+let enabled () = !current <> None
+
+(** [reset ()] clears the counter totals (a new recording epoch). *)
+let reset () =
+  Hashtbl.reset totals;
+  depth_ref := 0;
+  attr_frames := []
+
+let now_us () = Unix.gettimeofday () *. 1e6
+
+(** [count ?by name] bumps the monotonic counter [name] (default by 1)
+    and emits a [Counter] event carrying the running total. *)
+let count ?(by = 1) name =
+  match !current with
+  | None -> ()
+  | Some s ->
+      let total = Option.value ~default:0 (Hashtbl.find_opt totals name) + by in
+      Hashtbl.replace totals name total;
+      s.emit (Counter { name; ts = now_us (); delta = by; total })
+
+(** [observe name v] records one histogram observation. *)
+let observe name v =
+  match !current with
+  | None -> ()
+  | Some s -> s.emit (Sample { name; ts = now_us (); value = v })
+
+(** [add_attrs kvs] attaches key/value attributes to the innermost open
+    span (they ride on its [Span_end]). No-op outside a span or when
+    disabled — but guard the list construction with {!enabled} at call
+    sites that compute values. *)
+let add_attrs kvs =
+  match !attr_frames with [] -> () | frame :: _ -> frame := !frame @ kvs
+
+(** [with_span name f] runs [f ()] inside a span: a [Span_begin] at
+    entry, a [Span_end] at exit (normal or exceptional — an escaping
+    exception is recorded as an ["error"] attribute and re-raised).
+    When no sink is installed this is exactly [f ()] after one branch. *)
+let with_span name f =
+  match !current with
+  | None -> f ()
+  | Some s ->
+      let d = !depth_ref in
+      depth_ref := d + 1;
+      let frame = ref [] in
+      attr_frames := frame :: !attr_frames;
+      let a0 = Gc.allocated_bytes () in
+      let t0 = now_us () in
+      s.emit (Span_begin { name; ts = t0; depth = d });
+      let close extra =
+        let dur = now_us () -. t0 in
+        let alloc = Gc.allocated_bytes () -. a0 in
+        depth_ref := d;
+        (attr_frames := match !attr_frames with _ :: rest -> rest | [] -> []);
+        s.emit
+          (Span_end { name; ts = t0; dur; alloc; depth = d; attrs = !frame @ extra })
+      in
+      (match f () with
+      | v ->
+          close [];
+          v
+      | exception e ->
+          close [ ("error", Str (Printexc.to_string e)) ];
+          raise e)
+
+(* ------------------------------------------------------------------ *)
+(* Memory sink                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(** An in-process event recorder — the sink behind the shell's [stats] /
+    [trace export] commands and the CLIs' [--trace-out]. *)
+module Memory = struct
+  type t = { mutable rev_events : event list; mutable n : int }
+
+  let create () = { rev_events = []; n = 0 }
+
+  let sink m =
+    { emit =
+        (fun e ->
+          m.rev_events <- e :: m.rev_events;
+          m.n <- m.n + 1) }
+
+  let events m = List.rev m.rev_events
+  let length m = m.n
+
+  let clear m =
+    m.rev_events <- [];
+    m.n <- 0
+end
+
+(* ------------------------------------------------------------------ *)
+(* Stream summaries                                                    *)
+(* ------------------------------------------------------------------ *)
+
+module Summary = struct
+  (** [counter_totals events] is the final running total of every counter
+      seen in the stream, sorted by name. *)
+  let counter_totals events =
+    let tbl = Hashtbl.create 16 in
+    List.iter
+      (function
+        | Counter { name; total; _ } -> Hashtbl.replace tbl name total
+        | _ -> ())
+      events;
+    List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+
+  type hist_stats = {
+    n : int;
+    min : float;
+    max : float;
+    mean : float;
+    p50 : float;
+    p90 : float;
+  }
+
+  let stats_of_samples xs =
+    let a = Array.of_list xs in
+    Array.sort Float.compare a;
+    let n = Array.length a in
+    let pct p = a.(Stdlib.min (n - 1) (int_of_float (p *. float_of_int n))) in
+    { n;
+      min = a.(0);
+      max = a.(n - 1);
+      mean = Array.fold_left ( +. ) 0. a /. float_of_int n;
+      p50 = pct 0.5;
+      p90 = pct 0.9 }
+
+  (** [histogram_stats events] summarizes every [Sample] series, sorted by
+      name. *)
+  let histogram_stats events =
+    let tbl : (string, float list ref) Hashtbl.t = Hashtbl.create 16 in
+    List.iter
+      (function
+        | Sample { name; value; _ } -> (
+            match Hashtbl.find_opt tbl name with
+            | Some l -> l := value :: !l
+            | None -> Hashtbl.add tbl name (ref [ value ]))
+        | _ -> ())
+      events;
+    List.sort compare
+      (Hashtbl.fold (fun k l acc -> (k, stats_of_samples !l) :: acc) tbl [])
+
+  (** [span_totals events] sums duration (µs) and call count per span
+      name, from the [Span_end] events, sorted by name. *)
+  let span_totals events =
+    let tbl : (string, float * int) Hashtbl.t = Hashtbl.create 16 in
+    List.iter
+      (function
+        | Span_end { name; dur; _ } ->
+            let d, k = Option.value ~default:(0., 0) (Hashtbl.find_opt tbl name) in
+            Hashtbl.replace tbl name (d +. dur, k + 1)
+        | _ -> ())
+      events;
+    List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+end
+
+(* ------------------------------------------------------------------ *)
+(* A minimal JSON codec (no external dependencies)                     *)
+(* ------------------------------------------------------------------ *)
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | String of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  exception Parse_error of string
+
+  let escape_to buf s =
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\r' -> Buffer.add_string buf "\\r"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | c when Char.code c < 0x20 ->
+            Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"'
+
+  (* Integral values print without a fractional part (and parse back as
+     the same float); general floats use %.17g, which round-trips. *)
+  let num_to_string f =
+    if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+    else Printf.sprintf "%.17g" f
+
+  let rec to_buf buf = function
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+    | Num f -> Buffer.add_string buf (num_to_string f)
+    | String s -> escape_to buf s
+    | Arr items ->
+        Buffer.add_char buf '[';
+        List.iteri
+          (fun i item ->
+            if i > 0 then Buffer.add_char buf ',';
+            to_buf buf item)
+          items;
+        Buffer.add_char buf ']'
+    | Obj kvs ->
+        Buffer.add_char buf '{';
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then Buffer.add_char buf ',';
+            escape_to buf k;
+            Buffer.add_char buf ':';
+            to_buf buf v)
+          kvs;
+        Buffer.add_char buf '}'
+
+  let to_string j =
+    let buf = Buffer.create 256 in
+    to_buf buf j;
+    Buffer.contents buf
+
+  (* --- recursive-descent parser over the subset we emit (which is all
+     of JSON except exotic number forms) --- *)
+
+  let parse s =
+    let pos = ref 0 in
+    let len = String.length s in
+    let fail msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg !pos)) in
+    let peek () = if !pos < len then Some s.[!pos] else None in
+    let advance () = incr pos in
+    let rec skip_ws () =
+      match peek () with
+      | Some (' ' | '\t' | '\n' | '\r') ->
+          advance ();
+          skip_ws ()
+      | _ -> ()
+    in
+    let expect c =
+      match peek () with
+      | Some c' when c' = c -> advance ()
+      | _ -> fail (Printf.sprintf "expected '%c'" c)
+    in
+    let literal word v =
+      if !pos + String.length word <= len && String.sub s !pos (String.length word) = word
+      then begin
+        pos := !pos + String.length word;
+        v
+      end
+      else fail (Printf.sprintf "expected %s" word)
+    in
+    let parse_string () =
+      expect '"';
+      let buf = Buffer.create 16 in
+      let rec loop () =
+        if !pos >= len then fail "unterminated string";
+        let c = s.[!pos] in
+        advance ();
+        match c with
+        | '"' -> Buffer.contents buf
+        | '\\' -> (
+            if !pos >= len then fail "unterminated escape";
+            let e = s.[!pos] in
+            advance ();
+            match e with
+            | '"' | '\\' | '/' ->
+                Buffer.add_char buf e;
+                loop ()
+            | 'n' ->
+                Buffer.add_char buf '\n';
+                loop ()
+            | 'r' ->
+                Buffer.add_char buf '\r';
+                loop ()
+            | 't' ->
+                Buffer.add_char buf '\t';
+                loop ()
+            | 'b' ->
+                Buffer.add_char buf '\b';
+                loop ()
+            | 'f' ->
+                Buffer.add_char buf '\012';
+                loop ()
+            | 'u' ->
+                if !pos + 4 > len then fail "bad \\u escape";
+                let hex = String.sub s !pos 4 in
+                pos := !pos + 4;
+                let code =
+                  match int_of_string_opt ("0x" ^ hex) with
+                  | Some c -> c
+                  | None -> fail "bad \\u escape"
+                in
+                (* we only emit \u for control characters; decode the
+                   Latin-1 range and replace anything wider *)
+                Buffer.add_char buf (if code < 256 then Char.chr code else '?');
+                loop ()
+            | _ -> fail "unknown escape")
+        | c ->
+            Buffer.add_char buf c;
+            loop ()
+      in
+      loop ()
+    in
+    let parse_number () =
+      let start = !pos in
+      let numchar = function
+        | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+        | _ -> false
+      in
+      while !pos < len && numchar s.[!pos] do
+        advance ()
+      done;
+      match float_of_string_opt (String.sub s start (!pos - start)) with
+      | Some f -> Num f
+      | None -> fail "bad number"
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | Some '"' -> String (parse_string ())
+      | Some '{' ->
+          advance ();
+          skip_ws ();
+          if peek () = Some '}' then begin
+            advance ();
+            Obj []
+          end
+          else begin
+            let rec members acc =
+              skip_ws ();
+              let k = parse_string () in
+              skip_ws ();
+              expect ':';
+              let v = parse_value () in
+              skip_ws ();
+              match peek () with
+              | Some ',' ->
+                  advance ();
+                  members ((k, v) :: acc)
+              | Some '}' ->
+                  advance ();
+                  Obj (List.rev ((k, v) :: acc))
+              | _ -> fail "expected ',' or '}'"
+            in
+            members []
+          end
+      | Some '[' ->
+          advance ();
+          skip_ws ();
+          if peek () = Some ']' then begin
+            advance ();
+            Arr []
+          end
+          else begin
+            let rec items acc =
+              let v = parse_value () in
+              skip_ws ();
+              match peek () with
+              | Some ',' ->
+                  advance ();
+                  items (v :: acc)
+              | Some ']' ->
+                  advance ();
+                  Arr (List.rev (v :: acc))
+              | _ -> fail "expected ',' or ']'"
+            in
+            items []
+          end
+      | Some 't' -> literal "true" (Bool true)
+      | Some 'f' -> literal "false" (Bool false)
+      | Some 'n' -> literal "null" Null
+      | Some _ -> parse_number ()
+      | None -> fail "unexpected end of input"
+    in
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> len then fail "trailing garbage";
+    v
+
+  let member k = function Obj kvs -> List.assoc_opt k kvs | _ -> None
+
+  let get_string = function String s -> Some s | _ -> None
+  let get_num = function Num f -> Some f | _ -> None
+end
+
+(* ------------------------------------------------------------------ *)
+(* Exporters                                                           *)
+(* ------------------------------------------------------------------ *)
+
+module Export = struct
+  let json_of_value = function
+    | Int i -> Json.Num (float_of_int i)
+    | Float f -> Json.Num f
+    | Str s -> Json.String s
+
+  let value_of_json = function
+    | Json.Num f when Float.is_integer f && Float.abs f < 1e15 ->
+        Int (int_of_float f)
+    | Json.Num f -> Float f
+    | Json.String s -> Str s
+    | _ -> raise (Json.Parse_error "attribute value must be number or string")
+
+  let json_of_event e =
+    let open Json in
+    match e with
+    | Span_begin { name; ts; depth } ->
+        Obj
+          [ ("type", String "span_begin"); ("name", String name); ("ts", Num ts);
+            ("depth", Num (float_of_int depth)) ]
+    | Span_end { name; ts; dur; alloc; depth; attrs } ->
+        Obj
+          [ ("type", String "span_end"); ("name", String name); ("ts", Num ts);
+            ("dur", Num dur); ("alloc", Num alloc);
+            ("depth", Num (float_of_int depth));
+            ("attrs", Obj (List.map (fun (k, v) -> (k, json_of_value v)) attrs)) ]
+    | Counter { name; ts; delta; total } ->
+        Obj
+          [ ("type", String "counter"); ("name", String name); ("ts", Num ts);
+            ("delta", Num (float_of_int delta)); ("total", Num (float_of_int total)) ]
+    | Sample { name; ts; value } ->
+        Obj
+          [ ("type", String "sample"); ("name", String name); ("ts", Num ts);
+            ("value", Num value) ]
+
+  let schema_fail fmt = Printf.ksprintf (fun m -> raise (Json.Parse_error m)) fmt
+
+  let req j k =
+    match Json.member k j with
+    | Some v -> v
+    | None -> schema_fail "missing field %S" k
+
+  let req_string j k =
+    match Json.get_string (req j k) with
+    | Some s -> s
+    | None -> schema_fail "field %S must be a string" k
+
+  let req_num j k =
+    match Json.get_num (req j k) with
+    | Some f -> f
+    | None -> schema_fail "field %S must be a number" k
+
+  let event_of_json j =
+    match req_string j "type" with
+    | "span_begin" ->
+        Span_begin
+          { name = req_string j "name"; ts = req_num j "ts";
+            depth = int_of_float (req_num j "depth") }
+    | "span_end" ->
+        let attrs =
+          match req j "attrs" with
+          | Json.Obj kvs -> List.map (fun (k, v) -> (k, value_of_json v)) kvs
+          | _ -> schema_fail "field \"attrs\" must be an object"
+        in
+        Span_end
+          { name = req_string j "name"; ts = req_num j "ts"; dur = req_num j "dur";
+            alloc = req_num j "alloc"; depth = int_of_float (req_num j "depth");
+            attrs }
+    | "counter" ->
+        Counter
+          { name = req_string j "name"; ts = req_num j "ts";
+            delta = int_of_float (req_num j "delta");
+            total = int_of_float (req_num j "total") }
+    | "sample" ->
+        Sample { name = req_string j "name"; ts = req_num j "ts"; value = req_num j "value" }
+    | other -> schema_fail "unknown event type %S" other
+
+  (** [jsonl events] renders one JSON object per line. *)
+  let jsonl events =
+    let buf = Buffer.create 4096 in
+    List.iter
+      (fun e ->
+        Json.to_buf buf (json_of_event e);
+        Buffer.add_char buf '\n')
+      events;
+    Buffer.contents buf
+
+  (** [parse_jsonl text] parses a {!jsonl} log back into events (blank
+      lines ignored). Raises {!Json.Parse_error} on malformed input. *)
+  let parse_jsonl text =
+    String.split_on_char '\n' text
+    |> List.filter (fun l -> String.trim l <> "")
+    |> List.map (fun l -> event_of_json (Json.parse l))
+
+  (** [chrome events] renders a Chrome trace-event JSON document
+      ([{"traceEvents": […]}]) loadable at ui.perfetto.dev or
+      chrome://tracing. Spans become complete ("X") events, counters and
+      samples become counter ("C") tracks. Timestamps are rebased to the
+      first event. *)
+  let chrome events =
+    let base =
+      List.fold_left
+        (fun acc e ->
+          let ts =
+            match e with
+            | Span_begin { ts; _ } | Span_end { ts; _ } | Counter { ts; _ }
+            | Sample { ts; _ } ->
+                ts
+          in
+          Float.min acc ts)
+        infinity events
+    in
+    let base = if base = infinity then 0. else base in
+    let open Json in
+    let trace_events =
+      List.filter_map
+        (fun e ->
+          match e with
+          | Span_begin _ -> None (* the Span_end carries start + duration *)
+          | Span_end { name; ts; dur; alloc; attrs; _ } ->
+              Some
+                (Obj
+                   [ ("name", String name); ("cat", String "span");
+                     ("ph", String "X"); ("pid", Num 1.); ("tid", Num 1.);
+                     ("ts", Num (ts -. base)); ("dur", Num dur);
+                     ("args",
+                      Obj
+                        (("alloc_bytes", Num alloc)
+                        :: List.map (fun (k, v) -> (k, json_of_value v)) attrs)) ])
+          | Counter { name; ts; total; _ } ->
+              Some
+                (Obj
+                   [ ("name", String name); ("ph", String "C"); ("pid", Num 1.);
+                     ("tid", Num 1.); ("ts", Num (ts -. base));
+                     ("args", Obj [ ("value", Num (float_of_int total)) ]) ])
+          | Sample { name; ts; value } ->
+              Some
+                (Obj
+                   [ ("name", String name); ("ph", String "C"); ("pid", Num 1.);
+                     ("tid", Num 1.); ("ts", Num (ts -. base));
+                     ("args", Obj [ ("value", Num value) ]) ]))
+        events
+    in
+    to_string
+      (Obj [ ("traceEvents", Arr trace_events); ("displayTimeUnit", String "ms") ])
+
+  (** [table events] renders the human summary: the span tree (indented
+      by nesting depth) with durations and allocation, then counter
+      totals, then histogram summaries. *)
+  let table events =
+    let buf = Buffer.create 1024 in
+    let spans =
+      List.filter_map (function Span_end _ as e -> Some e | _ -> None) events
+    in
+    if spans <> [] then begin
+      Buffer.add_string buf
+        (Printf.sprintf "%-44s %12s %12s\n" "span" "time" "alloc");
+      List.iter
+        (function
+          | Span_end { name; dur; alloc; depth; _ } ->
+              let indent = String.make (2 * depth) ' ' in
+              Buffer.add_string buf
+                (Printf.sprintf "%-44s %10.3fms %10.1fkB\n" (indent ^ name)
+                   (dur /. 1e3) (alloc /. 1024.))
+          | _ -> ())
+        spans
+    end;
+    let counters = Summary.counter_totals events in
+    if counters <> [] then begin
+      Buffer.add_string buf "counters:\n";
+      List.iter
+        (fun (name, total) ->
+          Buffer.add_string buf (Printf.sprintf "  %-42s %12d\n" name total))
+        counters
+    end;
+    let hists = Summary.histogram_stats events in
+    if hists <> [] then begin
+      Buffer.add_string buf "histograms:\n";
+      List.iter
+        (fun (name, (s : Summary.hist_stats)) ->
+          Buffer.add_string buf
+            (Printf.sprintf
+               "  %-42s n=%d min=%.1f mean=%.2f p50=%.1f p90=%.1f max=%.1f\n" name
+               s.Summary.n s.Summary.min s.Summary.mean s.Summary.p50 s.Summary.p90
+               s.Summary.max))
+        hists
+    end;
+    if Buffer.length buf = 0 then Buffer.add_string buf "no telemetry recorded\n";
+    Buffer.contents buf
+
+  type format = Table | Jsonl | Chrome
+
+  (** [format_of_filename path] infers the export format from the
+      extension: [.jsonl] → JSONL event log, [.json] → Chrome trace,
+      anything else → human table. *)
+  let format_of_filename path =
+    if Filename.check_suffix path ".jsonl" then Jsonl
+    else if Filename.check_suffix path ".json" then Chrome
+    else Table
+
+  let render fmt events =
+    match fmt with Table -> table events | Jsonl -> jsonl events | Chrome -> chrome events
+
+  (** [write_file path events] writes the events to [path] in the format
+      {!format_of_filename} infers. *)
+  let write_file path events =
+    let oc = open_out path in
+    output_string oc (render (format_of_filename path) events);
+    close_out oc
+end

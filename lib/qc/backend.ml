@@ -42,71 +42,73 @@ let outcome_to_string o = Fmt.str "%a" pp_outcome o
 
 (* --- the built-in targets --- *)
 
+(* Every backend execution is a telemetry span named after the family. *)
+let make ~name ~doc run =
+  { name; doc; run = (fun c -> Obs.with_span ("qc.backend." ^ name) (fun () -> run c)) }
+
 let statevector_width_cap = 24
 
 let statevector =
-  { name = "statevector";
-    doc = "dense noiseless simulation; reports the most likely outcome";
-    run =
-      (fun c ->
+  make ~name:"statevector"
+    ~doc:"dense noiseless simulation; reports the most likely outcome"
+    (fun c ->
         if Circuit.num_qubits c > statevector_width_cap then
           failf "statevector: %d qubits exceed the dense cap of %d" (Circuit.num_qubits c)
             statevector_width_cap;
         let sv = Statevector.run c in
         let x = Statevector.most_likely sv in
-        Measured { outcome = x; deterministic = Statevector.is_basis_state ~eps:1e-6 sv x }) }
+        Measured { outcome = x; deterministic = Statevector.is_basis_state ~eps:1e-6 sv x })
 
 let stabilizer =
-  { name = "stabilizer";
-    doc = "CHP tableau simulation; Clifford circuits only, polynomial in width";
-    run =
-      (fun c ->
-        if not (Stabilizer.is_clifford_circuit c) then
-          failf "stabilizer: circuit contains non-Clifford gates";
-        let outcome, deterministic = Stabilizer.measure_all (Stabilizer.run c) in
-        Measured { outcome; deterministic }) }
+  make ~name:"stabilizer"
+    ~doc:"CHP tableau simulation; Clifford circuits only, polynomial in width"
+    (fun c ->
+      if not (Stabilizer.is_clifford_circuit c) then
+        failf "stabilizer: circuit contains non-Clifford gates";
+      let outcome, deterministic = Stabilizer.measure_all (Stabilizer.run c) in
+      Measured { outcome; deterministic })
 
+(* The backend is named by its family ("noisy", matching the catalog and
+   error messages); the instance parameters live in [doc]. *)
 let noisy ?(seed = 0xC0FFEE) ?(shots = 1024) params =
-  { name = Printf.sprintf "noisy:shots=%d" shots;
-    doc = "Monte-Carlo shots with depolarizing + readout noise (IBM-QX-style)";
-    run =
-      (fun c ->
-        let counts = Noise.run_shots ~seed params c ~shots in
-        let freqs = ref [] in
-        Array.iteri
-          (fun x k ->
-            if k > 0 then freqs := (x, Float.of_int k /. Float.of_int shots) :: !freqs)
-          counts;
-        Histogram
-          (List.sort (fun (_, a) (_, b) -> Float.compare b a) !freqs)) }
+  make ~name:"noisy"
+    ~doc:
+      (Printf.sprintf
+         "Monte-Carlo shots with depolarizing + readout noise (IBM-QX-style); \
+          shots=%d, seed=%d"
+         shots seed)
+    (fun c ->
+      let counts = Noise.run_shots ~seed params c ~shots in
+      let freqs = ref [] in
+      Array.iteri
+        (fun x k ->
+          if k > 0 then freqs := (x, Float.of_int k /. Float.of_int shots) :: !freqs)
+        counts;
+      Histogram (List.sort (fun (_, a) (_, b) -> Float.compare b a) !freqs))
 
 let qasm =
-  { name = "qasm";
-    doc = "OpenQASM 2.0 export";
-    run = (fun c -> Exported (Qasm.to_string ~measure:false c)) }
+  make ~name:"qasm" ~doc:"OpenQASM 2.0 export" (fun c ->
+      Exported (Qasm.to_string ~measure:false c))
 
 let qsharp ?(operation = "GeneratedOracle") () =
-  { name = "qsharp";
-    doc = "Q# operation source export";
-    run = (fun c -> Exported (Qsharp_gen.operation ~name:operation c)) }
+  make ~name:"qsharp" ~doc:"Q# operation source export" (fun c ->
+      Exported (Qsharp_gen.operation ~name:operation c))
 
 let draw =
-  { name = "draw";
-    doc = "ASCII circuit rendering";
-    run = (fun c -> Exported (Draw.to_string c)) }
+  make ~name:"draw" ~doc:"ASCII circuit rendering" (fun c ->
+      Exported (Draw.to_string c))
 
 (* --- spec parsing: "name" or "name:arg[,arg…]" --- *)
 
 let known = [ "statevector"; "stabilizer"; "noisy"; "qasm"; "qsharp"; "draw" ]
 
-(** [catalog ()] lists [(family-name, doc)] pairs for help screens.
-    (Family names, not instance names: the noisy backend instance calls
-    itself [noisy:shots=N].) *)
+(** [catalog ()] lists [(family-name, doc)] pairs for help screens. Every
+    instance reports its family name; instance parameters (e.g. the noisy
+    backend's shot count) appear in [doc]. *)
 let catalog () =
   List.map
     (fun b -> (b.name, b.doc))
-    [ statevector; stabilizer; qasm; qsharp (); draw ]
-  @ [ ("noisy", (noisy Noise.ibm_qx2017).doc) ]
+    [ statevector; stabilizer; noisy Noise.ibm_qx2017; qasm; qsharp (); draw ]
 
 let int_param name value =
   match int_of_string_opt value with

@@ -84,6 +84,7 @@ let default_options = { rccx_ladder = true; keep_rz = true }
     Returns the compiled circuit together with the number of ancillae
     added. *)
 let compile ?(options = default_options) c =
+  Obs.with_span "qc.cliffordt.compile" @@ fun () ->
   let n = Circuit.num_qubits c in
   let max_anc =
     Circuit.fold
@@ -126,7 +127,17 @@ let compile ?(options = default_options) c =
         (H t :: lower (Mcx (cs, t))) @ [ H t ]
   in
   let gates = List.concat_map lower (Circuit.gates c) in
-  (Circuit.of_gates total gates, max_anc)
+  let compiled = Circuit.of_gates total gates in
+  if Obs.enabled () then begin
+    let t_count = Circuit.t_count compiled in
+    Obs.count ~by:(Circuit.num_gates compiled) "qc.cliffordt.gates";
+    Obs.count ~by:t_count "qc.cliffordt.t_count";
+    if max_anc > 0 then Obs.count ~by:max_anc "qc.cliffordt.ancillae";
+    Obs.add_attrs
+      [ ("gates", Obs.Int (Circuit.num_gates compiled));
+        ("t_count", Obs.Int t_count); ("ancillae", Obs.Int max_anc) ]
+  end;
+  (compiled, max_anc)
 
 (** [compile_rcircuit ?options rc] is the full [cliffordt] flow:
     {!of_rcircuit} followed by {!compile}. *)

@@ -39,6 +39,7 @@ let random_pauli st q =
     the measured basis state (all qubits, readout errors included). *)
 let run_shot st params circuit =
   let s = Statevector.init (Circuit.num_qubits circuit) in
+  let errors = ref 0 in
   Circuit.iter
     (fun g ->
       Statevector.apply s g;
@@ -46,7 +47,10 @@ let run_shot st params circuit =
       let p = if List.length qs = 1 then params.p1 else params.p2 in
       List.iter
         (fun q ->
-          if Random.State.float st 1. < p then Statevector.apply s (random_pauli st q);
+          if Random.State.float st 1. < p then begin
+            incr errors;
+            Statevector.apply s (random_pauli st q)
+          end;
           if params.gamma > 0. then begin
             (* quantum-trajectory amplitude damping *)
             let p_jump = params.gamma *. Statevector.prob_of_qubit s q in
@@ -63,11 +67,21 @@ let run_shot st params circuit =
       flip (q + 1)
         (if Random.State.float st 1. < params.readout then acc lxor (1 lsl q) else acc)
   in
-  flip 0 outcome
+  let result = flip 0 outcome in
+  if Obs.enabled () then begin
+    Obs.count "qc.noise.shots";
+    if !errors > 0 then Obs.count ~by:!errors "qc.noise.errors_injected";
+    Obs.observe "qc.noise.errors_per_shot" (float_of_int !errors)
+  end;
+  result
 
 (** [run_shots ?seed params circuit ~shots] returns the histogram of
     measured basis states over [shots] executions. *)
 let run_shots ?(seed = 0xC0FFEE) params circuit ~shots =
+  Obs.with_span "qc.noise.run_shots" @@ fun () ->
+  if Obs.enabled () then
+    Obs.add_attrs
+      [ ("shots", Obs.Int shots); ("qubits", Obs.Int (Circuit.num_qubits circuit)) ];
   let st = Random.State.make [| seed |] in
   let counts = Array.make (1 lsl Circuit.num_qubits circuit) 0 in
   for _ = 1 to shots do

@@ -145,8 +145,13 @@ let apply s (g : Gate.t) =
 
 (** [run circuit] simulates [circuit] from |0…0⟩. *)
 let run circuit =
+  Obs.with_span "qc.statevector.run" @@ fun () ->
   let s = init (Circuit.num_qubits circuit) in
   Circuit.iter (apply s) circuit;
+  if Obs.enabled () then begin
+    Obs.count ~by:(Circuit.num_gates circuit) "qc.statevector.gates_applied";
+    Obs.add_attrs [ ("qubits", Obs.Int s.n) ]
+  end;
   s
 
 (** [run_on s circuit] applies [circuit] to an existing state in place. *)

@@ -43,6 +43,7 @@ let phase_gates_of ~eighths ~angle q =
 (** [optimize c] returns a circuit computing the same unitary as [c] up to
     global phase, with phase rotations on equal parities merged. *)
 let optimize c =
+  Obs.with_span "qc.tpar.optimize" @@ fun () ->
   let n = Circuit.num_qubits c in
   if n > 61 then invalid_arg "Tpar.optimize: parity bitmasks support at most 61 qubits";
   let const_bit = 1 lsl n in
@@ -74,6 +75,12 @@ let optimize c =
   let flush () =
     (* interleave pending phase gates into the skeleton at their recorded
        positions *)
+    if Obs.enabled () && Hashtbl.length pend > 0 then begin
+      (* one phase-polynomial region: its partition size is the number of
+         distinct parities carrying rotations *)
+      Obs.observe "qc.tpar.partition_size" (float_of_int (Hashtbl.length pend));
+      Obs.count "qc.tpar.regions"
+    end;
     let inserts = Array.make (!skeleton_len + 1) [] in
     List.iter
       (fun linear ->
@@ -154,6 +161,10 @@ type report = {
     deltas (the numbers the paper's Eq. (5) [tpar] step prints). *)
 let optimize_report c =
   let c' = optimize c in
+  if Obs.enabled () then begin
+    Obs.count ~by:(Circuit.t_count c) "qc.tpar.t_before";
+    Obs.count ~by:(Circuit.t_count c') "qc.tpar.t_after"
+  end;
   ( c',
     { t_before = Circuit.t_count c;
       t_after = Circuit.t_count c';

@@ -39,6 +39,7 @@ let synth (fs : Truth_table.t list) =
   match fs with
   | [] -> invalid_arg "Bdd_synth.synth: no outputs"
   | f0 :: _ ->
+      Obs.with_span "rev.bdd.synth" @@ fun () ->
       let n = Truth_table.num_vars f0 in
       let m = List.length fs in
       let man = Bdd.create n in
@@ -73,6 +74,14 @@ let synth (fs : Truth_table.t list) =
       let total = n + m + List.length order in
       if total > 62 then invalid_arg "Bdd_synth.synth: too many lines (BDD too large)";
       let circuit = Rcircuit.of_gates total (compute @ copies @ List.rev compute) in
+      if Obs.enabled () then begin
+        Obs.count ~by:(List.length order) "rev.bdd.nodes";
+        Obs.count ~by:(Rcircuit.num_gates circuit) "rev.bdd.gates";
+        Obs.add_attrs
+          [ ("nodes", Obs.Int (List.length order));
+            ("ancillae", Obs.Int (List.length order));
+            ("gates", Obs.Int (Rcircuit.num_gates circuit)) ]
+      end;
       (circuit, { n; m; total_lines = total; ancillae = List.length order })
 
 (** [check (circuit, layout) fs] verifies the Eq. (4) contract: inputs

@@ -23,9 +23,12 @@ let of_esops ~n (esops : Esop.t list) =
   let gates =
     List.concat
       (List.mapi
-         (fun j esop -> List.map (cube_gate ~n ~target:(n + j)) esop)
+         (fun j esop ->
+           Obs.count ~by:(List.length esop) "rev.esop.cubes";
+           List.map (cube_gate ~n ~target:(n + j)) esop)
          esops)
   in
+  Obs.count ~by:(List.length gates) "rev.esop.gates";
   Rcircuit.of_gates (n + m) gates
 
 (** [synth fs] synthesizes the multi-output function given as one truth
@@ -35,9 +38,12 @@ let synth (fs : Truth_table.t list) =
   match fs with
   | [] -> invalid_arg "Esop_synth.synth: no outputs"
   | f0 :: rest ->
+      Obs.with_span "rev.esop.synth" @@ fun () ->
       let n = Truth_table.num_vars f0 in
       if List.exists (fun f -> Truth_table.num_vars f <> n) rest then
         invalid_arg "Esop_synth.synth: arity mismatch";
+      if Obs.enabled () then
+        Obs.add_attrs [ ("vars", Obs.Int n); ("outputs", Obs.Int (List.length fs)) ];
       of_esops ~n (List.map Esop_opt.minimize fs)
 
 (** [synth1 f] is {!synth} for a single output. *)

@@ -40,6 +40,7 @@ let cost_of gates =
 
 (* Common driver.  [bidi] enables the input-side option. *)
 let synthesize ~bidi p =
+  Obs.with_span "rev.tbs.synth" @@ fun () ->
   let n = Perm.num_vars p in
   let table = Perm.to_array p in
   let inv = Array.make (Array.length table) 0 in
@@ -88,6 +89,13 @@ let synthesize ~bidi p =
   done;
   (* Circuit order: front gates in collection order, then back gates
      reversed (see module tests for the algebra). *)
+  if Obs.enabled () then begin
+    Obs.count ~by:(List.length !front) "rev.tbs.gates_input_side";
+    Obs.count ~by:(List.length !back) "rev.tbs.gates_output_side";
+    Obs.add_attrs
+      [ ("vars", Obs.Int n);
+        ("gates", Obs.Int (List.length !front + List.length !back)) ]
+  end;
   Rcircuit.of_gates n (List.rev !front @ !back)
 
 (** [basic p] is unidirectional transformation-based synthesis. *)

@@ -1,0 +1,238 @@
+(* The telemetry subsystem (Obs): span nesting invariants under the
+   memory sink, counter totals, the null-sink contract, the JSONL
+   round-trip, Chrome trace-event validity (ph/ts/dur), export format
+   inference, and the cross-layer stream produced by a real compile. *)
+
+(* Each test runs against a fresh recording epoch. *)
+let record f =
+  let m = Obs.Memory.create () in
+  Obs.reset ();
+  Obs.set_sink (Some (Obs.Memory.sink m));
+  Fun.protect ~finally:(fun () -> Obs.set_sink None) f;
+  Obs.Memory.events m
+
+(* Walk the stream checking the nesting invariant: every Span_end matches
+   the innermost open Span_begin (same name, same depth), and nothing is
+   left open. Returns the number of completed spans. *)
+let check_nesting events =
+  let stack = ref [] and closed = ref 0 in
+  List.iter
+    (fun e ->
+      match e with
+      | Obs.Span_begin { name; depth; _ } ->
+          Alcotest.(check int) (name ^ ": open depth") (List.length !stack) depth;
+          stack := name :: !stack
+      | Obs.Span_end { name; depth; _ } -> (
+          incr closed;
+          match !stack with
+          | top :: rest ->
+              Alcotest.(check string) "end matches innermost open span" top name;
+              Alcotest.(check int) (name ^ ": close depth") (List.length rest) depth;
+              stack := rest
+          | [] -> Alcotest.fail (name ^ ": span end with no open span"))
+      | Obs.Counter _ | Obs.Sample _ -> ())
+    events;
+  Alcotest.(check int) "no spans left open" 0 (List.length !stack);
+  !closed
+
+let test_nesting () =
+  let events =
+    record (fun () ->
+        Obs.with_span "a" (fun () ->
+            Obs.with_span "a.b" (fun () -> Obs.count "k");
+            Obs.with_span "a.c" (fun () -> ())))
+  in
+  Alcotest.(check int) "three spans closed" 3 (check_nesting events);
+  (* ends arrive innermost-first *)
+  let end_names =
+    List.filter_map
+      (function Obs.Span_end { name; _ } -> Some name | _ -> None)
+      events
+  in
+  Alcotest.(check (list string)) "end order" [ "a.b"; "a.c"; "a" ] end_names
+
+let test_nesting_on_exception () =
+  let events =
+    record (fun () ->
+        try Obs.with_span "outer" (fun () -> failwith "boom")
+        with Failure _ -> ())
+  in
+  Alcotest.(check int) "span closed despite exception" 1 (check_nesting events);
+  match
+    List.find_map
+      (function Obs.Span_end { attrs; _ } -> Some attrs | _ -> None)
+      events
+  with
+  | Some attrs ->
+      Alcotest.(check bool) "error attribute recorded" true
+        (List.mem_assoc "error" attrs)
+  | None -> Alcotest.fail "no span end"
+
+let test_counters () =
+  let events =
+    record (fun () ->
+        Obs.count "x";
+        Obs.count ~by:4 "x";
+        Obs.count "y";
+        Obs.observe "h" 2.;
+        Obs.observe "h" 4.)
+  in
+  Alcotest.(check (list (pair string int)))
+    "totals" [ ("x", 5); ("y", 1) ]
+    (Obs.Summary.counter_totals events);
+  match Obs.Summary.histogram_stats events with
+  | [ ("h", s) ] ->
+      Alcotest.(check int) "n" 2 s.Obs.Summary.n;
+      Alcotest.(check (float 1e-9)) "mean" 3. s.Obs.Summary.mean;
+      Alcotest.(check (float 1e-9)) "min" 2. s.Obs.Summary.min;
+      Alcotest.(check (float 1e-9)) "max" 4. s.Obs.Summary.max
+  | _ -> Alcotest.fail "expected one histogram"
+
+let test_null_sink () =
+  Obs.set_sink None;
+  (* no sink: with_span is transparent, count/observe are no-ops *)
+  Alcotest.(check int) "value passes through" 42
+    (Obs.with_span "nope" (fun () ->
+         Obs.count "nope";
+         Obs.observe "nope" 1.;
+         42));
+  Alcotest.(check bool) "disabled" false (Obs.enabled ())
+
+let test_jsonl_roundtrip () =
+  let events =
+    record (fun () ->
+        Obs.with_span "rt.span" (fun () ->
+            if Obs.enabled () then
+              Obs.add_attrs
+                [ ("i", Obs.Int 7); ("f", Obs.Float 2.5); ("s", Obs.Str "hi \"q\"") ];
+            Obs.count ~by:3 "rt.counter";
+            Obs.observe "rt.sample" 1.25))
+  in
+  let text = Obs.Export.jsonl events in
+  let parsed = Obs.Export.parse_jsonl text in
+  Alcotest.(check int) "event count survives" (List.length events) (List.length parsed);
+  if parsed <> events then Alcotest.fail "JSONL round-trip changed the events"
+
+let test_jsonl_rejects_garbage () =
+  (match Obs.Export.parse_jsonl "{\"type\":" with
+  | _ -> Alcotest.fail "truncated JSON accepted"
+  | exception Obs.Json.Parse_error _ -> ());
+  (match Obs.Export.parse_jsonl "{\"type\":\"martian\"}" with
+  | _ -> Alcotest.fail "unknown event type accepted"
+  | exception Obs.Json.Parse_error _ -> ());
+  match Obs.Export.parse_jsonl "{\"type\":\"counter\",\"name\":\"x\"}" with
+  | _ -> Alcotest.fail "missing fields accepted"
+  | exception Obs.Json.Parse_error _ -> ()
+
+let test_chrome_trace () =
+  let events =
+    record (fun () ->
+        Obs.with_span "c.outer" (fun () ->
+            Obs.count "c.counter";
+            Obs.with_span "c.inner" (fun () -> Obs.observe "c.sample" 9.)))
+  in
+  let doc = Obs.Json.parse (Obs.Export.chrome events) in
+  let trace_events =
+    match Obs.Json.member "traceEvents" doc with
+    | Some (Obs.Json.Arr items) -> items
+    | _ -> Alcotest.fail "no traceEvents array"
+  in
+  Alcotest.(check bool) "has events" true (trace_events <> []);
+  let str_field j k =
+    match Obs.Json.member k j with Some (Obs.Json.String s) -> s | _ -> Alcotest.fail ("missing " ^ k)
+  in
+  let num_field j k =
+    match Obs.Json.member k j with
+    | Some (Obs.Json.Num f) -> f
+    | _ -> Alcotest.fail ("missing numeric " ^ k)
+  in
+  let phases =
+    List.map
+      (fun ev ->
+        let ph = str_field ev "ph" in
+        Alcotest.(check bool) "ts >= 0" true (num_field ev "ts" >= 0.);
+        if ph = "X" then
+          Alcotest.(check bool) "dur >= 0" true (num_field ev "dur" >= 0.);
+        ph)
+      trace_events
+  in
+  Alcotest.(check int) "two complete spans" 2
+    (List.length (List.filter (( = ) "X") phases));
+  Alcotest.(check int) "counter + sample tracks" 2
+    (List.length (List.filter (( = ) "C") phases))
+
+let test_format_inference () =
+  let open Obs.Export in
+  Alcotest.(check bool) "jsonl" true (format_of_filename "t.jsonl" = Jsonl);
+  Alcotest.(check bool) "json -> chrome" true (format_of_filename "t.json" = Chrome);
+  Alcotest.(check bool) "txt -> table" true (format_of_filename "t.txt" = Table);
+  let events = record (fun () -> Obs.count "w") in
+  let tmp = Filename.temp_file "obs_test" ".jsonl" in
+  write_file tmp events;
+  let ic = open_in tmp in
+  let text = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove tmp;
+  Alcotest.(check int) "written file parses back" 1
+    (List.length (parse_jsonl text))
+
+(* A real compile produces a coherent cross-layer stream: pass spans from
+   the pass manager, synthesis spans below them, T-count counters from
+   the lowering, and the exporters accept all of it. *)
+let test_cross_layer_stream () =
+  let events =
+    record (fun () -> ignore (Core.Flow.compile_perm (Logic.Funcgen.hwb 4)))
+  in
+  ignore (check_nesting events);
+  let span_names =
+    List.filter_map
+      (function Obs.Span_end { name; _ } -> Some name | _ -> None)
+      events
+  in
+  List.iter
+    (fun expected ->
+      Alcotest.(check bool) ("stream has span " ^ expected) true
+        (List.mem expected span_names))
+    [ "core.flow.compile_perm"; "core.pipeline.run"; "rev.tbs.synth";
+      "core.pass.revsimp"; "core.pass.cliffordt"; "core.pass.tpar";
+      "qc.cliffordt.compile"; "qc.tpar.optimize" ];
+  let totals = Obs.Summary.counter_totals events in
+  List.iter
+    (fun key ->
+      match List.assoc_opt key totals with
+      | Some v -> Alcotest.(check bool) (key ^ " > 0") true (v > 0)
+      | None -> Alcotest.fail ("missing counter " ^ key))
+    [ "qc.cliffordt.gates"; "qc.cliffordt.t_count"; "core.pass.executed" ];
+  (* both machine exports ingest the stream *)
+  Alcotest.(check int) "jsonl round-trips the full stream"
+    (List.length events)
+    (List.length (Obs.Export.parse_jsonl (Obs.Export.jsonl events)));
+  match Obs.Json.parse (Obs.Export.chrome events) with
+  | Obs.Json.Obj _ -> ()
+  | _ -> Alcotest.fail "chrome export is not a JSON object"
+
+let test_shots_counter () =
+  let events =
+    record (fun () ->
+        let c = Qc.Circuit.of_gates 2 [ Qc.Gate.H 0; Qc.Gate.Cnot (0, 1) ] in
+        ignore (Qc.Noise.run_shots ~seed:1 Qc.Noise.ibm_qx2017 c ~shots:20))
+  in
+  Alcotest.(check (option int)) "shots counted" (Some 20)
+    (List.assoc_opt "qc.noise.shots" (Obs.Summary.counter_totals events))
+
+let () =
+  Alcotest.run "obs"
+    [ ( "spans",
+        [ Alcotest.test_case "nesting" `Quick test_nesting;
+          Alcotest.test_case "nesting on exception" `Quick test_nesting_on_exception;
+          Alcotest.test_case "null sink" `Quick test_null_sink ] );
+      ( "counters",
+        [ Alcotest.test_case "totals and histograms" `Quick test_counters;
+          Alcotest.test_case "noisy shots" `Quick test_shots_counter ] );
+      ( "export",
+        [ Alcotest.test_case "jsonl round-trip" `Quick test_jsonl_roundtrip;
+          Alcotest.test_case "jsonl rejects garbage" `Quick test_jsonl_rejects_garbage;
+          Alcotest.test_case "chrome trace" `Quick test_chrome_trace;
+          Alcotest.test_case "format inference" `Quick test_format_inference ] );
+      ( "integration",
+        [ Alcotest.test_case "cross-layer stream" `Quick test_cross_layer_stream ] ) ]
