@@ -7,7 +7,7 @@
      dune exec bench/main.exe            -- tables + timings
      dune exec bench/main.exe quick      -- timings only
      dune exec bench/main.exe json       -- timings + telemetry counters
-                                            written to BENCH_pr2.json *)
+                                            written to BENCH_pr3.json *)
 
 open Bechamel
 open Bechamel.Toolkit
@@ -41,6 +41,18 @@ let sim_circuit n =
                   if (q + layer) mod 2 = 0 then Qc.Gate.Cnot (q, q + 1) else Qc.Gate.T q))))
 
 let sim14 = sim_circuit 14
+
+(* T/S-layer-heavy 16-qubit workload: long runs of diagonal gates, the
+   shape the fusion prepass targets (T-par output looks like this). *)
+let diag16 =
+  let n = 16 in
+  Qc.Circuit.of_gates n
+    (List.init n (fun q -> Qc.Gate.H q)
+    @ List.concat
+        (List.init 8 (fun _ ->
+             List.init n (fun q -> Qc.Gate.T q)
+             @ List.init n (fun q -> Qc.Gate.S q)
+             @ List.init (n - 1) (fun q -> Qc.Gate.Cnot (q, q + 1)))))
 
 let tests =
   Test.make_grouped ~name:"dautoq"
@@ -123,6 +135,22 @@ let tests =
       Test.make ~name:"ext_bv_8q"
         (stage (fun () ->
              Core.Oracle_algorithms.bernstein_vazirani ~n:8 ~a:0b10110101 ~b:false));
+      (* PR 3: the multicore execution runtime. Sequential vs pooled shot
+         batches at the paper's 1024-shot volume, and the fusion prepass
+         on a T-heavy 16-qubit workload (above the kernel-parallelism
+         threshold, so the fused run also exercises the chunked sweeps). *)
+      Test.make ~name:"par_shots_1024_seq"
+        (stage (fun () ->
+             Qc.Noise.run_shots ~seed:42 ~jobs:1 Qc.Noise.ibm_qx2017 e1_circuit
+               ~shots:1024));
+      Test.make ~name:"par_shots_1024_pool"
+        (let jobs = max 2 (Par.recommended ()) in
+         stage (fun () ->
+             Qc.Noise.run_shots ~seed:42 ~jobs Qc.Noise.ibm_qx2017 e1_circuit
+               ~shots:1024));
+      Test.make ~name:"sv_run_unfused_16q"
+        (stage (fun () -> Qc.Statevector.run ~fuse:false diag16));
+      Test.make ~name:"sv_run_fused_16q" (stage (fun () -> Qc.Statevector.run diag16));
       (* substrate micro-benchmarks *)
       Test.make ~name:"sub_walsh_transform_n12"
         (let tt = Logic.Funcgen.majority 12 in
@@ -176,7 +204,7 @@ let capture_telemetry () =
   Obs.reset ();
   Obs.set_sink (Some (Obs.Memory.sink m));
   let _compiled, _report = Core.Flow.compile_perm hwb4 in
-  let (_ : int array) =
+  let (_ : Qc.Noise.counts) =
     Qc.Noise.run_shots ~seed:42 Qc.Noise.ibm_qx2017 e1_circuit ~shots:256
   in
   Obs.set_sink None;
@@ -216,7 +244,9 @@ let write_bench_json path rows events =
   in
   let doc =
     Obj
-      [ ("pr", Num 2.); ("suite", String "dautoq");
+      [ ("pr", Num 3.); ("suite", String "dautoq");
+        (* parallel speedups only show up with real cores behind the pool *)
+        ("recommended_domains", Num (float_of_int (Par.recommended ())));
         ("benchmarks", Arr benchmarks);
         ("telemetry",
          Obj [ ("counters", Obj counters); ("histograms", Obj histograms);
@@ -239,4 +269,4 @@ let () =
   end;
   let rows = measure_benchmarks () in
   print_rows rows;
-  if json then write_bench_json "BENCH_pr2.json" rows (capture_telemetry ())
+  if json then write_bench_json "BENCH_pr3.json" rows (capture_telemetry ())

@@ -77,7 +77,8 @@ let run instance ~noisy ~shots ~runs ~draw ~qasm ~passes ~target =
 (* With --trace-out the whole run records into a memory sink; the file
    format is inferred from the extension (.jsonl event log, .json Chrome
    trace loadable in Perfetto, anything else a human table). *)
-let run instance ~noisy ~shots ~runs ~draw ~qasm ~passes ~target ~trace_out =
+let run instance ~jobs ~noisy ~shots ~runs ~draw ~qasm ~passes ~target ~trace_out =
+  Option.iter Par.set_default_jobs jobs;
   let recorder = Option.map (fun _ -> Obs.Memory.create ()) trace_out in
   Option.iter (fun m -> Obs.set_sink (Some (Obs.Memory.sink m))) recorder;
   let finish () =
@@ -102,6 +103,17 @@ let runs = Arg.(value & opt int 3 & info [ "runs" ] ~doc:"Number of runs (noisy 
 let draw = Arg.(value & flag & info [ "draw" ] ~doc:"Print an ASCII drawing of the circuit.")
 let qasm = Arg.(value & flag & info [ "qasm" ] ~doc:"Print the circuit as OpenQASM 2.0.")
 let shift_arg = Arg.(value & opt int 1 & info [ "shift"; "s" ] ~doc:"The planted hidden shift.")
+
+let jobs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "jobs"; "j" ]
+        ~doc:
+          "Worker domains for parallel execution (noisy shots and large \
+           statevector kernels). Defaults to the machine's recommended domain \
+           count. Results are bit-identical for any value."
+        ~docv:"N")
 
 let passes_arg =
   Arg.(
@@ -130,15 +142,15 @@ let trace_out_arg =
 
 let ip_cmd =
   let n = Arg.(value & opt int 2 & info [ "n" ] ~doc:"Half the qubit count (f is on 2n qubits).") in
-  let go n s noisy shots runs draw qasm passes target trace_out =
-    run (Core.Hidden_shift.Inner_product { n; s }) ~noisy ~shots ~runs ~draw ~qasm ~passes
-      ~target ~trace_out
+  let go n s jobs noisy shots runs draw qasm passes target trace_out =
+    run (Core.Hidden_shift.Inner_product { n; s }) ~jobs ~noisy ~shots ~runs ~draw ~qasm
+      ~passes ~target ~trace_out
   in
   Cmd.v
     (Cmd.info "ip" ~doc:"Inner-product instance (the paper's Fig. 4).")
     Term.(
-      const go $ n $ shift_arg $ noisy $ shots $ runs $ draw $ qasm $ passes_arg
-      $ target_arg $ trace_out_arg)
+      const go $ n $ shift_arg $ jobs_arg $ noisy $ shots $ runs $ draw $ qasm
+      $ passes_arg $ target_arg $ trace_out_arg)
 
 let mm_cmd =
   let pi =
@@ -148,31 +160,31 @@ let mm_cmd =
       & info [ "pi" ] ~doc:"Permutation as comma-separated points, e.g. 0,2,3,5,7,1,4,6.")
   in
   let synth = Arg.(value & opt synth_conv Pq.Oracles.Tbs & info [ "synth" ] ~doc:"tbs | tbs-basic | dbs.") in
-  let go pi s synth noisy shots runs draw qasm passes target trace_out =
+  let go pi s synth jobs noisy shots runs draw qasm passes target trace_out =
     let mm = Logic.Bent.mm pi in
-    run (Core.Hidden_shift.Mm { mm; s; synth }) ~noisy ~shots ~runs ~draw ~qasm ~passes
-      ~target ~trace_out
+    run (Core.Hidden_shift.Mm { mm; s; synth }) ~jobs ~noisy ~shots ~runs ~draw ~qasm
+      ~passes ~target ~trace_out
   in
   Cmd.v
     (Cmd.info "mm" ~doc:"Maiorana-McFarland instance (the paper's Fig. 7).")
     Term.(
-      const go $ pi $ shift_arg $ synth $ noisy $ shots $ runs $ draw $ qasm $ passes_arg
-      $ target_arg $ trace_out_arg)
+      const go $ pi $ shift_arg $ synth $ jobs_arg $ noisy $ shots $ runs $ draw $ qasm
+      $ passes_arg $ target_arg $ trace_out_arg)
 
 let random_cmd =
   let n = Arg.(value & opt int 2 & info [ "n" ] ~doc:"Half register size (2n qubits).") in
   let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"PRNG seed.") in
-  let go n seed noisy shots runs draw qasm passes target trace_out =
+  let go n seed jobs noisy shots runs draw qasm passes target trace_out =
     let st = Random.State.make [| seed |] in
     let inst = Core.Hidden_shift.random_mm_instance st n in
     Printf.printf "random MM instance, planted shift %d\n" (Core.Hidden_shift.shift inst);
-    run inst ~noisy ~shots ~runs ~draw ~qasm ~passes ~target ~trace_out
+    run inst ~jobs ~noisy ~shots ~runs ~draw ~qasm ~passes ~target ~trace_out
   in
   Cmd.v
     (Cmd.info "random" ~doc:"Random Maiorana-McFarland instance.")
     Term.(
-      const go $ n $ seed $ noisy $ shots $ runs $ draw $ qasm $ passes_arg $ target_arg
-      $ trace_out_arg)
+      const go $ n $ seed $ jobs_arg $ noisy $ shots $ runs $ draw $ qasm $ passes_arg
+      $ target_arg $ trace_out_arg)
 
 let () =
   let doc = "Boolean hidden shift on the automatic quantum compilation flow." in

@@ -50,8 +50,25 @@ let extract_trace_out argv =
   in
   scan [] argv
 
+(* [--jobs N] (anywhere on the command line) pins the worker-domain count
+   used by the noisy backend and the large statevector kernels. *)
+let extract_jobs argv =
+  let rec scan acc = function
+    | "--jobs" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some j when j >= 1 -> (Some j, List.rev_append acc rest)
+        | _ ->
+            Printf.eprintf "--jobs: expected a positive integer, got %s\n" n;
+            exit 2)
+    | a :: rest -> scan (a :: acc) rest
+    | [] -> (None, List.rev acc)
+  in
+  scan [] argv
+
 let () =
   let trace_out, argv = extract_trace_out (Array.to_list Sys.argv) in
+  let jobs, argv = extract_jobs argv in
+  Option.iter Par.set_default_jobs jobs;
   (match trace_out with
   | None -> ()
   | Some file ->
@@ -124,5 +141,5 @@ let () =
         "usage: qasm_tool {stats|draw|sim|stabsim|route|tpar|qsharp} <file.qasm|->\n\
         \       qasm_tool passes <spec> <file.qasm|->\n\
         \       qasm_tool run <target> <file.qasm|->\n\
-        \       (any form also accepts --trace-out <file>)";
+        \       (any form also accepts --trace-out <file> and --jobs <n>)";
       exit 2

@@ -273,6 +273,20 @@ let exec_cmd st words =
       | "backends" ->
           List.iter (fun (name, doc) -> say st "%-18s %s" name doc) (Qc.Backend.catalog ());
           st
+      | "jobs" -> (
+          (* the multicore knob: [jobs] prints the pool width, [jobs N]
+             pins it (the statevector kernels and noisy shots use it) *)
+          match arg 0 with
+          | None ->
+              say st "jobs: %d (recommended for this machine: %d)" (Par.default_jobs ())
+                (Par.recommended ());
+              st
+          | Some v ->
+              let n = int_arg "jobs" (Some v) in
+              if n < 1 then failf "jobs: expected a positive worker count, got %d" n;
+              Par.set_default_jobs n;
+              say st "jobs set to %d" (Par.default_jobs ());
+              st)
       | "ps" ->
           (match st.rev with
           | Some c -> say st "reversible: %s" (Fmt.str "%a" Rev.Rcircuit.pp_stats (Rev.Rcircuit.stats c))
@@ -324,7 +338,7 @@ let exec_cmd st words =
             "commands: revgen <name> <n> | random_perm <n> [seed] | perm <pts…> | expr <e> | tt <bits> | adder <n> |\n\
             \  tbs [-b] | dbs | cycle | exact | esop | hier [batch] | bdd | lut [k] | embed | revsimp | resynth |\n\
             \  cliffordt [--no-rccx] | tpar | peephole | route |\n\
-            \  pipeline <p1,p2,…> | passes | trace | trace export <file> | stats | run <target> | backends |\n\
+            \  pipeline <p1,p2,…> | passes | trace | trace export <file> | stats | run <target> | backends | jobs [n] |\n\
             \  ps | print_rev | draw | write_qasm [file] | qsharp [name] |\n\
             \  simulate <x> | stabsim | verify | help";
           st

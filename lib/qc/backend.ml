@@ -70,19 +70,19 @@ let stabilizer =
 
 (* The backend is named by its family ("noisy", matching the catalog and
    error messages); the instance parameters live in [doc]. *)
-let noisy ?(seed = 0xC0FFEE) ?(shots = 1024) params =
+let noisy ?(seed = 0xC0FFEE) ?(shots = 1024) ?jobs params =
   make ~name:"noisy"
     ~doc:
       (Printf.sprintf
          "Monte-Carlo shots with depolarizing + readout noise (IBM-QX-style); \
-          shots=%d, seed=%d"
-         shots seed)
+          shots=%d, seed=%d%s"
+         shots seed
+         (match jobs with None -> "" | Some j -> Printf.sprintf ", jobs=%d" j))
     (fun c ->
-      let counts = Noise.run_shots ~seed params c ~shots in
+      let counts = Noise.run_shots ~seed ?jobs params c ~shots in
       let freqs = ref [] in
-      Array.iteri
-        (fun x k ->
-          if k > 0 then freqs := (x, Float.of_int k /. Float.of_int shots) :: !freqs)
+      Noise.iter_counts
+        (fun x k -> freqs := (x, Float.of_int k /. Float.of_int shots) :: !freqs)
         counts;
       Histogram (List.sort (fun (_, a) (_, b) -> Float.compare b a) !freqs))
 
@@ -140,7 +140,7 @@ let of_spec spec =
       no_arg ();
       stabilizer
   | "noisy" ->
-      let shots = ref 1024 and seed = ref 0xC0FFEE in
+      let shots = ref 1024 and seed = ref 0xC0FFEE and jobs = ref None in
       Option.iter
         (fun a ->
           List.iter
@@ -148,10 +148,13 @@ let of_spec spec =
               match String.split_on_char '=' kv with
               | [ "shots"; v ] -> shots := int_param "noisy:shots" v
               | [ "seed"; v ] -> seed := int_param "noisy:seed" v
-              | _ -> failf "noisy: unknown parameter %s (expected shots=N or seed=N)" kv)
+              | [ "jobs"; v ] -> jobs := Some (int_param "noisy:jobs" v)
+              | _ ->
+                  failf "noisy: unknown parameter %s (expected shots=N, seed=N or jobs=N)"
+                    kv)
             (String.split_on_char ',' a))
         arg;
-      noisy ~seed:!seed ~shots:!shots Noise.ibm_qx2017
+      noisy ~seed:!seed ~shots:!shots ?jobs:!jobs Noise.ibm_qx2017
   | "qasm" ->
       no_arg ();
       qasm

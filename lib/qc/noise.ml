@@ -8,7 +8,15 @@
     numbers (≈0.1% single-qubit gate error, ≈2–4% CNOT error, ≈3–8%
     readout error), which suffices to reproduce the {e shape} of Fig. 6:
     the correct hidden shift dominates the histogram at p ≈ 0.6 rather
-    than p = 1. *)
+    than p = 1.
+
+    Shots are embarrassingly parallel, and {!run_shots} fans them out
+    over the {!Par} domain pool. Determinism is by construction: shot
+    [i]'s PRNG state derives from [(seed, i)] through a splitmix64-style
+    hash (never from how shots are scheduled), per-domain histograms
+    merge by integer addition, and telemetry accumulates per domain and
+    flushes once from the caller — so any [jobs] count is bit-identical
+    to the [~jobs:1] reference. *)
 
 type params = {
   p1 : float; (* error probability per 1-qubit gate, per qubit *)
@@ -29,17 +37,112 @@ let ibm_qx2017_t1 = { ibm_qx2017 with gamma = 0.004 }
 (** [noiseless] turns the channel off (for testing the harness itself). *)
 let noiseless = { p1 = 0.; p2 = 0.; readout = 0.; gamma = 0. }
 
-let random_pauli st q =
-  match Random.State.int st 3 with
-  | 0 -> Gate.X q
-  | 1 -> Gate.Y q
-  | _ -> Gate.Z q
+(* ------------------------------------------------------------------ *)
+(* Outcome histograms                                                  *)
+(* ------------------------------------------------------------------ *)
 
-(** [run_shot st params circuit] simulates one noisy execution and returns
-    the measured basis state (all qubits, readout errors included). *)
-let run_shot st params circuit =
+(** An outcome histogram. Dense [int array] up to {!sparse_threshold}
+    qubits; above that a hashtable keyed by outcome — shots ≪ 2^n there,
+    and the dense array alone would cost [2^n] words per run. *)
+type counts =
+  | Dense of int array
+  | Sparse of { size : int; tbl : (int, int) Hashtbl.t }
+
+(** Widths above this store counts sparsely (2^20 ints = 8 MB). *)
+let sparse_threshold = 20
+
+let counts_make n =
+  if n <= sparse_threshold then Dense (Array.make (1 lsl n) 0)
+  else Sparse { size = 1 lsl n; tbl = Hashtbl.create 256 }
+
+let counts_add c x k =
+  match c with
+  | Dense a -> a.(x) <- a.(x) + k
+  | Sparse { tbl; _ } ->
+      Hashtbl.replace tbl x (k + Option.value ~default:0 (Hashtbl.find_opt tbl x))
+
+(** [count c x] is the number of shots that measured outcome [x]. *)
+let count c x =
+  match c with
+  | Dense a -> a.(x)
+  | Sparse { tbl; _ } -> Option.value ~default:0 (Hashtbl.find_opt tbl x)
+
+(** [counts_size c] is the outcome-space size [2^n]. *)
+let counts_size = function Dense a -> Array.length a | Sparse { size; _ } -> size
+
+(** [counts_to_alist c] lists the nonzero [(outcome, count)] pairs in
+    ascending outcome order (deterministic for either representation). *)
+let counts_to_alist c =
+  match c with
+  | Dense a ->
+      let acc = ref [] in
+      for x = Array.length a - 1 downto 0 do
+        if a.(x) > 0 then acc := (x, a.(x)) :: !acc
+      done;
+      !acc
+  | Sparse { tbl; _ } ->
+      List.sort compare (Hashtbl.fold (fun x k acc -> (x, k) :: acc) tbl [])
+
+(** [iter_counts f c] applies [f outcome count] to every nonzero entry in
+    ascending outcome order. *)
+let iter_counts f c = List.iter (fun (x, k) -> f x k) (counts_to_alist c)
+
+(** [total_counts c] sums the histogram (= the shot count). *)
+let total_counts c =
+  List.fold_left (fun acc (_, k) -> acc + k) 0 (counts_to_alist c)
+
+(** [counts_of_array a] wraps a dense histogram (handy in tests). *)
+let counts_of_array a = Dense (Array.copy a)
+
+(** [counts_equal a b] compares histograms by content. *)
+let counts_equal a b =
+  counts_size a = counts_size b && counts_to_alist a = counts_to_alist b
+
+(* Merge [src] into [dst] (in place) and return [dst]. Integer addition
+   commutes, so merge order cannot affect the result. *)
+let counts_merge dst src =
+  iter_counts (fun x k -> counts_add dst x k) src;
+  dst
+
+(* ------------------------------------------------------------------ *)
+(* Counter-based per-shot seeding                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* splitmix64 finalizer: the standard 64-bit avalanche (Steele et al.),
+   here used to turn (seed, shot index) into an independent PRNG seed per
+   shot. Counter-based seeding is what makes parallel shots
+   deterministic: shot i's stream never depends on which domain runs it
+   or on how many shots ran before it. *)
+let splitmix64 z =
+  let open Int64 in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let golden = 0x9E3779B97F4A7C15L
+
+let shot_state ~seed shot =
+  let open Int64 in
+  let x = add (mul (of_int seed) golden) (of_int shot) in
+  let a = splitmix64 x in
+  let b = splitmix64 (add x golden) in
+  Random.State.make [| to_int a; to_int b; seed; shot |]
+
+(* ------------------------------------------------------------------ *)
+(* Single shots                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* One noisy execution; returns (measured outcome, injected error count).
+   No telemetry — safe to call from pool workers. *)
+let run_shot_raw st params circuit =
   let s = Statevector.init (Circuit.num_qubits circuit) in
   let errors = ref 0 in
+  let random_pauli st q =
+    match Random.State.int st 3 with
+    | 0 -> Gate.X q
+    | 1 -> Gate.Y q
+    | _ -> Gate.Z q
+  in
   Circuit.iter
     (fun g ->
       Statevector.apply s g;
@@ -67,46 +170,113 @@ let run_shot st params circuit =
       flip (q + 1)
         (if Random.State.float st 1. < params.readout then acc lxor (1 lsl q) else acc)
   in
-  let result = flip 0 outcome in
+  (flip 0 outcome, !errors)
+
+(** [run_shot st params circuit] simulates one noisy execution and returns
+    the measured basis state (all qubits, readout errors included). *)
+let run_shot st params circuit =
+  let result, errors = run_shot_raw st params circuit in
   if Obs.enabled () then begin
     Obs.count "qc.noise.shots";
-    if !errors > 0 then Obs.count ~by:!errors "qc.noise.errors_injected";
-    Obs.observe "qc.noise.errors_per_shot" (float_of_int !errors)
+    if errors > 0 then Obs.count ~by:errors "qc.noise.errors_injected";
+    Obs.observe "qc.noise.errors_per_shot" (float_of_int errors)
   end;
   result
 
-(** [run_shots ?seed params circuit ~shots] returns the histogram of
-    measured basis states over [shots] executions. *)
-let run_shots ?(seed = 0xC0FFEE) params circuit ~shots =
+(* ------------------------------------------------------------------ *)
+(* Shot batches                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(** [run_shots ?seed ?jobs params circuit ~shots] returns the histogram of
+    measured basis states over [shots] executions, fanned out over [jobs]
+    worker domains (default {!Par.default_jobs}). The histogram is
+    bit-identical for every [jobs] value: [~jobs:1] defines the reference
+    result. *)
+let run_shots ?(seed = 0xC0FFEE) ?jobs params circuit ~shots =
   Obs.with_span "qc.noise.run_shots" @@ fun () ->
+  let n = Circuit.num_qubits circuit in
+  let jobs =
+    let j = match jobs with Some j -> max 1 j | None -> Par.default_jobs () in
+    min j (max 1 shots)
+  in
   if Obs.enabled () then
     Obs.add_attrs
-      [ ("shots", Obs.Int shots); ("qubits", Obs.Int (Circuit.num_qubits circuit)) ];
-  let st = Random.State.make [| seed |] in
-  let counts = Array.make (1 lsl Circuit.num_qubits circuit) 0 in
-  for _ = 1 to shots do
-    let x = run_shot st params circuit in
-    counts.(x) <- counts.(x) + 1
-  done;
+      [ ("shots", Obs.Int shots); ("qubits", Obs.Int n); ("jobs", Obs.Int jobs) ];
+  let errors = Array.make (max 1 shots) 0 in
+  let counts =
+    if params.p1 = 0. && params.p2 = 0. && params.gamma = 0. then begin
+      (* Without gate noise every shot runs the same circuit: simulate
+         once, then draw each readout from the shared cumulative table
+         (binary search instead of a 2^n scan per shot). Still seeded per
+         shot, so the result is jobs-independent like the general path. *)
+      let smp = Statevector.sampler (Statevector.run circuit) in
+      let c = counts_make n in
+      for shot = 0 to shots - 1 do
+        let st = shot_state ~seed shot in
+        let x = Statevector.sample_with smp st in
+        let x = ref x in
+        for q = 0 to n - 1 do
+          if Random.State.float st 1. < params.readout then x := !x lxor (1 lsl q)
+        done;
+        counts_add c !x 1
+      done;
+      c
+    end
+    else if jobs = 1 then begin
+      let c = counts_make n in
+      for shot = 0 to shots - 1 do
+        let x, e = run_shot_raw (shot_state ~seed shot) params circuit in
+        counts_add c x 1;
+        errors.(shot) <- e
+      done;
+      c
+    end
+    else
+      (* Chunk the shot range; each task accumulates a private histogram
+         (and per-shot error counts at disjoint indices), then the chunks
+         merge in index order on the calling domain. *)
+      Par.with_pool ~jobs (fun pool ->
+          Par.map_reduce pool ~tasks:jobs
+            ~map:(fun i ->
+              let lo = shots * i / jobs and hi = shots * (i + 1) / jobs in
+              let local = counts_make n in
+              for shot = lo to hi - 1 do
+                let x, e = run_shot_raw (shot_state ~seed shot) params circuit in
+                counts_add local x 1;
+                errors.(shot) <- e
+              done;
+              local)
+            ~reduce:counts_merge ~init:(counts_make n))
+  in
+  (* telemetry accumulated above, flushed once from the calling domain —
+     workers never touch the (single-domain) Obs state *)
+  if Obs.enabled () then begin
+    Obs.count ~by:shots "qc.noise.shots";
+    let total_errors = Array.fold_left ( + ) 0 errors in
+    if total_errors > 0 then Obs.count ~by:total_errors "qc.noise.errors_injected";
+    for shot = 0 to shots - 1 do
+      Obs.observe "qc.noise.errors_per_shot" (float_of_int errors.(shot))
+    done
+  end;
   counts
 
 (** [success_probability counts target] is the empirical probability of the
     outcome [target]. *)
 let success_probability counts target =
-  let total = Array.fold_left ( + ) 0 counts in
-  if total = 0 then 0. else Float.of_int counts.(target) /. Float.of_int total
+  let total = total_counts counts in
+  if total = 0 then 0. else Float.of_int (count counts target) /. Float.of_int total
 
-(** [runs_statistics ?seed params circuit ~shots ~runs] repeats
+(** [runs_statistics ?seed ?jobs params circuit ~shots ~runs] repeats
     {!run_shots} and reports, per basis state, the mean and standard
     deviation of the outcome frequency across runs — exactly the averaged
     histogram of the paper's Fig. 6 (3 runs × 1024 shots). *)
-let runs_statistics ?(seed = 7) params circuit ~shots ~runs =
+let runs_statistics ?(seed = 7) ?jobs params circuit ~shots ~runs =
   let size = 1 lsl Circuit.num_qubits circuit in
   let freqs = Array.make_matrix runs size 0. in
   for r = 0 to runs - 1 do
-    let counts = run_shots ~seed:(seed + (r * 7919)) params circuit ~shots in
+    let counts = run_shots ~seed:(seed + (r * 7919)) ?jobs params circuit ~shots in
     for x = 0 to size - 1 do
-      freqs.(r).(x) <- Float.of_int counts.(x) /. Float.of_int shots
+      freqs.(r).(x) <- Float.of_int (count counts x) /. Float.of_int shots
     done
   done;
   let mean = Array.make size 0. and stddev = Array.make size 0. in

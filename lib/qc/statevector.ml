@@ -3,7 +3,21 @@
     The state of [n] qubits is stored as two unboxed float arrays (real and
     imaginary parts) of length [2^n]; basis index bit [q] is the value of
     qubit [q]. Practical up to n ≈ 22 on a laptop — the same regime the
-    paper quotes for the QDK simulator backend (Sec. VIII). *)
+    paper quotes for the QDK simulator backend (Sec. VIII).
+
+    Two throughput features live here (see DESIGN.md, "Parallel
+    execution"):
+
+    - {e parallel kernels}: above {!par_threshold} amplitudes, every gate
+      kernel chunks its index space over the shared {!Par} domain pool.
+      Each chunk writes a disjoint slice, so the result is bit-identical
+      for any worker count; small states stay sequential to avoid pool
+      overhead.
+    - {e gate fusion}: {!run}/{!run_on} first collapse runs of 1-qubit
+      gates on the same qubit into a single 2×2 matrix and coalesce
+      consecutive diagonal gates (Z/S/T/Rz/CZ/CCZ/MCZ) into one phase
+      sweep — one memory pass instead of one per gate, which is where
+      T-heavy Clifford+T output spends its time. *)
 
 type t = { n : int; re : float array; im : float array }
 
@@ -36,13 +50,32 @@ let norm2 s =
 
 (* --- gate kernels --- *)
 
-let apply_1q s q (m00 : Complex.t) (m01 : Complex.t) (m10 : Complex.t)
-    (m11 : Complex.t) =
-  let bit = 1 lsl q in
-  let sz = size s in
-  let re = s.re and im = s.im in
-  let x = ref 0 in
-  while !x < sz do
+(* States at or below this size run kernels sequentially: the per-batch
+   synchronization (~µs) would dwarf the loop itself. 2^14 amplitudes ≈
+   256 kB, roughly where one pass stops fitting in L2. *)
+let par_threshold = 1 lsl 14
+
+(* Below this many qubits the fusion prepass costs more than it saves:
+   kernel passes over ≤ 2^9 amplitudes are already sub-µs, so the
+   prepass's gate-array copy and op-list allocations dominate. The
+   prepass itself is size-independent, so tests drive it directly via
+   {!fuse_gates}/{!apply_op} on small circuits. *)
+let fuse_min_qubits = 10
+
+(* Kernel bodies are top-level segment functions over [lo, hi): the
+   sequential path calls them directly (a known call — loop locals stay
+   in registers), and only the parallel path pays a closure. Wrapping
+   the whole body in a [par_range (fun lo hi -> ...)] closure costs
+   ~15% on kernel-bound circuits without flambda, because captured
+   variables are re-read from the closure environment each iteration.
+   Each segment writes a disjoint index slice, so any worker count
+   computes bit-identical amplitudes (Par's contract). Reductions
+   (norm2, prob_of_qubit, sampler) stay sequential — chunked float sums
+   would change with the chunk count. *)
+let seg_1q re im bit (m00 : Complex.t) (m01 : Complex.t) (m10 : Complex.t)
+    (m11 : Complex.t) lo hi =
+  let x = ref lo in
+  while !x < hi do
     if !x land bit = 0 then begin
       let y = !x lor bit in
       let ar = re.(!x) and ai = im.(!x) and br = re.(y) and bi = im.(y) in
@@ -54,12 +87,24 @@ let apply_1q s q (m00 : Complex.t) (m01 : Complex.t) (m10 : Complex.t)
     incr x
   done
 
-let swap_pairs s ~mask ~want ~tbit =
-  (* swap amplitudes of x and (x lxor tbit) for x matching the control
-     pattern, visiting each pair once via the tbit = 0 representative *)
-  let sz = size s in
+let apply_1q s q (m00 : Complex.t) (m01 : Complex.t) (m10 : Complex.t)
+    (m11 : Complex.t) =
+  let bit = 1 lsl q in
   let re = s.re and im = s.im in
-  for x = 0 to sz - 1 do
+  let sz = size s in
+  if sz <= par_threshold then seg_1q re im bit m00 m01 m10 m11 0 sz
+  else
+    Par.parallel_for (Par.global ()) ~start:0 ~stop:sz (fun lo hi ->
+        seg_1q re im bit m00 m01 m10 m11 lo hi)
+
+(* Pair kernels visit each (x, x lxor tbit) pair once via the tbit = 0
+   representative; the tbit = 1 partner is never a representative itself,
+   so chunking the full index range keeps writes disjoint. *)
+(* The float array annotations matter: without them these move-only
+   bodies generalize polymorphically and compile to generic (boxing)
+   array accesses — ~2.5x slower. *)
+let seg_swap (re : float array) (im : float array) mask want tbit lo hi =
+  for x = lo to hi - 1 do
     if x land tbit = 0 && x land mask = want then begin
       let y = x lor tbit in
       let r = re.(x) and i = im.(x) in
@@ -70,14 +115,41 @@ let swap_pairs s ~mask ~want ~tbit =
     end
   done
 
-let phase_on s ~mask ~want (p : Complex.t) =
-  let sz = size s in
+let swap_pairs s ~mask ~want ~tbit =
   let re = s.re and im = s.im in
-  for x = 0 to sz - 1 do
+  let sz = size s in
+  if sz <= par_threshold then seg_swap re im mask want tbit 0 sz
+  else
+    Par.parallel_for (Par.global ()) ~start:0 ~stop:sz (fun lo hi ->
+        seg_swap re im mask want tbit lo hi)
+
+let seg_phase re im mask want pre pim lo hi =
+  for x = lo to hi - 1 do
     if x land mask = want then begin
       let r = re.(x) and i = im.(x) in
-      re.(x) <- (p.re *. r) -. (p.im *. i);
-      im.(x) <- (p.re *. i) +. (p.im *. r)
+      re.(x) <- (pre *. r) -. (pim *. i);
+      im.(x) <- (pre *. i) +. (pim *. r)
+    end
+  done
+
+let phase_on s ~mask ~want (p : Complex.t) =
+  let re = s.re and im = s.im in
+  let sz = size s in
+  if sz <= par_threshold then seg_phase re im mask want p.re p.im 0 sz
+  else
+    Par.parallel_for (Par.global ()) ~start:0 ~stop:sz (fun lo hi ->
+        seg_phase re im mask want p.re p.im lo hi)
+
+(* Swap = visit the (a=1, b=0) pattern once, exchange with (a=0, b=1). *)
+let seg_swap2 (re : float array) (im : float array) ab bb lo hi =
+  for x = lo to hi - 1 do
+    if x land ab <> 0 && x land bb = 0 then begin
+      let y = (x lxor ab) lor bb in
+      let r = re.(x) and i = im.(x) in
+      re.(x) <- re.(y);
+      im.(x) <- im.(y);
+      re.(y) <- r;
+      im.(y) <- i
     end
   done
 
@@ -118,18 +190,12 @@ let apply s (g : Gate.t) =
       phase_on s ~mask:m ~want:m cm1
   | Gate.Swap (a, b) ->
       let ab = 1 lsl a and bb = 1 lsl b in
+      let re = s.re and im = s.im in
       let sz = size s in
-      for x = 0 to sz - 1 do
-        (* visit the (01) pattern once, swap with (10) *)
-        if x land ab <> 0 && x land bb = 0 then begin
-          let y = (x lxor ab) lor bb in
-          let r = s.re.(x) and i = s.im.(x) in
-          s.re.(x) <- s.re.(y);
-          s.im.(x) <- s.im.(y);
-          s.re.(y) <- r;
-          s.im.(y) <- i
-        end
-      done
+      if sz <= par_threshold then seg_swap2 re im ab bb 0 sz
+      else
+        Par.parallel_for (Par.global ()) ~start:0 ~stop:sz (fun lo hi ->
+            seg_swap2 re im ab bb lo hi)
   | Gate.Ccx (a, b, t) ->
       let m = (1 lsl a) lor (1 lsl b) in
       swap_pairs s ~mask:m ~want:m ~tbit:(1 lsl t)
@@ -143,21 +209,288 @@ let apply s (g : Gate.t) =
       let m = mask_of qs in
       phase_on s ~mask:m ~want:m cm1
 
-(** [run circuit] simulates [circuit] from |0…0⟩. *)
-let run circuit =
-  Obs.with_span "qc.statevector.run" @@ fun () ->
-  let s = init (Circuit.num_qubits circuit) in
-  Circuit.iter (apply s) circuit;
+(* --- gate fusion prepass --- *)
+
+(* A 2×2 unitary, row-major. *)
+type m2 = { m00 : Complex.t; m01 : Complex.t; m10 : Complex.t; m11 : Complex.t }
+
+(* [m2_after g f] is the matrix of "apply f, then g": the product g·f. *)
+let m2_after g f =
+  let open Complex in
+  { m00 = add (mul g.m00 f.m00) (mul g.m01 f.m10);
+    m01 = add (mul g.m00 f.m01) (mul g.m01 f.m11);
+    m10 = add (mul g.m10 f.m00) (mul g.m11 f.m10);
+    m11 = add (mul g.m10 f.m01) (mul g.m11 f.m11) }
+
+(* The 2×2 matrix of a 1-qubit gate, with its qubit. *)
+let m2_of_gate = function
+  | Gate.X q -> Some (q, { m00 = c0; m01 = c1; m10 = c1; m11 = c0 })
+  | Gate.Y q -> Some (q, { m00 = c0; m01 = cmi; m10 = ci; m11 = c0 })
+  | Gate.Z q -> Some (q, { m00 = c1; m01 = c0; m10 = c0; m11 = cm1 })
+  | Gate.H q -> Some (q, { m00 = ch; m01 = ch; m10 = ch; m11 = chm })
+  | Gate.S q -> Some (q, { m00 = c1; m01 = c0; m10 = c0; m11 = ci })
+  | Gate.Sdg q -> Some (q, { m00 = c1; m01 = c0; m10 = c0; m11 = cmi })
+  | Gate.T q -> Some (q, { m00 = c1; m01 = c0; m10 = c0; m11 = omega })
+  | Gate.Tdg q -> Some (q, { m00 = c1; m01 = c0; m10 = c0; m11 = omega_bar })
+  | Gate.Rz (a, q) ->
+      let h = a /. 2. in
+      Some
+        ( q,
+          { m00 = Complex.{ re = cos h; im = -.sin h }; m01 = c0; m10 = c0;
+            m11 = Complex.{ re = cos h; im = sin h } } )
+  | _ -> None
+
+(* One multiplicative term of a diagonal gate: amplitudes whose index
+   matches [want] on [mask] pick up the phase (pre + i·pim). *)
+type dterm = { mask : int; want : int; pre : float; pim : float }
+
+let dterm mask want (p : Complex.t) = { mask; want; pre = p.re; pim = p.im }
+
+(* The phase terms of a diagonal gate (diagonal gates all commute, so any
+   run of them coalesces into one sweep over these terms). *)
+let dterms_of_gate g =
+  let one_hot q p = [ dterm (1 lsl q) (1 lsl q) p ] in
+  match g with
+  | Gate.Z q -> Some (one_hot q cm1)
+  | Gate.S q -> Some (one_hot q ci)
+  | Gate.Sdg q -> Some (one_hot q cmi)
+  | Gate.T q -> Some (one_hot q omega)
+  | Gate.Tdg q -> Some (one_hot q omega_bar)
+  | Gate.Rz (a, q) ->
+      let h = a /. 2. in
+      let bit = 1 lsl q in
+      Some
+        [ dterm bit 0 Complex.{ re = cos h; im = -.sin h };
+          dterm bit bit Complex.{ re = cos h; im = sin h } ]
+  | Gate.Cz (a, b) ->
+      let m = (1 lsl a) lor (1 lsl b) in
+      Some [ dterm m m cm1 ]
+  | Gate.Ccz (a, b, c) ->
+      let m = mask_of [ a; b; c ] in
+      Some [ dterm m m cm1 ]
+  | Gate.Mcz qs ->
+      let m = mask_of qs in
+      Some [ dterm m m cm1 ]
+  | _ -> None
+
+(* One sweep applying a whole run of diagonal gates. The combined phase of
+   index [x] is a product over matching terms; terms whose mask lies
+   entirely in the low or high half of the index bits are precomputed
+   into per-half lookup tables of size O(√2^n), so the sweep itself is
+   phase(x) = lo[x low bits] · hi[x high bits] · (rare straddling terms)
+   — two complex multiplies per amplitude however long the run is, and
+   one memory pass instead of one per gate. Amplitudes whose combined
+   phase is exactly 1 are not written, so untouched entries keep their
+   exact values (basis states stay exact). All arithmetic is on unboxed
+   floats — no [Complex.t] in the inner loop. *)
+let seg_phase_sweep re im lo_re lo_im hi_re hi_im half_mask h
+    (straddling : dterm array) lo hi =
+  let ns = Array.length straddling in
+  (* 2-slot float array, not refs: ref assignment would box per store *)
+  let acc = [| 1.; 0. |] in
+  for x = lo to hi - 1 do
+    let l = x land half_mask and g = x lsr h in
+    let ar = Array.unsafe_get lo_re l and ai = Array.unsafe_get lo_im l in
+    let br = Array.unsafe_get hi_re g and bi = Array.unsafe_get hi_im g in
+    acc.(0) <- (ar *. br) -. (ai *. bi);
+    acc.(1) <- (ar *. bi) +. (ai *. br);
+    for t = 0 to ns - 1 do
+      let tm = Array.unsafe_get straddling t in
+      if x land tm.mask = tm.want then begin
+        let r = acc.(0) and i = acc.(1) in
+        acc.(0) <- (r *. tm.pre) -. (i *. tm.pim);
+        acc.(1) <- (r *. tm.pim) +. (i *. tm.pre)
+      end
+    done;
+    let pr = acc.(0) and pi = acc.(1) in
+    if not (pr = 1. && pi = 0.) then begin
+      let r = re.(x) and i = im.(x) in
+      re.(x) <- (pr *. r) -. (pi *. i);
+      im.(x) <- (pr *. i) +. (pi *. r)
+    end
+  done
+
+let apply_phase_terms s (terms : dterm array) =
+  let n = s.n in
+  let h = (n + 1) / 2 in
+  let lo_sz = 1 lsl h and hi_sz = 1 lsl (n - h) in
+  let half_mask = lo_sz - 1 in
+  let lo_re = Array.make lo_sz 1. and lo_im = Array.make lo_sz 0. in
+  let hi_re = Array.make hi_sz 1. and hi_im = Array.make hi_sz 0. in
+  let fold_into tre tim tsz mask want pre pim =
+    for i = 0 to tsz - 1 do
+      if i land mask = want then begin
+        let r = tre.(i) and j = tim.(i) in
+        tre.(i) <- (r *. pre) -. (j *. pim);
+        tim.(i) <- (r *. pim) +. (j *. pre)
+      end
+    done
+  in
+  let straddling = ref [] in
+  Array.iter
+    (fun t ->
+      if t.mask land half_mask = t.mask then
+        fold_into lo_re lo_im lo_sz t.mask t.want t.pre t.pim
+      else if t.mask land lnot half_mask = t.mask then
+        fold_into hi_re hi_im hi_sz (t.mask lsr h) (t.want lsr h) t.pre t.pim
+      else straddling := t :: !straddling)
+    (* multi-qubit masks spanning both halves (a CZ across the midline)
+       stay as per-index checks; they are rare and few *)
+    terms;
+  let straddling = Array.of_list (List.rev !straddling) in
+  let re = s.re and im = s.im in
+  let sz = size s in
+  if sz <= par_threshold then
+    seg_phase_sweep re im lo_re lo_im hi_re hi_im half_mask h straddling 0 sz
+  else
+    Par.parallel_for (Par.global ()) ~start:0 ~stop:sz (fun lo hi ->
+        seg_phase_sweep re im lo_re lo_im hi_re hi_im half_mask h straddling lo
+          hi)
+
+type op =
+  | Op_gate of Gate.t
+  | Op_fused1q of int * m2 (* a run of 1q gates on one qubit, multiplied out *)
+  | Op_phases of dterm array (* a run of diagonal gates, one sweep *)
+
+type pending =
+  | P_none
+  | P_1q of { q : int; m : m2; count : int; first : Gate.t }
+  | P_diag of {
+      rev_terms : dterm list list;
+      ones : int; (* 1-qubit diag gates in the run *)
+      rev_gates : Gate.t list;
+    }
+
+(* Qubit of a 1-qubit gate, or -1 for multi-qubit gates. *)
+let q1_of = function
+  | Gate.X q | Gate.Y q | Gate.Z q | Gate.H q | Gate.S q | Gate.Sdg q | Gate.T q
+  | Gate.Tdg q
+  | Gate.Rz (_, q) ->
+      q
+  | _ -> -1
+
+(* A diagonal run re-emits its original gates unless it contains at
+   least this many 1-qubit phase gates. Those are the passes a sweep
+   collapses; multi-qubit CZ/CCZ/MCZ kernels already touch only a
+   2^-k subset of amplitudes, so a run of bare CZs (hidden-shift
+   oracles) or QFT's length-2 Rz runs is cheaper unfused. *)
+let min_diag_run = 3
+
+(* Greedy single-pass fusion. Runs of length 1 re-emit the original gate:
+   the specialized kernels (swap_pairs for X, phase_on for Z/S/T) beat a
+   generic 2×2 multiply, and exact integer kernels stay exact. *)
+let fuse_gates (gates : Gate.t array) =
+  let ops = ref [] in
+  let emit o = ops := o :: !ops in
+  let flush = function
+    | P_none -> ()
+    | P_1q { m; q; count; first } ->
+        if count = 1 then emit (Op_gate first) else emit (Op_fused1q (q, m))
+    | P_diag { rev_terms; ones; rev_gates } ->
+        if ones < min_diag_run then
+          List.iter (fun g -> emit (Op_gate g)) (List.rev rev_gates)
+        else emit (Op_phases (Array.of_list (List.concat (List.rev rev_terms))))
+  in
+  let one_of g = if q1_of g >= 0 then 1 else 0 in
+  let step pending g =
+    match (pending, m2_of_gate g, dterms_of_gate g) with
+    | P_1q p, Some (q, m), _ when q = p.q ->
+        P_1q { p with m = m2_after m p.m; count = p.count + 1 }
+    | P_diag p, _, Some ts ->
+        P_diag
+          { rev_terms = ts :: p.rev_terms; ones = p.ones + one_of g;
+            rev_gates = g :: p.rev_gates }
+    | _, _, Some ts ->
+        flush pending;
+        P_diag { rev_terms = [ ts ]; ones = one_of g; rev_gates = [ g ] }
+    | _, Some (q, m), None ->
+        flush pending;
+        P_1q { q; m; count = 1; first = g }
+    | _, None, None ->
+        flush pending;
+        emit (Op_gate g);
+        P_none
+  in
+  flush (Array.fold_left step P_none gates);
+  List.rev !ops
+
+let apply_op s = function
+  | Op_gate g -> apply s g
+  | Op_fused1q (q, m) -> apply_1q s q m.m00 m.m01 m.m10 m.m11
+  | Op_phases terms -> apply_phase_terms s terms
+
+(* Cheap pre-scan deciding whether the prepass can fuse anything at all:
+   a diagonal run with ≥ [min_diag_run] 1-qubit phase gates, or a
+   non-diagonal 1-qubit gate directly followed by a 1-qubit gate on the
+   same qubit (the [P_1q] seed). Circuits with no such adjacency
+   (H/CNOT-mix layers, QFT's Rz/CNOT interleaving, bare-CZ oracles)
+   skip the prepass and its allocations — false negatives only skip an
+   optimization, never change results. *)
+let is_diag = function
+  | Gate.Z _ | Gate.S _ | Gate.Sdg _ | Gate.T _ | Gate.Tdg _ | Gate.Rz _ | Gate.Cz _
+  | Gate.Ccz _ | Gate.Mcz _ ->
+      true
+  | _ -> false
+
+let has_fusable (gates : Gate.t array) =
+  let n = Array.length gates in
+  let found = ref false in
+  let diag_run = ref 0 in
+  let i = ref 0 in
+  while (not !found) && !i < n do
+    let g = gates.(!i) in
+    if is_diag g then begin
+      if q1_of g >= 0 then incr diag_run;
+      if !diag_run >= min_diag_run then found := true
+    end
+    else begin
+      diag_run := 0;
+      let q = q1_of g in
+      if q >= 0 && !i + 1 < n && q1_of gates.(!i + 1) = q then found := true
+    end;
+    incr i
+  done;
+  !found
+
+(* Shared by run/run_on: the fusion prepass (on by default), the kernel
+   loop, and the telemetry both entry points must emit — [run_on] used to
+   bypass it, under-counting qc.statevector.gates_applied for
+   engine-driven simulation. *)
+let exec ~fuse s circuit =
+  let fuse = fuse && s.n >= fuse_min_qubits in
+  let gates = if fuse then Circuit.to_array circuit else [||] in
+  if fuse && has_fusable gates then begin
+    let ops = fuse_gates gates in
+    List.iter (apply_op s) ops;
+    if Obs.enabled () then
+      Obs.count ~by:(List.length ops) "qc.statevector.fused_ops"
+  end
+  else begin
+    Circuit.iter (apply s) circuit;
+    if fuse && Obs.enabled () then
+      (* nothing fusable: op count = gate count *)
+      Obs.count ~by:(Circuit.num_gates circuit) "qc.statevector.fused_ops"
+  end;
   if Obs.enabled () then begin
     Obs.count ~by:(Circuit.num_gates circuit) "qc.statevector.gates_applied";
     Obs.add_attrs [ ("qubits", Obs.Int s.n) ]
-  end;
+  end
+
+(** [run ?fuse circuit] simulates [circuit] from |0…0⟩. [fuse] (default
+    true) runs the gate-fusion prepass on states of ≥ {!fuse_min_qubits}
+    qubits; the result is equal up to float rounding (≤ 1e-12 per
+    amplitude in practice). *)
+let run ?(fuse = true) circuit =
+  Obs.with_span "qc.statevector.run" @@ fun () ->
+  let s = init (Circuit.num_qubits circuit) in
+  exec ~fuse s circuit;
   s
 
-(** [run_on s circuit] applies [circuit] to an existing state in place. *)
-let run_on s circuit =
+(** [run_on ?fuse s circuit] applies [circuit] to an existing state in
+    place, with the same span and counters as {!run}. *)
+let run_on ?(fuse = true) s circuit =
   if Circuit.num_qubits circuit <> s.n then invalid_arg "Statevector.run_on";
-  Circuit.iter (apply s) circuit
+  Obs.with_span "qc.statevector.run" @@ fun () -> exec ~fuse s circuit
 
 (** [prob_of_qubit s q] is the probability of reading 1 on qubit [q]. *)
 let prob_of_qubit s q =
@@ -208,20 +541,53 @@ let amplitude_damp s q ~gamma ~jump =
 (** [probabilities s] is the outcome distribution over basis states. *)
 let probabilities s = Array.init (size s) (prob s)
 
+(* --- measurement sampling --- *)
+
+(** A precomputed cumulative distribution for repeated sampling from one
+    state: build once ([O(2^n)]), then each draw is a binary search
+    ([O(n)]) instead of a linear scan — the shape a multi-shot noiseless
+    sampling loop wants. *)
+type sampler = { cdf : float array }
+
+(** [sampler s] precomputes the cumulative distribution of [s]. *)
+let sampler s =
+  let sz = size s in
+  let cdf = Array.make sz 0. in
+  let acc = ref 0. in
+  for x = 0 to sz - 1 do
+    acc := !acc +. prob s x;
+    cdf.(x) <- !acc
+  done;
+  { cdf }
+
+(** [sample_with smp st] draws one outcome: the first basis state whose
+    cumulative probability exceeds the uniform draw — bit-identical to
+    the linear scan of {!sample}, in [O(n)] per shot. *)
+let sample_with smp st =
+  let r = Random.State.float st 1. in
+  let cdf = smp.cdf in
+  let lo = ref 0 and hi = ref (Array.length cdf - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if cdf.(mid) > r then hi := mid else lo := mid + 1
+  done;
+  !lo
+
 (** [sample st s] draws one measurement outcome of all qubits using PRNG
-    state [st]. *)
+    state [st]. One-shot form; for many draws from the same state build a
+    {!sampler} once and use {!sample_with}. *)
 let sample st s =
   let r = Random.State.float st 1. in
-  let acc = ref 0. and out = ref (size s - 1) in
-  (try
-     for x = 0 to size s - 1 do
-       acc := !acc +. prob s x;
-       if r < !acc then begin
-         out := x;
-         raise Exit
-       end
-     done
-   with Exit -> ());
+  let sz = size s in
+  let acc = ref 0. and x = ref 0 and out = ref (sz - 1) in
+  while !x < sz do
+    acc := !acc +. prob s !x;
+    if r < !acc then begin
+      out := !x;
+      x := sz
+    end
+    else incr x
+  done;
   !out
 
 (** [most_likely s] is the basis state with the largest probability. *)

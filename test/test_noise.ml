@@ -6,33 +6,33 @@ let test_noiseless_params () =
   (* with the zero channel, a basis-state circuit gives one outcome *)
   let c = Circuit.of_gates 2 [ Gate.X 1 ] in
   let counts = Noise.run_shots Noise.noiseless c ~shots:200 in
-  Alcotest.(check int) "all shots on |10>" 200 counts.(0b10);
-  Alcotest.(check int) "nothing elsewhere" 0 counts.(0)
+  Alcotest.(check int) "all shots on |10>" 200 (Noise.count counts 0b10);
+  Alcotest.(check int) "nothing elsewhere" 0 (Noise.count counts 0)
 
 let test_noiseless_bell () =
   let counts = Noise.run_shots Noise.noiseless bell ~shots:2000 in
-  Alcotest.(check int) "no |01>" 0 counts.(1);
-  Alcotest.(check int) "no |10>" 0 counts.(2);
-  let f = Float.of_int counts.(0) /. 2000. in
+  Alcotest.(check int) "no |01>" 0 (Noise.count counts 1);
+  Alcotest.(check int) "no |10>" 0 (Noise.count counts 2);
+  let f = Float.of_int (Noise.count counts 0) /. 2000. in
   Alcotest.(check bool) "balanced" true (f > 0.43 && f < 0.57)
 
 let test_shots_conserved () =
   let counts = Noise.run_shots Noise.ibm_qx2017 bell ~shots:512 in
-  Alcotest.(check int) "histogram sums to shots" 512 (Array.fold_left ( + ) 0 counts)
+  Alcotest.(check int) "histogram sums to shots" 512 (Noise.total_counts counts)
 
 let test_determinism_by_seed () =
   let a = Noise.run_shots ~seed:11 Noise.ibm_qx2017 bell ~shots:256 in
   let b = Noise.run_shots ~seed:11 Noise.ibm_qx2017 bell ~shots:256 in
   let c = Noise.run_shots ~seed:12 Noise.ibm_qx2017 bell ~shots:256 in
-  Alcotest.(check bool) "same seed, same histogram" true (a = b);
-  Alcotest.(check bool) "different seed differs" true (a <> c)
+  Alcotest.(check bool) "same seed, same histogram" true (Noise.counts_equal a b);
+  Alcotest.(check bool) "different seed differs" true (not (Noise.counts_equal a c))
 
 let test_noise_degrades () =
   (* readout-only noise flips some outcomes of a deterministic circuit *)
   let c = Circuit.of_gates 3 [ Gate.X 0; Gate.X 1; Gate.X 2 ] in
   let params = { Noise.noiseless with Noise.readout = 0.2 } in
   let counts = Noise.run_shots params c ~shots:2000 in
-  let correct = Float.of_int counts.(7) /. 2000. in
+  let correct = Float.of_int (Noise.count counts 7) /. 2000. in
   (* expect (1-0.2)^3 = 0.512 *)
   Alcotest.(check bool) "readout errors visible" true (correct > 0.42 && correct < 0.6)
 
@@ -42,12 +42,12 @@ let test_gate_noise_scales_with_depth () =
   let mk reps = Circuit.of_gates 1 (List.concat (List.init reps (fun _ -> [ Gate.X 0; Gate.X 0 ]))) in
   let p_of reps =
     let counts = Noise.run_shots ~seed:5 params (mk reps) ~shots:3000 in
-    Float.of_int counts.(0) /. 3000.
+    Float.of_int (Noise.count counts 0) /. 3000.
   in
   Alcotest.(check bool) "deeper circuit is noisier" true (p_of 20 < p_of 2)
 
 let test_success_probability () =
-  let counts = [| 10; 70; 20; 0 |] in
+  let counts = Noise.counts_of_array [| 10; 70; 20; 0 |] in
   Alcotest.(check (float 1e-12)) "success prob" 0.7 (Noise.success_probability counts 1)
 
 let test_runs_statistics_shape () =
@@ -64,7 +64,7 @@ let test_amplitude_damping_rate () =
   let params = { Noise.noiseless with Noise.gamma } in
   let c = Circuit.of_gates 1 [ Gate.X 0 ] in
   let counts = Noise.run_shots ~seed:2 params c ~shots:5000 in
-  let p0 = Float.of_int counts.(0) /. 5000. in
+  let p0 = Float.of_int (Noise.count counts 0) /. 5000. in
   Alcotest.(check bool) "decay rate ~ gamma" true (Float.abs (p0 -. gamma) < 0.03)
 
 let test_amplitude_damping_accumulates () =
@@ -75,7 +75,7 @@ let test_amplitude_damping_accumulates () =
   in
   let survival k =
     let counts = Noise.run_shots ~seed:3 params (mk k) ~shots:3000 in
-    Float.of_int counts.(1) /. 3000.
+    Float.of_int (Noise.count counts 1) /. 3000.
   in
   Alcotest.(check bool) "more depth, more decay" true (survival 20 < survival 2)
 
@@ -84,7 +84,7 @@ let test_amplitude_damping_fixes_ground_state () =
   let params = { Noise.noiseless with Noise.gamma = 0.5 } in
   let c = Circuit.of_gates 1 [ Gate.Z 0; Gate.Z 0 ] in
   let counts = Noise.run_shots params c ~shots:500 in
-  Alcotest.(check int) "ground state untouched" 500 counts.(0)
+  Alcotest.(check int) "ground state untouched" 500 (Noise.count counts 0)
 
 let test_damping_preserves_norm () =
   let st = Helpers.rng 9 in

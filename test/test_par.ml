@@ -1,0 +1,253 @@
+(* The multicore execution runtime: pool primitives, the determinism
+   contract (any jobs count = the ~jobs:1 reference, bit for bit), the
+   gate-fusion prepass, the shared-CDF sampler and the sparse histogram
+   representation. *)
+
+open Qc
+
+(* --- pool primitives --- *)
+
+let with_temp_pool jobs f =
+  let p = Par.create jobs in
+  Fun.protect ~finally:(fun () -> Par.shutdown p) (fun () -> f p)
+
+let test_parallel_for_covers () =
+  with_temp_pool 4 (fun p ->
+      let a = Array.make 1000 (-1) in
+      Par.parallel_for p ~start:0 ~stop:1000 (fun lo hi ->
+          for i = lo to hi - 1 do
+            a.(i) <- 2 * i
+          done);
+      Array.iteri (fun i v -> Alcotest.(check int) "covered" (2 * i) v) a)
+
+let test_parallel_for_chunks () =
+  with_temp_pool 3 (fun p ->
+      let a = Array.make 100 0 in
+      Par.parallel_for p ~chunks:17 ~start:0 ~stop:100 (fun lo hi ->
+          for i = lo to hi - 1 do
+            a.(i) <- a.(i) + 1
+          done);
+      Alcotest.(check int) "each index exactly once" 100 (Array.fold_left ( + ) 0 a))
+
+let test_map_reduce_order () =
+  with_temp_pool 4 (fun p ->
+      let r =
+        Par.map_reduce p ~tasks:16 ~map:(fun i -> [ i ]) ~reduce:( @ ) ~init:[]
+      in
+      Alcotest.(check (list int)) "index order" (List.init 16 Fun.id) r)
+
+let test_exception_propagates () =
+  with_temp_pool 4 (fun p ->
+      Alcotest.check_raises "task exception re-raised" (Failure "boom") (fun () ->
+          Par.run_tasks p
+            (Array.init 8 (fun i () -> if i = 5 then failwith "boom"))))
+
+let test_nested_calls_run () =
+  (* a body that re-enters the pool runs sequentially, not deadlocking *)
+  with_temp_pool 4 (fun p ->
+      let a = Array.make 64 0 in
+      Par.parallel_for p ~start:0 ~stop:8 (fun lo hi ->
+          for i = lo to hi - 1 do
+            Par.parallel_for p ~start:(8 * i) ~stop:(8 * (i + 1)) (fun lo2 hi2 ->
+                for j = lo2 to hi2 - 1 do
+                  a.(j) <- j + 1
+                done)
+          done);
+      Array.iteri (fun i v -> Alcotest.(check int) "nested covered" (i + 1) v) a)
+
+let test_with_pool_width () =
+  Par.with_pool ~jobs:4 (fun p ->
+      Alcotest.(check bool) "at least requested width" true (Par.size p >= 4))
+
+(* --- determinism: any jobs count reproduces the ~jobs:1 reference --- *)
+
+let bell3 =
+  Circuit.of_gates 3 [ Gate.H 0; Gate.Cnot (0, 1); Gate.T 1; Gate.Cnot (1, 2) ]
+
+let test_shots_jobs_invariant () =
+  let reference = Noise.run_shots ~seed:11 ~jobs:1 Noise.ibm_qx2017 bell3 ~shots:300 in
+  List.iter
+    (fun jobs ->
+      let c = Noise.run_shots ~seed:11 ~jobs Noise.ibm_qx2017 bell3 ~shots:300 in
+      Alcotest.(check bool)
+        (Printf.sprintf "jobs=%d bit-identical" jobs)
+        true
+        (Noise.counts_equal reference c))
+    [ 2; 3; 4 ]
+
+let test_shots_jobs_invariant_noiseless () =
+  (* the shared-sampler fast path must honour the same contract *)
+  let params = { Noise.noiseless with Noise.readout = 0.1 } in
+  let reference = Noise.run_shots ~seed:5 ~jobs:1 params bell3 ~shots:200 in
+  let c4 = Noise.run_shots ~seed:5 ~jobs:4 params bell3 ~shots:200 in
+  Alcotest.(check bool) "noiseless path invariant" true (Noise.counts_equal reference c4)
+
+let test_runs_statistics_jobs_invariant () =
+  let m1, s1 = Noise.runs_statistics ~jobs:1 Noise.ibm_qx2017 bell3 ~shots:128 ~runs:2 in
+  let m4, s4 = Noise.runs_statistics ~jobs:4 Noise.ibm_qx2017 bell3 ~shots:128 ~runs:2 in
+  Alcotest.(check bool) "means identical" true (m1 = m4);
+  Alcotest.(check bool) "stddevs identical" true (s1 = s4)
+
+let test_obs_totals_under_jobs () =
+  (* the per-domain accumulate + single flush must preserve counter totals *)
+  let totals jobs =
+    let m = Obs.Memory.create () in
+    Obs.reset ();
+    Obs.set_sink (Some (Obs.Memory.sink m));
+    let (_ : Noise.counts) =
+      Noise.run_shots ~seed:3 ~jobs Noise.ibm_qx2017 bell3 ~shots:100
+    in
+    Obs.set_sink None;
+    Obs.Summary.counter_totals (Obs.Memory.events m)
+  in
+  Alcotest.(check bool) "counter totals jobs-invariant" true (totals 1 = totals 4)
+
+(* --- gate fusion --- *)
+
+let amp_close a b =
+  let d = Complex.norm (Complex.sub a b) in
+  d < 1e-9
+
+let same_amplitudes s1 s2 =
+  Statevector.size s1 = Statevector.size s2
+  && (let ok = ref true in
+      for x = 0 to Statevector.size s1 - 1 do
+        if not (amp_close (Statevector.amplitude s1 x) (Statevector.amplitude s2 x))
+        then ok := false
+      done;
+      !ok)
+
+(* [run ~fuse:true] skips the prepass below [fuse_min_qubits], so force
+   it through the prepass entry points to keep small circuits covered. *)
+let run_fused c =
+  let s = Statevector.init (Circuit.num_qubits c) in
+  List.iter (Statevector.apply_op s)
+    (Statevector.fuse_gates (Circuit.to_array c));
+  s
+
+let fusion_equiv =
+  Helpers.prop "fused = unfused on random Clifford+T" ~count:60
+    QCheck2.Gen.(
+      let* seed = int_bound 1_000_000 in
+      Helpers.qcircuit_gen ~diagonals:(seed mod 2 = 0) 4 40)
+    (fun c -> same_amplitudes (run_fused c) (Statevector.run ~fuse:false c))
+
+let test_fusion_rz_swap () =
+  (* gates the random generator never emits: Rz runs, Swap barriers, Mcz *)
+  let c =
+    Circuit.of_gates 4
+      [ Gate.H 0; Gate.Rz (0.3, 0); Gate.Rz (-1.1, 0); Gate.T 0; Gate.Z 0;
+        Gate.Cz (0, 1); Gate.Swap (1, 2); Gate.H 2; Gate.S 2; Gate.Sdg 2;
+        Gate.Mcz [ 0; 1; 2; 3 ]; Gate.Ccz (0, 1, 3); Gate.Rz (0.7, 3);
+        Gate.T 1; Gate.Sdg 2 ]
+  in
+  Alcotest.(check bool) "equivalent" true
+    (same_amplitudes (run_fused c) (Statevector.run ~fuse:false c))
+
+let test_fusion_preserves_exact_basis () =
+  (* X-only runs fuse to an exact permutation: amplitudes stay 0/1 *)
+  let c = Circuit.of_gates 2 [ Gate.X 0; Gate.X 0; Gate.X 0; Gate.X 1 ] in
+  let s = run_fused c in
+  Alcotest.(check bool) "exactly |11>" true (Statevector.prob s 0b11 = 1.)
+
+(* --- sampler: binary search = linear scan --- *)
+
+let test_sampler_matches_sample () =
+  let s = Statevector.run bell3 in
+  let smp = Statevector.sampler s in
+  for seed = 0 to 50 do
+    let st1 = Helpers.rng seed and st2 = Helpers.rng seed in
+    Alcotest.(check int) "same draw"
+      (Statevector.sample st1 s) (Statevector.sample_with smp st2)
+  done
+
+(* --- sparse histograms --- *)
+
+let test_sparse_counts_api () =
+  let c = Noise.counts_make 21 in
+  (match c with
+  | Noise.Sparse _ -> ()
+  | Noise.Dense _ -> Alcotest.fail "expected sparse above 20 qubits");
+  Noise.counts_add c 5 2;
+  Noise.counts_add c (1 lsl 20) 1;
+  Noise.counts_add c 5 1;
+  Alcotest.(check int) "count" 3 (Noise.count c 5);
+  Alcotest.(check int) "count" 1 (Noise.count c (1 lsl 20));
+  Alcotest.(check int) "absent" 0 (Noise.count c 7);
+  Alcotest.(check int) "total" 4 (Noise.total_counts c);
+  Alcotest.(check int) "size" (1 lsl 21) (Noise.counts_size c);
+  Alcotest.(check (list (pair int int))) "alist sorted"
+    [ (5, 3); (1 lsl 20, 1) ]
+    (Noise.counts_to_alist c)
+
+let test_sparse_run_shots () =
+  (* a 21-qubit noiseless run: the histogram must not allocate 2^21 ints *)
+  let c = Circuit.of_gates 21 [ Gate.X 20 ] in
+  let counts = Noise.run_shots ~seed:1 Noise.noiseless c ~shots:5 in
+  (match counts with
+  | Noise.Sparse _ -> ()
+  | Noise.Dense _ -> Alcotest.fail "expected sparse at 21 qubits");
+  Alcotest.(check int) "all shots on |1…0>" 5 (Noise.count counts (1 lsl 20))
+
+(* --- run_on telemetry (satellite: same span/counters as run) --- *)
+
+let test_run_on_telemetry () =
+  let m = Obs.Memory.create () in
+  Obs.set_sink (Some (Obs.Memory.sink m));
+  let s = Statevector.init 3 in
+  Statevector.run_on s bell3;
+  Obs.set_sink None;
+  let events = Obs.Memory.events m in
+  let spans = Obs.Summary.span_totals events in
+  Alcotest.(check bool) "span emitted" true
+    (List.mem_assoc "qc.statevector.run" spans);
+  let counters = Obs.Summary.counter_totals events in
+  Alcotest.(check (option int)) "gates counted"
+    (Some (Circuit.num_gates bell3))
+    (List.assoc_opt "qc.statevector.gates_applied" counters)
+
+(* --- the CLI surface --- *)
+
+let test_shell_jobs_command () =
+  let out = Core.Shell.run_script "jobs 3; jobs" in
+  Alcotest.(check bool) "set" true (Helpers.contains ~needle:"jobs set to 3" out);
+  Alcotest.(check bool) "query" true (Helpers.contains ~needle:"jobs: 3" out);
+  Par.set_default_jobs 1
+
+let test_backend_jobs_spec () =
+  let b = Backend.of_spec "noisy:shots=64,jobs=2" in
+  (match b.Backend.run bell3 with
+  | Backend.Histogram freqs ->
+      let total = List.fold_left (fun acc (_, f) -> acc +. f) 0. freqs in
+      Alcotest.(check (float 1e-9)) "frequencies sum to 1" 1. total
+  | _ -> Alcotest.fail "expected a histogram");
+  Alcotest.check_raises "bad jobs rejected"
+    (Backend.Unsupported "noisy:jobs: expected a positive integer, got x")
+    (fun () -> ignore (Backend.of_spec "noisy:jobs=x"))
+
+let () =
+  Alcotest.run "par"
+    [ ( "pool",
+        [ Alcotest.test_case "parallel_for covers range" `Quick test_parallel_for_covers;
+          Alcotest.test_case "explicit chunk counts" `Quick test_parallel_for_chunks;
+          Alcotest.test_case "map_reduce index order" `Quick test_map_reduce_order;
+          Alcotest.test_case "exceptions propagate" `Quick test_exception_propagates;
+          Alcotest.test_case "nested calls degrade" `Quick test_nested_calls_run;
+          Alcotest.test_case "with_pool width" `Quick test_with_pool_width ] );
+      ( "determinism",
+        [ Alcotest.test_case "run_shots jobs 1/2/3/4" `Quick test_shots_jobs_invariant;
+          Alcotest.test_case "noiseless fast path" `Quick test_shots_jobs_invariant_noiseless;
+          Alcotest.test_case "runs_statistics" `Quick test_runs_statistics_jobs_invariant;
+          Alcotest.test_case "telemetry totals" `Quick test_obs_totals_under_jobs ] );
+      ( "fusion",
+        [ fusion_equiv;
+          Alcotest.test_case "rz/swap/mcz circuit" `Quick test_fusion_rz_swap;
+          Alcotest.test_case "exact basis preserved" `Quick test_fusion_preserves_exact_basis ] );
+      ( "sampling",
+        [ Alcotest.test_case "binary search = linear scan" `Quick test_sampler_matches_sample;
+          Alcotest.test_case "sparse counts api" `Quick test_sparse_counts_api;
+          Alcotest.test_case "sparse run_shots at 21q" `Quick test_sparse_run_shots ] );
+      ( "integration",
+        [ Alcotest.test_case "run_on telemetry" `Quick test_run_on_telemetry;
+          Alcotest.test_case "shell jobs command" `Quick test_shell_jobs_command;
+          Alcotest.test_case "backend noisy:jobs" `Quick test_backend_jobs_spec ] ) ]

@@ -1,0 +1,91 @@
+(* Compare two BENCH_pr*.json reports and print per-case speedups.
+
+   Usage:
+     bench_diff [old.json new.json]
+
+   With no arguments the tool looks for BENCH_pr2.json and BENCH_pr3.json,
+   searching upward from the current directory (so it works both from the
+   repo root and from dune's build directories). It is a report step, not
+   a gate: missing files or unparsable input print a note and exit 0, so
+   wiring it after `dune runtest` can never fail the build. *)
+
+let find_up name =
+  let rec search dir =
+    let candidate = Filename.concat dir name in
+    if Sys.file_exists candidate then Some candidate
+    else
+      let parent = Filename.dirname dir in
+      if parent = dir then None else search parent
+  in
+  search (Sys.getcwd ())
+
+let read_json path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  Obs.Json.parse s
+
+let field name = function
+  | Obs.Json.Obj kvs -> List.assoc_opt name kvs
+  | _ -> None
+
+(* [(name, ns_per_run)] rows of one report's "benchmarks" array. *)
+let benchmarks json =
+  match field "benchmarks" json with
+  | Some (Obs.Json.Arr items) ->
+      List.filter_map
+        (fun item ->
+          match (field "name" item, field "ns_per_run" item) with
+          | Some (Obs.Json.String name), Some (Obs.Json.Num ns) -> Some (name, ns)
+          | _ -> None)
+        items
+  | _ -> []
+
+let pr_label json =
+  match field "pr" json with
+  | Some (Obs.Json.Num f) -> Printf.sprintf "pr%.0f" f
+  | _ -> "?"
+
+let pretty_ns ns =
+  if ns > 1e9 then Printf.sprintf "%8.3f s " (ns /. 1e9)
+  else if ns > 1e6 then Printf.sprintf "%8.3f ms" (ns /. 1e6)
+  else if ns > 1e3 then Printf.sprintf "%8.3f us" (ns /. 1e3)
+  else Printf.sprintf "%8.1f ns" ns
+
+let () =
+  let old_path, new_path =
+    match Sys.argv with
+    | [| _; o; n |] -> (Some o, Some n)
+    | _ -> (find_up "BENCH_pr2.json", find_up "BENCH_pr3.json")
+  in
+  match (old_path, new_path) with
+  | None, _ | _, None ->
+      print_endline
+        "bench_diff: baseline or current BENCH json not found; run `dune exec \
+         bench/main.exe json` first (report skipped)"
+  | Some old_path, Some new_path -> (
+      match (read_json old_path, read_json new_path) with
+      | exception (Sys_error msg | Obs.Json.Parse_error msg) ->
+          Printf.printf "bench_diff: %s (report skipped)\n" msg
+      | old_json, new_json ->
+          let old_rows = benchmarks old_json and new_rows = benchmarks new_json in
+          Printf.printf "bench_diff: %s (%s) vs %s (%s)\n" old_path (pr_label old_json)
+            new_path (pr_label new_json);
+          Printf.printf "%-42s %12s %12s %9s\n" "benchmark" "old" "new" "speedup";
+          let seen = ref 0 in
+          List.iter
+            (fun (name, new_ns) ->
+              match List.assoc_opt name old_rows with
+              | Some old_ns when new_ns > 0. ->
+                  incr seen;
+                  Printf.printf "%-42s %12s %12s %8.2fx\n" name (pretty_ns old_ns)
+                    (pretty_ns new_ns) (old_ns /. new_ns)
+              | _ -> Printf.printf "%-42s %12s %12s %9s\n" name "-" (pretty_ns new_ns) "new")
+            new_rows;
+          List.iter
+            (fun (name, old_ns) ->
+              if not (List.mem_assoc name new_rows) then
+                Printf.printf "%-42s %12s %12s %9s\n" name (pretty_ns old_ns) "-" "dropped")
+            old_rows;
+          if !seen = 0 then print_endline "bench_diff: no common benchmarks to compare")
