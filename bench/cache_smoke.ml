@@ -1,0 +1,80 @@
+(* Compilation-cache smoke test, wired into the default test alias.
+
+   Runs the hidden-shift CLI three times on the same random MM instance:
+   once without the cache flags, then twice with a fresh temporary
+   --cache directory. Guards:
+
+   1. all three runs print byte-identical stdout — the cache (cold or
+      warm, in-memory or persistent) never changes compilation results;
+   2. the second cached run reports nonzero cache.npn.hit on stderr —
+      the persisted NPN store actually serves the warm run. *)
+
+let die fmt = Printf.ksprintf (fun m -> prerr_endline ("cache smoke: " ^ m); exit 1) fmt
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let run cli extra_args ~out ~err =
+  let argv = Array.of_list ((cli :: [ "random"; "-n"; "3"; "--seed"; "7" ]) @ extra_args) in
+  let out_fd = Unix.openfile out [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  let err_fd = Unix.openfile err [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  let pid = Unix.create_process cli argv Unix.stdin out_fd err_fd in
+  let _, status = Unix.waitpid [] pid in
+  Unix.close out_fd;
+  Unix.close err_fd;
+  match status with
+  | Unix.WEXITED 0 -> ()
+  | _ -> die "hidden_shift_cli %s exited abnormally" (String.concat " " extra_args)
+
+(* first integer following "npn.hit=" in the cache summary line *)
+let npn_hits stderr_text =
+  let marker = "npn.hit=" in
+  let rec find i =
+    if i + String.length marker > String.length stderr_text then None
+    else if String.sub stderr_text i (String.length marker) = marker then Some i
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> None
+  | Some i ->
+      let j = ref (i + String.length marker) in
+      let k = ref !j in
+      while
+        !k < String.length stderr_text
+        && stderr_text.[!k] >= '0'
+        && stderr_text.[!k] <= '9'
+      do
+        incr k
+      done;
+      int_of_string_opt (String.sub stderr_text !j (!k - !j))
+
+let () =
+  let cli =
+    match Array.to_list Sys.argv with
+    | [ _; cli ] -> cli
+    | _ -> die "usage: cache_smoke <hidden_shift_cli.exe>"
+  in
+  let dir = Filename.temp_file "dautoq_cache" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let tmp suffix = Filename.concat dir suffix in
+  run cli [] ~out:(tmp "plain.out") ~err:(tmp "plain.err");
+  run cli [ "--cache"; dir ] ~out:(tmp "cold.out") ~err:(tmp "cold.err");
+  run cli [ "--cache"; dir ] ~out:(tmp "warm.out") ~err:(tmp "warm.err");
+  let plain = read_file (tmp "plain.out") in
+  let cold = read_file (tmp "cold.out") in
+  let warm = read_file (tmp "warm.out") in
+  if plain <> cold then die "cold cached run changed the compiled output";
+  if plain <> warm then die "warm cached run changed the compiled output";
+  let warm_err = read_file (tmp "warm.err") in
+  (match npn_hits warm_err with
+  | None -> die "warm run printed no cache summary (stderr: %s)" warm_err
+  | Some 0 -> die "warm run reports zero cache.npn.hit — persistence not serving"
+  | Some n -> Printf.printf "cache smoke: OK (warm run: %d NPN hits)\n" n);
+  Array.iter
+    (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+    (Sys.readdir dir);
+  (try Unix.rmdir dir with Unix.Unix_error _ -> ())

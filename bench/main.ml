@@ -7,7 +7,7 @@
      dune exec bench/main.exe            -- tables + timings
      dune exec bench/main.exe quick      -- timings only
      dune exec bench/main.exe json       -- timings + telemetry counters
-                                            written to BENCH_pr3.json *)
+                                            written to BENCH_pr4.json *)
 
 open Bechamel
 open Bechamel.Toolkit
@@ -41,6 +41,20 @@ let sim_circuit n =
                   if (q + layer) mod 2 = 0 then Qc.Gate.Cnot (q, q + 1) else Qc.Gate.T q))))
 
 let sim14 = sim_circuit 14
+
+(* PR 4 fixture: a family of random Maiorana-McFarland bent functions on 6
+   variables — the repeated-oracle workload the NPN-indexed compilation
+   cache targets. [compile_family] runs each member through the full Eq. (5)
+   flow (ESOP synthesis, Clifford+T, T-par). *)
+let bent_family =
+  let st = Random.State.make [| 77 |] in
+  List.init 8 (fun _ ->
+      Core.Flow.Fn_spec [ Logic.Bent.mm_function (Logic.Bent.random_mm st 3) ])
+
+let compile_family () =
+  Core.Flow.compile_batch
+    ~options:{ Core.Flow.default with synth = Core.Flow.Esop }
+    ~jobs:1 bent_family
 
 (* T/S-layer-heavy 16-qubit workload: long runs of diagonal gates, the
    shape the fusion prepass targets (T-par output looks like this). *)
@@ -151,6 +165,14 @@ let tests =
       Test.make ~name:"sv_run_unfused_16q"
         (stage (fun () -> Qc.Statevector.run ~fuse:false diag16));
       Test.make ~name:"sv_run_fused_16q" (stage (fun () -> Qc.Statevector.run diag16));
+      (* PR 4: the compilation cache. Cold empties every store before each
+         sweep (so every member pays synthesis + lowering); warm reuses the
+         populated stores — the acceptance bar is warm >= 3x faster. *)
+      Test.make ~name:"cache_sweep_cold"
+        (stage (fun () ->
+             Cache.clear_memory ();
+             compile_family ()));
+      Test.make ~name:"cache_sweep_warm" (stage (fun () -> compile_family ()));
       (* substrate micro-benchmarks *)
       Test.make ~name:"sub_walsh_transform_n12"
         (let tt = Logic.Funcgen.majority 12 in
@@ -244,7 +266,7 @@ let write_bench_json path rows events =
   in
   let doc =
     Obj
-      [ ("pr", Num 3.); ("suite", String "dautoq");
+      [ ("pr", Num 4.); ("suite", String "dautoq");
         (* parallel speedups only show up with real cores behind the pool *)
         ("recommended_domains", Num (float_of_int (Par.recommended ())));
         ("benchmarks", Arr benchmarks);
@@ -269,4 +291,4 @@ let () =
   end;
   let rows = measure_benchmarks () in
   print_rows rows;
-  if json then write_bench_json "BENCH_pr3.json" rows (capture_telemetry ())
+  if json then write_bench_json "BENCH_pr4.json" rows (capture_telemetry ())

@@ -76,18 +76,25 @@ let run instance ~noisy ~shots ~runs ~draw ~qasm ~passes ~target =
 
 (* With --trace-out the whole run records into a memory sink; the file
    format is inferred from the extension (.jsonl event log, .json Chrome
-   trace loadable in Perfetto, anything else a human table). *)
-let run instance ~jobs ~noisy ~shots ~runs ~draw ~qasm ~passes ~target ~trace_out =
+   trace loadable in Perfetto, anything else a human table). With --cache
+   DIR the compilation cache persists into DIR and a hit/miss summary goes
+   to stderr; --no-cache disables memoization entirely. *)
+let run instance ~jobs ~cache_dir ~no_cache ~noisy ~shots ~runs ~draw ~qasm ~passes
+    ~target ~trace_out =
   Option.iter Par.set_default_jobs jobs;
+  if no_cache then Cache.set_enabled false;
+  if not no_cache then Option.iter (fun d -> Cache.set_dir (Some d)) cache_dir;
   let recorder = Option.map (fun _ -> Obs.Memory.create ()) trace_out in
   Option.iter (fun m -> Obs.set_sink (Some (Obs.Memory.sink m))) recorder;
   let finish () =
     Obs.set_sink None;
-    match (trace_out, recorder) with
+    (match (trace_out, recorder) with
     | Some file, Some m ->
         Obs.Export.write_file file (Obs.Memory.events m);
         Printf.eprintf "wrote %d telemetry events to %s\n" (Obs.Memory.length m) file
-    | _ -> ()
+    | _ -> ());
+    if cache_dir <> None && not no_cache then
+      Printf.eprintf "%s\n" (Cache.summary_string ())
   in
   match run instance ~noisy ~shots ~runs ~draw ~qasm ~passes ~target with
   | () -> finish ()
@@ -114,6 +121,25 @@ let jobs_arg =
            statevector kernels). Defaults to the machine's recommended domain \
            count. Results are bit-identical for any value."
         ~docv:"N")
+
+let cache_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cache" ]
+        ~doc:
+          "Persist the compilation cache (NPN-indexed synthesis results, \
+           Clifford+T lowering results) in $(docv); warm runs reuse them and a \
+           hit/miss summary is printed to stderr. Results are bit-identical \
+           with or without the cache."
+        ~docv:"DIR")
+
+let no_cache_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "no-cache" ]
+        ~doc:"Disable the in-memory compilation cache (identical results; only timing changes).")
 
 let passes_arg =
   Arg.(
@@ -142,15 +168,15 @@ let trace_out_arg =
 
 let ip_cmd =
   let n = Arg.(value & opt int 2 & info [ "n" ] ~doc:"Half the qubit count (f is on 2n qubits).") in
-  let go n s jobs noisy shots runs draw qasm passes target trace_out =
-    run (Core.Hidden_shift.Inner_product { n; s }) ~jobs ~noisy ~shots ~runs ~draw ~qasm
-      ~passes ~target ~trace_out
+  let go n s jobs cache_dir no_cache noisy shots runs draw qasm passes target trace_out =
+    run (Core.Hidden_shift.Inner_product { n; s }) ~jobs ~cache_dir ~no_cache ~noisy
+      ~shots ~runs ~draw ~qasm ~passes ~target ~trace_out
   in
   Cmd.v
     (Cmd.info "ip" ~doc:"Inner-product instance (the paper's Fig. 4).")
     Term.(
-      const go $ n $ shift_arg $ jobs_arg $ noisy $ shots $ runs $ draw $ qasm
-      $ passes_arg $ target_arg $ trace_out_arg)
+      const go $ n $ shift_arg $ jobs_arg $ cache_dir_arg $ no_cache_arg $ noisy $ shots
+      $ runs $ draw $ qasm $ passes_arg $ target_arg $ trace_out_arg)
 
 let mm_cmd =
   let pi =
@@ -160,31 +186,34 @@ let mm_cmd =
       & info [ "pi" ] ~doc:"Permutation as comma-separated points, e.g. 0,2,3,5,7,1,4,6.")
   in
   let synth = Arg.(value & opt synth_conv Pq.Oracles.Tbs & info [ "synth" ] ~doc:"tbs | tbs-basic | dbs.") in
-  let go pi s synth jobs noisy shots runs draw qasm passes target trace_out =
+  let go pi s synth jobs cache_dir no_cache noisy shots runs draw qasm passes target
+      trace_out =
     let mm = Logic.Bent.mm pi in
-    run (Core.Hidden_shift.Mm { mm; s; synth }) ~jobs ~noisy ~shots ~runs ~draw ~qasm
-      ~passes ~target ~trace_out
+    run (Core.Hidden_shift.Mm { mm; s; synth }) ~jobs ~cache_dir ~no_cache ~noisy ~shots
+      ~runs ~draw ~qasm ~passes ~target ~trace_out
   in
   Cmd.v
     (Cmd.info "mm" ~doc:"Maiorana-McFarland instance (the paper's Fig. 7).")
     Term.(
-      const go $ pi $ shift_arg $ synth $ jobs_arg $ noisy $ shots $ runs $ draw $ qasm
-      $ passes_arg $ target_arg $ trace_out_arg)
+      const go $ pi $ shift_arg $ synth $ jobs_arg $ cache_dir_arg $ no_cache_arg $ noisy
+      $ shots $ runs $ draw $ qasm $ passes_arg $ target_arg $ trace_out_arg)
 
 let random_cmd =
   let n = Arg.(value & opt int 2 & info [ "n" ] ~doc:"Half register size (2n qubits).") in
   let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"PRNG seed.") in
-  let go n seed jobs noisy shots runs draw qasm passes target trace_out =
+  let go n seed jobs cache_dir no_cache noisy shots runs draw qasm passes target
+      trace_out =
     let st = Random.State.make [| seed |] in
     let inst = Core.Hidden_shift.random_mm_instance st n in
     Printf.printf "random MM instance, planted shift %d\n" (Core.Hidden_shift.shift inst);
-    run inst ~jobs ~noisy ~shots ~runs ~draw ~qasm ~passes ~target ~trace_out
+    run inst ~jobs ~cache_dir ~no_cache ~noisy ~shots ~runs ~draw ~qasm ~passes ~target
+      ~trace_out
   in
   Cmd.v
     (Cmd.info "random" ~doc:"Random Maiorana-McFarland instance.")
     Term.(
-      const go $ n $ seed $ jobs_arg $ noisy $ shots $ runs $ draw $ qasm $ passes_arg
-      $ target_arg $ trace_out_arg)
+      const go $ n $ seed $ jobs_arg $ cache_dir_arg $ no_cache_arg $ noisy $ shots
+      $ runs $ draw $ qasm $ passes_arg $ target_arg $ trace_out_arg)
 
 let () =
   let doc = "Boolean hidden shift on the automatic quantum compilation flow." in

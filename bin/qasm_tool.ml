@@ -65,10 +65,30 @@ let extract_jobs argv =
   in
   scan [] argv
 
+(* [--cache DIR] persists the compilation cache (pass results reused by the
+   passes subcommand) in DIR and reports hits/misses on stderr at exit;
+   [--no-cache] disables the in-memory cache. *)
+let extract_cache argv =
+  let rec scan dir off acc = function
+    | "--cache" :: d :: rest -> scan (Some d) off acc rest
+    | "--no-cache" :: rest -> scan dir true acc rest
+    | a :: rest -> scan dir off (a :: acc) rest
+    | [] -> (dir, off, List.rev acc)
+  in
+  scan None false [] argv
+
 let () =
   let trace_out, argv = extract_trace_out (Array.to_list Sys.argv) in
   let jobs, argv = extract_jobs argv in
+  let cache_dir, no_cache, argv = extract_cache argv in
   Option.iter Par.set_default_jobs jobs;
+  if no_cache then Cache.set_enabled false
+  else
+    Option.iter
+      (fun d ->
+        Cache.set_dir (Some d);
+        at_exit (fun () -> Printf.eprintf "%s\n" (Cache.summary_string ())))
+      cache_dir;
   (match trace_out with
   | None -> ()
   | Some file ->
@@ -141,5 +161,6 @@ let () =
         "usage: qasm_tool {stats|draw|sim|stabsim|route|tpar|qsharp} <file.qasm|->\n\
         \       qasm_tool passes <spec> <file.qasm|->\n\
         \       qasm_tool run <target> <file.qasm|->\n\
-        \       (any form also accepts --trace-out <file> and --jobs <n>)";
+        \       (any form also accepts --trace-out <file>, --jobs <n>,\n\
+        \        --cache <dir> and --no-cache)";
       exit 2

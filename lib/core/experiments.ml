@@ -374,9 +374,54 @@ let e13 () =
   buf_printf buf "registered passes: %s\n" (String.concat ", " (Pass.names ()));
   Buffer.contents buf
 
+(* ------------------------------------------------------------------ *)
+(* E14 — extension: the compilation cache on an oracle-family sweep.   *)
+(* ------------------------------------------------------------------ *)
+
+let e14 () =
+  let buf = Buffer.create 512 in
+  buf_printf buf
+    "E14 (extension): NPN-indexed compilation cache, bent-function family sweep\n";
+  let st = Random.State.make [| 14 |] in
+  let specs =
+    List.init 12 (fun _ -> Flow.Fn_spec [ Bent.mm_function (Bent.random_mm st 3) ])
+  in
+  let wall f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let compile () =
+    Flow.compile_batch ~options:{ Flow.default with synth = Flow.Esop } ~jobs:1 specs
+  in
+  let counters () =
+    String.concat " "
+      (List.map
+         (fun (g, (h, m)) -> Printf.sprintf "%s %d/%d" g h m)
+         (Cache.counters ()))
+  in
+  Cache.clear_memory ();
+  let cold_res, cold = wall compile in
+  buf_printf buf "cold sweep (12 members): %.2fms  hits/misses: %s\n" (cold *. 1000.)
+    (counters ());
+  Cache.reset_stats ();
+  let warm_res, warm = wall compile in
+  buf_printf buf "warm sweep (12 members): %.2fms  hits/misses: %s\n" (warm *. 1000.)
+    (counters ());
+  buf_printf buf "speedup: %.1fx\n" (cold /. Float.max warm 1e-9);
+  let identical =
+    List.for_all2
+      (fun (a, _) (b, _) ->
+        Qc.Circuit.structural_key a = Qc.Circuit.structural_key b)
+      cold_res warm_res
+  in
+  buf_printf buf "cold and warm circuits bit-identical: %s\n"
+    (if identical then "yes" else "NO — cache replay bug");
+  Buffer.contents buf
+
 (** [all ()] runs every experiment in order; the output of this function is
     what EXPERIMENTS.md records. *)
 let all () =
   String.concat "\n"
     [ e1 (); e2 (); e3 (); e4 (); e5 (); e6 (); e7 (); e8 (); e9 (); e10 (); e11 ();
-      e12 (); e13 () ]
+      e12 (); e13 (); e14 () ]

@@ -108,13 +108,16 @@ let finish_pipeline pipeline rc =
 
 let finish options rc = finish_pipeline (pipeline_of_options options) rc
 
+(* Permutation synthesis goes through the per-method cache: a repeated
+   permutation (the same oracle compiled again, or shared across a batch)
+   costs one lookup instead of a fresh synthesis run. *)
 let synthesize_perm options p =
   match options.synth with
-  | Tbs -> Rev.Tbs.synth p
-  | Tbs_basic -> Rev.Tbs.basic p
-  | Dbs -> Rev.Dbs.synth p
-  | Cycle -> Rev.Cycle_synth.synth p
-  | Exact -> Rev.Exact_synth.synth p
+  | Tbs -> Rev.Synth_cache.perm ~name:"tbs" Rev.Tbs.synth p
+  | Tbs_basic -> Rev.Synth_cache.perm ~name:"tbs-basic" Rev.Tbs.basic p
+  | Dbs -> Rev.Synth_cache.perm ~name:"dbs" Rev.Dbs.synth p
+  | Cycle -> Rev.Synth_cache.perm ~name:"cycle" Rev.Cycle_synth.synth p
+  | Exact -> Rev.Synth_cache.perm ~name:"exact" Rev.Exact_synth.synth p
   | Esop | Hier _ | Bdd_hier | Lut _ ->
       invalid_arg "Flow.compile_perm: pick a reversible method (Tbs/Dbs/Cycle/Exact)"
 
@@ -139,22 +142,15 @@ let compile_function ?(options = { default with synth = Esop }) ?pipeline fs =
   Obs.with_span "core.flow.compile_function" @@ fun () ->
   let rc =
     match options.synth with
-    | Esop -> Rev.Esop_synth.synth fs
+    | Esop -> Rev.Synth_cache.esop fs
     | Hier batch -> fst (Rev.Hier_synth.synth_tables ?batch fs)
     | Bdd_hier -> fst (Rev.Bdd_synth.synth fs)
     | Lut k -> fst (Rev.Lut_synth.synth_tables ~k fs)
     | Tbs | Tbs_basic | Dbs | Cycle | Exact ->
-        (* explicit embedding first (Eq. (2)), then reversible synthesis *)
+        (* explicit embedding first (Eq. (2)), then reversible synthesis
+           (through the same per-method cache as compile_perm) *)
         let e = Rev.Embed.embed fs in
-        let synth =
-          match options.synth with
-          | Tbs -> Rev.Tbs.synth
-          | Tbs_basic -> Rev.Tbs.basic
-          | Cycle -> Rev.Cycle_synth.synth
-          | Exact -> Rev.Exact_synth.synth
-          | _ -> Rev.Dbs.synth
-        in
-        synth e.Rev.Embed.perm
+        synthesize_perm options e.Rev.Embed.perm
   in
   let pipeline =
     match pipeline with Some pl -> pl | None -> pipeline_of_options options
@@ -165,6 +161,37 @@ let compile_function ?(options = { default with synth = Esop }) ?pipeline fs =
     output). *)
 let compile_expr ?options ?n e =
   compile_function ?options [ Logic.Bexpr.to_truth_table ?n e ]
+
+(** One job of a {!compile_batch}: a reversible specification or an
+    irreversible multi-output one. *)
+type spec = Perm_spec of Perm.t | Fn_spec of Truth_table.t list
+
+(** [compile_batch ?options ?pipeline ?jobs specs] compiles independent
+    oracles, fanning the jobs out over the {!Par} domain pool (width
+    [jobs], default {!Par.default_jobs}). The shared compilation cache is
+    mutex-guarded and only memoizes pure synthesis results, and results
+    come back in input order, so the output is bit-identical for any
+    [jobs] value. When a telemetry sink is attached the batch degrades to
+    sequential execution (the Obs recorder is not domain-safe) — same
+    results, richer trace. *)
+let compile_batch ?options ?pipeline ?jobs specs =
+  Obs.with_span "core.flow.compile_batch" @@ fun () ->
+  let compile_one = function
+    | Perm_spec p -> compile_perm ?options ?pipeline p
+    | Fn_spec fs -> compile_function ?options ?pipeline fs
+  in
+  let jobs = match jobs with Some j -> max 1 j | None -> Par.default_jobs () in
+  let n = List.length specs in
+  if jobs = 1 || n <= 1 || Obs.enabled () then List.map compile_one specs
+  else begin
+    let arr = Array.of_list specs in
+    Par.with_pool ~jobs (fun pool ->
+        List.rev
+          (Par.map_reduce pool ~tasks:n
+             ~map:(fun i -> compile_one arr.(i))
+             ~reduce:(fun acc r -> r :: acc)
+             ~init:[]))
+  end
 
 (** [execute backend circuit] hands a compiled circuit to any unified
     execution target — simulation, noisy sampling, or export. *)

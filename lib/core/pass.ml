@@ -280,12 +280,7 @@ let observe_entry (e : entry) =
     Obs.count "core.pass.executed"
   end
 
-(** [run pipeline rc] executes every pass in order, recording one trace
-    entry per pass. Each pass also opens a [core.pass.<name>] telemetry
-    span (the whole pipeline is a [core.pipeline.run] span), so the
-    existing trace entries and the cross-layer event stream tell one
-    story. *)
-let run pipeline rc0 =
+let run_uncached pipeline rc0 =
   Obs.with_span "core.pipeline.run" @@ fun () ->
   let entries = ref [] in
   let record e =
@@ -338,9 +333,28 @@ let run pipeline rc0 =
   in
   { rev = rc; circuit = c; ancillae; trace = List.rev !entries }
 
-(** [run_qc passes c] executes a quantum-layer pass list on an
-    already-lowered circuit, with the same instrumentation. *)
-let run_qc passes c0 =
+(* Second-level ("lowering") cache: the full instrumented result of a
+   pipeline is memoized by (spec string, structural key of the input
+   cascade), so repeated compilations of identical cascades — common when
+   NPN replay maps a whole oracle family onto few distinct circuits —
+   skip Clifford+T lowering and T-par entirely. Deterministic passes make
+   the cached result indistinguishable from a fresh run; a hit re-serves
+   the recorded trace (the per-pass timings of the original run). *)
+let result_store : (string, result) Cache.store =
+  Cache.create ~name:"pass.result" ~schema:"pass-result.v1" ~group:"lower"
+    ~key_of:Fun.id
+
+(** [run pipeline rc] executes every pass in order, recording one trace
+    entry per pass. Each pass also opens a [core.pass.<name>] telemetry
+    span (the whole pipeline is a [core.pipeline.run] span), so the
+    existing trace entries and the cross-layer event stream tell one
+    story. Results are memoized by (spec, input cascade) — see
+    {!Cache}. *)
+let run pipeline rc0 =
+  let key = to_spec pipeline ^ "@" ^ Rev.Rcircuit.structural_key rc0 in
+  Cache.find_or_add result_store key (fun () -> run_uncached pipeline rc0)
+
+let run_qc_uncached passes c0 =
   Obs.with_span "core.pipeline.run_qc" @@ fun () ->
   let entries = ref [] in
   let c =
@@ -363,6 +377,18 @@ let run_qc passes c0 =
       c0 passes
   in
   (c, List.rev !entries)
+
+let qc_result_store : (string, Qc.Circuit.t * trace) Cache.store =
+  Cache.create ~name:"pass.qc_result" ~schema:"pass-qc.v1" ~group:"lower"
+    ~key_of:Fun.id
+
+(** [run_qc passes c] executes a quantum-layer pass list on an
+    already-lowered circuit, with the same instrumentation (and the same
+    result memoization as {!run}). *)
+let run_qc passes c0 =
+  let names = String.concat ";" (List.map (fun p -> p.name) passes) in
+  let key = names ^ "@" ^ Qc.Circuit.structural_key c0 in
+  Cache.find_or_add qc_result_store key (fun () -> run_qc_uncached passes c0)
 
 (* ------------------------------------------------------------------ *)
 (* Trace rendering                                                     *)

@@ -287,6 +287,43 @@ let exec_cmd st words =
               Par.set_default_jobs n;
               say st "jobs set to %d" (Par.default_jobs ());
               st)
+      | "cache" -> (
+          (* the compilation cache: [cache] / [cache stats] reports per
+             store, [cache clear] empties it, [cache on|off] toggles
+             memoization, [cache dir <path>] attaches persistence *)
+          match arg 0 with
+          | None | Some "stats" ->
+              say st "cache: %s%s" (if Cache.enabled () then "on" else "off")
+                (match Cache.dir () with
+                | Some d -> Printf.sprintf ", dir %s" d
+                | None -> ", in-memory only");
+              List.iter
+                (fun (r : Cache.stats_row) ->
+                  say st "  %-16s hits %5d  misses %5d  entries %5d" r.Cache.store
+                    r.Cache.hits r.Cache.misses r.Cache.entries)
+                (Cache.stats ());
+              say st "  persisted: %dB" (Cache.bytes_persisted ());
+              st
+          | Some "clear" ->
+              Cache.clear ();
+              say st "cache cleared";
+              st
+          | Some "on" ->
+              Cache.set_enabled true;
+              say st "cache on";
+              st
+          | Some "off" ->
+              Cache.set_enabled false;
+              say st "cache off";
+              st
+          | Some "dir" -> (
+              match arg 1 with
+              | Some d ->
+                  Cache.set_dir (Some d);
+                  say st "cache dir %s" d;
+                  st
+              | None -> failf "cache dir: missing path")
+          | Some other -> failf "cache: unknown subcommand %s" other)
       | "ps" ->
           (match st.rev with
           | Some c -> say st "reversible: %s" (Fmt.str "%a" Rev.Rcircuit.pp_stats (Rev.Rcircuit.stats c))
@@ -339,6 +376,7 @@ let exec_cmd st words =
             \  tbs [-b] | dbs | cycle | exact | esop | hier [batch] | bdd | lut [k] | embed | revsimp | resynth |\n\
             \  cliffordt [--no-rccx] | tpar | peephole | route |\n\
             \  pipeline <p1,p2,…> | passes | trace | trace export <file> | stats | run <target> | backends | jobs [n] |\n\
+            \  cache [stats|clear|on|off|dir <path>] |\n\
             \  ps | print_rev | draw | write_qasm [file] | qsharp [name] |\n\
             \  simulate <x> | stabsim | verify | help";
           st

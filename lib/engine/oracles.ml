@@ -10,17 +10,17 @@
       option) and splice the resulting MCT network in as quantum gates. *)
 
 module Cube = Logic.Cube
-module Esop_opt = Logic.Esop_opt
 module Truth_table = Logic.Truth_table
 module Perm = Logic.Perm
 
 (** Synthesis back ends for {!permutation_oracle}. *)
 type synth = Tbs | Tbs_basic | Dbs
 
+(* each method cached separately — the cascades differ per algorithm *)
 let synthesize = function
-  | Tbs -> Rev.Tbs.synth
-  | Tbs_basic -> Rev.Tbs.basic
-  | Dbs -> Rev.Dbs.synth
+  | Tbs -> Rev.Synth_cache.perm ~name:"tbs" Rev.Tbs.synth
+  | Tbs_basic -> Rev.Synth_cache.perm ~name:"tbs-basic" Rev.Tbs.basic
+  | Dbs -> Rev.Synth_cache.perm ~name:"dbs" Rev.Dbs.synth
 
 (* One ESOP cube as a phase gadget on the given register. *)
 let cube_phase eng (qs : Engine.qubit array) cube =
@@ -42,7 +42,9 @@ let cube_phase eng (qs : Engine.qubit array) cube =
 let phase_oracle_tt eng tt (qs : Engine.qubit array) =
   if Truth_table.num_vars tt <> Array.length qs then
     invalid_arg "Oracles.phase_oracle: register size mismatch";
-  let esop = Esop_opt.minimize tt in
+  (* NPN-indexed cover cache: repeated oracle families (e.g. every member
+     of a bent-function family sweep) share one minimization per class *)
+  let esop = Cache.Cover.minimize tt in
   List.iter (cube_phase eng qs) esop
 
 (** [phase_oracle eng expr qs] is {!phase_oracle_tt} on a Boolean

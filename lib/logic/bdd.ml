@@ -31,6 +31,16 @@ let create num_vars =
   { nodes; next = 2; unique = Hashtbl.create 1024; and_memo = Hashtbl.create 1024;
     xor_memo = Hashtbl.create 1024; or_memo = Hashtbl.create 1024; num_vars }
 
+(** [clear_caches m] drops the [apply] memo tables ([and]/[or]/[xor]).
+    They are pure accelerators — the unique table (node identity) is
+    untouched, so every node id stays valid — but they grow without bound
+    across calls; long-lived managers (shell sessions, repeated pipeline
+    runs) should clear them between runs. *)
+let clear_caches m =
+  Hashtbl.reset m.and_memo;
+  Hashtbl.reset m.xor_memo;
+  Hashtbl.reset m.or_memo
+
 let node m id = m.nodes.(id)
 
 let is_terminal id = id < 2

@@ -5,7 +5,8 @@
     standard equivalence under which logic-synthesis caches (including
     reversible-synthesis result caches) are indexed. This module computes
     the exhaustive canonical representative, practical up to 5–6
-    variables. *)
+    variables; {!Cache} uses it as the index of the synthesis-result
+    store, replaying the returned transform on every hit. *)
 
 type transform = {
   perm : int array; (* input j of the transformed function reads input perm.(j) *)
@@ -15,17 +16,30 @@ type transform = {
 
 let identity n = { perm = Array.init n Fun.id; input_neg = 0; output_neg = false }
 
+(* The permutation-only part of [apply]: g(x) = f(y) with
+   y.(perm.(j)) = x.(j). One tabulation pass; the negation parts are
+   word-level operations layered on top. *)
+let apply_perm perm f =
+  let n = Truth_table.num_vars f in
+  if Array.for_all2 (fun p j -> p = j) perm (Array.init n Fun.id) then f
+  else
+    Truth_table.of_fun n (fun x ->
+        let y = ref 0 in
+        for j = 0 to n - 1 do
+          if Bitops.bit x j then y := !y lor (1 lsl perm.(j))
+        done;
+        Truth_table.get f !y)
+
 (** [apply t f] is the transformed function
-    [g(x) = f(y) ⊕ output_neg] with [y.(perm.(j)) = x.(j) ⊕ neg.(j)]. *)
+    [g(x) = f(y) ⊕ output_neg] with [y.(perm.(j)) = x.(j) ⊕ neg.(j)].
+    The permutation is one tabulation pass; input and output negation are
+    word-level {!Truth_table} operations ([flip_inputs], [not_]), so the
+    cost is linear in the table size rather than quadratic. *)
 let apply t f =
   let n = Truth_table.num_vars f in
   if Array.length t.perm <> n then invalid_arg "Npn.apply: arity mismatch";
-  Truth_table.of_fun n (fun x ->
-      let y = ref 0 in
-      for j = 0 to n - 1 do
-        if Bitops.bit x j <> Bitops.bit t.input_neg j then y := !y lor (1 lsl t.perm.(j))
-      done;
-      Truth_table.get f !y <> t.output_neg)
+  let g = Truth_table.flip_inputs (apply_perm t.perm f) t.input_neg in
+  if t.output_neg then Truth_table.not_ g else g
 
 let rec permutations = function
   | [] -> [ [] ]
@@ -47,16 +61,36 @@ let all_transforms n =
 
 (** [canonical f] is the lexicographically-smallest truth table in [f]'s
     NPN class, together with a transform producing it from [f].
-    Exhaustive: [n! · 2^(n+1)] candidates; intended for [n <= 6]. *)
+    Exhaustive ([n! · 2^(n+1)] candidates, [n <= 6]) but cheap per
+    candidate: each permutation is tabulated once, the [2^n] negation
+    masks are then visited in Gray-code order (one word-level
+    {!Truth_table.flip_input} per step), and each candidate plus its
+    complement is ranked with the word-level {!Truth_table.compare}. *)
 let canonical f =
   let n = Truth_table.num_vars f in
   if n > 6 then invalid_arg "Npn.canonical: exhaustive canonization supports n <= 6";
-  List.fold_left
-    (fun (best, best_t) t ->
-      let candidate = apply t f in
-      if Truth_table.to_string candidate < Truth_table.to_string best then (candidate, t)
-      else (best, best_t))
-    (f, identity n) (all_transforms n)
+  let best = ref f and best_t = ref (identity n) in
+  let consider candidate t =
+    if Truth_table.compare candidate !best < 0 then begin
+      best := candidate;
+      best_t := t
+    end
+  in
+  List.iter
+    (fun perm_l ->
+      let perm = Array.of_list perm_l in
+      (* walk the negation masks in Gray order: one input flip per step *)
+      let cur = ref (apply_perm perm f) in
+      for i = 0 to (1 lsl n) - 1 do
+        if i > 0 then
+          (* gray i and gray (i-1) differ exactly at the lowest set bit of i *)
+          cur := Truth_table.flip_input !cur (Bitops.trailing_zeros i);
+        let mask = Bitops.gray i in
+        consider !cur { perm; input_neg = mask; output_neg = false };
+        consider (Truth_table.not_ !cur) { perm; input_neg = mask; output_neg = true }
+      done)
+    (permutations (List.init n Fun.id));
+  (!best, !best_t)
 
 (** [equivalent a b] holds when the functions share an NPN class. *)
 let equivalent a b =

@@ -111,9 +111,72 @@ let cofactor t i b =
     differ. *)
 let depends_on t i = not (equal (cofactor t i false) (cofactor t i true))
 
+(* Butterfly constants: [swap_masks.(j)] selects the bit positions [p]
+   of a word with [p land (1 lsl j) = 0] — the low halves of the
+   [2^(j+1)]-blocks swapped by {!flip_input}. *)
+let swap_masks =
+  [| 0x5555555555555555L; 0x3333333333333333L; 0x0F0F0F0F0F0F0F0FL;
+     0x00FF00FF00FF00FFL; 0x0000FFFF0000FFFFL; 0x00000000FFFFFFFFL |]
+
+(** [flip_input t j] is the table of [fun x -> t (x lxor (1 lsl j))] —
+    input [j] complemented. Word-level: a butterfly swap inside each word
+    for [j < 6], whole-word swaps above; [O(2^n / 64)] instead of the
+    [O(2^n)] bit loop of {!of_fun}. *)
+let flip_input t j =
+  if j < 0 || j >= t.n then invalid_arg "Truth_table.flip_input";
+  if j < 6 then begin
+    let s = 1 lsl j and m = swap_masks.(j) in
+    let words =
+      Array.map
+        (fun w ->
+          Int64.logor
+            (Int64.logand (Int64.shift_right_logical w s) m)
+            (Int64.shift_left (Int64.logand w m) s))
+        t.words
+    in
+    { n = t.n; words }
+  end
+  else begin
+    let words = Array.copy t.words in
+    let d = 1 lsl (j - 6) in
+    let nw = Array.length words in
+    for w = 0 to nw - 1 do
+      if w land d = 0 then begin
+        let tmp = words.(w) in
+        words.(w) <- words.(w lor d);
+        words.(w lor d) <- tmp
+      end
+    done;
+    { n = t.n; words }
+  end
+
+(** [flip_inputs t mask] complements every input on a set bit of [mask]. *)
+let flip_inputs t mask =
+  let r = ref t in
+  for j = 0 to t.n - 1 do
+    if Bitops.bit mask j then r := flip_input !r j
+  done;
+  !r
+
+(** [compare a b] orders equal-arity tables exactly like
+    [String.compare (to_string a) (to_string b)] — the highest differing
+    assignment decides — but word-at-a-time. This is the comparison NPN
+    canonization sorts candidates with. *)
+let compare a b =
+  if a.n <> b.n then Stdlib.compare a.n b.n
+  else begin
+    let rec go i =
+      if i < 0 then 0
+      else
+        let c = Int64.unsigned_compare a.words.(i) b.words.(i) in
+        if c <> 0 then c else go (i - 1)
+    in
+    go (Array.length a.words - 1)
+  end
+
 (** [shift_inputs t s] is the table of [fun x -> t (x lxor s)] — the paper's
     shifted function [g(x) = f(x + s)]. *)
-let shift_inputs t s = of_fun t.n (fun x -> get t (x lxor s))
+let shift_inputs t s = flip_inputs t (s land Bitops.mask t.n)
 
 (** [permute_inputs t pi] is the table of [fun x -> t (pi x)] where [pi] is
     given pointwise as an array over assignments. *)

@@ -105,6 +105,33 @@ let map_qubits ~n f c =
   in
   of_rev_gates n (List.map remap c.rev_gates)
 
+(** [structural_key c] is a compact string identifying [c] up to exact
+    structural equality (qubit count plus every gate in application
+    order; [Rz] angles rendered losslessly with [%h]) — the index used by
+    the pass-manager's circuit-level result cache. *)
+let structural_key c =
+  let buf = Buffer.create (16 + (8 * c.len)) in
+  Buffer.add_string buf (string_of_int c.n);
+  let q i = Buffer.add_string buf (string_of_int i) in
+  let qs l = List.iteri (fun i x -> if i > 0 then Buffer.add_char buf ','; q x) l in
+  let add (g : Gate.t) =
+    Buffer.add_char buf ';';
+    Buffer.add_string buf (Gate.name g);
+    Buffer.add_char buf ' ';
+    let open Gate in
+    match g with
+    | X a | Y a | Z a | H a | S a | Sdg a | T a | Tdg a -> q a
+    | Rz (angle, a) ->
+        Buffer.add_string buf (Printf.sprintf "%h@" angle);
+        q a
+    | Cnot (a, b) | Cz (a, b) | Swap (a, b) -> qs [ a; b ]
+    | Ccx (a, b, t) | Ccz (a, b, t) -> qs [ a; b; t ]
+    | Mcx (cs, t) -> qs (cs @ [ t ])
+    | Mcz l -> qs l
+  in
+  List.iter add (List.rev c.rev_gates);
+  Buffer.contents buf
+
 (** [t_count c] counts T and T† gates. *)
 let t_count c =
   List.fold_left (fun acc g -> if Gate.is_t g then acc + 1 else acc) 0 c.rev_gates

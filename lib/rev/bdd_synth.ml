@@ -44,6 +44,9 @@ let synth (fs : Truth_table.t list) =
       let m = List.length fs in
       let man = Bdd.create n in
       let roots = List.map (Bdd.of_truth_table man) fs in
+      (* the apply memos are only needed while the roots are built; drop
+         them before the (potentially large) gate-emission phase *)
+      Bdd.clear_caches man;
       (* union of the roots' cones in child-before-parent order *)
       let seen = Hashtbl.create 64 in
       let order = ref [] in

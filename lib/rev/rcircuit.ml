@@ -57,6 +57,24 @@ let widen c lines =
   if lines < c.lines then invalid_arg "Rcircuit.widen: shrinking";
   { c with lines }
 
+(** [structural_key c] is a compact string identifying [c] up to exact
+    structural equality (line count plus every gate's target and control
+    masks, in application order) — the index used by the pass-manager's
+    lowering cache. *)
+let structural_key c =
+  let buf = Buffer.create (16 + (12 * List.length c.gates)) in
+  Buffer.add_string buf (string_of_int c.lines);
+  List.iter
+    (fun (g : Mct.t) ->
+      Buffer.add_char buf ';';
+      Buffer.add_string buf (string_of_int g.Mct.target);
+      Buffer.add_char buf ',';
+      Buffer.add_string buf (string_of_int g.Mct.pos);
+      Buffer.add_char buf ',';
+      Buffer.add_string buf (string_of_int g.Mct.neg))
+    (List.rev c.gates);
+  Buffer.contents buf
+
 (** Gate-count statistics used by the [ps] shell command. *)
 type stats = {
   lines : int;

@@ -1,0 +1,107 @@
+(** Cached entry points into the reversible-synthesis layer.
+
+    These wrappers put {!Cache} in front of the synthesis routines:
+
+    - {!esop1} memoizes single-output ESOP synthesis by NPN class — the
+      cascade of the canonical representative is stored once and
+      {e replayed} (controls permuted/re-polarized, an X absorbed for
+      output negation) for every member of the class;
+    - {!esop} routes multi-output covers through the NPN-indexed cover
+      store;
+    - {!perm} memoizes permutation synthesis by (method, permutation).
+
+    Every wrapper is extensionally identical to its uncached counterpart
+    and — for the NPN paths — produces {e bit-identical} circuits whether
+    the cache is enabled or not, because canonization and replay always
+    run; only the representative's synthesis is memoized. *)
+
+module Truth_table = Logic.Truth_table
+module Npn = Logic.Npn
+module Bitops = Logic.Bitops
+
+(* ------------------------------------------------------------------ *)
+(* NPN-indexed cascade store (single-output ESOP synthesis)            *)
+(* ------------------------------------------------------------------ *)
+
+let cascade_store : (string, Rcircuit.t) Cache.store =
+  Cache.create ~name:"npn.cascade" ~schema:"rcircuit.v1" ~group:"npn"
+    ~key_of:Fun.id
+
+(* Rewrite one gate of the representative's cascade back to the requested
+   function: control on input [v] with polarity [pol] becomes a control on
+   [perm v] with polarity [pol ⊕ neg_v]; the target (the output line) is
+   untouched. *)
+let replay_gate (t : Npn.transform) n (g : Mct.t) =
+  let controls =
+    List.map
+      (fun (v, pol) -> (t.Npn.perm.(v), pol <> Bitops.bit t.Npn.input_neg v))
+      (Mct.controls n g)
+  in
+  Mct.of_controls controls g.Mct.target
+
+let is_x target (g : Mct.t) = g.Mct.target = target && g.Mct.pos = 0 && g.Mct.neg = 0
+
+let rec drop_x target = function
+  | [] -> []
+  | g :: rest -> if is_x target g then rest else g :: drop_x target rest
+
+(* Output negation XORs the constant 1 onto the target — one uncontrolled
+   NOT, cancelled against an existing one when the cascade carries it. *)
+let replay_cascade (t : Npn.transform) n cascade =
+  let gates = List.map (replay_gate t n) (Rcircuit.gates cascade) in
+  let gates =
+    if not t.Npn.output_neg then gates
+    else if List.exists (is_x n) gates then drop_x n gates
+    else gates @ [ Mct.not_ n ]
+  in
+  Rcircuit.of_gates (Rcircuit.num_lines cascade) gates
+
+(** [esop1 f] is extensionally {!Esop_synth.synth1}: an [(n+1)]-line
+    Bennett cascade computing [|x⟩|y⟩ ↦ |x⟩|y ⊕ f(x)⟩]. For [n <= 6] the
+    NPN-canonical representative is synthesized (at most once per class)
+    and the transform replayed; wider functions fall back to the
+    exact-key cover store. *)
+let esop1 f =
+  let n = Truth_table.num_vars f in
+  if n <= 6 then begin
+    let rep, t = Obs.with_span "cache.npn.lookup" (fun () -> Cache.canonical f) in
+    let cascade =
+      Cache.find_or_add cascade_store (Truth_table.to_string rep) (fun () ->
+          Esop_synth.synth1 rep)
+    in
+    Obs.with_span "cache.npn.replay" (fun () -> replay_cascade t n cascade)
+  end
+  else Esop_synth.of_esops ~n [ Cache.Cover.minimize f ]
+
+(** [esop fs] is extensionally {!Esop_synth.synth}, with every output's
+    cover minimized through the NPN-indexed cover store. *)
+let esop fs =
+  match fs with
+  | [] -> invalid_arg "Synth_cache.esop: no outputs"
+  | f0 :: rest ->
+      Obs.with_span "rev.esop.synth" @@ fun () ->
+      let n = Truth_table.num_vars f0 in
+      if List.exists (fun f -> Truth_table.num_vars f <> n) rest then
+        invalid_arg "Synth_cache.esop: arity mismatch";
+      if Obs.enabled () then
+        Obs.add_attrs [ ("vars", Obs.Int n); ("outputs", Obs.Int (List.length fs)) ];
+      Esop_synth.of_esops ~n (List.map Cache.Cover.minimize fs)
+
+(* ------------------------------------------------------------------ *)
+(* Permutation-synthesis store                                         *)
+(* ------------------------------------------------------------------ *)
+
+let perm_store : (string, Rcircuit.t) Cache.store =
+  Cache.create ~name:"perm" ~schema:"rcircuit.v1" ~group:"perm" ~key_of:Fun.id
+
+(** [perm ~name synth p] memoizes [synth p] under the key
+    [(name, p)] — [name] must identify the synthesis method (e.g.
+    ["tbs"], ["dbs"]), since different methods give different cascades
+    for the same permutation. *)
+let perm ~name synth (p : Logic.Perm.t) =
+  let key =
+    name ^ ":"
+    ^ String.concat ","
+        (List.map string_of_int (Array.to_list (Logic.Perm.to_array p)))
+  in
+  Cache.find_or_add perm_store key (fun () -> synth p)

@@ -124,6 +124,32 @@ let prop_hash_consistent =
     (Helpers.tt_gen 4)
     (fun t -> Truth_table.hash t = Truth_table.hash (Truth_table.copy t))
 
+(* the word-level flip must agree with the bit-by-bit definition
+   g(x) = f(x xor 2^j), both below and above the intra-word boundary *)
+let prop_flip_input_reference =
+  Helpers.prop "flip_input agrees with per-bit reference"
+    QCheck2.Gen.(pair (QCheck2.Gen.bind (int_range 3 8) Helpers.tt_gen) (int_bound 63))
+    (fun (t, j) ->
+      let n = Truth_table.num_vars t in
+      let j = j mod n in
+      let reference =
+        Truth_table.of_fun n (fun x -> Truth_table.get t (x lxor (1 lsl j)))
+      in
+      Truth_table.equal (Truth_table.flip_input t j) reference)
+
+let prop_flip_inputs_involution =
+  Helpers.prop "flip_inputs is an involution"
+    QCheck2.Gen.(pair (Helpers.tt_gen 7) (int_bound 127))
+    (fun (t, mask) ->
+      Truth_table.equal t (Truth_table.flip_inputs (Truth_table.flip_inputs t mask) mask))
+
+let prop_compare_matches_strings =
+  Helpers.prop "compare orders like to_string"
+    QCheck2.Gen.(pair (Helpers.tt_gen 7) (Helpers.tt_gen 7))
+    (fun (a, b) ->
+      Int.compare (Truth_table.compare a b) 0
+      = Int.compare (String.compare (Truth_table.to_string a) (Truth_table.to_string b)) 0)
+
 let () =
   Alcotest.run "truth_table"
     [ ( "truth_table",
@@ -142,4 +168,7 @@ let () =
           prop_double_shift;
           prop_demorgan;
           prop_shannon;
-          prop_hash_consistent ] ) ]
+          prop_hash_consistent;
+          prop_flip_input_reference;
+          prop_flip_inputs_involution;
+          prop_compare_matches_strings ] ) ]
