@@ -1,0 +1,77 @@
+(* Chaos smoke test for the resilient device layer, wired into the
+   default test alias.
+
+   Runs the hidden-shift CLI twice under a hostile fault profile (>=10%
+   submit failures, a breaker-tripping outage, shot loss) with the same
+   seed, recording telemetry. Guards:
+
+   1. both runs exit 0 and print byte-identical stdout — every injected
+      fault is deterministic in (profile seed, attempt), so a hostile run
+      replays bit-for-bit;
+   2. the recovered shift line is present — the executor salvaged the
+      job despite the faults;
+   3. the exported trace parses and shows nonzero device.retry and at
+      least one device.breaker.open — the retries and the breaker trip
+      are visible as Obs counters, not just survived silently. *)
+
+let die fmt = Printf.ksprintf (fun m -> prerr_endline ("chaos smoke: " ^ m); exit 1) fmt
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let run cli ~trace ~out ~err =
+  let argv =
+    Array.of_list
+      [ cli; "ip"; "-n"; "2"; "--shift"; "1"; "--shots"; "512";
+        "--faults"; "hostile,loss=0.6"; "--trace-out"; trace ]
+  in
+  let out_fd = Unix.openfile out [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  let err_fd = Unix.openfile err [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  let pid = Unix.create_process cli argv Unix.stdin out_fd err_fd in
+  let _, status = Unix.waitpid [] pid in
+  Unix.close out_fd;
+  Unix.close err_fd;
+  match status with
+  | Unix.WEXITED 0 -> ()
+  | _ -> die "hidden_shift_cli exited abnormally under --faults (stderr: %s)" (read_file err)
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+let () =
+  let cli =
+    match Array.to_list Sys.argv with
+    | [ _; cli ] -> cli
+    | _ -> die "usage: chaos_smoke <hidden_shift_cli.exe>"
+  in
+  let dir = Filename.temp_file "dautoq_chaos" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let tmp suffix = Filename.concat dir suffix in
+  run cli ~trace:(tmp "a.jsonl") ~out:(tmp "a.out") ~err:(tmp "a.err");
+  run cli ~trace:(tmp "b.jsonl") ~out:(tmp "b.out") ~err:(tmp "b.err");
+  let a = read_file (tmp "a.out") and b = read_file (tmp "b.out") in
+  if a <> b then die "hostile runs diverged — fault injection is not deterministic";
+  if not (contains ~sub:"Shift is 1" a) then
+    die "hostile run did not recover the planted shift (stdout: %s)" a;
+  let events = Obs.Export.parse_jsonl (read_file (tmp "a.jsonl")) in
+  let totals = Obs.Summary.counter_totals events in
+  let total name = Option.value ~default:0 (List.assoc_opt name totals) in
+  if total "device.retry" = 0 then
+    die "trace shows zero device.retry — the hostile profile injected nothing";
+  if total "device.breaker.open" = 0 then
+    die "trace shows no device.breaker.open — the outage never tripped the breaker";
+  if total "device.shots.lost" = 0 then
+    die "trace shows zero device.shots.lost — shot loss never surfaced";
+  Printf.printf
+    "chaos smoke: OK (%d retries, %d breaker trips, %d shots lost, identical replay)\n"
+    (total "device.retry") (total "device.breaker.open") (total "device.shots.lost");
+  Array.iter
+    (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+    (Sys.readdir dir);
+  (try Unix.rmdir dir with Unix.Unix_error _ -> ())

@@ -1,5 +1,5 @@
-(* Regenerate every paper artifact (E1-E13; see DESIGN.md).
-   Usage: experiments [e1|e2|...|e13|all] *)
+(* Regenerate every paper artifact (E1-E15; see DESIGN.md).
+   Usage: experiments [e1|e2|...|e15|all] *)
 
 let table = [
   ("e1", fun () -> Core.Experiments.e1 ());
@@ -15,6 +15,8 @@ let table = [
   ("e11", fun () -> Core.Experiments.e11 ());
   ("e12", fun () -> Core.Experiments.e12 ());
   ("e13", fun () -> Core.Experiments.e13 ());
+  ("e14", fun () -> Core.Experiments.e14 ());
+  ("e15", fun () -> Core.Experiments.e15 ());
 ]
 
 let () =
@@ -24,8 +26,8 @@ let () =
       match List.assoc_opt (String.lowercase_ascii name) table with
       | Some f -> print_string (f ())
       | None ->
-          Printf.eprintf "unknown experiment %s (e1..e13 or all)\n" name;
+          Printf.eprintf "unknown experiment %s (e1..e15 or all)\n" name;
           exit 2)
   | _ ->
-      prerr_endline "usage: experiments [e1..e13|all]";
+      prerr_endline "usage: experiments [e1..e15|all]";
       exit 2

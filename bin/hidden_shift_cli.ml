@@ -33,7 +33,8 @@ let pi_conv =
         with _ -> Error (`Msg "expected comma-separated permutation, e.g. 0,2,3,5,7,1,4,6")),
       fun ppf p -> Logic.Perm.pp ppf p )
 
-let run instance ~noisy ~shots ~runs ~draw ~qasm ~passes ~target =
+let run instance ~noisy ~shots ~runs ~draw ~qasm ~passes ~target ~faults
+    ~max_retries ~deadline =
   let circuit = Core.Hidden_shift.build instance in
   let circuit =
     match passes with
@@ -52,6 +53,29 @@ let run instance ~noisy ~shots ~runs ~draw ~qasm ~passes ~target =
     (Qc.Circuit.num_qubits circuit) (Qc.Circuit.num_gates circuit);
   if draw then print_string (Qc.Draw.to_string circuit);
   if qasm then print_string (Qc.Qasm.to_string circuit);
+  match faults with
+  | Some spec ->
+      (* resilient-device path: the fault profile wraps the execution
+         target (default a noisy backend with a statevector fallback) *)
+      let profile = Device.profile_of_spec spec in
+      let policy =
+        { Device.default_policy with
+          Device.max_retries; deadline = max 1 deadline }
+      in
+      let target_spec =
+        Option.value target ~default:(Printf.sprintf "noisy:shots=%d" shots)
+      in
+      let device = Device.of_spec ~policy ~profile target_spec in
+      let job = Device.submit ~shots device circuit in
+      print_endline (Qc.Backend.outcome_to_string (Device.outcome_of_job job));
+      print_endline (Device.job_summary job);
+      (match Device.modal job with
+      | Some x ->
+          let s = Core.Hidden_shift.shift instance in
+          Printf.printf "Shift is %d%s\n" x
+            (if x = s then "" else "  (MISMATCH!)")
+      | None -> print_endline "no shots delivered; no shift recovered")
+  | None ->
   (match target with
   | None -> ()
   | Some spec ->
@@ -80,7 +104,7 @@ let run instance ~noisy ~shots ~runs ~draw ~qasm ~passes ~target =
    DIR the compilation cache persists into DIR and a hit/miss summary goes
    to stderr; --no-cache disables memoization entirely. *)
 let run instance ~jobs ~cache_dir ~no_cache ~noisy ~shots ~runs ~draw ~qasm ~passes
-    ~target ~trace_out =
+    ~target ~trace_out ~faults ~max_retries ~deadline =
   Option.iter Par.set_default_jobs jobs;
   if no_cache then Cache.set_enabled false;
   if not no_cache then Option.iter (fun d -> Cache.set_dir (Some d)) cache_dir;
@@ -96,12 +120,19 @@ let run instance ~jobs ~cache_dir ~no_cache ~noisy ~shots ~runs ~draw ~qasm ~pas
     if cache_dir <> None && not no_cache then
       Printf.eprintf "%s\n" (Cache.summary_string ())
   in
-  match run instance ~noisy ~shots ~runs ~draw ~qasm ~passes ~target with
+  match
+    run instance ~noisy ~shots ~runs ~draw ~qasm ~passes ~target ~faults
+      ~max_retries ~deadline
+  with
   | () -> finish ()
-  | exception (Core.Pass.Spec_error msg | Qc.Backend.Unsupported msg) ->
+  | exception
+      ( Core.Pass.Spec_error msg
+      | Qc.Backend.Unsupported msg
+      | Device.Bad_profile msg ) ->
+      (* operational errors exit with a one-line message, never a backtrace *)
       finish ();
-      Printf.eprintf "error: %s\n" msg;
-      exit 1
+      Printf.eprintf "hidden-shift: %s\n" msg;
+      exit 2
 
 (* common flags *)
 let noisy = Arg.(value & flag & info [ "noisy" ] ~doc:"Run on the noisy (IBM-like) backend.")
@@ -166,17 +197,50 @@ let trace_out_arg =
            human-readable table."
         ~docv:"FILE")
 
+let faults_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "faults" ]
+        ~doc:
+          "Execute through the resilient device layer under the named fault \
+           profile: none | flaky | hostile, optionally refined with \
+           comma-separated key=value overrides (submit=, stuck=, loss=, \
+           corrupt=, drift=, seed=, outage=LEN\\@START|off). Injected faults \
+           are deterministic in (seed, attempt) and independent of --jobs."
+        ~docv:"PROFILE")
+
+let max_retries_arg =
+  Arg.(
+    value
+    & opt int Device.default_policy.Device.max_retries
+    & info [ "max-retries" ]
+        ~doc:"Retry budget per shot batch under --faults (capped exponential backoff)."
+        ~docv:"N")
+
+let deadline_arg =
+  Arg.(
+    value
+    & opt int Device.default_policy.Device.deadline
+    & info [ "deadline" ]
+        ~doc:
+          "Total attempt budget per submission under --faults; when exhausted \
+           the job degrades to whatever was salvaged instead of raising."
+        ~docv:"ATTEMPTS")
+
 let ip_cmd =
   let n = Arg.(value & opt int 2 & info [ "n" ] ~doc:"Half the qubit count (f is on 2n qubits).") in
-  let go n s jobs cache_dir no_cache noisy shots runs draw qasm passes target trace_out =
+  let go n s jobs cache_dir no_cache noisy shots runs draw qasm passes target trace_out
+      faults max_retries deadline =
     run (Core.Hidden_shift.Inner_product { n; s }) ~jobs ~cache_dir ~no_cache ~noisy
-      ~shots ~runs ~draw ~qasm ~passes ~target ~trace_out
+      ~shots ~runs ~draw ~qasm ~passes ~target ~trace_out ~faults ~max_retries ~deadline
   in
   Cmd.v
     (Cmd.info "ip" ~doc:"Inner-product instance (the paper's Fig. 4).")
     Term.(
       const go $ n $ shift_arg $ jobs_arg $ cache_dir_arg $ no_cache_arg $ noisy $ shots
-      $ runs $ draw $ qasm $ passes_arg $ target_arg $ trace_out_arg)
+      $ runs $ draw $ qasm $ passes_arg $ target_arg $ trace_out_arg $ faults_arg
+      $ max_retries_arg $ deadline_arg)
 
 let mm_cmd =
   let pi =
@@ -187,33 +251,35 @@ let mm_cmd =
   in
   let synth = Arg.(value & opt synth_conv Pq.Oracles.Tbs & info [ "synth" ] ~doc:"tbs | tbs-basic | dbs.") in
   let go pi s synth jobs cache_dir no_cache noisy shots runs draw qasm passes target
-      trace_out =
+      trace_out faults max_retries deadline =
     let mm = Logic.Bent.mm pi in
     run (Core.Hidden_shift.Mm { mm; s; synth }) ~jobs ~cache_dir ~no_cache ~noisy ~shots
-      ~runs ~draw ~qasm ~passes ~target ~trace_out
+      ~runs ~draw ~qasm ~passes ~target ~trace_out ~faults ~max_retries ~deadline
   in
   Cmd.v
     (Cmd.info "mm" ~doc:"Maiorana-McFarland instance (the paper's Fig. 7).")
     Term.(
       const go $ pi $ shift_arg $ synth $ jobs_arg $ cache_dir_arg $ no_cache_arg $ noisy
-      $ shots $ runs $ draw $ qasm $ passes_arg $ target_arg $ trace_out_arg)
+      $ shots $ runs $ draw $ qasm $ passes_arg $ target_arg $ trace_out_arg $ faults_arg
+      $ max_retries_arg $ deadline_arg)
 
 let random_cmd =
   let n = Arg.(value & opt int 2 & info [ "n" ] ~doc:"Half register size (2n qubits).") in
   let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"PRNG seed.") in
   let go n seed jobs cache_dir no_cache noisy shots runs draw qasm passes target
-      trace_out =
+      trace_out faults max_retries deadline =
     let st = Random.State.make [| seed |] in
     let inst = Core.Hidden_shift.random_mm_instance st n in
     Printf.printf "random MM instance, planted shift %d\n" (Core.Hidden_shift.shift inst);
     run inst ~jobs ~cache_dir ~no_cache ~noisy ~shots ~runs ~draw ~qasm ~passes ~target
-      ~trace_out
+      ~trace_out ~faults ~max_retries ~deadline
   in
   Cmd.v
     (Cmd.info "random" ~doc:"Random Maiorana-McFarland instance.")
     Term.(
       const go $ n $ seed $ jobs_arg $ cache_dir_arg $ no_cache_arg $ noisy $ shots
-      $ runs $ draw $ qasm $ passes_arg $ target_arg $ trace_out_arg)
+      $ runs $ draw $ qasm $ passes_arg $ target_arg $ trace_out_arg $ faults_arg
+      $ max_retries_arg $ deadline_arg)
 
 let () =
   let doc = "Boolean hidden shift on the automatic quantum compilation flow." in

@@ -77,10 +77,30 @@ let extract_cache argv =
   in
   scan None false [] argv
 
-let () =
+(* [--faults PROFILE], [--max-retries N] and [--deadline N] route the run
+   subcommand through the resilient device layer. *)
+let extract_device argv =
+  let pos n =
+    match int_of_string_opt n with
+    | Some v when v >= 1 -> v
+    | _ ->
+        Printf.eprintf "expected a positive integer, got %s\n" n;
+        exit 2
+  in
+  let rec scan faults retries deadline acc = function
+    | "--faults" :: p :: rest -> scan (Some p) retries deadline acc rest
+    | "--max-retries" :: n :: rest -> scan faults (Some (pos n)) deadline acc rest
+    | "--deadline" :: n :: rest -> scan faults retries (Some (pos n)) acc rest
+    | a :: rest -> scan faults retries deadline (a :: acc) rest
+    | [] -> (faults, retries, deadline, List.rev acc)
+  in
+  scan None None None [] argv
+
+let main () =
   let trace_out, argv = extract_trace_out (Array.to_list Sys.argv) in
   let jobs, argv = extract_jobs argv in
   let cache_dir, no_cache, argv = extract_cache argv in
+  let faults, max_retries, deadline, argv = extract_device argv in
   Option.iter Par.set_default_jobs jobs;
   if no_cache then Cache.set_enabled false
   else
@@ -99,23 +119,31 @@ let () =
           Obs.Export.write_file file (Obs.Memory.events m);
           Printf.eprintf "wrote %d telemetry events to %s\n" (Obs.Memory.length m) file));
   match argv with
-  | [ _; "passes"; spec; file ] -> (
-      try
-        let ps = Core.Pass.parse_qc spec in
-        let circuit, trace = Core.Pass.run_qc ps (parse_file file) in
-        Printf.eprintf "%s\n" (Core.Pass.trace_to_string trace);
-        print_string (Qc.Qasm.to_string ~measure:false circuit)
-      with Core.Pass.Spec_error msg ->
-        Printf.eprintf "passes: %s\n" msg;
-        exit 1)
+  | [ _; "passes"; spec; file ] ->
+      let ps = Core.Pass.parse_qc spec in
+      let circuit, trace = Core.Pass.run_qc ps (parse_file file) in
+      Printf.eprintf "%s\n" (Core.Pass.trace_to_string trace);
+      print_string (Qc.Qasm.to_string ~measure:false circuit)
   | [ _; "run"; target; file ] -> (
-      try
-        let backend = Qc.Backend.of_spec target in
-        print_endline
-          (Qc.Backend.outcome_to_string (backend.Qc.Backend.run (parse_file file)))
-      with Qc.Backend.Unsupported msg ->
-        Printf.eprintf "run: %s\n" msg;
-        exit 1)
+      match faults with
+      | Some spec ->
+          let profile = Device.profile_of_spec spec in
+          let policy =
+            { Device.default_policy with
+              Device.max_retries =
+                Option.value max_retries
+                  ~default:Device.default_policy.Device.max_retries;
+              deadline =
+                Option.value deadline ~default:Device.default_policy.Device.deadline }
+          in
+          let device = Device.of_spec ~policy ~profile target in
+          let job = Device.submit device (parse_file file) in
+          print_endline (Qc.Backend.outcome_to_string (Device.outcome_of_job job));
+          print_endline (Device.job_summary job)
+      | None ->
+          let backend = Qc.Backend.of_spec target in
+          print_endline
+            (Qc.Backend.outcome_to_string (backend.Qc.Backend.run (parse_file file))))
   | [ _; cmd; file ] -> (
       let circuit = parse_file file in
       match cmd with
@@ -162,5 +190,14 @@ let () =
         \       qasm_tool passes <spec> <file.qasm|->\n\
         \       qasm_tool run <target> <file.qasm|->\n\
         \       (any form also accepts --trace-out <file>, --jobs <n>,\n\
-        \        --cache <dir> and --no-cache)";
+        \        --cache <dir> and --no-cache; run also accepts --faults\n\
+        \        <profile>, --max-retries <n> and --deadline <n>)";
+      exit 2
+
+(* Operational errors (bad backend spec, bad pass spec, bad fault profile)
+   exit with a one-line message instead of an uncaught-exception backtrace. *)
+let () =
+  try main () with
+  | Qc.Backend.Unsupported msg | Core.Pass.Spec_error msg | Device.Bad_profile msg ->
+      Printf.eprintf "qasm_tool: %s\n" msg;
       exit 2

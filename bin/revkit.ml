@@ -5,6 +5,9 @@
      revkit -c "cmd; cmd; …"    run a command string
      revkit script.rks          run a script file *)
 
+(* The REPL keeps errors inline and friendly; batch modes (-c / script)
+   print whatever output accumulated, then a one-line message on stderr
+   and exit 2 — never a raw backtrace. *)
 let run_and_print st line =
   match Core.Shell.run_line st line with
   | st ->
@@ -14,6 +17,16 @@ let run_and_print st line =
       Printf.printf "error: %s\n" msg;
       print_string (Core.Shell.output st);
       st
+
+let run_batch st line =
+  match Core.Shell.run_line st line with
+  | st ->
+      print_string (Core.Shell.output st);
+      st
+  | exception Core.Shell.Error msg ->
+      print_string (Core.Shell.output st);
+      Printf.eprintf "revkit: %s\n" msg;
+      exit 2
 
 let repl () =
   print_endline "RevKit-style shell (OCaml reproduction). Type 'help'; ctrl-d quits.";
@@ -31,14 +44,16 @@ let repl () =
 let () =
   match Array.to_list Sys.argv with
   | [ _ ] -> repl ()
-  | [ _; "-c"; cmds ] -> ignore (run_and_print (Core.Shell.init ()) cmds)
+  | [ _; "-c"; cmds ] -> ignore (run_batch (Core.Shell.init ()) cmds)
   | [ _; file ] when Sys.file_exists file ->
       let ic = open_in file in
       let len = in_channel_length ic in
       let text = really_input_string ic len in
       close_in ic;
       (try print_string (Core.Shell.run_script text)
-       with Core.Shell.Error msg -> Printf.printf "error: %s\n" msg)
+       with Core.Shell.Error msg ->
+         Printf.eprintf "revkit: %s\n" msg;
+         exit 2)
   | _ ->
       prerr_endline "usage: revkit [-c \"commands\"] [script-file]";
       exit 2

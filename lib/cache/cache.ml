@@ -149,10 +149,28 @@ let open_for_append path =
 
 let mkdir_p dir = try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
 
+(* Persistence I/O failures (unwritable directory, full disk, path that is
+   a file, …) must never take down a computation whose results the cache
+   merely memoizes: drop to in-memory-only caching, warn once on stderr. *)
+let persist_warned = ref false
+
+let disable_persistence reason =
+  close_out_channel ();
+  dir_ref := None;
+  disk_records := [];
+  if not !persist_warned then begin
+    persist_warned := true;
+    Printf.eprintf "cache: persistence disabled (%s); continuing in-memory\n%!" reason
+  end
+
+let unix_error_string e fn = Printf.sprintf "%s: %s" fn (Unix.error_message e)
+
 (** [set_dir d] switches the persistent layer: [Some dir] loads
     [dir/cache.bin] into every store (creating the directory and file as
     needed) and appends every insert from now on; [None] turns
-    persistence off (in-memory stores are kept). *)
+    persistence off (in-memory stores are kept). An unusable [dir]
+    degrades to in-memory caching with a single stderr warning instead
+    of raising. *)
 let set_dir d =
   Mutex.lock mutex;
   Fun.protect
@@ -162,26 +180,35 @@ let set_dir d =
       dir_ref := d;
       match d with
       | None -> disk_records := []
-      | Some dir ->
-          mkdir_p dir;
-          let path = cache_file dir in
-          disk_records := load_file path;
-          List.iter absorb_into !registry;
-          open_for_append path)
+      | Some dir -> (
+          persist_warned := false;
+          try
+            mkdir_p dir;
+            let path = cache_file dir in
+            disk_records := load_file path;
+            List.iter absorb_into !registry;
+            open_for_append path
+          with
+          | Sys_error m -> disable_persistence m
+          | Unix.Unix_error (e, fn, _) -> disable_persistence (unix_error_string e fn)))
 
 let dir () = !dir_ref
 
-(* Append one record; caller holds the mutex. *)
+(* Append one record; caller holds the mutex. A write failure (disk
+   full, channel gone stale) degrades to in-memory caching. *)
 let persist name schema key payload =
   match !out_ref with
   | None -> ()
-  | Some oc ->
-      let before = pos_out oc in
-      output_value oc (name, schema, key, payload, record_digest name schema key payload);
-      flush oc;
-      let written = pos_out oc - before in
-      bytes_persisted_ref := !bytes_persisted_ref + written;
-      Obs.count ~by:written "cache.persist.bytes"
+  | Some oc -> (
+      try
+        let before = pos_out oc in
+        output_value oc
+          (name, schema, key, payload, record_digest name schema key payload);
+        flush oc;
+        let written = pos_out oc - before in
+        bytes_persisted_ref := !bytes_persisted_ref + written;
+        Obs.count ~by:written "cache.persist.bytes"
+      with Sys_error m -> disable_persistence m)
 
 (** [bytes_persisted ()] — bytes appended to the on-disk layer by this
     process. *)
@@ -355,10 +382,12 @@ let clear () =
   disk_records := [];
   (match !dir_ref with
   | None -> ()
-  | Some d ->
+  | Some d -> (
       close_out_channel ();
       (try Sys.remove (cache_file d) with Sys_error _ -> ());
-      open_for_append (cache_file d));
+      try open_for_append (cache_file d) with
+      | Sys_error m -> disable_persistence m
+      | Unix.Unix_error (e, fn, _) -> disable_persistence (unix_error_string e fn)));
   Mutex.unlock mutex
 
 (* ------------------------------------------------------------------ *)

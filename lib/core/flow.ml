@@ -197,6 +197,16 @@ let compile_batch ?options ?pipeline ?jobs specs =
     execution target — simulation, noisy sampling, or export. *)
 let execute (backend : Qc.Backend.t) circuit = backend.Qc.Backend.run circuit
 
+(** [execute_via device circuit] routes execution through the resilient
+    device layer instead: shot batching, retries with backoff, circuit
+    breaker and fallback chain per the device's policy and fault
+    profile. The result is a {!Qc.Backend.Job} outcome carrying the
+    salvaged histogram, the delivered/requested accounting and the
+    validation verdict — injected faults degrade the job, they never
+    raise. *)
+let execute_via ?shots ?seed device circuit =
+  Device.outcome_of_job (Device.submit ?shots ?seed device circuit)
+
 (** [verify_perm p circuit] checks that the compiled circuit implements
     [|x⟩|0…0⟩ ↦ |p(x)⟩|0…0⟩] exactly (full unitary extraction; small
     [n] only). Post-optimization verification is the Sec. IX obligation. *)

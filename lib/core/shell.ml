@@ -20,12 +20,16 @@ type state = {
   qc : Qc.Circuit.t option;
   trace : Pass.trace option; (* instrumentation of the last [pipeline] run *)
   recorder : Obs.Memory.t; (* cross-layer telemetry of the whole session *)
+  fault_profile : Device.profile; (* applied to devices created by [device run] *)
+  device : Device.t option; (* the session's resilient device, if any *)
+  device_spec : string option; (* the target spec the device was built from *)
   out : Buffer.t;
 }
 
 let init () =
   { perm = None; func = None; rev = None; qc = None; trace = None;
-    recorder = Obs.Memory.create (); out = Buffer.create 256 }
+    recorder = Obs.Memory.create (); fault_profile = Device.none; device = None;
+    device_spec = None; out = Buffer.create 256 }
 
 exception Error of string
 
@@ -273,6 +277,57 @@ let exec_cmd st words =
       | "backends" ->
           List.iter (fun (name, doc) -> say st "%-18s %s" name doc) (Qc.Backend.catalog ());
           st
+      | "device" -> (
+          (* the resilient device layer: [device] / [device stats] reports
+             the profile, breaker and fault tallies; [device profile
+             <spec>] sets the fault profile for subsequent runs; [device
+             breaker] shows the state machine; [device run <target>
+             [shots]] executes the current circuit through a device *)
+          match arg 0 with
+          | None | Some "stats" ->
+              say st "profile: %s" (Fmt.str "%a" Device.pp_profile st.fault_profile);
+              (match st.device with
+              | None -> say st "no device yet (use device run <target> [shots])"
+              | Some d -> List.iter (fun l -> say st "%s" l) (Device.stats_lines d));
+              st
+          | Some "profile" -> (
+              match arg 1 with
+              | None ->
+                  say st "profile: %s" (Fmt.str "%a" Device.pp_profile st.fault_profile);
+                  st
+              | Some spec ->
+                  let p = Device.profile_of_spec spec in
+                  say st "fault profile set to %s" p.Device.label;
+                  (* drop the device so the new profile takes effect *)
+                  { st with fault_profile = p; device = None; device_spec = None })
+          | Some "breaker" -> (
+              match st.device with
+              | None -> failf "device breaker: no device yet (use device run)"
+              | Some d ->
+                  say st "breaker: %s" (Device.breaker_to_string d);
+                  st)
+          | Some "run" ->
+              let c = need_qc st in
+              let target =
+                match arg 1 with
+                | Some t -> t
+                | None -> failf "device run: missing target (e.g. device run noisy)"
+              in
+              let shots = Option.map (fun s -> int_arg "shots" (Some s)) (arg 2) in
+              let d =
+                match st.device with
+                | Some d when st.device_spec = Some target -> d
+                | _ -> Device.of_spec ~profile:st.fault_profile target
+              in
+              let job = Device.submit ?shots d c in
+              say st "%s" (Qc.Backend.outcome_to_string (Device.outcome_of_job job));
+              say st "%s" (Device.job_summary job);
+              { st with device = Some d; device_spec = Some target }
+          | Some other ->
+              failf
+                "device: unknown subcommand %s (try: device [stats|profile \
+                 <spec>|breaker|run <target> [shots]])"
+                other)
       | "jobs" -> (
           (* the multicore knob: [jobs] prints the pool width, [jobs N]
              pins it (the statevector kernels and noisy shots use it) *)
@@ -376,7 +431,7 @@ let exec_cmd st words =
             \  tbs [-b] | dbs | cycle | exact | esop | hier [batch] | bdd | lut [k] | embed | revsimp | resynth |\n\
             \  cliffordt [--no-rccx] | tpar | peephole | route |\n\
             \  pipeline <p1,p2,…> | passes | trace | trace export <file> | stats | run <target> | backends | jobs [n] |\n\
-            \  cache [stats|clear|on|off|dir <path>] |\n\
+            \  cache [stats|clear|on|off|dir <path>] | device [stats|profile <spec>|breaker|run <target> [shots]] |\n\
             \  ps | print_rev | draw | write_qasm [file] | qsharp [name] |\n\
             \  simulate <x> | stabsim | verify | help";
           st
@@ -399,7 +454,9 @@ let exec st words =
           try exec_cmd st words with
           | Error _ as e -> raise e
           | Invalid_argument msg | Failure msg -> failf "%s: %s" cmd msg
-          | Pass.Spec_error msg | Qc.Backend.Unsupported msg -> failf "%s: %s" cmd msg
+          | Pass.Spec_error msg | Qc.Backend.Unsupported msg
+          | Device.Bad_profile msg ->
+              failf "%s: %s" cmd msg
           | Not_found -> failf "%s: internal lookup failed" cmd)
 
 (** [run_line st line] splits on [';'] and executes each command; output

@@ -76,8 +76,16 @@ let shutdown p =
 
 (** [run_tasks p tasks] executes every closure, distributing them over the
     pool; the calling domain runs its share too. Returns when all tasks
-    have finished; the first task exception (if any) is re-raised. Called
-    from inside a pool worker, the batch runs sequentially instead. *)
+    have finished.
+
+    Exception contract: a raising task never aborts the batch. Every
+    other task still runs to completion, the queue drains fully, and
+    only then is the {e first} exception (in completion order; later
+    ones are dropped) re-raised on the calling domain. Because the batch
+    always drains, a raising batch leaves no task queued and no worker
+    blocked — the pool stays fully reusable for subsequent batches
+    ([parallel_for] and [map_reduce] inherit this). Called from inside a
+    pool worker, the batch runs sequentially instead. *)
 let run_tasks p (tasks : (unit -> unit) array) =
   let n = Array.length tasks in
   if n = 0 then ()

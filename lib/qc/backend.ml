@@ -14,11 +14,29 @@ exception Unsupported of string
 
 let failf fmt = Printf.ksprintf (fun s -> raise (Unsupported s)) fmt
 
+(** Result-validation verdict of a resilient device job (the device
+    layer feeds it back through {!outcome}): [Validated] — all requested
+    shots delivered by the primary backend with a consistent histogram;
+    [Degraded] — usable but imperfect (short delivery, fallback backend,
+    distribution drift), with the reasons; [Failed] — nothing usable. *)
+type verdict = Validated | Degraded of string | Failed of string
+
+let verdict_to_string = function
+  | Validated -> "validated"
+  | Degraded why -> "degraded: " ^ why
+  | Failed why -> "failed: " ^ why
+
 type outcome =
   | Measured of { outcome : int; deterministic : bool }
       (** a single computational-basis readout of every qubit *)
   | Histogram of (int * float) list
       (** empirical outcome frequencies, most frequent first *)
+  | Job of {
+      histogram : (int * float) list; (* frequencies of delivered shots *)
+      delivered : int;
+      requested : int;
+      verdict : verdict;
+    }  (** a resilient device job: salvaged histogram plus accounting *)
   | Exported of string  (** rendered text: QASM, Q# source, drawing *)
 
 type t = {
@@ -36,6 +54,10 @@ let pp_outcome ppf = function
         Fmt.(
           list ~sep:cut (fun ppf (x, f) -> Fmt.pf ppf "%6d  %.4f" x f))
         freqs
+  | Job { histogram; delivered; requested; verdict } ->
+      Fmt.pf ppf "@[<v>%adelivered %d/%d shots, %s@]"
+        Fmt.(list ~sep:nop (fun ppf (x, f) -> Fmt.pf ppf "%6d  %.4f@ " x f))
+        histogram delivered requested (verdict_to_string verdict)
   | Exported text -> Fmt.string ppf text
 
 let outcome_to_string o = Fmt.str "%a" pp_outcome o

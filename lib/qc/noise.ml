@@ -37,6 +37,13 @@ let ibm_qx2017_t1 = { ibm_qx2017 with gamma = 0.004 }
 (** [noiseless] turns the channel off (for testing the harness itself). *)
 let noiseless = { p1 = 0.; p2 = 0.; readout = 0.; gamma = 0. }
 
+(** [scale_params f p] multiplies every channel strength by [f], clamped
+    into [0, 0.95] — the device layer's calibration-drift model (error
+    rates slowly wander as the simulated calibration ages). *)
+let scale_params f p =
+  let c x = Float.max 0. (Float.min 0.95 (x *. f)) in
+  { p1 = c p.p1; p2 = c p.p2; readout = c p.readout; gamma = c p.gamma }
+
 (* ------------------------------------------------------------------ *)
 (* Outcome histograms                                                  *)
 (* ------------------------------------------------------------------ *)

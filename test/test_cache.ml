@@ -180,6 +180,33 @@ let test_persistence_round_trip () =
       in
       Alcotest.(check bool) "reload served from disk" true (hits >= 1))
 
+(* An unusable cache directory must degrade to in-memory caching with a
+   warning, never raise. (chmod-based read-only checks are useless under
+   root, so the unusable path is a regular file: opening file/cache.bin
+   fails with ENOTDIR for any uid.) *)
+let test_persistence_unwritable_dir () =
+  fresh ();
+  let file = Filename.temp_file "dautoq_cache_notadir" "" in
+  Fun.protect
+    ~finally:(fun () ->
+      Cache.set_dir None;
+      try Sys.remove file with Sys_error _ -> ())
+    (fun () ->
+      let before = Cache.bytes_persisted () in
+      Cache.set_dir (Some file);
+      (* persistence silently off: lookups and inserts still work *)
+      let tt = Logic.Funcgen.majority 5 in
+      let a = Rev.Synth_cache.esop1 tt in
+      let b = Rev.Synth_cache.esop1 tt in
+      Alcotest.(check string) "in-memory cache still serves"
+        (Rev.Rcircuit.structural_key a)
+        (Rev.Rcircuit.structural_key b);
+      Alcotest.(check int) "nothing persisted" before (Cache.bytes_persisted ());
+      Alcotest.(check bool) "directory deactivated" true (Cache.dir () = None);
+      (* clear () with no active dir must not resurrect the bad path *)
+      Cache.clear ();
+      Alcotest.(check int) "still nothing persisted" before (Cache.bytes_persisted ()))
+
 let test_persistence_corrupt_file () =
   fresh ();
   with_tmp_dir (fun dir ->
@@ -227,5 +254,7 @@ let () =
             test_batch_jobs_invariance ] );
       ( "persistence",
         [ Alcotest.test_case "round trip" `Quick test_persistence_round_trip;
+          Alcotest.test_case "unwritable dir degrades in-memory" `Quick
+            test_persistence_unwritable_dir;
           Alcotest.test_case "corrupt and stale files" `Quick
             test_persistence_corrupt_file ] ) ]

@@ -1,0 +1,283 @@
+(* The resilient device layer: fault-profile parsing, the deterministic
+   fault stream, histogram validation and drift scoring, shot
+   apportionment, the retrying executor (breaker, fallback chain,
+   partial-result salvage, verdicts), bit-reproducibility of faulted
+   jobs, --jobs invariance, and the Obs counters the executor emits. *)
+
+open Qc
+
+let bell = Circuit.of_gates 2 [ Gate.H 0; Gate.Cnot (0, 1) ]
+let x1 = Circuit.of_gates 2 [ Gate.X 1 ]
+
+(* custom targets let the executor be driven without any simulation *)
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+let always_fail name =
+  { Device.t_name = name;
+    run_batch = (fun ~drift:_ ~seed:_ ~shots:_ _ -> failwith (name ^ " is down")) }
+
+let always_zero name =
+  { Device.t_name = name;
+    run_batch = (fun ~drift:_ ~seed:_ ~shots _ -> [ (0, shots) ]) }
+
+(* ------------------------------------------------------------------ *)
+(* Profiles                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_profile_presets () =
+  let h = Device.profile_of_spec "hostile" in
+  Alcotest.(check (float 1e-9)) "submit" 0.15 h.Device.submit_fail;
+  Alcotest.(check (float 1e-9)) "loss" 0.05 h.Device.shot_loss;
+  Alcotest.(check bool) "outage window" true (h.Device.outage = Some (2, 4));
+  let n = Device.profile_of_spec "none" in
+  Alcotest.(check (float 1e-9)) "none injects nothing" 0. n.Device.submit_fail
+
+let test_profile_overrides () =
+  let p = Device.profile_of_spec "hostile,loss=0.2,outage=off" in
+  Alcotest.(check (float 1e-9)) "preset kept" 0.15 p.Device.submit_fail;
+  Alcotest.(check (float 1e-9)) "override applied" 0.2 p.Device.shot_loss;
+  Alcotest.(check bool) "outage cleared" true (p.Device.outage = None);
+  let q = Device.profile_of_spec "submit=0.3,outage=4@7,seed=99" in
+  Alcotest.(check (float 1e-9)) "bare kv base is none" 0.3 q.Device.submit_fail;
+  Alcotest.(check bool) "outage parsed LEN@START" true (q.Device.outage = Some (7, 4));
+  Alcotest.(check int) "seed" 99 q.Device.fault_seed
+
+let test_profile_errors () =
+  let bad spec =
+    Alcotest.(check bool)
+      (spec ^ " rejected") true
+      (match Device.profile_of_spec spec with
+      | exception Device.Bad_profile _ -> true
+      | _ -> false)
+  in
+  bad "";
+  bad "bogus";
+  bad "frob=1";
+  bad "submit=1.7";
+  bad "submit=x";
+  bad "outage=whenever";
+  bad "seed=-3"
+
+(* ------------------------------------------------------------------ *)
+(* The fault stream                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_roll_deterministic () =
+  let p = Device.profile_of_spec "hostile" in
+  for a = 0 to 50 do
+    for salt = 0 to 6 do
+      let r1 = Device.roll p ~attempt:a ~salt and r2 = Device.roll p ~attempt:a ~salt in
+      Alcotest.(check (float 0.)) "pure in (attempt, salt)" r1 r2;
+      Alcotest.(check bool) "in [0,1)" true (r1 >= 0. && r1 < 1.)
+    done
+  done;
+  (* distinct salts decorrelate the decisions of one attempt *)
+  Alcotest.(check bool) "salts differ" true
+    (Device.roll p ~attempt:3 ~salt:0 <> Device.roll p ~attempt:3 ~salt:1)
+
+(* ------------------------------------------------------------------ *)
+(* Validation, drift, apportionment                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_validate () =
+  let ok = Device.validate ~domain:4 ~shots:10 in
+  Alcotest.(check bool) "well-formed" true (ok [ (0, 6); (3, 4) ]);
+  Alcotest.(check bool) "short is fine (loss)" true (ok [ (1, 3) ]);
+  Alcotest.(check bool) "out of domain" false (ok [ (4, 1) ]);
+  Alcotest.(check bool) "negative outcome" false (ok [ (-1, 1) ]);
+  Alcotest.(check bool) "zero count" false (ok [ (0, 0) ]);
+  Alcotest.(check bool) "over total" false (ok [ (0, 11) ])
+
+let test_drift_score () =
+  let running = [ (0, 500); (1, 500) ] in
+  let same = Device.drift_score ~running ~batch:[ (0, 52); (1, 48) ] in
+  let far = Device.drift_score ~running ~batch:[ (0, 2); (1, 98) ] in
+  Alcotest.(check bool) "same distribution scores low" true
+    (same < Device.drift_threshold);
+  Alcotest.(check bool) "shifted distribution flags" true
+    (far > Device.drift_threshold);
+  Alcotest.(check (float 0.)) "empty scores zero" 0.
+    (Device.drift_score ~running:[] ~batch:[ (0, 1) ])
+
+let test_apportion () =
+  let h = Device.apportion 100 [ (0, 0.5); (1, 0.25); (2, 0.25) ] in
+  Alcotest.(check (list (pair int int))) "exact thirds" [ (0, 50); (1, 25); (2, 25) ] h;
+  let total l = List.fold_left (fun acc (_, k) -> acc + k) 0 l in
+  (* remainders: total is always exactly the requested shots *)
+  let h7 = Device.apportion 7 [ (0, 1. /. 3.); (1, 1. /. 3.); (2, 1. /. 3.) ] in
+  Alcotest.(check int) "totals conserved" 7 (total h7);
+  Alcotest.(check (list (pair int int)))
+    "deterministic (replayed)" h7
+    (Device.apportion 7 [ (0, 1. /. 3.); (1, 1. /. 3.); (2, 1. /. 3.) ])
+
+(* ------------------------------------------------------------------ *)
+(* The executor                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_clean_device_validates () =
+  (* a measured backend puts every shot on its outcome: |10> = 2 *)
+  let d = Device.create Device.statevector in
+  let j = Device.submit ~shots:512 d x1 in
+  Alcotest.(check int) "all shots delivered" 512 j.Device.delivered;
+  Alcotest.(check int) "requested recorded" 512 j.Device.requested;
+  Alcotest.(check int) "no retries" 0 j.Device.retries;
+  Alcotest.(check bool) "validated" true (j.Device.verdict = Backend.Validated);
+  Alcotest.(check (list (pair int int)))
+    "all shots on |10>" [ (2, 512) ] j.Device.counts;
+  Alcotest.(check (option int)) "modal outcome" (Some 2) (Device.modal j)
+
+let test_total_failure_is_a_verdict () =
+  (* a primary that always rejects, no fallback: the job fails, the
+     executor does not raise *)
+  let profile = Device.profile_of_spec "submit=1.0" in
+  let policy =
+    { Device.default_policy with Device.max_retries = 2; deadline = 16; batches = 4 }
+  in
+  let d = Device.create ~policy ~profile Device.statevector in
+  let j = Device.submit ~shots:64 d bell in
+  Alcotest.(check int) "nothing delivered" 0 j.Device.delivered;
+  Alcotest.(check (list (pair int int))) "empty histogram" [] j.Device.counts;
+  Alcotest.(check bool) "failed verdict" true
+    (match j.Device.verdict with Backend.Failed _ -> true | _ -> false);
+  Alcotest.(check bool) "deadline respected" true
+    (j.Device.attempts <= policy.Device.deadline);
+  Alcotest.(check (option int)) "no modal outcome" None (Device.modal j)
+
+let test_shot_loss_degrades () =
+  let profile = Device.profile_of_spec "loss=1.0" in
+  let d = Device.create ~profile Device.statevector in
+  let j = Device.submit ~shots:512 d bell in
+  Alcotest.(check bool) "shots lost" true (j.Device.lost > 0);
+  Alcotest.(check int) "accounting balances" 512 (j.Device.delivered + j.Device.lost);
+  let total = List.fold_left (fun acc (_, k) -> acc + k) 0 j.Device.counts in
+  Alcotest.(check int) "histogram matches delivered" j.Device.delivered total;
+  Alcotest.(check bool) "degraded verdict names the shortfall" true
+    (match j.Device.verdict with
+    | Backend.Degraded why ->
+        (* e.g. "short 57 shots" *)
+        String.length why >= 5 && String.sub why 0 5 = "short"
+    | _ -> false)
+
+let test_breaker_and_fallback () =
+  let d =
+    Device.create
+      ~fallbacks:[ always_zero "backup" ]
+      (always_fail "primary")
+  in
+  let j = Device.submit ~shots:256 d bell in
+  Alcotest.(check int) "fallback salvages everything" 256 j.Device.delivered;
+  Alcotest.(check (list (pair int int))) "all zeros" [ (0, 256) ] j.Device.counts;
+  Alcotest.(check bool) "breaker tripped" true ((Device.stats d).Device.breaker_opens >= 1);
+  Alcotest.(check bool) "fallback recorded" true
+    (List.mem "backup" j.Device.backends_used);
+  Alcotest.(check bool) "degraded, names the fallback" true
+    (match j.Device.verdict with
+    | Backend.Degraded why -> contains ~sub:"fallback backup" why
+    | _ -> false)
+
+let test_breaker_recloses () =
+  (* a primary that fails exactly its first 3 attempts, then recovers:
+     the breaker opens, cools down, half-opens, and the trial closes it *)
+  let calls = ref 0 in
+  let flaky_then_fine =
+    { Device.t_name = "recovering";
+      run_batch =
+        (fun ~drift:_ ~seed:_ ~shots _ ->
+          incr calls;
+          if !calls <= 3 then failwith "still booting" else [ (1, shots) ]) }
+  in
+  let d = Device.create ~fallbacks:[ always_zero "backup" ] flaky_then_fine in
+  let j = Device.submit ~shots:256 d bell in
+  Alcotest.(check int) "everything delivered" 256 j.Device.delivered;
+  Alcotest.(check bool) "breaker opened once" true
+    ((Device.stats d).Device.breaker_opens = 1);
+  Alcotest.(check bool) "breaker closed again" true (Device.breaker d = Device.Closed);
+  Alcotest.(check bool) "primary back in use" true
+    (List.mem "recovering" j.Device.backends_used)
+
+let test_faulted_job_deterministic () =
+  let mk () = Device.of_spec ~profile:(Device.profile_of_spec "hostile") "noisy:shots=256,seed=7" in
+  let j1 = Device.submit (mk ()) x1 and j2 = Device.submit (mk ()) x1 in
+  Alcotest.(check (list (pair int int))) "same histogram" j1.Device.counts j2.Device.counts;
+  Alcotest.(check int) "same attempts" j1.Device.attempts j2.Device.attempts;
+  Alcotest.(check int) "same retries" j1.Device.retries j2.Device.retries;
+  Alcotest.(check int) "same losses" j1.Device.lost j2.Device.lost;
+  Alcotest.(check string) "same verdict"
+    (Backend.verdict_to_string j1.Device.verdict)
+    (Backend.verdict_to_string j2.Device.verdict)
+
+let test_jobs_invariance () =
+  (* the fault stream is counter-based and the noisy target per-shot
+     seeded: worker count cannot change the job *)
+  let mk jobs =
+    Device.create ~profile:(Device.profile_of_spec "flaky") ~seed:11
+      (Device.noisy ~jobs Noise.ibm_qx2017)
+  in
+  let j1 = Device.submit ~shots:256 (mk 1) bell in
+  let j4 = Device.submit ~shots:256 (mk 4) bell in
+  Alcotest.(check (list (pair int int))) "--jobs invariant" j1.Device.counts j4.Device.counts;
+  Alcotest.(check int) "same retries" j1.Device.retries j4.Device.retries
+
+let test_outcome_projection () =
+  let d = Device.create Device.statevector in
+  let j = Device.submit ~shots:100 d x1 in
+  match Device.outcome_of_job j with
+  | Backend.Job { histogram; delivered; requested; verdict } ->
+      Alcotest.(check int) "delivered" 100 delivered;
+      Alcotest.(check int) "requested" 100 requested;
+      Alcotest.(check bool) "validated" true (verdict = Backend.Validated);
+      Alcotest.(check (list (pair int (float 1e-9))))
+        "frequencies" [ (2, 1.0) ] histogram
+  | _ -> Alcotest.fail "expected a Job outcome"
+
+let test_obs_counters () =
+  let m = Obs.Memory.create () in
+  Obs.reset ();
+  Obs.set_sink (Some (Obs.Memory.sink m));
+  Fun.protect
+    ~finally:(fun () -> Obs.set_sink None)
+    (fun () ->
+      let d =
+        Device.of_spec ~profile:(Device.profile_of_spec "hostile,loss=0.9")
+          "noisy:shots=256,seed=3"
+      in
+      ignore (Device.submit d x1));
+  let totals = Obs.Summary.counter_totals (Obs.Memory.events m) in
+  let total name = Option.value ~default:0 (List.assoc_opt name totals) in
+  Alcotest.(check bool) "device.retry emitted" true (total "device.retry" > 0);
+  Alcotest.(check bool) "device.breaker.open emitted" true
+    (total "device.breaker.open" >= 1);
+  Alcotest.(check bool) "device.shots.lost emitted" true
+    (total "device.shots.lost" > 0)
+
+let () =
+  Alcotest.run "device"
+    [ ( "profile",
+        [ Alcotest.test_case "presets" `Quick test_profile_presets;
+          Alcotest.test_case "overrides" `Quick test_profile_overrides;
+          Alcotest.test_case "errors" `Quick test_profile_errors ] );
+      ( "fault-stream",
+        [ Alcotest.test_case "deterministic rolls" `Quick test_roll_deterministic ] );
+      ( "checks",
+        [ Alcotest.test_case "validate" `Quick test_validate;
+          Alcotest.test_case "drift score" `Quick test_drift_score;
+          Alcotest.test_case "apportion" `Quick test_apportion ] );
+      ( "executor",
+        [ Alcotest.test_case "clean device validates" `Quick test_clean_device_validates;
+          Alcotest.test_case "total failure is a verdict" `Quick
+            test_total_failure_is_a_verdict;
+          Alcotest.test_case "shot loss degrades" `Quick test_shot_loss_degrades;
+          Alcotest.test_case "breaker routes to fallback" `Quick
+            test_breaker_and_fallback;
+          Alcotest.test_case "breaker re-closes after recovery" `Quick
+            test_breaker_recloses ] );
+      ( "determinism",
+        [ Alcotest.test_case "faulted job replays bit-identically" `Quick
+            test_faulted_job_deterministic;
+          Alcotest.test_case "--jobs invariance" `Quick test_jobs_invariance ] );
+      ( "integration",
+        [ Alcotest.test_case "outcome projection" `Quick test_outcome_projection;
+          Alcotest.test_case "Obs counters" `Quick test_obs_counters ] ) ]

@@ -98,6 +98,49 @@ let test_damping_preserves_norm () =
     Alcotest.(check (float 1e-9)) "norm 1" 1. (Statevector.norm2 s)
   done
 
+let test_counts_repr_boundary () =
+  (* exactly at sparse_threshold qubits the histogram is still dense;
+     merge and equality must work across the Dense/Sparse divide for
+     the same outcome space *)
+  let n = Noise.sparse_threshold in
+  let dense = Noise.counts_make n in
+  Alcotest.(check bool) "threshold width is dense" true
+    (match dense with Noise.Dense _ -> true | Noise.Sparse _ -> false);
+  Alcotest.(check bool) "one more qubit is sparse" true
+    (match Noise.counts_make (n + 1) with
+    | Noise.Sparse _ -> true
+    | Noise.Dense _ -> false);
+  (* a sparse histogram over the same 2^n outcome space *)
+  let sparse () = Noise.Sparse { size = 1 lsl n; tbl = Hashtbl.create 8 } in
+  let fill c = List.iter (fun (x, k) -> Noise.counts_add c x k) in
+  let content = [ (0, 3); (7, 2); ((1 lsl n) - 1, 5) ] in
+  let d = dense and s = sparse () in
+  fill d content;
+  fill s content;
+  Alcotest.(check bool) "equal across representations" true (Noise.counts_equal d s);
+  Alcotest.(check bool) "equal is symmetric" true (Noise.counts_equal s d);
+  (* merge dense <- sparse *)
+  let d2 = Noise.counts_make n in
+  fill d2 [ (7, 1) ];
+  let m = Noise.counts_merge d2 s in
+  Alcotest.(check int) "merged count" 3 (Noise.count m 7);
+  Alcotest.(check int) "merged tail" 5 (Noise.count m ((1 lsl n) - 1));
+  Alcotest.(check int) "merged total" 11 (Noise.total_counts m);
+  (* merge sparse <- dense *)
+  let s2 = sparse () in
+  fill s2 [ (0, 1) ];
+  let m2 = Noise.counts_merge s2 d in
+  Alcotest.(check int) "merged count" 4 (Noise.count m2 0);
+  Alcotest.(check int) "merged total" 11 (Noise.total_counts m2);
+  (* alists agree regardless of representation *)
+  Alcotest.(check (list (pair int int)))
+    "ascending alist across representations"
+    (Noise.counts_to_alist d) (Noise.counts_to_alist s);
+  (* different outcome-space sizes never compare equal *)
+  let wider = Noise.Sparse { size = 1 lsl (n + 1); tbl = Hashtbl.create 8 } in
+  fill wider content;
+  Alcotest.(check bool) "size mismatch differs" false (Noise.counts_equal d wider)
+
 let test_e2_shape () =
   (* the Fig. 6 shape: correct shift dominates but is well below 1 *)
   let inst = Core.Hidden_shift.Inner_product { n = 2; s = 1 } in
@@ -122,4 +165,5 @@ let () =
           Alcotest.test_case "T1 accumulates" `Quick test_amplitude_damping_accumulates;
           Alcotest.test_case "T1 fixes ground state" `Quick test_amplitude_damping_fixes_ground_state;
           Alcotest.test_case "damping preserves norm" `Quick test_damping_preserves_norm;
+          Alcotest.test_case "counts repr boundary" `Quick test_counts_repr_boundary;
           Alcotest.test_case "Fig. 6 shape" `Quick test_e2_shape ] ) ]

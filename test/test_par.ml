@@ -42,6 +42,25 @@ let test_exception_propagates () =
           Par.run_tasks p
             (Array.init 8 (fun i () -> if i = 5 then failwith "boom"))))
 
+let test_pool_reusable_after_raise () =
+  (* the Par.run_tasks exception contract: a raising task drains the
+     batch and re-raises, leaving the pool fully reusable *)
+  with_temp_pool 4 (fun p ->
+      (try
+         Par.parallel_for p ~start:0 ~stop:100 (fun lo _ ->
+             if lo >= 0 then failwith "kaboom")
+       with Failure _ -> ());
+      let a = Array.make 100 (-1) in
+      Par.parallel_for p ~start:0 ~stop:100 (fun lo hi ->
+          for i = lo to hi - 1 do
+            a.(i) <- i
+          done);
+      Array.iteri (fun i v -> Alcotest.(check int) "pool still covers" i v) a;
+      let sum =
+        Par.map_reduce p ~tasks:8 ~map:Fun.id ~reduce:( + ) ~init:0
+      in
+      Alcotest.(check int) "map_reduce still works" 28 sum)
+
 let test_nested_calls_run () =
   (* a body that re-enters the pool runs sequentially, not deadlocking *)
   with_temp_pool 4 (fun p ->
@@ -232,6 +251,8 @@ let () =
           Alcotest.test_case "explicit chunk counts" `Quick test_parallel_for_chunks;
           Alcotest.test_case "map_reduce index order" `Quick test_map_reduce_order;
           Alcotest.test_case "exceptions propagate" `Quick test_exception_propagates;
+          Alcotest.test_case "pool reusable after raise" `Quick
+            test_pool_reusable_after_raise;
           Alcotest.test_case "nested calls degrade" `Quick test_nested_calls_run;
           Alcotest.test_case "with_pool width" `Quick test_with_pool_width ] );
       ( "determinism",
