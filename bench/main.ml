@@ -7,7 +7,7 @@
      dune exec bench/main.exe            -- tables + timings
      dune exec bench/main.exe quick      -- timings only
      dune exec bench/main.exe json       -- timings + telemetry counters
-                                            written to BENCH_pr4.json *)
+                                            written to BENCH_pr6.json *)
 
 open Bechamel
 open Bechamel.Toolkit
@@ -31,6 +31,13 @@ let hwb4_rev = Rev.Tbs.synth hwb4
 let hwb4_mapped, _ = Qc.Clifford_t.compile_rcircuit hwb4_rev
 let adder_xag = Rev.Xag.ripple_adder 4
 let maj5 = Logic.Funcgen.majority 5
+
+(* PR 6 fixtures: wide arithmetic oracles as structural XAGs — the
+   workload whose truth tables (2^32 and 2^16 rows) the table-driven
+   front ends cannot even represent. *)
+let lt32_xag = Rev.Arith.xag_less_than_const 32 ~k:3_000_000_000
+let mult8_xag = Rev.Arith.xag_multiplier 8
+let lt16_xag = Rev.Arith.xag_less_than 16
 
 let sim_circuit n =
   Qc.Circuit.of_gates n
@@ -173,6 +180,27 @@ let tests =
              Cache.clear_memory ();
              compile_family ()));
       Test.make ~name:"cache_sweep_warm" (stage (fun () -> compile_family ()));
+      (* PR 6: the XAG synthesis front end. Cut enumeration + covering
+         on wide arithmetic graphs, pebble-scheduled synthesis under an
+         ancilla budget, and the whole flow on the E16 oracle (memory
+         cleared each run so the timing covers real synthesis, not a
+         cache hit). *)
+      Test.make ~name:"xag_map_lt32_k4"
+        (stage (fun () -> Rev.Lut_synth.map_luts ~k:4 lt32_xag));
+      Test.make ~name:"xag_map_mult8_k6"
+        (stage (fun () -> Rev.Lut_synth.map_luts ~k:6 mult8_xag));
+      Test.make ~name:"xag_map_lt16_k4"
+        (stage (fun () -> Rev.Lut_synth.map_luts ~k:4 lt16_xag));
+      Test.make ~name:"xag_synth_pebbled_lt32_b6"
+        (stage (fun () -> Rev.Lut_synth.synth_pebbled ~k:4 ~budget:6 lt32_xag));
+      Test.make ~name:"xag_synth_bennett_lt32"
+        (stage (fun () -> Rev.Lut_synth.synth ~k:4 lt32_xag));
+      Test.make ~name:"e16_flow_lt32_cold"
+        (stage (fun () ->
+             Cache.clear_memory ();
+             Core.Flow.compile_xag ~lut_k:4 ~ancilla_budget:6 lt32_xag));
+      Test.make ~name:"e16_flow_lt32_warm"
+        (stage (fun () -> Core.Flow.compile_xag ~lut_k:4 ~ancilla_budget:6 lt32_xag));
       (* substrate micro-benchmarks *)
       Test.make ~name:"sub_walsh_transform_n12"
         (let tt = Logic.Funcgen.majority 12 in
@@ -226,6 +254,8 @@ let capture_telemetry () =
   Obs.reset ();
   Obs.set_sink (Some (Obs.Memory.sink m));
   let _compiled, _report = Core.Flow.compile_perm hwb4 in
+  Cache.clear_memory ();
+  let _xag_c, _xag_r = Core.Flow.compile_xag ~lut_k:4 ~ancilla_budget:6 lt32_xag in
   let (_ : Qc.Noise.counts) =
     Qc.Noise.run_shots ~seed:42 Qc.Noise.ibm_qx2017 e1_circuit ~shots:256
   in
@@ -266,7 +296,7 @@ let write_bench_json path rows events =
   in
   let doc =
     Obj
-      [ ("pr", Num 4.); ("suite", String "dautoq");
+      [ ("pr", Num 6.); ("suite", String "dautoq");
         (* parallel speedups only show up with real cores behind the pool *)
         ("recommended_domains", Num (float_of_int (Par.recommended ())));
         ("benchmarks", Arr benchmarks);
@@ -291,4 +321,4 @@ let () =
   end;
   let rows = measure_benchmarks () in
   print_rows rows;
-  if json then write_bench_json "BENCH_pr4.json" rows (capture_telemetry ())
+  if json then write_bench_json "BENCH_pr6.json" rows (capture_telemetry ())

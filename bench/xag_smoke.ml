@@ -1,0 +1,135 @@
+(* XAG-pipeline smoke test, wired into the default test alias.
+
+   Compiles a 16-bit comparator oracle (lt:16 — 32 inputs, whose 2^32-row
+   truth table the table-driven front ends cannot represent) through the
+   hidden-shift CLI's oracle subcommand. Guards:
+
+   1. two runs against the same cache directory print byte-identical
+      stdout — the whole-oracle store replays, it never changes results;
+   2. the cold run's telemetry trace records a nonzero xag.luts counter
+      (the cut mapper actually ran) and its cache summary shows
+      cache.npn.hit > 0 (the per-bit cut functions share NPN classes);
+   3. the warm run's summary shows xag.hit > 0 (the whole-oracle memo
+      serves the replay), and a re-map under a different ancilla budget
+      still hits the NPN cover store;
+   4. the whole exercise stays under a generous wall-clock ceiling —
+      the pipeline must scale to wide oracles in interactive time. *)
+
+let die fmt = Printf.ksprintf (fun m -> prerr_endline ("xag smoke: " ^ m); exit 1) fmt
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let run cli extra_args ~out ~err =
+  let argv =
+    Array.of_list
+      ((cli :: [ "oracle"; "--oracle-xag"; "lt:16"; "--lut-k"; "4" ]) @ extra_args)
+  in
+  let out_fd = Unix.openfile out [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  let err_fd = Unix.openfile err [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  let pid = Unix.create_process cli argv Unix.stdin out_fd err_fd in
+  let _, status = Unix.waitpid [] pid in
+  Unix.close out_fd;
+  Unix.close err_fd;
+  match status with
+  | Unix.WEXITED 0 -> ()
+  | _ -> die "hidden_shift_cli oracle %s exited abnormally" (String.concat " " extra_args)
+
+let find_from text marker start =
+  let rec go i =
+    if i + String.length marker > String.length text then None
+    else if String.sub text i (String.length marker) = marker then
+      Some (i + String.length marker)
+    else go (i + 1)
+  in
+  go start
+
+(* first integer following [marker] in [text] *)
+let counter_after marker text =
+  match find_from text marker 0 with
+  | None -> None
+  | Some j ->
+      let k = ref j in
+      while !k < String.length text && text.[!k] >= '0' && text.[!k] <= '9' do
+        incr k
+      done;
+      int_of_string_opt (String.sub text j (!k - j))
+
+(* running total of the last [name] counter event in a .jsonl trace:
+   locate "name":"<name>" occurrences and parse the "total": field of each *)
+let trace_counter_total name text =
+  let name_marker = Printf.sprintf "\"name\":%S" name in
+  let rec last acc start =
+    match find_from text name_marker start with
+    | None -> acc
+    | Some j -> (
+        match find_from text "\"total\":" j with
+        | None -> acc
+        | Some v ->
+            let k = ref v in
+            while
+              !k < String.length text && text.[!k] >= '0' && text.[!k] <= '9'
+            do
+              incr k
+            done;
+            last (int_of_string_opt (String.sub text v (!k - v))) j)
+  in
+  last None 0
+
+let () =
+  let cli =
+    match Array.to_list Sys.argv with
+    | [ _; cli ] -> cli
+    | _ -> die "usage: xag_smoke <hidden_shift_cli.exe>"
+  in
+  let t0 = Unix.gettimeofday () in
+  let dir = Filename.temp_file "dautoq_xag" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let tmp suffix = Filename.concat dir suffix in
+  let budget = [ "--ancilla-budget"; "8" ] in
+  run cli
+    (budget @ [ "--cache"; dir; "--trace-out"; tmp "cold.jsonl" ])
+    ~out:(tmp "cold.out") ~err:(tmp "cold.err");
+  run cli (budget @ [ "--cache"; dir ]) ~out:(tmp "warm.out") ~err:(tmp "warm.err");
+  (* same store, different mapping parameters: the whole-oracle key misses
+     but the <=k-input cut functions still come out of the NPN cover store *)
+  run cli
+    [ "--ancilla-budget"; "6"; "--cache"; dir ]
+    ~out:(tmp "remap.out") ~err:(tmp "remap.err");
+  let cold = read_file (tmp "cold.out") in
+  let warm = read_file (tmp "warm.out") in
+  if cold <> warm then die "warm cached run changed the compiled output";
+  let trace = read_file (tmp "cold.jsonl") in
+  (match trace_counter_total "xag.luts" trace with
+  | None | Some 0 ->
+      die "cold trace records no xag.luts counter — the cut mapper never ran"
+  | Some _ -> ());
+  let cold_err = read_file (tmp "cold.err") in
+  (match counter_after "npn.hit=" cold_err with
+  | None | Some 0 ->
+      die "cold run reports no cache.npn.hit — cut functions not shared (stderr: %s)"
+        cold_err
+  | Some _ -> ());
+  let warm_err = read_file (tmp "warm.err") in
+  (match counter_after "xag.hit=" warm_err with
+  | None | Some 0 ->
+      die "warm run reports no xag.hit — whole-oracle memo not serving (stderr: %s)"
+        warm_err
+  | Some _ -> ());
+  let remap_err = read_file (tmp "remap.err") in
+  (match counter_after "npn.hit=" remap_err with
+  | None | Some 0 ->
+      die "re-map run reports no cache.npn.hit — cover store not shared across runs"
+  | Some _ -> ());
+  let elapsed = Unix.gettimeofday () -. t0 in
+  if elapsed > 60.0 then
+    die "16-bit comparator pipeline took %.1fs (> 60s ceiling)" elapsed;
+  Printf.printf "xag smoke: OK (3 runs in %.2fs, warm replay bit-identical)\n" elapsed;
+  Array.iter
+    (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+    (Sys.readdir dir);
+  (try Unix.rmdir dir with Unix.Unix_error _ -> ())

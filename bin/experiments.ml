@@ -1,5 +1,5 @@
-(* Regenerate every paper artifact (E1-E15; see DESIGN.md).
-   Usage: experiments [e1|e2|...|e15|all] *)
+(* Regenerate every paper artifact (E1-E16; see DESIGN.md).
+   Usage: experiments [e1|e2|...|e16|all] *)
 
 let table = [
   ("e1", fun () -> Core.Experiments.e1 ());
@@ -17,6 +17,7 @@ let table = [
   ("e13", fun () -> Core.Experiments.e13 ());
   ("e14", fun () -> Core.Experiments.e14 ());
   ("e15", fun () -> Core.Experiments.e15 ());
+  ("e16", fun () -> Core.Experiments.e16 ());
 ]
 
 let () =
@@ -26,8 +27,8 @@ let () =
       match List.assoc_opt (String.lowercase_ascii name) table with
       | Some f -> print_string (f ())
       | None ->
-          Printf.eprintf "unknown experiment %s (e1..e15 or all)\n" name;
+          Printf.eprintf "unknown experiment %s (e1..e16 or all)\n" name;
           exit 2)
   | _ ->
-      prerr_endline "usage: experiments [e1..e15|all]";
+      prerr_endline "usage: experiments [e1..e16|all]";
       exit 2

@@ -103,8 +103,7 @@ let run instance ~noisy ~shots ~runs ~draw ~qasm ~passes ~target ~faults
    trace loadable in Perfetto, anything else a human table). With --cache
    DIR the compilation cache persists into DIR and a hit/miss summary goes
    to stderr; --no-cache disables memoization entirely. *)
-let run instance ~jobs ~cache_dir ~no_cache ~noisy ~shots ~runs ~draw ~qasm ~passes
-    ~target ~trace_out ~faults ~max_retries ~deadline =
+let with_session ~jobs ~cache_dir ~no_cache ~trace_out body =
   Option.iter Par.set_default_jobs jobs;
   if no_cache then Cache.set_enabled false;
   if not no_cache then Option.iter (fun d -> Cache.set_dir (Some d)) cache_dir;
@@ -120,19 +119,29 @@ let run instance ~jobs ~cache_dir ~no_cache ~noisy ~shots ~runs ~draw ~qasm ~pas
     if cache_dir <> None && not no_cache then
       Printf.eprintf "%s\n" (Cache.summary_string ())
   in
-  match
-    run instance ~noisy ~shots ~runs ~draw ~qasm ~passes ~target ~faults
-      ~max_retries ~deadline
-  with
+  match body () with
   | () -> finish ()
   | exception
       ( Core.Pass.Spec_error msg
       | Qc.Backend.Unsupported msg
-      | Device.Bad_profile msg ) ->
+      | Device.Bad_profile msg
+      | Invalid_argument msg ) ->
       (* operational errors exit with a one-line message, never a backtrace *)
       finish ();
       Printf.eprintf "hidden-shift: %s\n" msg;
       exit 2
+  | exception Rev.Pebble.Infeasible { budget; required } ->
+      finish ();
+      Printf.eprintf
+        "hidden-shift: ancilla budget %d is infeasible for this oracle (needs >= %d)\n"
+        budget required;
+      exit 2
+
+let run instance ~jobs ~cache_dir ~no_cache ~noisy ~shots ~runs ~draw ~qasm ~passes
+    ~target ~trace_out ~faults ~max_retries ~deadline =
+  with_session ~jobs ~cache_dir ~no_cache ~trace_out (fun () ->
+      run instance ~noisy ~shots ~runs ~draw ~qasm ~passes ~target ~faults
+        ~max_retries ~deadline)
 
 (* common flags *)
 let noisy = Arg.(value & flag & info [ "noisy" ] ~doc:"Run on the noisy (IBM-like) backend.")
@@ -281,6 +290,96 @@ let random_cmd =
       $ runs $ draw $ qasm $ passes_arg $ target_arg $ trace_out_arg $ faults_arg
       $ max_retries_arg $ deadline_arg)
 
+(* --- the XAG oracle pipeline (wide arithmetic predicates) --- *)
+
+let oracle_xag_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "oracle-xag" ]
+        ~doc:
+          "Compile the named arithmetic oracle through the XAG pipeline: \
+           adder:N | sub:N | lt:N | ltconst:N:K | eqconst:N:K | addeq:N | \
+           mult:N. The specification is built structurally — no 2^N truth \
+           table is ever materialized."
+        ~docv:"SPEC")
+
+let lut_k_arg =
+  Arg.(
+    value
+    & opt int 4
+    & info [ "lut-k" ]
+        ~doc:
+          "Cut size for the k-LUT covering of the XAG (2-6). Each LUT routes \
+           through the NPN-indexed synthesis cache."
+        ~docv:"K")
+
+let ancilla_budget_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "ancilla-budget" ]
+        ~doc:
+          "Pebble the LUT schedule so peak ancilla usage never exceeds \
+           $(docv) (extra compute/uncompute gates trade for space). Without \
+           it every LUT keeps its own ancilla."
+        ~docv:"B")
+
+let run_oracle ~spec ~lut_k ~ancilla_budget ~draw ~qasm ~target () =
+  let g = Core.Flow.xag_of_spec spec in
+  Printf.printf "oracle %s: %d inputs, %d outputs, %d nodes (%d AND)\n" spec
+    (Rev.Xag.num_inputs g)
+    (List.length (Rev.Xag.outputs g))
+    (Rev.Xag.num_nodes g) (Rev.Xag.num_ands g);
+  let circuit, report = Core.Flow.compile_xag ~lut_k ?ancilla_budget g in
+  Fmt.pr "%a@." Core.Flow.pp_report report;
+  Printf.printf "LUT ancillae: %d%s\n"
+    (Core.Flow.xag_ancillae g report)
+    (match ancilla_budget with
+    | Some b -> Printf.sprintf " (budget %d)" b
+    | None -> " (no budget: one per LUT)");
+  (* small oracles: verify the reversible layer exhaustively *)
+  let n = Rev.Xag.num_inputs g in
+  if n <= 8 then begin
+    let rc =
+      match ancilla_budget with
+      | None -> Rev.Lut_synth.synth ~k:lut_k g
+      | Some budget -> Rev.Lut_synth.synth_pebbled ~k:lut_k ~budget g
+    in
+    if Rev.Lut_synth.check rc (Rev.Xag.to_truth_tables g) then
+      Printf.printf "oracle verified exhaustively over %d inputs\n" (1 lsl n)
+    else begin
+      Printf.eprintf "hidden-shift: oracle MISMATCH against its specification\n";
+      exit 1
+    end
+  end;
+  if draw then print_string (Qc.Draw.to_string circuit);
+  if qasm then print_string (Qc.Qasm.to_string circuit);
+  match target with
+  | None -> ()
+  | Some spec ->
+      let backend = Qc.Backend.of_spec spec in
+      print_endline (Qc.Backend.outcome_to_string (backend.Qc.Backend.run circuit))
+
+let oracle_cmd =
+  let go spec lut_k ancilla_budget jobs cache_dir no_cache draw qasm target trace_out =
+    with_session ~jobs ~cache_dir ~no_cache ~trace_out
+      (run_oracle ~spec ~lut_k ~ancilla_budget ~draw ~qasm ~target)
+  in
+  Cmd.v
+    (Cmd.info "oracle"
+       ~doc:
+         "Compile a wide arithmetic oracle through the scalable XAG pipeline \
+          (structural graph, cut-based k-LUT covering, optional pebbled \
+          ancilla schedule).")
+    Term.(
+      const go $ oracle_xag_arg $ lut_k_arg $ ancilla_budget_arg $ jobs_arg
+      $ cache_dir_arg $ no_cache_arg $ draw $ qasm $ target_arg $ trace_out_arg)
+
 let () =
   let doc = "Boolean hidden shift on the automatic quantum compilation flow." in
-  exit (Cmd.eval (Cmd.group (Cmd.info "hidden-shift" ~doc) [ ip_cmd; mm_cmd; random_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group
+          (Cmd.info "hidden-shift" ~doc)
+          [ ip_cmd; mm_cmd; random_cmd; oracle_cmd ]))

@@ -454,6 +454,20 @@ module Cover = struct
   let max_npn_vars = 6
   let max_exact_vars = 12
 
+  (* The >12-var bypass used to be silent; now it counts and warns once
+     per process so slow synthesis has a visible cause. *)
+  let bypass_warned = ref false
+
+  let note_bypass n =
+    Obs.count "cache.npn.bypass";
+    if not !bypass_warned then begin
+      bypass_warned := true;
+      Printf.eprintf
+        "cache: %d-input cover exceeds the %d-var cache limit; minimizing uncached \
+         (consider the XAG/LUT pipeline for wide oracles)\n%!"
+        n max_exact_vars
+    end
+
   (** [minimize tt] is extensionally {!Logic.Esop_opt.minimize} — for
       [n <= 6] it always routes through the NPN representative (canonize,
       minimize the representative, replay), cache on or off, so the
@@ -469,5 +483,8 @@ module Cover = struct
     end
     else if n <= max_exact_vars then
       find_or_add store ("=" ^ Truth_table.to_string tt) (fun () -> Esop_opt.minimize tt)
-    else Esop_opt.minimize tt
+    else begin
+      note_bypass n;
+      Esop_opt.minimize tt
+    end
 end

@@ -162,9 +162,69 @@ let compile_function ?(options = { default with synth = Esop }) ?pipeline fs =
 let compile_expr ?options ?n e =
   compile_function ?options [ Logic.Bexpr.to_truth_table ?n e ]
 
-(** One job of a {!compile_batch}: a reversible specification or an
-    irreversible multi-output one. *)
-type spec = Perm_spec of Perm.t | Fn_spec of Truth_table.t list
+(** [compile_xag ?options ?pipeline ?lut_k ?ancilla_budget g] runs the
+    flow on an XAG oracle — the scalable front end for wide arithmetic
+    specifications that never materializes a 2^n table. The XAG is covered
+    with [lut_k]-input LUTs (priority cuts); without a budget every LUT
+    gets its own ancilla (Bennett), with [ancilla_budget] the LUT
+    schedule is pebbled so peak ancilla usage fits the budget (see
+    {!Rev.Lut_synth.synth_pebbled}). The reversible result is memoized
+    by graph structure and parameters, and cut functions share the NPN
+    cover store across oracles — output is bit-identical cache on or
+    off. *)
+let compile_xag ?(options = default) ?pipeline ?(lut_k = 4) ?ancilla_budget g =
+  Obs.with_span "core.flow.compile_xag" @@ fun () ->
+  if Obs.enabled () then
+    Obs.add_attrs
+      [ ("inputs", Obs.Int (Rev.Xag.num_inputs g));
+        ("nodes", Obs.Int (Rev.Xag.num_nodes g));
+        ("ands", Obs.Int (Rev.Xag.num_ands g)) ];
+  let rc =
+    Rev.Synth_cache.xag ~k:lut_k ?budget:ancilla_budget
+      (fun g ->
+        match ancilla_budget with
+        | None -> fst (Rev.Lut_synth.synth ~k:lut_k g)
+        | Some b -> fst (Rev.Lut_synth.synth_pebbled ~k:lut_k ~budget:b g))
+      g
+  in
+  let pipeline =
+    match pipeline with Some pl -> pl | None -> pipeline_of_options options
+  in
+  finish_pipeline pipeline rc
+
+(** [xag_ancillae g report] recovers the LUT-layer ancilla count of a
+    {!compile_xag} run from the synthesized line count (lines = inputs +
+    outputs + ancillae). *)
+let xag_ancillae g (r : report) =
+  r.rev_stats.Rev.Rcircuit.lines - Rev.Xag.num_inputs g
+  - List.length (Rev.Xag.outputs g)
+
+(** [xag_of_spec s] builds a named arithmetic oracle XAG from a compact
+    description — the [--oracle-xag] grammar of the CLIs:
+    [adder:N] | [sub:N] | [lt:N] | [ltconst:N:K] | [eqconst:N:K] |
+    [addeq:N] | [mult:N] (K accepts any [int_of_string] literal,
+    e.g. 0x… hex). *)
+let xag_of_spec s =
+  let fail () =
+    invalid_arg
+      ("Flow.xag_of_spec: bad oracle spec '" ^ s
+     ^ "' (expected adder:N | sub:N | lt:N | ltconst:N:K | eqconst:N:K | addeq:N \
+        | mult:N)")
+  in
+  let int v = match int_of_string_opt v with Some i -> i | None -> fail () in
+  match String.split_on_char ':' (String.trim s) with
+  | [ "adder"; n ] -> Rev.Arith.xag_adder (int n)
+  | [ "sub"; n ] -> Rev.Arith.xag_subtractor (int n)
+  | [ "lt"; n ] -> Rev.Arith.xag_less_than (int n)
+  | [ "ltconst"; n; k ] -> Rev.Arith.xag_less_than_const (int n) ~k:(int k)
+  | [ "eqconst"; n; k ] -> Rev.Arith.xag_equals_const (int n) ~k:(int k)
+  | [ "addeq"; n ] -> Rev.Arith.xag_add_equals (int n)
+  | [ "mult"; n ] -> Rev.Arith.xag_multiplier (int n)
+  | _ -> fail ()
+
+(** One job of a {!compile_batch}: a reversible specification, an
+    irreversible multi-output one, or an XAG oracle. *)
+type spec = Perm_spec of Perm.t | Fn_spec of Truth_table.t list | Xag_spec of Rev.Xag.t
 
 (** [compile_batch ?options ?pipeline ?jobs specs] compiles independent
     oracles, fanning the jobs out over the {!Par} domain pool (width
@@ -174,11 +234,12 @@ type spec = Perm_spec of Perm.t | Fn_spec of Truth_table.t list
     [jobs] value. When a telemetry sink is attached the batch degrades to
     sequential execution (the Obs recorder is not domain-safe) — same
     results, richer trace. *)
-let compile_batch ?options ?pipeline ?jobs specs =
+let compile_batch ?options ?pipeline ?lut_k ?ancilla_budget ?jobs specs =
   Obs.with_span "core.flow.compile_batch" @@ fun () ->
   let compile_one = function
     | Perm_spec p -> compile_perm ?options ?pipeline p
     | Fn_spec fs -> compile_function ?options ?pipeline fs
+    | Xag_spec g -> compile_xag ?options ?pipeline ?lut_k ?ancilla_budget g
   in
   let jobs = match jobs with Some j -> max 1 j | None -> Par.default_jobs () in
   let n = List.length specs in

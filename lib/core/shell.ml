@@ -16,6 +16,7 @@ module Truth_table = Logic.Truth_table
 type state = {
   perm : Perm.t option;
   func : Truth_table.t list option;
+  xag : Rev.Xag.t option; (* the scalable oracle front end *)
   rev : Rev.Rcircuit.t option;
   qc : Qc.Circuit.t option;
   trace : Pass.trace option; (* instrumentation of the last [pipeline] run *)
@@ -27,7 +28,7 @@ type state = {
 }
 
 let init () =
-  { perm = None; func = None; rev = None; qc = None; trace = None;
+  { perm = None; func = None; xag = None; rev = None; qc = None; trace = None;
     recorder = Obs.Memory.create (); fault_profile = Device.none; device = None;
     device_spec = None; out = Buffer.create 256 }
 
@@ -45,6 +46,7 @@ let say st fmt =
 let need_perm st = match st.perm with Some p -> p | None -> failf "no permutation loaded (use revgen/random_perm/perm)"
 let need_func st = match st.func with Some f -> f | None -> failf "no function loaded (use expr/tt)"
 let need_rev st = match st.rev with Some c -> c | None -> failf "no reversible circuit (use tbs/dbs/esop/hier)"
+let need_xag st = match st.xag with Some g -> g | None -> failf "no XAG loaded (use xag)"
 let need_qc st = match st.qc with Some c -> c | None -> failf "no quantum circuit (use cliffordt)"
 
 let int_arg name = function
@@ -128,6 +130,63 @@ let exec_cmd st words =
           let k = match arg 0 with Some s -> int_arg "lut" (Some s) | None -> 4 in
           let c, layout = Rev.Lut_synth.synth_tables ~k (need_func st) in
           say st "lut(k=%d): %d gates, %d ancillae" k (Rev.Rcircuit.num_gates c)
+            layout.Rev.Lut_synth.ancillae;
+          { st with rev = Some c }
+      | "xag" -> (
+          (* xag ltconst 16 1234 | xag adder 8 | xag expr a&b^c |
+             xag stats | xag rewrite *)
+          match args with
+          | [ "stats" ] ->
+              let g = need_xag st in
+              say st "xag: %d inputs, %d outputs, %d nodes (%d AND)"
+                (Rev.Xag.num_inputs g)
+                (List.length (Rev.Xag.outputs g))
+                (Rev.Xag.num_nodes g) (Rev.Xag.num_ands g);
+              st
+          | [ "rewrite" ] ->
+              let g = need_xag st in
+              let before = Rev.Xag.num_nodes g in
+              let g' = Rev.Xag.rewrite g in
+              say st "xag rewrite: %d -> %d nodes" before (Rev.Xag.num_nodes g');
+              { st with xag = Some g' }
+          | "expr" :: rest -> (
+              let text = String.concat " " rest in
+              match Logic.Bexpr.parse text with
+              | e ->
+                  let n = Logic.Bexpr.max_var e + 1 in
+                  let g = Rev.Xag.of_bexpr n e in
+                  say st "xag: expression on %d inputs, %d nodes" n
+                    (Rev.Xag.num_nodes g);
+                  { st with xag = Some g }
+              | exception Logic.Bexpr.Parse_error m -> failf "xag expr: %s" m)
+          | _ :: _ ->
+              let g = Flow.xag_of_spec (String.concat ":" args) in
+              say st "xag: %d inputs, %d outputs, %d nodes (%d AND)"
+                (Rev.Xag.num_inputs g)
+                (List.length (Rev.Xag.outputs g))
+                (Rev.Xag.num_nodes g) (Rev.Xag.num_ands g);
+              { st with xag = Some g }
+          | [] ->
+              failf
+                "xag: expected a spec (adder <n> | sub <n> | lt <n> | ltconst <n> \
+                 <k> | eqconst <n> <k> | addeq <n> | mult <n>), expr <e>, stats or \
+                 rewrite")
+      | "xagsynth" ->
+          let g = need_xag st in
+          let k = match arg 0 with Some s -> int_arg "xagsynth" (Some s) | None -> 4 in
+          let budget = Option.map (fun s -> int_arg "xagsynth" (Some s)) (arg 1) in
+          let c, layout =
+            match budget with
+            | None -> Rev.Lut_synth.synth ~k g
+            | Some b -> (
+                try Rev.Lut_synth.synth_pebbled ~k ~budget:b g
+                with Rev.Pebble.Infeasible { budget; required } ->
+                  failf "xagsynth: ancilla budget %d infeasible (needs >= %d)" budget
+                    required)
+          in
+          say st "xagsynth(k=%d%s): %d gates, %d lines, %d ancillae" k
+            (match budget with Some b -> Printf.sprintf ", budget=%d" b | None -> "")
+            (Rev.Rcircuit.num_gates c) layout.Rev.Lut_synth.total_lines
             layout.Rev.Lut_synth.ancillae;
           { st with rev = Some c }
       | "adder" ->
@@ -428,6 +487,7 @@ let exec_cmd st words =
       | "help" ->
           say st
             "commands: revgen <name> <n> | random_perm <n> [seed] | perm <pts…> | expr <e> | tt <bits> | adder <n> |\n\
+            \  xag <spec|expr <e>|stats|rewrite> | xagsynth [k] [budget] |\n\
             \  tbs [-b] | dbs | cycle | exact | esop | hier [batch] | bdd | lut [k] | embed | revsimp | resynth |\n\
             \  cliffordt [--no-rccx] | tpar | peephole | route |\n\
             \  pipeline <p1,p2,…> | passes | trace | trace export <file> | stats | run <target> | backends | jobs [n] |\n\

@@ -110,6 +110,182 @@ let mod_mult_const n ~m ~c =
     the core of Shor's order finding. *)
 let mod_exp_step n ~m ~base = mod_mult_const n ~m ~c:base
 
+(* --- structural subtract / compare (circuit level) --- *)
+
+(** [borrow_subtractor n] is the ripple-borrow subtractor
+    [b := b − a (mod 2^n)] with an explicit borrow-out line: the CDKM
+    adder run on [(a, ¬b)] (X-conjugated accumulator), whose outgoing
+    carry is exactly the borrow [a > b]. Same line layout as
+    {!cuccaro_adder}; [layout.carry_out] holds the borrow. *)
+let borrow_subtractor n =
+  let c, layout = cuccaro_adder ~with_carry:true n in
+  let flips = Array.to_list (Array.map Mct.not_ layout.b) in
+  let gates = flips @ Rcircuit.gates c @ flips in
+  (Rcircuit.of_gates (Rcircuit.num_lines c) gates, layout)
+
+(** Line layout of the {!less_than} comparator. *)
+type cmp_layout = {
+  cmp_carry : int; (* clean ancilla, returned clean *)
+  cmp_a : int array; (* preserved *)
+  cmp_b : int array; (* preserved *)
+  cmp_flag : int; (* flag ^= [a < b] *)
+}
+
+(** [less_than n] is the unsigned comparator: [flag ^= (a < b)], both
+    operands preserved, the carry ancilla returned clean. It runs the MAJ
+    half of the CDKM adder on [(¬a, b)] — the outgoing carry of [¬a + b]
+    is [a < b] — copies it onto the flag and unwinds the MAJ chain. *)
+let less_than n =
+  if n < 1 then invalid_arg "Arith.less_than";
+  let carry = 0 in
+  let a = Array.init n (fun i -> 1 + i) in
+  let b = Array.init n (fun i -> 1 + n + i) in
+  let flag = (2 * n) + 1 in
+  let majs =
+    List.concat
+      (List.init n (fun i ->
+           let c = if i = 0 then carry else a.(i - 1) in
+           maj c b.(i) a.(i)))
+  in
+  let flips = Array.to_list (Array.map Mct.not_ a) in
+  let gates =
+    flips @ majs @ [ Mct.cnot a.(n - 1) flag ] @ List.rev majs @ flips
+  in
+  ( Rcircuit.of_gates ((2 * n) + 2) gates,
+    { cmp_carry = carry; cmp_a = a; cmp_b = b; cmp_flag = flag } )
+
+(* --- native XAG builders (specification level, never 2^n tables) --- *)
+
+(* One-bit full adder over signals: (sum, carry-out). *)
+let xag_full_add g a b c =
+  let axb = Xag.xor g a b in
+  (Xag.xor g axb c, Xag.xor g (Xag.and_ g a b) (Xag.and_ g c axb))
+
+(** [xag_adder n] is the structural ripple-carry adder XAG
+    ([a] on inputs [0..n−1], [b] on [n..2n−1]; [n+1] outputs). *)
+let xag_adder n = Xag.ripple_adder n
+
+(** [xag_subtractor n] computes [a − b (mod 2^n)] plus a borrow-out
+    output, as a ripple-borrow chain (≈ 5 nodes per bit):
+    [borrow' = (¬a ∧ b) ⊕ (borrow ∧ ¬(a ⊕ b))]. *)
+let xag_subtractor n =
+  if n < 1 then invalid_arg "Arith.xag_subtractor";
+  let g = Xag.create (2 * n) in
+  let borrow = ref Xag.const_false in
+  for i = 0 to n - 1 do
+    let a = Xag.input g i and b = Xag.input g (n + i) in
+    let axb = Xag.xor g a b in
+    Xag.add_output g (Xag.xor g axb !borrow);
+    borrow :=
+      Xag.xor g
+        (Xag.and_ g (Xag.complement a) b)
+        (Xag.and_ g !borrow (Xag.complement axb))
+  done;
+  Xag.add_output g !borrow;
+  g
+
+(** [xag_less_than n] is the single-output unsigned comparator
+    [a < b] — the final borrow of the subtraction chain. *)
+let xag_less_than n =
+  if n < 1 then invalid_arg "Arith.xag_less_than";
+  let g = Xag.create (2 * n) in
+  let borrow = ref Xag.const_false in
+  for i = 0 to n - 1 do
+    let a = Xag.input g i and b = Xag.input g (n + i) in
+    let axb = Xag.xor g a b in
+    borrow :=
+      Xag.xor g
+        (Xag.and_ g (Xag.complement a) b)
+        (Xag.and_ g !borrow (Xag.complement axb))
+  done;
+  Xag.add_output g !borrow;
+  g
+
+(** [xag_less_than_const n ~k] is the predicate [x < k] on an [n]-bit
+    input against a compile-time constant — constants fold, leaving at
+    most two nodes per bit: scanning LSB→MSB,
+    [lt ← ¬x_i ⊕ (x_i ∧ lt)] where [k_i = 1], [lt ← ¬x_i ∧ lt] where
+    [k_i = 0]. *)
+let xag_less_than_const n ~k =
+  if n < 1 then invalid_arg "Arith.xag_less_than_const";
+  let g = Xag.create n in
+  if k lsr n <> 0 then
+    (* k beyond the input range: the predicate is constant true *)
+    Xag.add_output g Xag.const_true
+  else begin
+    let lt = ref Xag.const_false in
+    for i = 0 to n - 1 do
+      let x = Xag.input g i in
+      lt :=
+        if Bitops.bit k i then
+          Xag.xor g (Xag.complement x) (Xag.and_ g x !lt)
+        else Xag.and_ g (Xag.complement x) !lt
+    done;
+    Xag.add_output g !lt
+  end;
+  g
+
+(** [xag_equals_const n ~k] is the predicate [x = k] — an AND tree of
+    per-bit (anti-)literals. *)
+let xag_equals_const n ~k =
+  if n < 1 then invalid_arg "Arith.xag_equals_const";
+  let g = Xag.create n in
+  let eq = ref Xag.const_true in
+  for i = 0 to n - 1 do
+    let x = Xag.input g i in
+    let lit = if Bitops.bit k i then x else Xag.complement x in
+    eq := Xag.and_ g !eq lit
+  done;
+  Xag.add_output g !eq;
+  g
+
+(** [xag_add_equals n] is the [3n]-input predicate [a + b = c]
+    ([a] on [0..n−1], [b] on [n..2n−1], [c] on [2n..3n−1]): a ripple sum
+    compared bit-for-bit, with the outgoing carry required clear. *)
+let xag_add_equals n =
+  if n < 1 then invalid_arg "Arith.xag_add_equals";
+  let g = Xag.create (3 * n) in
+  let carry = ref Xag.const_false in
+  let eq = ref Xag.const_true in
+  for i = 0 to n - 1 do
+    let a = Xag.input g i
+    and b = Xag.input g (n + i)
+    and c = Xag.input g ((2 * n) + i) in
+    let sum, carry' = xag_full_add g a b !carry in
+    carry := carry';
+    eq := Xag.and_ g !eq (Xag.complement (Xag.xor g sum c))
+  done;
+  Xag.add_output g (Xag.and_ g !eq (Xag.complement !carry));
+  g
+
+(** [xag_multiplier n] is the [n×n → 2n]-bit shift-add array multiplier
+    ([a] on inputs [0..n−1], [b] on [n..2n−1], product LSB first) —
+    quadratic in nodes, never in table rows. *)
+let xag_multiplier n =
+  if n < 1 then invalid_arg "Arith.xag_multiplier";
+  let g = Xag.create (2 * n) in
+  let p = Array.make (2 * n) Xag.const_false in
+  for i = 0 to n - 1 do
+    let bi = Xag.input g (n + i) in
+    let carry = ref Xag.const_false in
+    for j = 0 to n - 1 do
+      let pp = Xag.and_ g (Xag.input g j) bi in
+      let sum, carry' = xag_full_add g p.(i + j) pp !carry in
+      p.(i + j) <- sum;
+      carry := carry'
+    done;
+    (* ripple the row carry into the high half *)
+    let pos = ref (i + n) in
+    while !carry <> Xag.const_false && !pos < 2 * n do
+      let sum, carry' = xag_full_add g p.(!pos) !carry Xag.const_false in
+      p.(!pos) <- sum;
+      carry := carry';
+      incr pos
+    done
+  done;
+  Array.iter (Xag.add_output g) p;
+  g
+
 (* --- verification helpers --- *)
 
 (** [check_adder (circuit, layout) n] exhaustively verifies
@@ -131,6 +307,53 @@ let check_adder (circuit, layout) n =
       (match layout.carry_out with
       | Some z -> if Bitops.bit out z <> (a + b >= 1 lsl n) then ok := false
       | None -> ())
+    done
+  done;
+  !ok
+
+(** [check_subtractor (circuit, layout) n] exhaustively verifies
+    [b := b − a (mod 2^n)] and the borrow-out. *)
+let check_subtractor (circuit, layout) n =
+  let ok = ref true in
+  for a = 0 to (1 lsl n) - 1 do
+    for b = 0 to (1 lsl n) - 1 do
+      let input = ref 0 in
+      Array.iteri (fun i l -> if Bitops.bit a i then input := !input lor (1 lsl l)) layout.a;
+      Array.iteri (fun i l -> if Bitops.bit b i then input := !input lor (1 lsl l)) layout.b;
+      let out = Rsim.run circuit !input in
+      let a' = ref 0 and b' = ref 0 in
+      Array.iteri (fun i l -> if Bitops.bit out l then a' := !a' lor (1 lsl i)) layout.a;
+      Array.iteri (fun i l -> if Bitops.bit out l then b' := !b' lor (1 lsl i)) layout.b;
+      if !a' <> a then ok := false;
+      if !b' <> (b - a) land Bitops.mask n then ok := false;
+      if Bitops.bit out layout.carry_in then ok := false;
+      (match layout.carry_out with
+      | Some z -> if Bitops.bit out z <> (a > b) then ok := false
+      | None -> ())
+    done
+  done;
+  !ok
+
+(** [check_less_than (circuit, layout) n] exhaustively verifies
+    [flag ^= (a < b)] with operands preserved and ancilla clean. *)
+let check_less_than (circuit, (layout : cmp_layout)) n =
+  let ok = ref true in
+  for a = 0 to (1 lsl n) - 1 do
+    for b = 0 to (1 lsl n) - 1 do
+      let input = ref 0 in
+      Array.iteri (fun i l -> if Bitops.bit a i then input := !input lor (1 lsl l))
+        layout.cmp_a;
+      Array.iteri (fun i l -> if Bitops.bit b i then input := !input lor (1 lsl l))
+        layout.cmp_b;
+      let out = Rsim.run circuit !input in
+      let a' = ref 0 and b' = ref 0 in
+      Array.iteri (fun i l -> if Bitops.bit out l then a' := !a' lor (1 lsl i))
+        layout.cmp_a;
+      Array.iteri (fun i l -> if Bitops.bit out l then b' := !b' lor (1 lsl i))
+        layout.cmp_b;
+      if !a' <> a || !b' <> b then ok := false;
+      if Bitops.bit out layout.cmp_carry then ok := false;
+      if Bitops.bit out layout.cmp_flag <> (a < b) then ok := false
     done
   done;
   !ok

@@ -18,31 +18,120 @@ type lut = {
 
 type layout = { n : int; m : int; total_lines : int; ancillae : int; k : int }
 
-(* Greedy k-feasible cut per node: merge the children's cuts when small
-   enough, else cut at the children. *)
-let compute_cuts g ~k =
-  let cuts = Hashtbl.create 64 in
-  let cut_of id =
+(* --- priority-cut enumeration (area-flow / depth cost) ---
+
+   Per node we enumerate k-feasible cuts by merging the children's cut
+   sets (plus their trivial cuts), prune dominated cuts, and keep the
+   [max_cuts] best by (area flow, depth, size). Area flow divides the
+   estimated LUT count by the node's fanout so shared logic is not
+   double-charged — the standard FPGA-mapping cost adapted to ancilla
+   minimization. *)
+
+type cut = {
+  cut_leaves : int list; (* sorted node ids *)
+  cut_depth : int;
+  cut_aflow : float;
+}
+
+let max_cuts = 8
+
+let cut_compare a b =
+  match compare a.cut_aflow b.cut_aflow with
+  | 0 -> (
+      match compare a.cut_depth b.cut_depth with
+      | 0 -> compare (List.length a.cut_leaves) (List.length b.cut_leaves)
+      | c -> c)
+  | c -> c
+
+(* [a] dominates [b] when a's leaves are a subset and a costs no more. *)
+let dominates a b =
+  List.for_all (fun l -> List.mem l b.cut_leaves) a.cut_leaves && cut_compare a b <= 0
+
+let merge_leaves k la lb =
+  let rec go acc n la lb =
+    if n > k then None
+    else
+      match (la, lb) with
+      | [], rest | rest, [] ->
+          if n + List.length rest > k then None
+          else Some (List.rev_append acc rest)
+      | x :: xs, y :: ys ->
+          if x = y then go (x :: acc) (n + 1) xs ys
+          else if x < y then go (x :: acc) (n + 1) xs lb
+          else go (y :: acc) (n + 1) la ys
+  in
+  go [] 0 la lb
+
+(* Enumerate priority cuts for every internal node; returns
+   [best_cut id] (the covering choice) and the total number of cuts kept
+   (an Obs statistic). *)
+let enumerate_cuts g ~k =
+  let fo = Xag.fanouts g in
+  let cuts : (int, cut list) Hashtbl.t = Hashtbl.create 64 in
+  let total = ref 0 in
+  let trivial id = { cut_leaves = [ id ]; cut_depth = 0; cut_aflow = 0. } in
+  (* cuts used by parents: the node's own cuts plus its trivial cut *)
+  let cuts_up id =
     match Xag.node g id with
-    | Xag.Input _ -> [ id ]
-    | _ -> Hashtbl.find cuts id
+    | Xag.Input _ | Xag.Const -> [ trivial id ]
+    | _ -> trivial id :: Hashtbl.find cuts id
+  in
+  let best_aflow id =
+    match Xag.node g id with
+    | Xag.Input _ | Xag.Const -> 0.
+    | _ -> (List.hd (Hashtbl.find cuts id)).cut_aflow
+  in
+  let best_depth id =
+    match Xag.node g id with
+    | Xag.Input _ | Xag.Const -> 0
+    | _ -> (List.hd (Hashtbl.find cuts id)).cut_depth
   in
   List.iter
     (fun id ->
       match Xag.node g id with
       | Xag.And (a, b) | Xag.Xor (a, b) ->
-          let ca = cut_of (Xag.node_of_signal a) and cb = cut_of (Xag.node_of_signal b) in
-          let merged = List.sort_uniq compare (ca @ cb) in
-          let cut =
-            if List.length merged <= k then merged
-            else
-              List.sort_uniq compare
-                [ Xag.node_of_signal a; Xag.node_of_signal b ]
+          let ca = cuts_up (Xag.node_of_signal a)
+          and cb = cuts_up (Xag.node_of_signal b) in
+          let merged =
+            List.concat_map
+              (fun x ->
+                List.filter_map
+                  (fun y ->
+                    match merge_leaves k x.cut_leaves y.cut_leaves with
+                    | None -> None
+                    | Some leaves ->
+                        let depth =
+                          1 + List.fold_left (fun d l -> max d (best_depth l)) 0 leaves
+                        in
+                        let area =
+                          1. +. List.fold_left (fun s l -> s +. best_aflow l) 0. leaves
+                        in
+                        Some
+                          { cut_leaves = leaves;
+                            cut_depth = depth;
+                            cut_aflow = area /. float_of_int (max 1 fo.(id)) })
+                  cb)
+              ca
           in
-          Hashtbl.add cuts id cut
+          let sorted = List.sort_uniq compare merged in
+          let pruned =
+            List.filter
+              (fun c ->
+                not
+                  (List.exists (fun c' -> c' != c && dominates c' c) sorted))
+              sorted
+          in
+          let kept =
+            List.filteri (fun i _ -> i < max_cuts) (List.sort cut_compare pruned)
+          in
+          (* the pair cut {a, b} always fits (k >= 2), so [kept] is never
+             empty *)
+          total := !total + List.length kept;
+          Hashtbl.add cuts id kept
       | _ -> ())
     (Xag.internal_nodes_topological g);
-  cut_of
+  let best id = (List.hd (Hashtbl.find cuts id)).cut_leaves in
+  (best, !total)
 
 (* Tabulate the cone of [root] over the ordered [leaves]. *)
 let local_table g ~root ~leaves =
@@ -70,11 +159,13 @@ let local_table g ~root ~leaves =
       in
       eval root)
 
-(** [map_luts ~k g] covers the XAG with k-input LUTs: returns the selected
-    LUTs in dependency order (leaves' LUTs before users'). *)
+(** [map_luts ~k g] covers the XAG with k-input LUTs using priority-cut
+    enumeration: returns the selected LUTs in dependency order (leaves'
+    LUTs before users'). *)
 let map_luts ~k g =
   if k < 2 then invalid_arg "Lut_synth.map_luts: k >= 2";
-  let cut_of = compute_cuts g ~k in
+  Obs.with_span "rev.xag.map" @@ fun () ->
+  let cut_of, cuts_enumerated = enumerate_cuts g ~k in
   (* covering: walk back from the outputs *)
   let selected = Hashtbl.create 64 in
   let order = ref [] in
@@ -90,7 +181,10 @@ let map_luts ~k g =
         end
   in
   List.iter (fun s -> need (Xag.node_of_signal s)) (Xag.outputs g);
-  List.rev !order
+  let luts = List.rev !order in
+  Obs.count ~by:(List.length luts) "xag.luts";
+  Obs.count ~by:cuts_enumerated "xag.map.cuts";
+  luts
 
 (** [synth ~k g] is the full flow: LUT mapping, one ancilla per LUT
     computed as an ESOP cascade, outputs copied off, Bennett uncompute.
@@ -117,7 +211,7 @@ let synth ~k g =
             (Logic.Cube.literals (List.length l.leaves) cube)
         in
         Mct.of_controls controls target)
-      (Logic.Esop_opt.minimize l.table)
+      (Cache.Cover.minimize l.table)
   in
   let compute = List.concat_map lut_gates luts in
   let copies =
@@ -137,6 +231,97 @@ let synth ~k g =
   if total > 62 then invalid_arg "Lut_synth.synth: too many lines";
   let circuit = Rcircuit.of_gates total (compute @ copies @ List.rev compute) in
   (circuit, { n; m; total_lines = total; ancillae = List.length luts; k })
+
+(** [synth_pebbled ~k ~budget g] is the ancilla-bounded flow: priority-cut
+    LUT mapping, then a {!Pebble.schedule_dag} compute/uncompute schedule
+    whose peak pebble count fits [budget], each pebbled LUT landing on a
+    reused ancilla line and each LUT function minimized through the
+    NPN-indexed {!Cache.Cover} store. Line layout: inputs, outputs, then
+    [ancillae = peak] reusable lines (all returned clean). Raises
+    {!Pebble.Infeasible} when no strategy fits the budget. *)
+let synth_pebbled ~k ~budget g =
+  Obs.with_span "rev.xag.synth_pebbled" @@ fun () ->
+  let n = Xag.num_inputs g in
+  let outputs = Xag.outputs g in
+  let m = List.length outputs in
+  let luts = Array.of_list (map_luts ~k g) in
+  let num = Array.length luts in
+  let idx_of = Hashtbl.create 64 in
+  Array.iteri (fun i l -> Hashtbl.add idx_of l.root i) luts;
+  let deps =
+    Array.map
+      (fun (l : lut) ->
+        List.filter_map (fun leaf -> Hashtbl.find_opt idx_of leaf) l.leaves)
+      luts
+  in
+  let out_roots =
+    List.map
+      (fun s ->
+        let id = Xag.node_of_signal s in
+        match Xag.node g id with
+        | Xag.Input _ | Xag.Const -> None
+        | _ -> Some (Hashtbl.find idx_of id))
+      outputs
+  in
+  let cost, steps = Pebble.schedule_dag ~budget ~deps ~outputs:out_roots in
+  let ancillae = cost.Pebble.pebbles in
+  let total = n + m + ancillae in
+  if total > 62 then invalid_arg "Lut_synth.synth_pebbled: too many lines";
+  Obs.observe "xag.pebble.peak" (float_of_int ancillae);
+  Obs.observe "xag.pebble.moves" (float_of_int cost.Pebble.moves);
+  (* ancilla lines are a free stack; the schedule bounds its depth *)
+  let free = ref (List.init ancillae (fun i -> n + m + i)) in
+  let assigned = Array.make num (-1) in
+  let line_of id =
+    match Xag.node g id with
+    | Xag.Input i -> i
+    | _ ->
+        let l = assigned.(Hashtbl.find idx_of id) in
+        if l < 0 then invalid_arg "Lut_synth.synth_pebbled: leaf not pebbled";
+        l
+  in
+  let cascade i =
+    let l = luts.(i) in
+    let target = assigned.(i) in
+    List.map
+      (fun cube ->
+        let controls =
+          List.map
+            (fun (v, pol) -> (line_of (List.nth l.leaves v), pol))
+            (Logic.Cube.literals (List.length l.leaves) cube)
+        in
+        Mct.of_controls controls target)
+      (Cache.Cover.minimize l.table)
+  in
+  let out_arr = Array.of_list outputs in
+  let gates =
+    List.concat_map
+      (function
+        | Pebble.Compute_lut i ->
+            (match !free with
+            | line :: rest ->
+                free := rest;
+                assigned.(i) <- line
+            | [] -> invalid_arg "Lut_synth.synth_pebbled: schedule over budget");
+            cascade i
+        | Pebble.Uncompute_lut i ->
+            let gs = List.rev (cascade i) in
+            free := assigned.(i) :: !free;
+            assigned.(i) <- -1;
+            gs
+        | Pebble.Emit_output j ->
+            let s = out_arr.(j) in
+            let id = Xag.node_of_signal s in
+            let base =
+              match Xag.node g id with
+              | Xag.Const -> []
+              | _ -> [ Mct.cnot (line_of id) (n + j) ]
+            in
+            if Xag.is_complemented s then base @ [ Mct.not_ (n + j) ] else base)
+      steps
+  in
+  let circuit = Rcircuit.of_gates total gates in
+  (circuit, { n; m; total_lines = total; ancillae; k })
 
 (** [synth_tables ~k fs] is the truth-table front end (via ESOP → XAG). *)
 let synth_tables ~k (fs : Truth_table.t list) =

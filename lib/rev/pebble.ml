@@ -88,3 +88,209 @@ let simulate ~segments actions =
     row generator of the E6 trade-off table. *)
 let strategy_cost ~segments ~fanout =
   simulate ~segments (bennett ~segments ~fanout)
+
+(* ------------------------------------------------------------------ *)
+(* DAG pebbling for LUT networks                                       *)
+(* ------------------------------------------------------------------ *)
+
+(** One step of a LUT-network schedule: (un)compute a LUT onto/off its
+    ancilla, or copy a primary output while its root LUT is pebbled. *)
+type step = Compute_lut of int | Uncompute_lut of int | Emit_output of int
+
+exception Infeasible of { budget : int; required : int }
+(** Raised by {!schedule_dag} when no strategy fits the ancilla budget;
+    [required] is the smallest budget the available strategies can meet. *)
+
+(* Transitive dependency cones as bitsets; [deps] must be in dependency
+   order (every dependency index smaller than its user's). *)
+let dag_cones deps =
+  let num = Array.length deps in
+  let cone = Array.init num (fun _ -> Bytes.empty) in
+  for i = 0 to num - 1 do
+    let c = Bytes.make num '\000' in
+    Bytes.set c i '\001';
+    List.iter
+      (fun d ->
+        if d < 0 || d >= i then invalid_arg "Pebble.schedule_dag: deps not in order";
+        Bytes.iteri (fun j b -> if b = '\001' then Bytes.set c j '\001') cone.(d))
+      deps.(i);
+    cone.(i) <- c
+  done;
+  cone
+
+let popcount bs =
+  let c = ref 0 in
+  Bytes.iter (fun b -> if b = '\001' then incr c) bs;
+  !c
+
+(* A chain: every LUT depends on at most its immediate predecessor and
+   all pebbled output roots are the final LUT — the shape of ripple
+   arithmetic predicates, where the recursive Bennett strategy applies. *)
+let dag_is_chain deps outputs =
+  let num = Array.length deps in
+  let chain_deps =
+    Array.for_all Fun.id
+      (Array.mapi (fun i ds -> List.for_all (fun d -> d = i - 1) ds) deps)
+  in
+  chain_deps
+  && List.for_all (function None -> true | Some r -> r = num - 1) outputs
+
+(** [schedule_dag ~budget ~deps ~outputs] schedules a LUT network under
+    an ancilla budget. [deps.(i)] lists the LUT indices LUT [i] reads
+    (indices in dependency order); [outputs] gives, per primary output,
+    the LUT index it copies from ([None] for constant/input outputs).
+
+    Strategy selection:
+    - when [budget] covers the largest output cone, LUTs shared between
+      outputs stay pebbled across emissions and are uncomputed as soon as
+      no later output needs them (eager cleanup); under budget pressure
+      the live set is released wholesale between outputs, trading
+      recomputation for ancillae;
+    - when the network is a {e chain} (ripple predicates), the recursive
+      Bennett strategy is used below that threshold, reaching
+      O(log s) pebbles at O(s^log₂3) moves;
+    - otherwise {!Infeasible} reports the smallest workable budget.
+
+    All ancillae end clean; the returned cost counts peak pebbles and
+    compute/uncompute moves. *)
+let schedule_dag ~budget ~deps ~outputs =
+  let num = Array.length deps in
+  if num = 0 then
+    ({ pebbles = 0; moves = 0 },
+     List.mapi (fun j _ -> Emit_output j) outputs)
+  else begin
+    let cone = dag_cones deps in
+    let max_cone =
+      List.fold_left
+        (fun acc -> function None -> acc | Some r -> max acc (popcount cone.(r)))
+        0 outputs
+    in
+    if budget >= max_cone then begin
+      (* shared-live scheduling with eager cleanup *)
+      let live = Bytes.make num '\000' in
+      let steps = ref [] and cur = ref 0 and peak = ref 0 and moves = ref 0 in
+      let emit s = steps := s :: !steps in
+      let compute i =
+        emit (Compute_lut i); Bytes.set live i '\001';
+        incr cur; incr moves; peak := max !peak !cur
+      in
+      let uncompute i =
+        emit (Uncompute_lut i); Bytes.set live i '\000';
+        decr cur; incr moves
+      in
+      let release_all () =
+        for i = num - 1 downto 0 do
+          if Bytes.get live i = '\001' then uncompute i
+        done
+      in
+      (* suffix_use.(j) = union of cones of outputs after index j *)
+      let outs = Array.of_list outputs in
+      let m = Array.length outs in
+      let suffix_use = Array.make (m + 1) (Bytes.make num '\000') in
+      for j = m - 1 downto 0 do
+        let u = Bytes.copy suffix_use.(j + 1) in
+        (match outs.(j) with
+        | Some r ->
+            Bytes.iteri (fun i b -> if b = '\001' then Bytes.set u i '\001') cone.(r)
+        | None -> ());
+        suffix_use.(j) <- u
+      done;
+      Array.iteri
+        (fun j root ->
+          (match root with
+          | Some r when Bytes.get live r = '\000' ->
+              (* grow the live set by cone r; release first if that bursts
+                 the budget *)
+              let extra = ref 0 in
+              Bytes.iteri
+                (fun i b ->
+                  if b = '\001' && Bytes.get live i = '\000' then incr extra)
+                cone.(r);
+              if !cur + !extra > budget then release_all ();
+              Bytes.iteri
+                (fun i b ->
+                  if b = '\001' && Bytes.get live i = '\000' then compute i)
+                cone.(r)
+          | _ -> ());
+          emit (Emit_output j);
+          (* eager cleanup: uncompute whatever no later output reads *)
+          for i = num - 1 downto 0 do
+            if Bytes.get live i = '\001'
+               && Bytes.get suffix_use.(j + 1) i = '\000'
+            then uncompute i
+          done)
+        outs;
+      ({ pebbles = !peak; moves = !moves }, List.rev !steps)
+    end
+    else if dag_is_chain deps outputs then begin
+      (* recursive Bennett on the chain: largest fanout that fits *)
+      let rec pick f =
+        if f < 2 then None
+        else
+          let c = strategy_cost ~segments:num ~fanout:f in
+          if c.pebbles <= budget then Some (f, c) else pick (f - 1)
+      in
+      match pick num with
+      | None ->
+          let floor = (strategy_cost ~segments:num ~fanout:2).pebbles in
+          raise (Infeasible { budget; required = min floor max_cone })
+      | Some (fanout, c) ->
+          let forward = bennett ~segments:num ~fanout in
+          let lift = function
+            | Compute i -> Compute_lut i
+            | Uncompute i -> Uncompute_lut i
+          in
+          let steps =
+            List.map lift forward
+            @ List.mapi (fun j _ -> Emit_output j) outputs
+            @ List.map lift (invert forward)
+          in
+          ({ pebbles = c.pebbles; moves = 2 * c.moves }, steps)
+    end
+    else raise (Infeasible { budget; required = max_cone })
+  end
+
+(** [simulate_dag ~deps ~outputs steps] validates a DAG schedule —
+    computing/uncomputing a LUT requires all its dependencies pebbled,
+    emitting an output requires its root pebbled, outputs appear once
+    each in order, and every ancilla ends clean — and returns its cost.
+    Raises [Invalid_argument] on violations. *)
+let simulate_dag ~deps ~outputs steps =
+  let num = Array.length deps in
+  let pebbled = Array.make num false in
+  let peak = ref 0 and live = ref 0 and moves = ref 0 in
+  let outs = Array.of_list outputs in
+  let next_out = ref 0 in
+  List.iter
+    (fun step ->
+      let need_deps i =
+        List.iter
+          (fun d ->
+            if not pebbled.(d) then
+              invalid_arg (Printf.sprintf "Pebble.simulate_dag: dep %d of %d clean" d i))
+          deps.(i)
+      in
+      match step with
+      | Compute_lut i ->
+          need_deps i;
+          if pebbled.(i) then invalid_arg "Pebble.simulate_dag: double compute";
+          pebbled.(i) <- true;
+          incr live; incr moves;
+          peak := max !peak !live
+      | Uncompute_lut i ->
+          need_deps i;
+          if not pebbled.(i) then invalid_arg "Pebble.simulate_dag: uncompute clean";
+          pebbled.(i) <- false;
+          decr live; incr moves
+      | Emit_output j ->
+          if j <> !next_out then invalid_arg "Pebble.simulate_dag: outputs out of order";
+          (match outs.(j) with
+          | Some r when not pebbled.(r) ->
+              invalid_arg "Pebble.simulate_dag: emit from clean root"
+          | _ -> ());
+          incr next_out)
+    steps;
+  if !next_out <> Array.length outs then
+    invalid_arg "Pebble.simulate_dag: missing outputs";
+  if !live <> 0 then invalid_arg "Pebble.simulate_dag: ancillae left dirty";
+  { pebbles = !peak; moves = !moves }

@@ -88,6 +88,27 @@ let esop fs =
       Esop_synth.of_esops ~n (List.map Cache.Cover.minimize fs)
 
 (* ------------------------------------------------------------------ *)
+(* XAG-oracle store                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let xag_store : (string, Rcircuit.t) Cache.store =
+  Cache.create ~name:"xag" ~schema:"rcircuit.v1" ~group:"xag" ~key_of:Fun.id
+
+(** [xag ~k ?budget synth g] memoizes a whole-oracle XAG synthesis run
+    under the graph's {!Xag.structural_key} plus the mapping parameters.
+    The synthesis routine is deterministic, so the result is bit-identical
+    whether it is replayed from the store or recomputed — and the ≤6-input
+    cut functions inside [synth] additionally share the NPN cover store
+    across different oracles. *)
+let xag ~k ?budget synth (g : Xag.t) =
+  let key =
+    Printf.sprintf "k%d:b%s:%s" k
+      (match budget with None -> "-" | Some b -> string_of_int b)
+      (Xag.structural_key g)
+  in
+  Cache.find_or_add xag_store key (fun () -> synth g)
+
+(* ------------------------------------------------------------------ *)
 (* Permutation-synthesis store                                         *)
 (* ------------------------------------------------------------------ *)
 

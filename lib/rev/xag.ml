@@ -202,6 +202,142 @@ let internal_nodes_topological g =
 (** [node g id] exposes the node for synthesis back ends. *)
 let node g id = g.nodes.(id)
 
+(** [levels g] is the logic level of every node (inputs and constants at
+    0), indexed by node id — the depth metric of the cut mapper. *)
+let levels g =
+  let lv = Array.make g.next 0 in
+  for id = 1 to g.next - 1 do
+    match g.nodes.(id) with
+    | And (a, b) | Xor (a, b) ->
+        lv.(id) <- 1 + max lv.(node_of_signal a) lv.(node_of_signal b)
+    | _ -> ()
+  done;
+  lv
+
+(** [fanouts g] counts, per node id, how many internal nodes and primary
+    outputs reference the node — the sharing estimate of area-flow
+    mapping. *)
+let fanouts g =
+  let fo = Array.make g.next 0 in
+  for id = 1 to g.next - 1 do
+    match g.nodes.(id) with
+    | And (a, b) | Xor (a, b) ->
+        fo.(node_of_signal a) <- fo.(node_of_signal a) + 1;
+        fo.(node_of_signal b) <- fo.(node_of_signal b) + 1
+    | _ -> ()
+  done;
+  List.iter (fun s -> fo.(node_of_signal s) <- fo.(node_of_signal s) + 1) (outputs g);
+  fo
+
+(** [structural_key g] is a canonical string of the DAG structure and
+    output list — equal keys mean identical graphs (same construction),
+    the memoization key of the synthesis cache. *)
+let structural_key g =
+  let b = Buffer.create 256 in
+  Buffer.add_string b (string_of_int g.num_inputs);
+  for id = g.num_inputs + 1 to g.next - 1 do
+    match g.nodes.(id) with
+    | And (x, y) -> Buffer.add_string b (Printf.sprintf "A%d,%d" x y)
+    | Xor (x, y) -> Buffer.add_string b (Printf.sprintf "X%d,%d" x y)
+    | _ -> ()
+  done;
+  List.iter (fun s -> Buffer.add_string b (Printf.sprintf "o%d" s)) (outputs g);
+  Digest.to_hex (Digest.string (Buffer.contents b))
+
+(* --- rewriting --- *)
+
+(* Leaves of the maximal XOR tree rooted at [id]: stored XOR operands are
+   uncomplemented by construction, so the expansion carries no parity. *)
+let xor_leaves g id =
+  let acc = ref [] in
+  let rec go id =
+    match g.nodes.(id) with
+    | Xor (a, b) -> go (node_of_signal a); go (node_of_signal b)
+    | _ -> acc := id :: !acc
+  in
+  go id;
+  !acc
+
+(* Leaves of the maximal AND tree rooted at [id], as signals: a
+   complemented AND operand is a leaf (¬(x∧y) does not distribute). *)
+let and_leaves g id =
+  let acc = ref [] in
+  let rec go s =
+    match g.nodes.(node_of_signal s) with
+    | And (a, b) when not (is_complemented s) -> go a; go b
+    | _ -> acc := s :: !acc
+  in
+  (match g.nodes.(id) with
+  | And (a, b) -> go a; go b
+  | _ -> invalid_arg "Xag.and_leaves");
+  !acc
+
+(** [rewrite g] rebuilds the graph bottom-up with XOR-chain and AND-tree
+    cleanup: XOR trees are flattened and pairwise-cancelled (x ⊕ x = 0),
+    AND trees are flattened, deduplicated and contradiction-folded
+    (x ∧ ¬x = 0), and only the output cones are copied, so dead and
+    duplicate nodes vanish. Evaluation is preserved output-for-output. *)
+let rewrite g =
+  let g' = create g.num_inputs in
+  let memo = Hashtbl.create 256 in
+  let rec rebuild_signal s =
+    let ns = rebuild_node (node_of_signal s) in
+    if is_complemented s then complement ns else ns
+  and rebuild_node id =
+    match Hashtbl.find_opt memo id with
+    | Some ns -> ns
+    | None ->
+        let ns =
+          match g.nodes.(id) with
+          | Const -> const_false
+          | Input i -> input g' i
+          | Xor _ ->
+              (* flatten, rebuild the leaves, cancel duplicate pairs *)
+              let leaves = List.map rebuild_node (xor_leaves g id) in
+              let counted = Hashtbl.create 8 in
+              List.iter
+                (fun l ->
+                  let c = Option.value ~default:0 (Hashtbl.find_opt counted l) in
+                  Hashtbl.replace counted l (c + 1))
+                leaves;
+              let survivors =
+                List.sort compare
+                  (Hashtbl.fold
+                     (fun l c acc -> if c land 1 = 1 then l :: acc else acc)
+                     counted [])
+              in
+              List.fold_left (fun acc l -> xor g' acc l) const_false survivors
+          | And _ ->
+              let leaves =
+                List.sort_uniq compare (List.map rebuild_signal (and_leaves g id))
+              in
+              let contradictory =
+                List.exists (fun l -> List.mem (complement l) leaves) leaves
+              in
+              if contradictory then const_false
+              else List.fold_left (fun acc l -> and_ g' acc l) const_true leaves
+        in
+        Hashtbl.add memo id ns;
+        ns
+  in
+  List.iter (fun s -> add_output g' (rebuild_signal s)) (outputs g);
+  g'
+
+(* --- truth-table front end --- *)
+
+(** [of_truth_tables fs] builds a multi-output XAG from truth tables via
+    NPN-cached ESOP covers (see {!Cache.Cover}) — the bridge from the
+    table-based flow into the XAG front end. *)
+let of_truth_tables (fs : Logic.Truth_table.t list) =
+  match fs with
+  | [] -> invalid_arg "Xag.of_truth_tables: no outputs"
+  | f0 :: _ ->
+      let n = Logic.Truth_table.num_vars f0 in
+      of_esops n (List.map Cache.Cover.minimize fs)
+
+(** [of_truth_table f] is the single-output special case. *)
+let of_truth_table f = of_truth_tables [ f ]
+
 (** [cone g signals] is the set of internal node ids feeding the given
     signals, as a sorted list. *)
 let cone g signals =

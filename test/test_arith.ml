@@ -120,6 +120,22 @@ let prop_adder_via_tbs =
       let p = Rsim.to_perm c in
       Rsim.realizes (Tbs.synth p) p)
 
+let test_borrow_subtractor () =
+  for n = 1 to 4 do
+    Alcotest.(check bool)
+      (Printf.sprintf "borrow subtractor n=%d" n)
+      true
+      (Arith.check_subtractor (Arith.borrow_subtractor n) n)
+  done
+
+let test_less_than_comparator () =
+  for n = 1 to 4 do
+    Alcotest.(check bool)
+      (Printf.sprintf "less-than n=%d" n)
+      true
+      (Arith.check_less_than (Arith.less_than n) n)
+  done
+
 let () =
   Alcotest.run "arith"
     [ ( "adder",
@@ -128,6 +144,8 @@ let () =
           Alcotest.test_case "gate counts" `Quick test_gate_counts;
           Alcotest.test_case "subtractor inverts" `Quick test_subtractor_inverts;
           Alcotest.test_case "subtractor values" `Quick test_subtractor_values;
+          Alcotest.test_case "borrow subtractor" `Quick test_borrow_subtractor;
+          Alcotest.test_case "less-than comparator" `Quick test_less_than_comparator;
           prop_adder_via_tbs ] );
       ( "counters",
         [ Alcotest.test_case "incrementer" `Quick test_incrementer;

@@ -95,6 +95,108 @@ let prop_lut_multi_output =
       let c, lay = Lut_synth.synth_tables ~k:3 [ f; g ] in
       Lut_synth.check (c, lay) [ f; g ])
 
+(* ---- cut-cover re-evaluation ----
+
+   Evaluate the mapped LUT network directly (each LUT's table over its
+   leaf values) and compare with the XAG's own evaluation — exercises
+   the mapper independently of reversible synthesis. *)
+
+let eval_lut_network g luts x =
+  let values = Hashtbl.create 64 in
+  let value_of id =
+    match Xag.node g id with
+    | Xag.Const -> false
+    | Xag.Input i -> Logic.Bitops.bit x i
+    | _ -> Hashtbl.find values id
+  in
+  List.iter
+    (fun l ->
+      let idx = ref 0 in
+      List.iteri
+        (fun j leaf -> if value_of leaf then idx := !idx lor (1 lsl j))
+        l.Lut_synth.leaves;
+      Hashtbl.replace values l.Lut_synth.root (Truth_table.get l.Lut_synth.table !idx))
+    luts;
+  let z = ref 0 in
+  List.iteri
+    (fun j s ->
+      let v = value_of (Xag.node_of_signal s) <> Xag.is_complemented s in
+      if v then z := !z lor (1 lsl j))
+    (Xag.outputs g);
+  !z
+
+let prop_cut_cover_reeval =
+  Helpers.prop "cut cover evaluates like the XAG" ~count:40 (Helpers.tt_gen 4)
+    (fun f ->
+      let g = Xag.of_truth_table f in
+      List.for_all
+        (fun k ->
+          let luts = Lut_synth.map_luts ~k g in
+          List.for_all
+            (fun x -> eval_lut_network g luts x = Xag.eval g x)
+            (List.init 16 Fun.id))
+        [ 2; 3; 4 ])
+
+let test_cut_cover_arith () =
+  List.iter
+    (fun g ->
+      let n = Xag.num_inputs g in
+      List.iter
+        (fun k ->
+          let luts = Lut_synth.map_luts ~k g in
+          for x = 0 to (1 lsl n) - 1 do
+            Alcotest.(check int)
+              (Printf.sprintf "k=%d x=%d" k x)
+              (Xag.eval g x) (eval_lut_network g luts x)
+          done)
+        [ 2; 4; 6 ])
+    [ Xag.ripple_adder 3; Rev.Arith.xag_less_than 3; Rev.Arith.xag_multiplier 2 ]
+
+(* ---- pebbled synthesis ---- *)
+
+let check_pebbled g ~k ~budget =
+  match Lut_synth.synth_pebbled ~k ~budget g with
+  | exception Pebble.Infeasible _ -> ()
+  | c, lay ->
+      Alcotest.(check bool)
+        (Printf.sprintf "ancillae %d within budget %d" lay.Lut_synth.ancillae budget)
+        true
+        (lay.Lut_synth.ancillae <= budget);
+      Alcotest.(check bool)
+        (Printf.sprintf "k=%d budget=%d correct" k budget)
+        true
+        (Lut_synth.check (c, lay) (Xag.to_truth_tables g))
+
+let test_pebbled_ltconst () =
+  let g = Rev.Arith.xag_less_than_const 8 ~k:100 in
+  List.iter (fun budget -> check_pebbled g ~k:4 ~budget) [ 1; 2; 3; 4; 8 ]
+
+let test_pebbled_adder () =
+  let g = Xag.ripple_adder 3 in
+  List.iter (fun budget -> check_pebbled g ~k:3 ~budget) [ 2; 4; 6; 12 ]
+
+let test_pebbled_infeasible_raises () =
+  let g = Rev.Arith.xag_multiplier 4 in
+  match Lut_synth.synth_pebbled ~k:6 ~budget:1 g with
+  | exception Pebble.Infeasible { budget; required } ->
+      Alcotest.(check int) "reported budget" 1 budget;
+      Alcotest.(check bool) "required exceeds budget" true (required > 1)
+  | _ -> Alcotest.fail "budget 1 on a 4-bit multiplier must be infeasible"
+
+let prop_pebbled_random =
+  Helpers.prop "pebbled synthesis realizes random functions" ~count:25
+    (Helpers.tt_gen 4)
+    (fun f ->
+      let g = Xag.of_truth_table f in
+      List.for_all
+        (fun budget ->
+          match Lut_synth.synth_pebbled ~k:3 ~budget g with
+          | exception Pebble.Infeasible _ -> true
+          | c, lay ->
+              lay.Lut_synth.ancillae <= budget
+              && Lut_synth.check (c, lay) [ f ])
+        [ 1; 2; 4 ])
+
 let () =
   Alcotest.run "lut_synth"
     [ ( "mapping",
@@ -108,4 +210,12 @@ let () =
           Alcotest.test_case "constants/complements" `Quick test_constant_and_complement_outputs;
           prop_lut_roundtrip 2;
           prop_lut_roundtrip 4;
-          prop_lut_multi_output ] ) ]
+          prop_lut_multi_output ] );
+      ( "cut_cover",
+        [ prop_cut_cover_reeval;
+          Alcotest.test_case "arithmetic networks" `Quick test_cut_cover_arith ] );
+      ( "pebbled",
+        [ Alcotest.test_case "less-than-const budgets" `Quick test_pebbled_ltconst;
+          Alcotest.test_case "adder budgets" `Quick test_pebbled_adder;
+          Alcotest.test_case "infeasible raises" `Quick test_pebbled_infeasible_raises;
+          prop_pebbled_random ] ) ]

@@ -55,6 +55,127 @@ let test_cone () =
   Alcotest.(check bool) "lsb cone smaller" true (List.length c0 < List.length call);
   Alcotest.(check int) "full cone covers all nodes" (Xag.num_nodes g) (List.length call)
 
+(* ---- rewriting ---- *)
+
+let prop_rewrite_bexpr =
+  Helpers.prop "rewrite preserves Bexpr semantics and never grows" ~count:60
+    (Helpers.bexpr_gen ~vars:5 ())
+    (fun e ->
+      let g = Xag.of_bexpr 5 e in
+      let g' = Xag.rewrite g in
+      let tt = Logic.Bexpr.to_truth_table ~n:5 e in
+      Truth_table.equal tt (List.hd (Xag.to_truth_tables g'))
+      && Xag.num_nodes g' <= Xag.num_nodes g)
+
+let prop_of_truth_table =
+  Helpers.prop "of_truth_table tabulates back, before and after rewrite" ~count:40
+    (Helpers.tt_gen 5)
+    (fun f ->
+      let g = Xag.of_truth_table f in
+      Truth_table.equal f (List.hd (Xag.to_truth_tables g))
+      && Truth_table.equal f (List.hd (Xag.to_truth_tables (Xag.rewrite g))))
+
+let test_rewrite_cleanups () =
+  (* duplicate XOR operands cancel; contradictory AND trees fold *)
+  let g = Xag.create 3 in
+  let a = Xag.input g 0 and b = Xag.input g 1 and c = Xag.input g 2 in
+  let chain = Xag.xor g (Xag.xor g a b) (Xag.xor g b c) in
+  Xag.add_output g chain;
+  let g' = Xag.rewrite g in
+  (* a ⊕ b ⊕ b ⊕ c = a ⊕ c: one surviving XOR node *)
+  Alcotest.(check int) "xor chain cancelled" 1 (Xag.num_nodes g');
+  let h = Xag.create 2 in
+  let x = Xag.input h 0 and y = Xag.input h 1 in
+  let t1 = Xag.and_ h x y in
+  let t2 = Xag.and_ h t1 (Xag.complement (Xag.and_ h x y)) in
+  Xag.add_output h t2;
+  (* the AND tree contains both t and ¬t at construction already *)
+  Alcotest.(check int) "contradiction folds" Xag.const_false t2;
+  ignore (Xag.rewrite h)
+
+(* ---- structural keys ---- *)
+
+let test_structural_key () =
+  let g1 = Rev.Arith.xag_less_than_const 8 ~k:100 in
+  let g2 = Rev.Arith.xag_less_than_const 8 ~k:100 in
+  let g3 = Rev.Arith.xag_less_than_const 8 ~k:101 in
+  Alcotest.(check string) "same construction, same key" (Xag.structural_key g1)
+    (Xag.structural_key g2);
+  Alcotest.(check bool) "different constant, different key" true
+    (Xag.structural_key g1 <> Xag.structural_key g3)
+
+(* ---- native arithmetic builders ---- *)
+
+let test_xag_subtractor () =
+  for n = 1 to 4 do
+    let g = Rev.Arith.xag_subtractor n in
+    for a = 0 to (1 lsl n) - 1 do
+      for b = 0 to (1 lsl n) - 1 do
+        let expect =
+          ((a - b) land Logic.Bitops.mask n) lor (if b > a then 1 lsl n else 0)
+        in
+        Alcotest.(check int) "a - b with borrow" expect
+          (Xag.eval g (a lor (b lsl n)))
+      done
+    done
+  done
+
+let test_xag_less_than () =
+  for n = 1 to 4 do
+    let g = Rev.Arith.xag_less_than n in
+    for a = 0 to (1 lsl n) - 1 do
+      for b = 0 to (1 lsl n) - 1 do
+        Alcotest.(check int) "a < b" (if a < b then 1 else 0)
+          (Xag.eval g (a lor (b lsl n)))
+      done
+    done
+  done
+
+let test_xag_less_than_const () =
+  List.iter
+    (fun k ->
+      let g = Rev.Arith.xag_less_than_const 8 ~k in
+      (* two nodes per bit at most, constants folded *)
+      Alcotest.(check bool) "compact" true (Xag.num_nodes g <= 16);
+      for x = 0 to 255 do
+        Alcotest.(check int)
+          (Printf.sprintf "x<%d at %d" k x)
+          (if x < k then 1 else 0)
+          (Xag.eval g x)
+      done)
+    [ 0; 1; 100; 128; 255; 256 ]
+
+let test_xag_equals_const () =
+  List.iter
+    (fun k ->
+      let g = Rev.Arith.xag_equals_const 6 ~k in
+      for x = 0 to 63 do
+        Alcotest.(check int) "x = k" (if x = k then 1 else 0) (Xag.eval g x)
+      done)
+    [ 0; 17; 63 ]
+
+let test_xag_add_equals () =
+  let n = 2 in
+  let g = Rev.Arith.xag_add_equals n in
+  for a = 0 to 3 do
+    for b = 0 to 3 do
+      for c = 0 to 3 do
+        let x = a lor (b lsl n) lor (c lsl (2 * n)) in
+        Alcotest.(check int) "a+b=c" (if a + b = c then 1 else 0) (Xag.eval g x)
+      done
+    done
+  done
+
+let test_xag_multiplier () =
+  for n = 1 to 3 do
+    let g = Rev.Arith.xag_multiplier n in
+    for a = 0 to (1 lsl n) - 1 do
+      for b = 0 to (1 lsl n) - 1 do
+        Alcotest.(check int) "a * b" (a * b) (Xag.eval g (a lor (b lsl n)))
+      done
+    done
+  done
+
 (* ---- hierarchical synthesis ---- *)
 
 let test_bennett_adder () =
@@ -149,6 +270,60 @@ let test_tradeoff_monotone () =
   in
   check costs
 
+(* ---- DAG pebbling ---- *)
+
+let check_dag ~deps ~outputs ~budget =
+  match Pebble.schedule_dag ~budget ~deps ~outputs with
+  | exception Pebble.Infeasible _ -> None
+  | _, steps ->
+      let cost = Pebble.simulate_dag ~deps ~outputs steps in
+      Alcotest.(check bool)
+        (Printf.sprintf "peak %d within budget %d" cost.Pebble.pebbles budget)
+        true
+        (cost.Pebble.pebbles <= budget);
+      Some cost
+
+let test_dag_chain () =
+  let deps = [| []; [ 0 ]; [ 1 ]; [ 2 ] |] in
+  let outputs = [ Some 3 ] in
+  (* generous budget: forward sweep *)
+  (match check_dag ~deps ~outputs ~budget:4 with
+  (* 4 computes + 4 uncomputes: every ancilla is returned clean *)
+  | Some c -> Alcotest.(check int) "cheap at full budget" 8 c.Pebble.moves
+  | None -> Alcotest.fail "budget 4 must be feasible");
+  (* tight budget triggers the recursive chain strategy *)
+  (match check_dag ~deps ~outputs ~budget:3 with
+  | Some _ -> ()
+  | None -> Alcotest.fail "budget 3 must be feasible");
+  (* the reversible pebble game needs p pebbles for a 2^p - 1 chain *)
+  match check_dag ~deps ~outputs ~budget:2 with
+  | None -> ()
+  | Some _ -> Alcotest.fail "budget 2 on a 4-chain must be infeasible"
+
+let test_dag_diamond () =
+  let deps = [| []; [ 0 ]; [ 0 ]; [ 1; 2 ] |] in
+  let outputs = [ Some 3 ] in
+  (match check_dag ~deps ~outputs ~budget:4 with
+  | Some _ -> ()
+  | None -> Alcotest.fail "diamond at budget 4");
+  match check_dag ~deps ~outputs ~budget:3 with
+  | None -> ()
+  | Some _ -> Alcotest.fail "diamond needs its full 4-node cone"
+
+let test_dag_multi_output () =
+  let deps = [| []; [ 0 ]; [ 0 ] |] in
+  let outputs = [ Some 1; Some 2 ] in
+  match check_dag ~deps ~outputs ~budget:2 with
+  | Some c ->
+      (* node 0 is uncomputed once no later output needs it *)
+      Alcotest.(check bool) "eager cleanup pays moves" true (c.Pebble.moves >= 4)
+  | None -> Alcotest.fail "budget 2 covers each 2-node cone"
+
+let test_dag_const_outputs () =
+  let _, steps = Pebble.schedule_dag ~budget:0 ~deps:[||] ~outputs:[ None; None ] in
+  let c = Pebble.simulate_dag ~deps:[||] ~outputs:[ None; None ] steps in
+  Alcotest.(check int) "no pebbles for constant outputs" 0 c.Pebble.pebbles
+
 let () =
   Alcotest.run "xag"
     [ ( "xag",
@@ -157,7 +332,18 @@ let () =
           Alcotest.test_case "of_bexpr" `Quick test_of_bexpr_eval;
           Alcotest.test_case "of_esops" `Quick test_of_esops;
           Alcotest.test_case "ripple adder" `Quick test_ripple_adder;
-          Alcotest.test_case "cones" `Quick test_cone ] );
+          Alcotest.test_case "cones" `Quick test_cone;
+          prop_rewrite_bexpr;
+          prop_of_truth_table;
+          Alcotest.test_case "rewrite cleanups" `Quick test_rewrite_cleanups;
+          Alcotest.test_case "structural key" `Quick test_structural_key ] );
+      ( "arith_xag",
+        [ Alcotest.test_case "subtractor" `Quick test_xag_subtractor;
+          Alcotest.test_case "less-than" `Quick test_xag_less_than;
+          Alcotest.test_case "less-than-const" `Quick test_xag_less_than_const;
+          Alcotest.test_case "equals-const" `Quick test_xag_equals_const;
+          Alcotest.test_case "add-equals" `Quick test_xag_add_equals;
+          Alcotest.test_case "multiplier" `Quick test_xag_multiplier ] );
       ( "hier_synth",
         [ Alcotest.test_case "bennett adder" `Quick test_bennett_adder;
           Alcotest.test_case "batched trade-off" `Quick test_batched_tradeoff;
@@ -169,4 +355,9 @@ let () =
           Alcotest.test_case "binary recursion" `Quick test_bennett_binary;
           Alcotest.test_case "schedule validity" `Quick test_schedule_validity;
           Alcotest.test_case "invalid schedules rejected" `Quick test_invalid_schedule_rejected;
-          Alcotest.test_case "trade-off monotone" `Quick test_tradeoff_monotone ] ) ]
+          Alcotest.test_case "trade-off monotone" `Quick test_tradeoff_monotone ] );
+      ( "pebble_dag",
+        [ Alcotest.test_case "chain budgets" `Quick test_dag_chain;
+          Alcotest.test_case "diamond" `Quick test_dag_diamond;
+          Alcotest.test_case "multi-output cleanup" `Quick test_dag_multi_output;
+          Alcotest.test_case "constant outputs" `Quick test_dag_const_outputs ] ) ]

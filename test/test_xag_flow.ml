@@ -1,0 +1,120 @@
+(* The XAG front end of the flow: spec parsing, end-to-end compilation,
+   determinism across cache state and batch width, and the wide-cover
+   bypass telemetry. *)
+
+open Core
+module Xag = Rev.Xag
+module Truth_table = Logic.Truth_table
+module Statevector = Qc.Statevector
+module Gate = Qc.Gate
+
+let test_spec_parsing () =
+  List.iter
+    (fun (spec, inputs, outputs) ->
+      let g = Flow.xag_of_spec spec in
+      Alcotest.(check int) (spec ^ " inputs") inputs (Xag.num_inputs g);
+      Alcotest.(check int) (spec ^ " outputs") outputs (List.length (Xag.outputs g)))
+    [ ("adder:4", 8, 5);
+      ("sub:4", 8, 5);
+      ("lt:3", 6, 1);
+      ("ltconst:8:100", 8, 1);
+      ("eqconst:6:17", 6, 1);
+      ("addeq:2", 6, 1);
+      ("mult:3", 6, 6);
+      (" ltconst:4:0x7 ", 4, 1) ]
+
+let test_spec_rejects_garbage () =
+  List.iter
+    (fun spec ->
+      match Flow.xag_of_spec spec with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.fail ("accepted bad spec " ^ spec))
+    [ ""; "adder"; "adder:x"; "ltconst:8"; "frob:3"; "adder:4:5" ]
+
+(* ---- end-to-end: compile and execute on basis states ---- *)
+
+let test_compile_xag_statevector () =
+  let n = 4 and k = 11 in
+  let g = Rev.Arith.xag_less_than_const n ~k in
+  let circuit, report = Flow.compile_xag ~lut_k:4 g in
+  Alcotest.(check bool) "no residual LUT ancillae" true
+    (Flow.xag_ancillae g report >= 0);
+  for x = 0 to (1 lsl n) - 1 do
+    let s = Statevector.init circuit.Qc.Circuit.n in
+    for i = 0 to n - 1 do
+      if Logic.Bitops.bit x i then Statevector.apply s (Gate.X i)
+    done;
+    Statevector.run_on s circuit;
+    let expect = x lor (if x < k then 1 lsl n else 0) in
+    Alcotest.(check bool)
+      (Printf.sprintf "basis state %d" x)
+      true
+      (Statevector.prob s expect > 0.999)
+  done
+
+let test_pipelines_equivalent () =
+  (* tpar on and off give different circuits for the same unitary *)
+  let g = Rev.Arith.xag_less_than_const 3 ~k:5 in
+  let c1, _ = Flow.compile_xag ~options:{ Flow.default with tpar = true } g in
+  let c2, _ = Flow.compile_xag ~options:{ Flow.default with tpar = false } g in
+  match Qc.Equiv.check c1 c2 with
+  | Qc.Equiv.Equivalent -> ()
+  | _ -> Alcotest.fail "pipelines disagree on the compiled oracle"
+
+(* ---- determinism ---- *)
+
+let specs () =
+  [ Flow.Xag_spec (Flow.xag_of_spec "ltconst:8:100");
+    Flow.Xag_spec (Flow.xag_of_spec "adder:3");
+    Flow.Xag_spec (Flow.xag_of_spec "lt:3");
+    Flow.Xag_spec (Flow.xag_of_spec "mult:2") ]
+
+let test_batch_jobs_deterministic () =
+  let r1 = Flow.compile_batch ~lut_k:4 ~ancilla_budget:4 ~jobs:1 (specs ()) in
+  let r4 = Flow.compile_batch ~lut_k:4 ~ancilla_budget:4 ~jobs:4 (specs ()) in
+  List.iter2
+    (fun (c1, _) (c4, _) ->
+      Alcotest.(check bool) "jobs 1 = jobs 4" true (c1 = c4))
+    r1 r4
+
+let test_cache_on_off_identical () =
+  let compile () = List.map fst (Flow.compile_batch ~lut_k:4 ~jobs:1 (specs ())) in
+  Cache.set_enabled false;
+  let off = compile () in
+  Cache.set_enabled true;
+  Cache.clear_memory ();
+  let cold = compile () in
+  let warm = compile () in
+  Cache.set_enabled false;
+  List.iter2
+    (fun a b -> Alcotest.(check bool) "cache off = cold" true (a = b))
+    off cold;
+  List.iter2
+    (fun a b -> Alcotest.(check bool) "cold = warm replay" true (a = b))
+    cold warm
+
+(* ---- wide-cover bypass telemetry ---- *)
+
+let test_bypass_counter () =
+  let m = Obs.Memory.create () in
+  Obs.set_sink (Some (Obs.Memory.sink m));
+  ignore (Cache.Cover.minimize (Logic.Funcgen.parity 13));
+  Obs.set_sink None;
+  let totals = Obs.Summary.counter_totals (Obs.Memory.events m) in
+  match List.assoc_opt "cache.npn.bypass" totals with
+  | Some v -> Alcotest.(check bool) "bypass counted" true (v >= 1)
+  | None -> Alcotest.fail "cache.npn.bypass not emitted for a 13-var cover"
+
+let () =
+  Alcotest.run "xag_flow"
+    [ ( "spec",
+        [ Alcotest.test_case "parses oracle specs" `Quick test_spec_parsing;
+          Alcotest.test_case "rejects garbage" `Quick test_spec_rejects_garbage ] );
+      ( "end_to_end",
+        [ Alcotest.test_case "statevector execution" `Quick test_compile_xag_statevector;
+          Alcotest.test_case "pipelines equivalent" `Quick test_pipelines_equivalent ] );
+      ( "determinism",
+        [ Alcotest.test_case "batch jobs" `Quick test_batch_jobs_deterministic;
+          Alcotest.test_case "cache on/off" `Quick test_cache_on_off_identical ] );
+      ( "telemetry",
+        [ Alcotest.test_case "npn bypass counter" `Quick test_bypass_counter ] ) ]

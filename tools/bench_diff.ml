@@ -3,7 +3,7 @@
    Usage:
      bench_diff [old.json new.json]
 
-   With no arguments the tool looks for BENCH_pr3.json and BENCH_pr4.json,
+   With no arguments the tool looks for BENCH_pr4.json and BENCH_pr6.json,
    searching upward from the current directory (so it works both from the
    repo root and from dune's build directories). It is a report step, not
    a gate: missing files or unparsable input print a note and exit 0, so
@@ -57,7 +57,7 @@ let () =
   let old_path, new_path =
     match Sys.argv with
     | [| _; o; n |] -> (Some o, Some n)
-    | _ -> (find_up "BENCH_pr3.json", find_up "BENCH_pr4.json")
+    | _ -> (find_up "BENCH_pr4.json", find_up "BENCH_pr6.json")
   in
   match (old_path, new_path) with
   | None, _ | _, None ->
