@@ -1,0 +1,114 @@
+(* Corpus reproducibility + regression-gate smoke test, wired into the
+   default test alias.
+
+   Runs the smoke slice of the corpus twice through `qasm_tool corpus run
+   --no-timings` in fresh processes and guards:
+
+   1. the two snapshot files are byte-identical — every generator,
+      optimization pass, equivalence check and sampled backend in the
+      corpus pipeline is deterministic across processes;
+   2. `bench_diff A B --corpus --fail-on-regression` exits 0 on the
+      identical snapshots;
+   3. injecting a synthetic T-count regression into one snapshot makes
+      the same gate exit nonzero, while the default report-only
+      invocation still exits 0. *)
+
+let die fmt = Printf.ksprintf (fun m -> prerr_endline ("corpus smoke: " ^ m); exit 1) fmt
+
+(* keep in sync with Corpus.smoke_manifest *)
+let smoke_specs = [ "dj:4"; "bv:4:5"; "ghz:4"; "qft:4"; "grover:3:2"; "hwb:4"; "cliffordt:4:1" ]
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let write_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+let run exe args ~out =
+  let argv = Array.of_list (exe :: args) in
+  let out_fd = Unix.openfile out [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  let pid = Unix.create_process exe argv Unix.stdin out_fd out_fd in
+  let _, status = Unix.waitpid [] pid in
+  Unix.close out_fd;
+  match status with
+  | Unix.WEXITED code -> code
+  | _ -> die "%s %s killed by signal" exe (String.concat " " args)
+
+(* Bump every per-entry "t_count" value by 16 — past any threshold. The
+   rollup object under the same key carries no bare number, so only the
+   entry records change. *)
+let inject_t_count_regression s =
+  let marker = "\"t_count\":" in
+  let mlen = String.length marker in
+  let n = String.length s in
+  let buf = Buffer.create n in
+  let i = ref 0 in
+  while !i < n do
+    if !i + mlen <= n && String.sub s !i mlen = marker then begin
+      Buffer.add_string buf marker;
+      i := !i + mlen;
+      let j = ref !i in
+      while !j < n && s.[!j] >= '0' && s.[!j] <= '9' do incr j done;
+      if !j > !i then begin
+        Buffer.add_string buf
+          (string_of_int (int_of_string (String.sub s !i (!j - !i)) + 16));
+        i := !j
+      end
+    end
+    else begin
+      Buffer.add_char buf s.[!i];
+      incr i
+    end
+  done;
+  Buffer.contents buf
+
+let () =
+  let qasm_tool, bench_diff =
+    match Array.to_list Sys.argv with
+    | [ _; q; b ] -> (q, b)
+    | _ -> die "usage: corpus_smoke <qasm_tool.exe> <bench_diff.exe>"
+  in
+  let dir = Filename.temp_file "dautoq_corpus" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let tmp suffix = Filename.concat dir suffix in
+  let snap name =
+    let path = tmp name in
+    let code =
+      run qasm_tool
+        ([ "corpus"; "run"; "--no-timings"; "--out"; path ] @ smoke_specs)
+        ~out:(tmp (name ^ ".log"))
+    in
+    if code <> 0 then die "corpus run for %s exited %d" name code;
+    path
+  in
+  let a = snap "a.json" and b = snap "b.json" in
+  if read_file a <> read_file b then
+    die "two corpus runs produced different snapshots — pipeline not deterministic";
+  let gate extra =
+    run bench_diff ([ a ] @ extra) ~out:(tmp "diff.log")
+  in
+  (match gate [ b; "--corpus"; "--fail-on-regression" ] with
+  | 0 -> ()
+  | c -> die "identical snapshots failed the regression gate (exit %d)" c);
+  let r = tmp "regressed.json" in
+  write_file r (inject_t_count_regression (read_file a));
+  if read_file r = read_file a then
+    die "regression injection was a no-op — marker scan found no t_count values";
+  (match gate [ r; "--corpus"; "--fail-on-regression" ] with
+  | 0 -> die "injected t_count regression passed the regression gate"
+  | _ -> ());
+  (match gate [ r; "--corpus" ] with
+  | 0 -> ()
+  | c -> die "report-only diff of a regressed snapshot exited %d (want 0)" c);
+  Printf.printf "corpus smoke: OK (%d entries, identical snapshots, gate trips on injected regression)\n"
+    (List.length smoke_specs);
+  Array.iter
+    (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+    (Sys.readdir dir);
+  (try Unix.rmdir dir with Unix.Unix_error _ -> ())

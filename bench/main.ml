@@ -7,7 +7,8 @@
      dune exec bench/main.exe            -- tables + timings
      dune exec bench/main.exe quick      -- timings only
      dune exec bench/main.exe json       -- timings + telemetry counters
-                                            written to BENCH_pr6.json *)
+                                            + corpus snapshot written to
+                                            BENCH_pr7.json *)
 
 open Bechamel
 open Bechamel.Toolkit
@@ -262,6 +263,12 @@ let capture_telemetry () =
   Obs.set_sink None;
   Obs.Memory.events m
 
+(* The corpus section: every default-manifest entry run through the full
+   generate → lower → optimize → equivalence/fidelity pipeline, persisted
+   as the versioned snapshot `bench_diff --corpus` regression-gates
+   against the previous PR's report. *)
+let capture_corpus () = Corpus.snapshot (Corpus.run Corpus.default_manifest)
+
 let write_bench_json path rows events =
   let open Obs.Json in
   let benchmarks =
@@ -279,12 +286,7 @@ let write_bench_json path rows events =
   in
   let histograms =
     List.map
-      (fun (name, (s : Obs.Summary.hist_stats)) ->
-        ( name,
-          Obj
-            [ ("n", Num (float_of_int s.Obs.Summary.n));
-              ("mean", Num s.Obs.Summary.mean); ("p50", Num s.Obs.Summary.p50);
-              ("p90", Num s.Obs.Summary.p90); ("max", Num s.Obs.Summary.max) ] ))
+      (fun (name, stats) -> (name, Obs.Export.json_of_hist_stats stats))
       (Obs.Summary.histogram_stats events)
   in
   let spans =
@@ -294,22 +296,25 @@ let write_bench_json path rows events =
           Obj [ ("calls", Num (float_of_int calls)); ("total_us", Num dur_us) ] ))
       (Obs.Summary.span_totals events)
   in
+  let corpus_snapshot = capture_corpus () in
   let doc =
     Obj
-      [ ("pr", Num 6.); ("suite", String "dautoq");
+      [ ("pr", Num 7.); ("suite", String "dautoq");
         (* parallel speedups only show up with real cores behind the pool *)
         ("recommended_domains", Num (float_of_int (Par.recommended ())));
         ("benchmarks", Arr benchmarks);
         ("telemetry",
          Obj [ ("counters", Obj counters); ("histograms", Obj histograms);
-               ("spans", Obj spans) ]) ]
+               ("spans", Obj spans) ]);
+        ("corpus", Corpus.snapshot_to_json corpus_snapshot) ]
   in
   let oc = open_out path in
   output_string oc (to_string doc);
   output_char oc '\n';
   close_out oc;
-  Printf.printf "wrote %s (%d benchmarks, %d counters)\n" path (List.length rows)
-    (List.length counters)
+  Printf.printf "wrote %s (%d benchmarks, %d counters, %d corpus entries)\n" path
+    (List.length rows) (List.length counters)
+    (List.length corpus_snapshot.Corpus.entries)
 
 let () =
   let quick = Array.exists (fun a -> a = "quick") Sys.argv in
@@ -321,4 +326,4 @@ let () =
   end;
   let rows = measure_benchmarks () in
   print_rows rows;
-  if json then write_bench_json "BENCH_pr6.json" rows (capture_telemetry ())
+  if json then write_bench_json "BENCH_pr7.json" rows (capture_telemetry ())

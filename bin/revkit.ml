@@ -42,6 +42,7 @@ let repl () =
   print_endline "bye"
 
 let () =
+  Corpus.install_shell_command ();
   match Array.to_list Sys.argv with
   | [ _ ] -> repl ()
   | [ _; "-c"; cmds ] -> ignore (run_batch (Core.Shell.init ()) cmds)

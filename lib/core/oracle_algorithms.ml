@@ -45,6 +45,13 @@ let bernstein_vazirani ~n ~a ~b =
 (** The promise: [f] is either constant or balanced. *)
 type dj_answer = Constant | Balanced
 
+(** [dj_circuit f] is the Deutsch–Jozsa circuit for [f]: Hadamards, the
+    compiled phase oracle, Hadamards (no promise check — callers that
+    only want the circuit, e.g. the workload corpus, pass any [f]). *)
+let dj_circuit f =
+  hadamard_sandwich (Truth_table.num_vars f) (fun eng qs ->
+      Oracles.phase_oracle_tt eng f qs)
+
 (** [deutsch_jozsa f] decides the promise with one compiled oracle query:
     outcome 0 ⇔ constant. Raises [Invalid_argument] when [f] satisfies
     neither promise. *)
@@ -53,7 +60,7 @@ let deutsch_jozsa f =
   let ones = Truth_table.count_ones f in
   if ones <> 0 && ones <> 1 lsl n && 2 * ones <> 1 lsl n then
     invalid_arg "deutsch_jozsa: function is neither constant nor balanced";
-  let circuit = hadamard_sandwich n (fun eng qs -> Oracles.phase_oracle_tt eng f qs) in
+  let circuit = dj_circuit f in
   let sv = Qc.Statevector.run circuit in
   (* amplitude of |0…0⟩ is ±1 for constant f, 0 for balanced f *)
   if Qc.Statevector.prob sv 0 > 0.5 then Constant else Balanced

@@ -54,6 +54,26 @@ let int_arg name = function
       match int_of_string_opt s with Some i -> i | None -> failf "%s: expected integer, got %s" name s)
   | None -> failf "%s: missing argument" name
 
+(* ------------------------------------------------------------------ *)
+(* Extension commands                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Higher layers (lib/corpus today) plug their own commands in without
+   the core library depending on them: [register_command] installs a
+   handler that gets the state and the argument words and returns the new
+   state, exactly like a built-in. Built-ins win on a name clash; [help]
+   and the unknown-command path consult the registry. *)
+let extensions : (string, string * (state -> string list -> state)) Hashtbl.t =
+  Hashtbl.create 8
+
+(** [register_command name ~doc f] installs (or replaces) the extension
+    command [name]. [doc] is the one-line help text. *)
+let register_command name ~doc f = Hashtbl.replace extensions name (doc, f)
+
+let extension_catalog () =
+  List.sort compare
+    (Hashtbl.fold (fun name (doc, _) acc -> (name, doc) :: acc) extensions [])
+
 (* One command, given as argv-style words. Returns the new state. *)
 let exec_cmd st words =
   match words with
@@ -321,9 +341,9 @@ let exec_cmd st words =
             List.iter (fun (name, total) -> say st "counter  %-36s %12d" name total) counters;
             List.iter
               (fun (name, (s : Obs.Summary.hist_stats)) ->
-                say st "hist     %-36s n=%d mean=%.2f p50=%.1f p90=%.1f max=%.1f" name
-                  s.Obs.Summary.n s.Obs.Summary.mean s.Obs.Summary.p50
-                  s.Obs.Summary.p90 s.Obs.Summary.max)
+                say st "hist     %-36s n=%d mean=%.2f p50=%.1f p95=%.1f p99=%.1f max=%.1f"
+                  name s.Obs.Summary.n s.Obs.Summary.mean s.Obs.Summary.p50
+                  s.Obs.Summary.p95 s.Obs.Summary.p99 s.Obs.Summary.max)
               hists
           end;
           st
@@ -494,8 +514,14 @@ let exec_cmd st words =
             \  cache [stats|clear|on|off|dir <path>] | device [stats|profile <spec>|breaker|run <target> [shots]] |\n\
             \  ps | print_rev | draw | write_qasm [file] | qsharp [name] |\n\
             \  simulate <x> | stabsim | verify | help";
+          List.iter
+            (fun (name, doc) -> say st "extension: %-8s %s" name doc)
+            (extension_catalog ());
           st
-      | other -> failf "unknown command %s (try help)" other)
+      | other -> (
+          match Hashtbl.find_opt extensions other with
+          | Some (_doc, f) -> f st args
+          | None -> failf "unknown command %s (try help)" other))
 
 (* Every failure surfaces as [Error] with the offending command named —
    no silent drops, no bare exceptions escaping to the REPL. Each command

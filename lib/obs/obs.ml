@@ -179,6 +179,8 @@ module Summary = struct
     mean : float;
     p50 : float;
     p90 : float;
+    p95 : float;
+    p99 : float;
   }
 
   let stats_of_samples xs =
@@ -191,7 +193,9 @@ module Summary = struct
       max = a.(n - 1);
       mean = Array.fold_left ( +. ) 0. a /. float_of_int n;
       p50 = pct 0.5;
-      p90 = pct 0.9 }
+      p90 = pct 0.9;
+      p95 = pct 0.95;
+      p99 = pct 0.99 }
 
   (** [histogram_stats events] summarizes every [Sample] series, sorted by
       name. *)
@@ -254,9 +258,13 @@ module Json = struct
     Buffer.add_char buf '"'
 
   (* Integral values print without a fractional part (and parse back as
-     the same float); general floats use %.17g, which round-trips. *)
+     the same float); general floats use %.17g, which round-trips. JSON
+     has no NaN/Infinity literals, so non-finite values degrade to
+     [null] — a telemetry stream with a poisoned sample must still
+     produce a parseable document. *)
   let num_to_string f =
-    if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+    if Float.is_nan f || f = Float.infinity || f = Float.neg_infinity then "null"
+    else if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
     else Printf.sprintf "%.17g" f
 
   let rec to_buf buf = function
@@ -461,6 +469,16 @@ module Export = struct
     | Float f -> Json.Num f
     | Str s -> Json.String s
 
+  (** [json_of_hist_stats s] renders a histogram summary as the canonical
+      count/min/max/mean/p50/p95/p99 rollup object (the shape the bench
+      reports and the corpus snapshots share). *)
+  let json_of_hist_stats (s : Summary.hist_stats) =
+    Json.Obj
+      [ ("n", Json.Num (float_of_int s.Summary.n)); ("min", Json.Num s.Summary.min);
+        ("max", Json.Num s.Summary.max); ("mean", Json.Num s.Summary.mean);
+        ("p50", Json.Num s.Summary.p50); ("p95", Json.Num s.Summary.p95);
+        ("p99", Json.Num s.Summary.p99) ]
+
   let value_of_json = function
     | Json.Num f when Float.is_integer f && Float.abs f < 1e15 ->
         Int (int_of_float f)
@@ -637,9 +655,9 @@ module Export = struct
         (fun (name, (s : Summary.hist_stats)) ->
           Buffer.add_string buf
             (Printf.sprintf
-               "  %-42s n=%d min=%.1f mean=%.2f p50=%.1f p90=%.1f max=%.1f\n" name
-               s.Summary.n s.Summary.min s.Summary.mean s.Summary.p50 s.Summary.p90
-               s.Summary.max))
+               "  %-42s n=%d min=%.1f mean=%.2f p50=%.1f p95=%.1f p99=%.1f max=%.1f\n"
+               name s.Summary.n s.Summary.min s.Summary.mean s.Summary.p50
+               s.Summary.p95 s.Summary.p99 s.Summary.max))
         hists
     end;
     if Buffer.length buf = 0 then Buffer.add_string buf "no telemetry recorded\n";

@@ -92,6 +92,34 @@ let check a b =
   else if Circuit.num_qubits a <= 9 then up_to_phase a b
   else randomized a b
 
+(** [randomized_zero_ancilla ?trials ?seed ~data a b] is the miter check
+    restricted to the ancilla-clean subspace: random product states are
+    prepared on the low [data] qubits only, every qubit above stays |0⟩.
+    This is the right gate for circuits that allocate clean-returned
+    ancillae — relative-phase lowerings (RCCX ladders) are equivalences
+    {e only} on this subspace, so the full-unitary checkers reject them
+    even though every legal execution agrees. One-sided like
+    {!randomized}. *)
+let randomized_zero_ancilla ?(trials = 24) ?(seed = 0x5EED) ~data a b =
+  let n = Circuit.num_qubits a in
+  if n <> Circuit.num_qubits b || data > n then Not_equivalent
+  else begin
+    let st = Random.State.make [| seed |] in
+    let ok = ref true in
+    let t = ref 0 in
+    while !ok && !t < trials do
+      incr t;
+      let prep = random_preparation st data in
+      let sa = Statevector.init n and sb = Statevector.init n in
+      List.iter (Statevector.apply sa) prep;
+      List.iter (Statevector.apply sb) prep;
+      Statevector.run_on sa a;
+      Statevector.run_on sb b;
+      if not (Statevector.equal_up_to_phase ~eps:1e-7 sa sb) then ok := false
+    done;
+    if !ok then Probably_equivalent trials else Not_equivalent
+  end
+
 let pp_verdict ppf = function
   | Equivalent -> Fmt.pf ppf "equivalent"
   | Not_equivalent -> Fmt.pf ppf "NOT equivalent"

@@ -88,6 +88,42 @@ let test_counters () =
       Alcotest.(check (float 1e-9)) "max" 4. s.Obs.Summary.max
   | _ -> Alcotest.fail "expected one histogram"
 
+let test_percentiles () =
+  (* 1..100: nearest-rank percentiles land on the value itself *)
+  let events =
+    record (fun () ->
+        for v = 1 to 100 do
+          Obs.observe "p" (float_of_int v)
+        done)
+  in
+  (match Obs.Summary.histogram_stats events with
+  | [ ("p", s) ] ->
+      Alcotest.(check int) "n" 100 s.Obs.Summary.n;
+      (* index-based nearest rank: a.(int_of_float (p * n)) on 1..100 *)
+      Alcotest.(check (float 1e-9)) "p50" 51. s.Obs.Summary.p50;
+      Alcotest.(check (float 1e-9)) "p95" 96. s.Obs.Summary.p95;
+      Alcotest.(check (float 1e-9)) "p99" 100. s.Obs.Summary.p99;
+      Alcotest.(check (float 1e-9)) "max" 100. s.Obs.Summary.max
+  | _ -> Alcotest.fail "expected one histogram");
+  (* a single sample: every percentile is that sample *)
+  let one = Obs.Summary.stats_of_samples [ 7. ] in
+  Alcotest.(check (float 1e-9)) "single p95" 7. one.Obs.Summary.p95;
+  Alcotest.(check (float 1e-9)) "single p99" 7. one.Obs.Summary.p99
+
+let test_json_non_finite () =
+  let render f = Obs.Json.to_string (Obs.Json.Num f) in
+  Alcotest.(check string) "nan -> null" "null" (render Float.nan);
+  Alcotest.(check string) "inf -> null" "null" (render Float.infinity);
+  Alcotest.(check string) "-inf -> null" "null" (render Float.neg_infinity);
+  Alcotest.(check string) "finite untouched" "2.5" (render 2.5);
+  (* a document carrying a poisoned number still parses back *)
+  let doc = Obs.Json.Obj [ ("ok", Obs.Json.Num 1.); ("bad", Obs.Json.Num Float.nan) ] in
+  match Obs.Json.parse (Obs.Json.to_string doc) with
+  | Obs.Json.Obj kvs ->
+      Alcotest.(check bool) "nan field became null" true
+        (List.assoc_opt "bad" kvs = Some Obs.Json.Null)
+  | _ -> Alcotest.fail "document did not parse back"
+
 let test_null_sink () =
   Obs.set_sink None;
   (* no sink: with_span is transparent, count/observe are no-ops *)
@@ -228,7 +264,10 @@ let () =
           Alcotest.test_case "null sink" `Quick test_null_sink ] );
       ( "counters",
         [ Alcotest.test_case "totals and histograms" `Quick test_counters;
+          Alcotest.test_case "percentiles" `Quick test_percentiles;
           Alcotest.test_case "noisy shots" `Quick test_shots_counter ] );
+      ( "json",
+        [ Alcotest.test_case "non-finite numbers" `Quick test_json_non_finite ] );
       ( "export",
         [ Alcotest.test_case "jsonl round-trip" `Quick test_jsonl_roundtrip;
           Alcotest.test_case "jsonl rejects garbage" `Quick test_jsonl_rejects_garbage;

@@ -1,13 +1,23 @@
-(* Compare two BENCH_pr*.json reports and print per-case speedups.
+(* Compare two BENCH_pr*.json reports — bechamel runtimes by default,
+   corpus metric snapshots with --corpus — and optionally gate on
+   regressions.
 
    Usage:
-     bench_diff [old.json new.json]
+     bench_diff [OLD.json NEW.json] [--corpus] [--fail-on-regression]
+                [--threshold m=frac[,m=frac...]] [--json FILE]
 
-   With no arguments the tool looks for BENCH_pr4.json and BENCH_pr6.json,
+   With no paths the tool looks for BENCH_pr6.json and BENCH_pr7.json,
    searching upward from the current directory (so it works both from the
-   repo root and from dune's build directories). It is a report step, not
-   a gate: missing files or unparsable input print a note and exit 0, so
-   wiring it after `dune runtest` can never fail the build. *)
+   repo root and from dune's build directories). Without
+   --fail-on-regression it is a report step, not a gate: missing files or
+   unparsable input print a note and exit 0, so wiring it after
+   `dune runtest` can never fail the build. With --fail-on-regression a
+   metric that worsens past its threshold exits 1.
+
+   Thresholds are fractions of the old value: in corpus mode any metric
+   name from Corpus.Diff.default_thresholds ("t_count=0.05,depth=0.1");
+   in benchmarks mode the single metric is "runtime" (default 0.25 — a
+   run must slow down by >25% to count as a regression). *)
 
 let find_up name =
   let rec search dir =
@@ -26,9 +36,19 @@ let read_json path =
   close_in ic;
   Obs.Json.parse s
 
+let write_file path text =
+  let oc = open_out path in
+  output_string oc text;
+  output_char oc '\n';
+  close_out oc
+
 let field name = function
   | Obs.Json.Obj kvs -> List.assoc_opt name kvs
   | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Benchmarks (bechamel runtime) mode                                  *)
+(* ------------------------------------------------------------------ *)
 
 (* [(name, ns_per_run)] rows of one report's "benchmarks" array. *)
 let benchmarks json =
@@ -53,11 +73,118 @@ let pretty_ns ns =
   else if ns > 1e3 then Printf.sprintf "%8.3f us" (ns /. 1e3)
   else Printf.sprintf "%8.1f ns" ns
 
+(* Renders the runtime table, returns (regressed names, json rows). *)
+let diff_benchmarks ~runtime_threshold old_path new_path old_json new_json =
+  let old_rows = benchmarks old_json and new_rows = benchmarks new_json in
+  Printf.printf "bench_diff: %s (%s) vs %s (%s)\n" old_path (pr_label old_json)
+    new_path (pr_label new_json);
+  Printf.printf "%-42s %12s %12s %9s\n" "benchmark" "old" "new" "speedup";
+  let seen = ref 0 in
+  let regressions = ref [] in
+  let rows = ref [] in
+  List.iter
+    (fun (name, new_ns) ->
+      match List.assoc_opt name old_rows with
+      | Some old_ns when new_ns > 0. ->
+          incr seen;
+          let regressed = new_ns > old_ns *. (1. +. runtime_threshold) in
+          if regressed then regressions := name :: !regressions;
+          rows :=
+            Obs.Json.Obj
+              [ ("name", Obs.Json.String name); ("old_ns", Obs.Json.Num old_ns);
+                ("new_ns", Obs.Json.Num new_ns);
+                ("regressed", Obs.Json.Bool regressed) ]
+            :: !rows;
+          Printf.printf "%-42s %12s %12s %8.2fx%s\n" name (pretty_ns old_ns)
+            (pretty_ns new_ns) (old_ns /. new_ns)
+            (if regressed then "  REGRESSION" else "")
+      | _ -> Printf.printf "%-42s %12s %12s %9s\n" name "-" (pretty_ns new_ns) "new")
+    new_rows;
+  List.iter
+    (fun (name, old_ns) ->
+      if not (List.mem_assoc name new_rows) then
+        Printf.printf "%-42s %12s %12s %9s\n" name (pretty_ns old_ns) "-" "dropped")
+    old_rows;
+  if !seen = 0 then print_endline "bench_diff: no common benchmarks to compare";
+  let regressions = List.rev !regressions in
+  (match regressions with
+  | [] -> Printf.printf "no runtime regressions (threshold %g)\n" runtime_threshold
+  | rs ->
+      Printf.printf "%d runtime regression(s) past threshold %g: %s\n"
+        (List.length rs) runtime_threshold (String.concat ", " rs));
+  let json =
+    Obs.Json.Obj
+      [ ("mode", Obs.Json.String "benchmarks");
+        ("runtime_threshold", Obs.Json.Num runtime_threshold);
+        ("benchmarks", Obs.Json.Arr (List.rev !rows));
+        ("regressions",
+         Obs.Json.Arr (List.map (fun n -> Obs.Json.String n) regressions)) ]
+  in
+  (regressions, json)
+
+(* ------------------------------------------------------------------ *)
+(* Argument parsing                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type opts = {
+  paths : string list; (* positional: [old; new] *)
+  corpus : bool;
+  fail_on_regression : bool;
+  threshold : string option; (* raw "m=v,m=v" spec *)
+  json_out : string option;
+}
+
+let usage =
+  "usage: bench_diff [OLD.json NEW.json] [--corpus] [--fail-on-regression] \
+   [--threshold m=frac[,m=frac...]] [--json FILE]"
+
+let parse_args argv =
+  let rec go o = function
+    | [] -> o
+    | "--corpus" :: rest -> go { o with corpus = true } rest
+    | "--fail-on-regression" :: rest -> go { o with fail_on_regression = true } rest
+    | "--threshold" :: spec :: rest -> go { o with threshold = Some spec } rest
+    | "--json" :: file :: rest -> go { o with json_out = Some file } rest
+    | ("--threshold" | "--json") :: [] ->
+        prerr_endline usage;
+        exit 2
+    | flag :: _ when String.length flag > 1 && flag.[0] = '-' ->
+        Printf.eprintf "bench_diff: unknown flag %s\n%s\n" flag usage;
+        exit 2
+    | path :: rest -> go { o with paths = o.paths @ [ path ] } rest
+  in
+  go
+    { paths = []; corpus = false; fail_on_regression = false; threshold = None;
+      json_out = None }
+    (List.tl (Array.to_list argv))
+
+(* In benchmarks mode the only metric is the runtime itself. *)
+let runtime_threshold_of_spec = function
+  | None -> 0.25
+  | Some spec -> (
+      match String.split_on_char '=' spec with
+      | [ "runtime"; v ] -> (
+          match float_of_string_opt v with
+          | Some f when f >= 0. -> f
+          | _ ->
+              Printf.eprintf "bench_diff: bad runtime threshold %s\n" v;
+              exit 2)
+      | _ ->
+          Printf.eprintf
+            "bench_diff: benchmarks mode understands only runtime=FRAC \
+             (got %s); use --corpus for per-metric thresholds\n"
+            spec;
+          exit 2)
+
 let () =
-  let old_path, new_path =
-    match Sys.argv with
-    | [| _; o; n |] -> (Some o, Some n)
-    | _ -> (find_up "BENCH_pr4.json", find_up "BENCH_pr6.json")
+  let o = parse_args Sys.argv in
+  let explicit, old_path, new_path =
+    match o.paths with
+    | [ op; np ] -> (true, Some op, Some np)
+    | [] -> (false, find_up "BENCH_pr6.json", find_up "BENCH_pr7.json")
+    | _ ->
+        prerr_endline usage;
+        exit 2
   in
   match (old_path, new_path) with
   | None, _ | _, None ->
@@ -65,27 +192,50 @@ let () =
         "bench_diff: baseline or current BENCH json not found; run `dune exec \
          bench/main.exe json` first (report skipped)"
   | Some old_path, Some new_path -> (
-      match (read_json old_path, read_json new_path) with
-      | exception (Sys_error msg | Obs.Json.Parse_error msg) ->
-          Printf.printf "bench_diff: %s (report skipped)\n" msg
-      | old_json, new_json ->
-          let old_rows = benchmarks old_json and new_rows = benchmarks new_json in
-          Printf.printf "bench_diff: %s (%s) vs %s (%s)\n" old_path (pr_label old_json)
-            new_path (pr_label new_json);
-          Printf.printf "%-42s %12s %12s %9s\n" "benchmark" "old" "new" "speedup";
-          let seen = ref 0 in
-          List.iter
-            (fun (name, new_ns) ->
-              match List.assoc_opt name old_rows with
-              | Some old_ns when new_ns > 0. ->
-                  incr seen;
-                  Printf.printf "%-42s %12s %12s %8.2fx\n" name (pretty_ns old_ns)
-                    (pretty_ns new_ns) (old_ns /. new_ns)
-              | _ -> Printf.printf "%-42s %12s %12s %9s\n" name "-" (pretty_ns new_ns) "new")
-            new_rows;
-          List.iter
-            (fun (name, old_ns) ->
-              if not (List.mem_assoc name new_rows) then
-                Printf.printf "%-42s %12s %12s %9s\n" name (pretty_ns old_ns) "-" "dropped")
-            old_rows;
-          if !seen = 0 then print_endline "bench_diff: no common benchmarks to compare")
+      let soft_fail msg =
+        (* default discovery stays a report step; explicit paths are a
+           user request and failures should be loud *)
+        if explicit || o.fail_on_regression then begin
+          Printf.eprintf "bench_diff: %s\n" msg;
+          exit 2
+        end
+        else Printf.printf "bench_diff: %s (report skipped)\n" msg
+      in
+      if o.corpus then begin
+        match (Corpus.read_snapshot old_path, Corpus.read_snapshot new_path) with
+        | exception (Sys_error msg | Obs.Json.Parse_error msg) -> soft_fail msg
+        | exception Corpus.Bad_snapshot msg ->
+            soft_fail (Printf.sprintf "bad corpus snapshot: %s" msg)
+        | old_s, new_s ->
+            let thresholds =
+              match o.threshold with
+              | None -> Corpus.Diff.default_thresholds
+              | Some spec -> (
+                  try Corpus.Diff.parse_thresholds spec
+                  with Corpus.Diff.Bad_threshold msg ->
+                    Printf.eprintf "bench_diff: %s\n" msg;
+                    exit 2)
+            in
+            let report = Corpus.Diff.diff ~thresholds old_s new_s in
+            Printf.printf "bench_diff: %s vs %s (corpus)\n" old_path new_path;
+            print_string (Corpus.Diff.render report);
+            Option.iter
+              (fun file ->
+                write_file file (Obs.Json.to_string (Corpus.Diff.to_json report)))
+              o.json_out;
+            if o.fail_on_regression && Corpus.Diff.has_regressions report then
+              exit 1
+      end
+      else
+        match (read_json old_path, read_json new_path) with
+        | exception (Sys_error msg | Obs.Json.Parse_error msg) -> soft_fail msg
+        | old_json, new_json ->
+            let runtime_threshold = runtime_threshold_of_spec o.threshold in
+            let regressions, json =
+              diff_benchmarks ~runtime_threshold old_path new_path old_json
+                new_json
+            in
+            Option.iter
+              (fun file -> write_file file (Obs.Json.to_string json))
+              o.json_out;
+            if o.fail_on_regression && regressions <> [] then exit 1)
