@@ -8,7 +8,7 @@
      dune exec bench/main.exe quick      -- timings only
      dune exec bench/main.exe json       -- timings + telemetry counters
                                             + corpus snapshot written to
-                                            BENCH_pr7.json *)
+                                            BENCH_pr8.json *)
 
 open Bechamel
 open Bechamel.Toolkit
@@ -64,17 +64,22 @@ let compile_family () =
     ~options:{ Core.Flow.default with synth = Core.Flow.Esop }
     ~jobs:1 bent_family
 
-(* T/S-layer-heavy 16-qubit workload: long runs of diagonal gates, the
-   shape the fusion prepass targets (T-par output looks like this). *)
-let diag16 =
-  let n = 16 in
+(* T/S-layer-heavy workload family: long runs of diagonal gates followed
+   by CNOT chains, the shape the plan layer targets (T-par output looks
+   like this). The 20q/24q members use fewer layers so a single run stays
+   inside the Bechamel quota — the per-amplitude work is identical. *)
+let diag_circuit n ~layers =
   Qc.Circuit.of_gates n
     (List.init n (fun q -> Qc.Gate.H q)
     @ List.concat
-        (List.init 8 (fun _ ->
+        (List.init layers (fun _ ->
              List.init n (fun q -> Qc.Gate.T q)
              @ List.init n (fun q -> Qc.Gate.S q)
              @ List.init (n - 1) (fun q -> Qc.Gate.Cnot (q, q + 1)))))
+
+let diag16 = diag_circuit 16 ~layers:8
+let diag20 = diag_circuit 20 ~layers:4
+let diag24 = diag_circuit 24 ~layers:1
 
 let tests =
   Test.make_grouped ~name:"dautoq"
@@ -173,6 +178,20 @@ let tests =
       Test.make ~name:"sv_run_unfused_16q"
         (stage (fun () -> Qc.Statevector.run ~fuse:false diag16));
       Test.make ~name:"sv_run_fused_16q" (stage (fun () -> Qc.Statevector.run diag16));
+      (* PR 8: the kernel-plan layer. Warm runs replay the cached plan
+         (the shot-loop regime); the plan_build entries time compilation
+         alone — cache cleared each run — so plan overhead is tracked
+         separately from replay throughput. *)
+      Test.make ~name:"sv_run_20q" (stage (fun () -> Qc.Statevector.run diag20));
+      Test.make ~name:"sv_run_24q" (stage (fun () -> Qc.Statevector.run diag24));
+      Test.make ~name:"sv_plan_build_16q"
+        (stage (fun () ->
+             Qc.Statevector.clear_plan_cache ();
+             Qc.Statevector.Plan.build diag16));
+      Test.make ~name:"sv_plan_build_24q"
+        (stage (fun () ->
+             Qc.Statevector.clear_plan_cache ();
+             Qc.Statevector.Plan.build diag24));
       (* PR 4: the compilation cache. Cold empties every store before each
          sweep (so every member pays synthesis + lowering); warm reuses the
          populated stores — the acceptance bar is warm >= 3x faster. *)
@@ -299,7 +318,7 @@ let write_bench_json path rows events =
   let corpus_snapshot = capture_corpus () in
   let doc =
     Obj
-      [ ("pr", Num 7.); ("suite", String "dautoq");
+      [ ("pr", Num 8.); ("suite", String "dautoq");
         (* parallel speedups only show up with real cores behind the pool *)
         ("recommended_domains", Num (float_of_int (Par.recommended ())));
         ("benchmarks", Arr benchmarks);
@@ -326,4 +345,4 @@ let () =
   end;
   let rows = measure_benchmarks () in
   print_rows rows;
-  if json then write_bench_json "BENCH_pr7.json" rows (capture_telemetry ())
+  if json then write_bench_json "BENCH_pr8.json" rows (capture_telemetry ())

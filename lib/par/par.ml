@@ -148,6 +148,20 @@ let parallel_for p ?chunks ~start ~stop body =
              if lo < hi then body lo hi))
   end
 
+(** [map_floats p ~tasks f] fills a float array with [f i] for every task
+    index, the tasks running over the pool. The partition is fixed by
+    [tasks] (never by pool width), so callers that chunk a reduction into
+    [tasks] blocks get the {e same} per-block partials — and therefore
+    the same combined float sum — for any [--jobs] value. The result
+    array is unboxed; each task writes one disjoint slot. *)
+let map_floats p ~tasks f =
+  if tasks <= 0 then [||]
+  else begin
+    let out = Array.make tasks 0. in
+    run_tasks p (Array.init tasks (fun i () -> out.(i) <- f i));
+    out
+  end
+
 (** [map_reduce p ~tasks ~map ~reduce ~init] computes
     [reduce (… (reduce init (map 0)) …) (map (tasks - 1))] with the maps
     running in parallel and the reduction folded strictly in index order

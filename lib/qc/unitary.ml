@@ -25,7 +25,39 @@ let of_circuit c =
   done;
   m
 
+(** [of_gates n gs] is the unitary of the gate list applied in order on
+    [n] qubits. *)
+let of_gates n gs = of_circuit (Circuit.of_gates n gs)
+
+(** [mul a b] is the matrix product [a·b] — the unitary of "apply [b],
+    then [a]" (composition in circuit order is [mul later earlier]).
+    Tests use this to cross-check the statevector plan layer's fused
+    block matrices against explicit products. *)
+let mul (a : t) (b : t) : t =
+  let sz = Array.length a in
+  if sz <> Array.length b then invalid_arg "Unitary.mul: size mismatch";
+  Array.init sz (fun r ->
+      Array.init sz (fun c ->
+          let acc = ref Complex.zero in
+          for k = 0 to sz - 1 do
+            acc := Complex.add !acc (Complex.mul a.(r).(k) b.(k).(c))
+          done;
+          !acc))
+
 let cnorm (z : Complex.t) = (z.re *. z.re) +. (z.im *. z.im)
+
+(** [is_diagonal ?eps u] holds when every off-diagonal entry is ≈ 0 —
+    the matrix-level counterpart of the plan layer's diagonal-block
+    class. *)
+let is_diagonal ?(eps = 1e-9) (u : t) =
+  let sz = Array.length u in
+  let ok = ref true in
+  for r = 0 to sz - 1 do
+    for c = 0 to sz - 1 do
+      if r <> c && cnorm u.(r).(c) > eps *. eps then ok := false
+    done
+  done;
+  !ok
 
 (** [equal ?eps a b] is entrywise equality within [eps]. *)
 let equal ?(eps = 1e-9) (a : t) (b : t) =

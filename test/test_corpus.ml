@@ -86,6 +86,30 @@ let test_run_deterministic () =
   if run () <> run () then
     Alcotest.fail "two in-process corpus runs disagree"
 
+(* the statevector kernel-plan layer and the worker count must never
+   leak into corpus records: planned vs --no-plan and --jobs 1 vs 4
+   produce byte-identical snapshots on the smoke slice *)
+let test_run_plan_jobs_invariant () =
+  let snap () =
+    Obs.Json.to_string
+      (Corpus.snapshot_to_json
+         (Corpus.snapshot (Corpus.run ~config:no_timings Corpus.smoke_manifest)))
+  in
+  let with_setup ~plan ~jobs f =
+    Qc.Statevector.set_plan_enabled plan;
+    Par.set_default_jobs jobs;
+    Fun.protect
+      ~finally:(fun () ->
+        Qc.Statevector.set_plan_enabled true;
+        Par.set_default_jobs 1)
+      f
+  in
+  let planned_j1 = with_setup ~plan:true ~jobs:1 snap in
+  let planned_j4 = with_setup ~plan:true ~jobs:4 snap in
+  let legacy_j1 = with_setup ~plan:false ~jobs:1 snap in
+  Alcotest.(check string) "snapshot invariant under --jobs" planned_j1 planned_j4;
+  Alcotest.(check string) "snapshot invariant under --no-plan" planned_j1 legacy_j1
+
 (* ---------------- snapshot persistence ---------------- *)
 
 let test_snapshot_roundtrip () =
@@ -216,7 +240,9 @@ let () =
           Alcotest.test_case "to_qasm parses" `Quick test_to_qasm_parses ] );
       ( "run",
         [ Alcotest.test_case "entry metrics" `Quick test_run_entry_metrics;
-          Alcotest.test_case "deterministic" `Quick test_run_deterministic ] );
+          Alcotest.test_case "deterministic" `Quick test_run_deterministic;
+          Alcotest.test_case "plan/jobs invariant" `Quick
+            test_run_plan_jobs_invariant ] );
       ( "snapshot",
         [ Alcotest.test_case "round-trip" `Quick test_snapshot_roundtrip;
           Alcotest.test_case "rejects garbage" `Quick test_snapshot_rejects_garbage ] );

@@ -1,0 +1,282 @@
+(* Statevector kernel-plan layer: replay equivalence against the unfused
+   reference, block classification, deterministic parallel reductions,
+   jobs-invariance, and the plan/sampler reuse counters. *)
+
+open Qc
+
+(* run/run_on only engage the planner at >= fuse_min_qubits, so small
+   property circuits drive Plan.build/Plan.execute directly. *)
+let run_planned c =
+  let s = Statevector.init (Circuit.num_qubits c) in
+  Statevector.Plan.execute (Statevector.Plan.build c) s;
+  s
+
+let amp_close (a : Complex.t) (b : Complex.t) =
+  Float.abs (a.re -. b.re) < 1e-9 && Float.abs (a.im -. b.im) < 1e-9
+
+let same_amplitudes s1 s2 =
+  Statevector.size s1 = Statevector.size s2
+  && (let ok = ref true in
+      for x = 0 to Statevector.size s1 - 1 do
+        if not (amp_close (Statevector.amplitude s1 x) (Statevector.amplitude s2 x))
+        then ok := false
+      done;
+      !ok)
+
+let plan_equiv c = same_amplitudes (run_planned c) (Statevector.run ~fuse:false c)
+
+(* --- qcheck: planned = unfused on three circuit families --- *)
+
+let seeded_circuit_gen mk =
+  QCheck2.Gen.map
+    (fun seed -> mk (Helpers.rng seed))
+    QCheck2.Gen.(int_bound 1_000_000)
+
+(* H layer then only diagonal gates: exercises sweeps, K_diag and
+   build-time sweep folding into full-width blocks. *)
+let diag_heavy st n len =
+  let gates = ref [] in
+  for _ = 1 to len do
+    let q = Random.State.int st n in
+    let g =
+      match Random.State.int st 7 with
+      | 0 -> Gate.T q
+      | 1 -> Gate.Tdg q
+      | 2 -> Gate.S q
+      | 3 -> Gate.Sdg q
+      | 4 -> Gate.Z q
+      | 5 -> Gate.Rz (Random.State.float st 6.28 -. 3.14, q)
+      | _ ->
+          let q2 = (q + 1 + Random.State.int st (n - 1)) mod n in
+          Gate.Cz (q, q2)
+    in
+    gates := g :: !gates
+  done;
+  Circuit.of_gates n (List.init n (fun q -> Gate.H q) @ List.rev !gates)
+
+(* H on a couple of qubits then classical gates only: exercises K_perm /
+   K_perm_full scatter kernels including the unit-phase move-only path. *)
+let perm_heavy st n len =
+  let gates = ref [] in
+  for _ = 1 to len do
+    let q = Random.State.int st n in
+    let q2 = (q + 1 + Random.State.int st (n - 1)) mod n in
+    let g =
+      match Random.State.int st 4 with
+      | 0 -> Gate.X q
+      | 1 -> Gate.Cnot (q, q2)
+      | 2 -> Gate.Swap (q, q2)
+      | _ ->
+          let q3 = (max q q2 + 1) mod n in
+          if q3 = q || q3 = q2 then Gate.Cnot (q, q2) else Gate.Ccx (q, q2, q3)
+    in
+    gates := g :: !gates
+  done;
+  Circuit.of_gates n ([ Gate.H 0; Gate.H 1 ] @ List.rev !gates)
+
+let prop_diag_heavy =
+  Helpers.prop "plan = unfused on diagonal-heavy circuits" ~count:50
+    (seeded_circuit_gen (fun st -> diag_heavy st 5 60))
+    plan_equiv
+
+let prop_perm_heavy =
+  Helpers.prop "plan = unfused on permutation-heavy circuits" ~count:50
+    (seeded_circuit_gen (fun st -> perm_heavy st 5 60))
+    plan_equiv
+
+(* Mixed H/T/CNOT on overlapping supports: forms genuinely dense 2-3q
+   blocks alongside Hadamard and monomial ones. *)
+let prop_general_dense =
+  Helpers.prop "plan = unfused on general Clifford+T circuits" ~count:50
+    QCheck2.Gen.(
+      let* seed = int_bound 1_000_000 in
+      Helpers.qcircuit_gen ~diagonals:(seed mod 2 = 0) 4 50)
+    plan_equiv
+
+(* --- classification: stats match the circuit's structure --- *)
+
+let test_stats_diag () =
+  let c = diag_heavy (Helpers.rng 3) 4 40 in
+  let st = Statevector.Plan.stats (Statevector.Plan.build c) in
+  Alcotest.(check bool) "diagonal work planned" true
+    (st.Statevector.Plan.diag + st.Statevector.Plan.sweeps
+     + st.Statevector.Plan.perm
+     > 0);
+  Alcotest.(check int) "no dense blocks" 0 st.Statevector.Plan.dense;
+  Alcotest.(check bool) "H layer fused" true (st.Statevector.Plan.had >= 1)
+
+let test_stats_perm () =
+  let c =
+    Circuit.of_gates 4
+      [ Gate.X 0; Gate.Cnot (0, 1); Gate.Swap (1, 2); Gate.Ccx (0, 1, 3) ]
+  in
+  let p = Statevector.Plan.build c in
+  let st = Statevector.Plan.stats p in
+  Alcotest.(check int) "one block" 1 st.Statevector.Plan.blocks;
+  Alcotest.(check int) "classified as permutation" 1 st.Statevector.Plan.perm;
+  Alcotest.(check int) "no dense" 0 st.Statevector.Plan.dense;
+  (* cross-check at the matrix level: the block really is a permutation *)
+  match Unitary.is_permutation (Unitary.of_circuit c) with
+  | Some _ -> ()
+  | None -> Alcotest.fail "circuit unitary is not a permutation"
+
+let test_stats_dense () =
+  (* H sandwiched between non-commuting gates on one support: dense block *)
+  let c =
+    Circuit.of_gates 4
+      [ Gate.T 0; Gate.H 0; Gate.T 0; Gate.Cnot (0, 1); Gate.H 0; Gate.T 1 ]
+  in
+  let st = Statevector.Plan.stats (Statevector.Plan.build c) in
+  Alcotest.(check bool) "dense block formed" true (st.Statevector.Plan.dense >= 1)
+
+let test_diag_block_is_diagonal () =
+  (* matrix-level cross-check of the diagonal classification *)
+  let c =
+    Circuit.of_gates 3
+      [ Gate.T 0; Gate.S 1; Gate.Cz (0, 1); Gate.Ccz (0, 1, 2); Gate.Tdg 2 ]
+  in
+  Alcotest.(check bool) "unitary is diagonal" true
+    (Unitary.is_diagonal (Unitary.of_circuit c));
+  Alcotest.(check bool) "planned replay agrees" true (plan_equiv c)
+
+let test_identity_elimination () =
+  (* classical gates composing to the identity vanish from the schedule *)
+  let c =
+    Circuit.of_gates 4
+      [ Gate.X 0; Gate.Cnot (0, 1); Gate.Cnot (0, 1); Gate.X 0;
+        Gate.Swap (2, 3); Gate.Swap (2, 3) ]
+  in
+  let st = Statevector.Plan.stats (Statevector.Plan.build c) in
+  Alcotest.(check int) "identity block dropped" 0 st.Statevector.Plan.ops;
+  Alcotest.(check bool) "still correct" true (plan_equiv c)
+
+(* --- jobs-invariance: bit-identical amplitudes and reductions --- *)
+
+let with_jobs jobs f =
+  Par.set_default_jobs jobs;
+  Fun.protect ~finally:(fun () -> Par.set_default_jobs 1) f
+
+(* 15 qubits puts the state (2^15) above par_threshold (2^14), so the
+   parallel kernels and chunked reductions actually engage. *)
+let wide_circuit =
+  lazy
+    (Circuit.of_gates 15
+       (List.init 15 (fun q -> Gate.H q)
+       @ List.concat
+           (List.init 2 (fun _ ->
+                List.init 15 (fun q -> Gate.T q)
+                @ List.init 14 (fun q -> Gate.Cnot (q, q + 1))))))
+
+let test_jobs_invariance () =
+  let c = Lazy.force wide_circuit in
+  Statevector.clear_plan_cache ();
+  let s1 = with_jobs 1 (fun () -> Statevector.run c) in
+  Statevector.clear_plan_cache ();
+  let s4 = with_jobs 4 (fun () -> Statevector.run c) in
+  let identical = ref true in
+  for x = 0 to Statevector.size s1 - 1 do
+    let a = Statevector.amplitude s1 x and b = Statevector.amplitude s4 x in
+    if not (a.re = b.re && a.im = b.im) then identical := false
+  done;
+  Alcotest.(check bool) "amplitudes bit-identical across --jobs" true !identical
+
+let test_reduction_determinism () =
+  let c = Lazy.force wide_circuit in
+  let s = Statevector.run c in
+  let n1, p1, smp1 =
+    with_jobs 1 (fun () ->
+        (Statevector.norm2 s, Statevector.prob_of_qubit s 7, Statevector.sampler s))
+  in
+  let n4, p4, smp4 =
+    with_jobs 4 (fun () ->
+        (Statevector.norm2 s, Statevector.prob_of_qubit s 7, Statevector.sampler s))
+  in
+  Alcotest.(check bool) "norm2 bit-identical" true (n1 = n4);
+  Alcotest.(check bool) "prob_of_qubit bit-identical" true (p1 = p4);
+  for seed = 0 to 20 do
+    Alcotest.(check int) "sampler draws identical"
+      (Statevector.sample_with smp1 (Helpers.rng seed))
+      (Statevector.sample_with smp4 (Helpers.rng seed))
+  done
+
+let test_obs_totals_jobs_invariant () =
+  let c = Lazy.force wide_circuit in
+  let totals jobs =
+    let m = Obs.Memory.create () in
+    Obs.reset ();
+    Obs.set_sink (Some (Obs.Memory.sink m));
+    Fun.protect
+      ~finally:(fun () -> Obs.set_sink None)
+      (fun () ->
+        Statevector.clear_plan_cache ();
+        with_jobs jobs (fun () -> ignore (Statevector.run c)));
+    Obs.Summary.counter_totals (Obs.Memory.events m)
+  in
+  let t1 = totals 1 and t4 = totals 4 in
+  Alcotest.(check (list (pair string int)))
+    "telemetry counter totals identical across --jobs" t1 t4;
+  Alcotest.(check bool) "plan blocks counted" true
+    (match List.assoc_opt "sv.plan.blocks" t1 with Some n -> n > 0 | None -> false)
+
+(* --- plan cache and sampler reuse across shots --- *)
+
+let with_memory_sink f =
+  let m = Obs.Memory.create () in
+  Obs.reset ();
+  Obs.set_sink (Some (Obs.Memory.sink m));
+  Fun.protect ~finally:(fun () -> Obs.set_sink None) f;
+  Obs.Summary.counter_totals (Obs.Memory.events m)
+
+let test_plan_cache_replay () =
+  let c = Lazy.force wide_circuit in
+  let totals =
+    with_memory_sink (fun () ->
+        Statevector.clear_plan_cache ();
+        ignore (Statevector.run c);
+        ignore (Statevector.run c);
+        ignore (Statevector.run c))
+  in
+  Alcotest.(check (option int)) "two cache replays"
+    (Some 2)
+    (List.assoc_opt "sv.plan.replay" totals)
+
+let test_noise_sampler_reuse () =
+  let c = Lazy.force wide_circuit in
+  let totals =
+    with_memory_sink (fun () ->
+        Statevector.clear_plan_cache ();
+        ignore (Noise.run_shots Noise.noiseless c ~shots:32);
+        ignore (Noise.run_shots Noise.noiseless c ~shots:32))
+  in
+  (match List.assoc_opt "qc.noise.sampler_reuse" totals with
+  | Some n when n >= 1 -> ()
+  | _ -> Alcotest.fail "second noiseless run did not reuse the sampler");
+  (* one plan build serves every shot of both runs *)
+  match List.assoc_opt "sv.plan.blocks" totals with
+  | Some _ -> ()
+  | None -> Alcotest.fail "noiseless shots never built a plan"
+
+let () =
+  Alcotest.run "plan"
+    [ ( "replay-equivalence",
+        [ prop_diag_heavy; prop_perm_heavy; prop_general_dense ] );
+      ( "classification",
+        [ Alcotest.test_case "diag-heavy stats" `Quick test_stats_diag;
+          Alcotest.test_case "perm block" `Quick test_stats_perm;
+          Alcotest.test_case "dense block" `Quick test_stats_dense;
+          Alcotest.test_case "diagonal matrix cross-check" `Quick
+            test_diag_block_is_diagonal;
+          Alcotest.test_case "identity elimination" `Quick
+            test_identity_elimination ] );
+      ( "determinism",
+        [ Alcotest.test_case "jobs-invariant amplitudes" `Quick
+            test_jobs_invariance;
+          Alcotest.test_case "jobs-invariant reductions" `Quick
+            test_reduction_determinism;
+          Alcotest.test_case "jobs-invariant telemetry totals" `Quick
+            test_obs_totals_jobs_invariant ] );
+      ( "reuse",
+        [ Alcotest.test_case "plan cache replay counter" `Quick
+            test_plan_cache_replay;
+          Alcotest.test_case "noiseless sampler reuse" `Quick
+            test_noise_sampler_reuse ] ) ]

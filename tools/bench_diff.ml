@@ -4,9 +4,9 @@
 
    Usage:
      bench_diff [OLD.json NEW.json] [--corpus] [--fail-on-regression]
-                [--threshold m=frac[,m=frac...]] [--json FILE]
+                [--threshold m=frac[,m=frac...]] [--only PREFIX] [--json FILE]
 
-   With no paths the tool looks for BENCH_pr6.json and BENCH_pr7.json,
+   With no paths the tool looks for BENCH_pr7.json and BENCH_pr8.json,
    searching upward from the current directory (so it works both from the
    repo root and from dune's build directories). Without
    --fail-on-regression it is a report step, not a gate: missing files or
@@ -17,7 +17,10 @@
    Thresholds are fractions of the old value: in corpus mode any metric
    name from Corpus.Diff.default_thresholds ("t_count=0.05,depth=0.1");
    in benchmarks mode the single metric is "runtime" (default 0.25 — a
-   run must slow down by >25% to count as a regression). *)
+   run must slow down by >25% to count as a regression). --only PREFIX
+   restricts benchmarks mode to rows whose name starts with PREFIX, so
+   `bench_diff --only sv_run_ --threshold runtime=0.1 --fail-on-regression`
+   gates just the statevector kernel-plan runs. *)
 
 let find_up name =
   let rec search dir =
@@ -73,9 +76,27 @@ let pretty_ns ns =
   else if ns > 1e3 then Printf.sprintf "%8.3f us" (ns /. 1e3)
   else Printf.sprintf "%8.1f ns" ns
 
+let starts_with ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+(* Bechamel rows are named "<suite>/<case>"; let --only match either the
+   full name or the case component, so `--only sv_run_` works without
+   spelling the suite. *)
+let name_matches ~prefix name =
+  starts_with ~prefix name
+  || starts_with ~prefix
+       (match String.rindex_opt name '/' with
+       | Some i -> String.sub name (i + 1) (String.length name - i - 1)
+       | None -> name)
+
 (* Renders the runtime table, returns (regressed names, json rows). *)
-let diff_benchmarks ~runtime_threshold old_path new_path old_json new_json =
-  let old_rows = benchmarks old_json and new_rows = benchmarks new_json in
+let diff_benchmarks ~runtime_threshold ~only old_path new_path old_json new_json =
+  let keep (name, _) =
+    match only with None -> true | Some p -> name_matches ~prefix:p name
+  in
+  let old_rows = List.filter keep (benchmarks old_json)
+  and new_rows = List.filter keep (benchmarks new_json) in
   Printf.printf "bench_diff: %s (%s) vs %s (%s)\n" old_path (pr_label old_json)
     new_path (pr_label new_json);
   Printf.printf "%-42s %12s %12s %9s\n" "benchmark" "old" "new" "speedup";
@@ -131,12 +152,13 @@ type opts = {
   corpus : bool;
   fail_on_regression : bool;
   threshold : string option; (* raw "m=v,m=v" spec *)
+  only : string option; (* benchmark-name prefix filter *)
   json_out : string option;
 }
 
 let usage =
   "usage: bench_diff [OLD.json NEW.json] [--corpus] [--fail-on-regression] \
-   [--threshold m=frac[,m=frac...]] [--json FILE]"
+   [--threshold m=frac[,m=frac...]] [--only PREFIX] [--json FILE]"
 
 let parse_args argv =
   let rec go o = function
@@ -144,8 +166,9 @@ let parse_args argv =
     | "--corpus" :: rest -> go { o with corpus = true } rest
     | "--fail-on-regression" :: rest -> go { o with fail_on_regression = true } rest
     | "--threshold" :: spec :: rest -> go { o with threshold = Some spec } rest
+    | "--only" :: prefix :: rest -> go { o with only = Some prefix } rest
     | "--json" :: file :: rest -> go { o with json_out = Some file } rest
-    | ("--threshold" | "--json") :: [] ->
+    | ("--threshold" | "--only" | "--json") :: [] ->
         prerr_endline usage;
         exit 2
     | flag :: _ when String.length flag > 1 && flag.[0] = '-' ->
@@ -155,7 +178,7 @@ let parse_args argv =
   in
   go
     { paths = []; corpus = false; fail_on_regression = false; threshold = None;
-      json_out = None }
+      only = None; json_out = None }
     (List.tl (Array.to_list argv))
 
 (* In benchmarks mode the only metric is the runtime itself. *)
@@ -181,7 +204,7 @@ let () =
   let explicit, old_path, new_path =
     match o.paths with
     | [ op; np ] -> (true, Some op, Some np)
-    | [] -> (false, find_up "BENCH_pr6.json", find_up "BENCH_pr7.json")
+    | [] -> (false, find_up "BENCH_pr7.json", find_up "BENCH_pr8.json")
     | _ ->
         prerr_endline usage;
         exit 2
@@ -232,8 +255,8 @@ let () =
         | old_json, new_json ->
             let runtime_threshold = runtime_threshold_of_spec o.threshold in
             let regressions, json =
-              diff_benchmarks ~runtime_threshold old_path new_path old_json
-                new_json
+              diff_benchmarks ~runtime_threshold ~only:o.only old_path new_path
+                old_json new_json
             in
             Option.iter
               (fun file -> write_file file (Obs.Json.to_string json))
