@@ -103,8 +103,9 @@ let run instance ~noisy ~shots ~runs ~draw ~qasm ~passes ~target ~faults
    trace loadable in Perfetto, anything else a human table). With --cache
    DIR the compilation cache persists into DIR and a hit/miss summary goes
    to stderr; --no-cache disables memoization entirely. *)
-let with_session ~jobs ~cache_dir ~no_cache ~no_plan ~trace_out body =
+let with_session ~jobs ~shard_bits ~cache_dir ~no_cache ~no_plan ~trace_out body =
   Option.iter Par.set_default_jobs jobs;
+  Qc.Statevector.set_shard_bits shard_bits;
   if no_plan then Qc.Statevector.set_plan_enabled false;
   if no_cache then Cache.set_enabled false;
   if not no_cache then Option.iter (fun d -> Cache.set_dir (Some d)) cache_dir;
@@ -125,6 +126,7 @@ let with_session ~jobs ~cache_dir ~no_cache ~no_plan ~trace_out body =
   | exception
       ( Core.Pass.Spec_error msg
       | Qc.Backend.Unsupported msg
+      | Qc.Statevector.Unsupported msg
       | Device.Bad_profile msg
       | Invalid_argument msg ) ->
       (* operational errors exit with a one-line message, never a backtrace *)
@@ -138,9 +140,9 @@ let with_session ~jobs ~cache_dir ~no_cache ~no_plan ~trace_out body =
         budget required;
       exit 2
 
-let run instance ~jobs ~cache_dir ~no_cache ~no_plan ~noisy ~shots ~runs ~draw ~qasm
-    ~passes ~target ~trace_out ~faults ~max_retries ~deadline =
-  with_session ~jobs ~cache_dir ~no_cache ~no_plan ~trace_out (fun () ->
+let run instance ~jobs ~shard_bits ~cache_dir ~no_cache ~no_plan ~noisy ~shots ~runs
+    ~draw ~qasm ~passes ~target ~trace_out ~faults ~max_retries ~deadline =
+  with_session ~jobs ~shard_bits ~cache_dir ~no_cache ~no_plan ~trace_out (fun () ->
       run instance ~noisy ~shots ~runs ~draw ~qasm ~passes ~target ~faults
         ~max_retries ~deadline)
 
@@ -162,6 +164,17 @@ let jobs_arg =
            statevector kernels). Defaults to the machine's recommended domain \
            count. Results are bit-identical for any value."
         ~docv:"N")
+
+let shard_bits_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "shard-bits" ]
+        ~doc:
+          "Force the sharded statevector's slab size to 2^$(docv) amplitudes \
+           (default: chosen automatically from the qubit count and the pool \
+           width). Results are bit-identical for any value."
+        ~docv:"S")
 
 let cache_dir_arg =
   Arg.(
@@ -249,18 +262,18 @@ let deadline_arg =
 
 let ip_cmd =
   let n = Arg.(value & opt int 2 & info [ "n" ] ~doc:"Half the qubit count (f is on 2n qubits).") in
-  let go n s jobs cache_dir no_cache no_plan noisy shots runs draw qasm passes target
-      trace_out faults max_retries deadline =
-    run (Core.Hidden_shift.Inner_product { n; s }) ~jobs ~cache_dir ~no_cache ~no_plan
-      ~noisy ~shots ~runs ~draw ~qasm ~passes ~target ~trace_out ~faults ~max_retries
-      ~deadline
+  let go n s jobs shard_bits cache_dir no_cache no_plan noisy shots runs draw qasm
+      passes target trace_out faults max_retries deadline =
+    run (Core.Hidden_shift.Inner_product { n; s }) ~jobs ~shard_bits ~cache_dir
+      ~no_cache ~no_plan ~noisy ~shots ~runs ~draw ~qasm ~passes ~target ~trace_out
+      ~faults ~max_retries ~deadline
   in
   Cmd.v
     (Cmd.info "ip" ~doc:"Inner-product instance (the paper's Fig. 4).")
     Term.(
-      const go $ n $ shift_arg $ jobs_arg $ cache_dir_arg $ no_cache_arg $ no_plan_arg
-      $ noisy $ shots $ runs $ draw $ qasm $ passes_arg $ target_arg $ trace_out_arg
-      $ faults_arg $ max_retries_arg $ deadline_arg)
+      const go $ n $ shift_arg $ jobs_arg $ shard_bits_arg $ cache_dir_arg
+      $ no_cache_arg $ no_plan_arg $ noisy $ shots $ runs $ draw $ qasm $ passes_arg
+      $ target_arg $ trace_out_arg $ faults_arg $ max_retries_arg $ deadline_arg)
 
 let mm_cmd =
   let pi =
@@ -270,37 +283,37 @@ let mm_cmd =
       & info [ "pi" ] ~doc:"Permutation as comma-separated points, e.g. 0,2,3,5,7,1,4,6.")
   in
   let synth = Arg.(value & opt synth_conv Pq.Oracles.Tbs & info [ "synth" ] ~doc:"tbs | tbs-basic | dbs.") in
-  let go pi s synth jobs cache_dir no_cache no_plan noisy shots runs draw qasm passes
-      target trace_out faults max_retries deadline =
+  let go pi s synth jobs shard_bits cache_dir no_cache no_plan noisy shots runs draw
+      qasm passes target trace_out faults max_retries deadline =
     let mm = Logic.Bent.mm pi in
-    run (Core.Hidden_shift.Mm { mm; s; synth }) ~jobs ~cache_dir ~no_cache ~no_plan
-      ~noisy ~shots ~runs ~draw ~qasm ~passes ~target ~trace_out ~faults ~max_retries
-      ~deadline
+    run (Core.Hidden_shift.Mm { mm; s; synth }) ~jobs ~shard_bits ~cache_dir
+      ~no_cache ~no_plan ~noisy ~shots ~runs ~draw ~qasm ~passes ~target ~trace_out
+      ~faults ~max_retries ~deadline
   in
   Cmd.v
     (Cmd.info "mm" ~doc:"Maiorana-McFarland instance (the paper's Fig. 7).")
     Term.(
-      const go $ pi $ shift_arg $ synth $ jobs_arg $ cache_dir_arg $ no_cache_arg
-      $ no_plan_arg $ noisy $ shots $ runs $ draw $ qasm $ passes_arg $ target_arg
-      $ trace_out_arg $ faults_arg $ max_retries_arg $ deadline_arg)
+      const go $ pi $ shift_arg $ synth $ jobs_arg $ shard_bits_arg $ cache_dir_arg
+      $ no_cache_arg $ no_plan_arg $ noisy $ shots $ runs $ draw $ qasm $ passes_arg
+      $ target_arg $ trace_out_arg $ faults_arg $ max_retries_arg $ deadline_arg)
 
 let random_cmd =
   let n = Arg.(value & opt int 2 & info [ "n" ] ~doc:"Half register size (2n qubits).") in
   let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"PRNG seed.") in
-  let go n seed jobs cache_dir no_cache no_plan noisy shots runs draw qasm passes
-      target trace_out faults max_retries deadline =
+  let go n seed jobs shard_bits cache_dir no_cache no_plan noisy shots runs draw qasm
+      passes target trace_out faults max_retries deadline =
     let st = Random.State.make [| seed |] in
     let inst = Core.Hidden_shift.random_mm_instance st n in
     Printf.printf "random MM instance, planted shift %d\n" (Core.Hidden_shift.shift inst);
-    run inst ~jobs ~cache_dir ~no_cache ~no_plan ~noisy ~shots ~runs ~draw ~qasm
-      ~passes ~target ~trace_out ~faults ~max_retries ~deadline
+    run inst ~jobs ~shard_bits ~cache_dir ~no_cache ~no_plan ~noisy ~shots ~runs
+      ~draw ~qasm ~passes ~target ~trace_out ~faults ~max_retries ~deadline
   in
   Cmd.v
     (Cmd.info "random" ~doc:"Random Maiorana-McFarland instance.")
     Term.(
-      const go $ n $ seed $ jobs_arg $ cache_dir_arg $ no_cache_arg $ no_plan_arg
-      $ noisy $ shots $ runs $ draw $ qasm $ passes_arg $ target_arg $ trace_out_arg
-      $ faults_arg $ max_retries_arg $ deadline_arg)
+      const go $ n $ seed $ jobs_arg $ shard_bits_arg $ cache_dir_arg $ no_cache_arg
+      $ no_plan_arg $ noisy $ shots $ runs $ draw $ qasm $ passes_arg $ target_arg
+      $ trace_out_arg $ faults_arg $ max_retries_arg $ deadline_arg)
 
 (* --- the XAG oracle pipeline (wide arithmetic predicates) --- *)
 
@@ -374,9 +387,9 @@ let run_oracle ~spec ~lut_k ~ancilla_budget ~draw ~qasm ~target () =
       print_endline (Qc.Backend.outcome_to_string (backend.Qc.Backend.run circuit))
 
 let oracle_cmd =
-  let go spec lut_k ancilla_budget jobs cache_dir no_cache no_plan draw qasm target
-      trace_out =
-    with_session ~jobs ~cache_dir ~no_cache ~no_plan ~trace_out
+  let go spec lut_k ancilla_budget jobs shard_bits cache_dir no_cache no_plan draw
+      qasm target trace_out =
+    with_session ~jobs ~shard_bits ~cache_dir ~no_cache ~no_plan ~trace_out
       (run_oracle ~spec ~lut_k ~ancilla_budget ~draw ~qasm ~target)
   in
   Cmd.v
@@ -387,8 +400,8 @@ let oracle_cmd =
           ancilla schedule).")
     Term.(
       const go $ oracle_xag_arg $ lut_k_arg $ ancilla_budget_arg $ jobs_arg
-      $ cache_dir_arg $ no_cache_arg $ no_plan_arg $ draw $ qasm $ target_arg
-      $ trace_out_arg)
+      $ shard_bits_arg $ cache_dir_arg $ no_cache_arg $ no_plan_arg $ draw $ qasm
+      $ target_arg $ trace_out_arg)
 
 let () =
   let doc = "Boolean hidden shift on the automatic quantum compilation flow." in

@@ -346,6 +346,9 @@ let exec_cmd st words =
                   s.Obs.Summary.p95 s.Obs.Summary.p99 s.Obs.Summary.max)
               hists
           end;
+          let size, cap, evictions = Qc.Statevector.plan_cache_stats () in
+          say st "plan cache: %d/%d entries, %d evictions (capacity via DAUTOQ_PLAN_CACHE)"
+            size cap evictions;
           st
       | "run" ->
           let c = need_qc st in

@@ -162,6 +162,46 @@ let map_floats p ~tasks f =
     out
   end
 
+(** [parallel_for_slabs p ~slabs f] runs [f slab] for every slab index in
+    [\[0, slabs)], chunking contiguous slab ranges over the pool. This is
+    the sharded statevector's workhorse: each slab owns a disjoint block
+    of amplitudes, so slab-local kernels parallelize with zero locks and
+    any pool width computes bit-identical results. *)
+let parallel_for_slabs p ?chunks ~slabs f =
+  parallel_for p ?chunks ~start:0 ~stop:slabs (fun lo hi ->
+      for sl = lo to hi - 1 do
+        f sl
+      done)
+
+(** [tree_sum parts] combines float partials in a fixed pairwise-tree
+    order, in place (stride doubling:
+    (((p0+p1)+(p2+p3))+((p4+p5)+(p6+p7)))+…). The summation order is a
+    pure function of [Array.length parts], never of the pool width, so
+    reductions built on it are bit-identical at any [--jobs]. *)
+let tree_sum (parts : float array) =
+  let n = Array.length parts in
+  if n = 0 then 0.
+  else begin
+    let stride = ref 1 in
+    while !stride < n do
+      let i = ref 0 in
+      while !i + !stride < n do
+        parts.(!i) <- parts.(!i) +. parts.(!i + !stride);
+        i := !i + (2 * !stride)
+      done;
+      stride := 2 * !stride
+    done;
+    parts.(0)
+  end
+
+(** [sum_blocks p ~blocks seg] is the deterministic parallel sum: [seg i]
+    produces block [i]'s left-to-right partial (the caller fixes the
+    block partition independently of pool width — e.g. the statevector's
+    256 fixed global-index blocks, each walking its slabs in global
+    order), and the partials combine via {!tree_sum}. *)
+let sum_blocks p ~blocks seg =
+  if blocks <= 0 then 0. else tree_sum (map_floats p ~tasks:blocks seg)
+
 (** [map_reduce p ~tasks ~map ~reduce ~init] computes
     [reduce (… (reduce init (map 0)) …) (map (tasks - 1))] with the maps
     running in parallel and the reduction folded strictly in index order

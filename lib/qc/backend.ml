@@ -68,15 +68,17 @@ let outcome_to_string o = Fmt.str "%a" pp_outcome o
 let make ~name ~doc run =
   { name; doc; run = (fun c -> Obs.with_span ("qc.backend." ^ name) (fun () -> run c)) }
 
-let statevector_width_cap = 24
-
 let statevector =
   make ~name:"statevector"
     ~doc:"dense noiseless simulation; reports the most likely outcome"
     (fun c ->
-        if Circuit.num_qubits c > statevector_width_cap then
+        (* width is bounded by the statevector's own allocation guard
+           (DAUTOQ_SV_MAX_QUBITS); refusing here keeps the error a
+           Backend.Unsupported like every other target mismatch *)
+        let cap = Statevector.max_qubits () in
+        if Circuit.num_qubits c > cap then
           failf "statevector: %d qubits exceed the dense cap of %d" (Circuit.num_qubits c)
-            statevector_width_cap;
+            cap;
         let sv = Statevector.run c in
         let x = Statevector.most_likely sv in
         Measured { outcome = x; deterministic = Statevector.is_basis_state ~eps:1e-6 sv x })

@@ -199,8 +199,10 @@ let run_shot st params circuit =
    circuit, and the simulated state plus its CDF are pure functions of
    that circuit. The statevector's plan cache already makes the
    re-simulation itself cheap — this skips the whole 2^n simulation and
-   CDF rebuild. Main-domain only (like Obs); workers never call
-   run_shots. *)
+   CDF rebuild. The sampler CDF shares the state's slab layout, so the
+   memo never pins a single contiguous 2^n array on wide sharded runs,
+   and draws are bit-identical for any shard-bits setting. Main-domain
+   only (like Obs); workers never call run_shots. *)
 let sampler_memo : (string * Statevector.sampler) option ref = ref None
 
 let sampler_for circuit =

@@ -1,1400 +1,34 @@
-(** Dense state-vector simulation.
-
-    The state of [n] qubits is stored as two unboxed float arrays (real and
-    imaginary parts) of length [2^n]; basis index bit [q] is the value of
-    qubit [q]. Practical up to n ≈ 22 on a laptop — the same regime the
-    paper quotes for the QDK simulator backend (Sec. VIII).
-
-    Three throughput features live here (see DESIGN.md, "Parallel
-    execution" and "Kernel plans"):
-
-    - {e parallel kernels}: above {!par_threshold} amplitudes, every gate
-      kernel chunks its index space over the shared {!Par} domain pool.
-      Each chunk writes a disjoint slice, so the result is bit-identical
-      for any worker count; small states stay sequential to avoid pool
-      overhead. Reductions (norm2, prob_of_qubit, sampler) chunk into a
-      {e fixed} block count and combine partials in a fixed tree order,
-      so they too are bit-identical at any [--jobs].
-    - {e gate fusion}: the legacy prepass collapses runs of 1-qubit
-      gates on the same qubit into a single 2×2 matrix and coalesces
-      consecutive diagonal gates (Z/S/T/Rz/CZ/CCZ/MCZ) into one phase
-      sweep — one memory pass instead of one per gate.
-    - {e kernel plans}: {!run}/{!run_on} compile the circuit once into a
-      flat schedule of classified block kernels ({!Plan}), cache it by
-      structural key, and replay it across shots — dense 4×4/8×8 blocks,
-      permutation blocks, diagonal sweeps with precomputed half tables,
-      each one cache-blocked memory pass. [--no-plan]
-      ({!set_plan_enabled}) falls back to the legacy prepass. *)
-
-(* [re]/[im] are mutable so full-width permutation kernels can ping-pong
-   into a scratch pair and swap, instead of copying back. Nothing outside
-   this module holds an alias to the arrays across a run. *)
-type t = { n : int; mutable re : float array; mutable im : float array }
-
-(** [init n] is |0…0⟩. *)
-let init n =
-  if n < 1 || n > 26 then invalid_arg "Statevector.init: bad qubit count";
-  let size = 1 lsl n in
-  let re = Array.make size 0. and im = Array.make size 0. in
-  re.(0) <- 1.;
-  { n; re; im }
-
-let num_qubits s = s.n
-let size s = 1 lsl s.n
-
-(** [amplitude s x] is the complex amplitude of basis state [x]. *)
-let amplitude s x =
-  let r = s.re.(x) and j = s.im.(x) in
-  { Complex.re = r; im = j }
-
-(** [prob s x] is the outcome probability of basis state [x]. *)
-let prob s x = (s.re.(x) *. s.re.(x)) +. (s.im.(x) *. s.im.(x))
-
-(* --- gate kernels --- *)
-
-(* States at or below this size run kernels sequentially: the per-batch
-   synchronization (~µs) would dwarf the loop itself. 2^14 amplitudes ≈
-   256 kB, roughly where one pass stops fitting in L2. *)
-let par_threshold = 1 lsl 14
-
-(* Below this many qubits the fusion prepass costs more than it saves:
-   kernel passes over ≤ 2^9 amplitudes are already sub-µs, so the
-   prepass's gate-array copy and op-list allocations dominate. The
-   prepass itself is size-independent, so tests drive it directly via
-   {!fuse_gates}/{!apply_op} on small circuits. *)
-let fuse_min_qubits = 10
-
-(* Kernel bodies are top-level segment functions over [lo, hi): the
-   sequential path calls them directly (a known call — loop locals stay
-   in registers), and only the parallel path pays a closure. Wrapping
-   the whole body in a [par_range (fun lo hi -> ...)] closure costs
-   ~15% on kernel-bound circuits without flambda, because captured
-   variables are re-read from the closure environment each iteration.
-   Each segment writes a disjoint index slice, so any worker count
-   computes bit-identical amplitudes (Par's contract). *)
-let seg_1q re im bit (m00 : Complex.t) (m01 : Complex.t) (m10 : Complex.t)
-    (m11 : Complex.t) lo hi =
-  let x = ref lo in
-  while !x < hi do
-    if !x land bit = 0 then begin
-      let y = !x lor bit in
-      let ar = re.(!x) and ai = im.(!x) and br = re.(y) and bi = im.(y) in
-      re.(!x) <- (m00.re *. ar) -. (m00.im *. ai) +. (m01.re *. br) -. (m01.im *. bi);
-      im.(!x) <- (m00.re *. ai) +. (m00.im *. ar) +. (m01.re *. bi) +. (m01.im *. br);
-      re.(y) <- (m10.re *. ar) -. (m10.im *. ai) +. (m11.re *. br) -. (m11.im *. bi);
-      im.(y) <- (m10.re *. ai) +. (m10.im *. ar) +. (m11.re *. bi) +. (m11.im *. br)
-    end;
-    incr x
-  done
-
-let apply_1q s q (m00 : Complex.t) (m01 : Complex.t) (m10 : Complex.t)
-    (m11 : Complex.t) =
-  let bit = 1 lsl q in
-  let re = s.re and im = s.im in
-  let sz = size s in
-  if sz <= par_threshold then seg_1q re im bit m00 m01 m10 m11 0 sz
-  else
-    Par.parallel_for (Par.global ()) ~start:0 ~stop:sz (fun lo hi ->
-        seg_1q re im bit m00 m01 m10 m11 lo hi)
-
-(* Pair kernels visit each (x, x lxor tbit) pair once via the tbit = 0
-   representative; the tbit = 1 partner is never a representative itself,
-   so chunking the full index range keeps writes disjoint. *)
-(* The float array annotations matter: without them these move-only
-   bodies generalize polymorphically and compile to generic (boxing)
-   array accesses — ~2.5x slower. *)
-let seg_swap (re : float array) (im : float array) mask want tbit lo hi =
-  for x = lo to hi - 1 do
-    if x land tbit = 0 && x land mask = want then begin
-      let y = x lor tbit in
-      let r = re.(x) and i = im.(x) in
-      re.(x) <- re.(y);
-      im.(x) <- im.(y);
-      re.(y) <- r;
-      im.(y) <- i
-    end
-  done
-
-let swap_pairs s ~mask ~want ~tbit =
-  let re = s.re and im = s.im in
-  let sz = size s in
-  if sz <= par_threshold then seg_swap re im mask want tbit 0 sz
-  else
-    Par.parallel_for (Par.global ()) ~start:0 ~stop:sz (fun lo hi ->
-        seg_swap re im mask want tbit lo hi)
-
-let seg_phase re im mask want pre pim lo hi =
-  for x = lo to hi - 1 do
-    if x land mask = want then begin
-      let r = re.(x) and i = im.(x) in
-      re.(x) <- (pre *. r) -. (pim *. i);
-      im.(x) <- (pre *. i) +. (pim *. r)
-    end
-  done
-
-let phase_on s ~mask ~want (p : Complex.t) =
-  let re = s.re and im = s.im in
-  let sz = size s in
-  if sz <= par_threshold then seg_phase re im mask want p.re p.im 0 sz
-  else
-    Par.parallel_for (Par.global ()) ~start:0 ~stop:sz (fun lo hi ->
-        seg_phase re im mask want p.re p.im lo hi)
-
-(* Swap = visit the (a=1, b=0) pattern once, exchange with (a=0, b=1). *)
-let seg_swap2 (re : float array) (im : float array) ab bb lo hi =
-  for x = lo to hi - 1 do
-    if x land ab <> 0 && x land bb = 0 then begin
-      let y = (x lxor ab) lor bb in
-      let r = re.(x) and i = im.(x) in
-      re.(x) <- re.(y);
-      im.(x) <- im.(y);
-      re.(y) <- r;
-      im.(y) <- i
-    end
-  done
-
-let c0 = Complex.zero
-let c1 = Complex.one
-let ci = Complex.i
-let cm1 = Complex.{ re = -1.; im = 0. }
-let cmi = Complex.{ re = 0.; im = -1. }
-let sqrt2inv = 1. /. sqrt 2.
-let ch = Complex.{ re = sqrt2inv; im = 0. }
-let chm = Complex.{ re = -.sqrt2inv; im = 0. }
-let omega = Complex.{ re = sqrt2inv; im = sqrt2inv } (* e^{iπ/4} *)
-let omega_bar = Complex.{ re = sqrt2inv; im = -.sqrt2inv }
-
-let mask_of qs = List.fold_left (fun m q -> m lor (1 lsl q)) 0 qs
-
-(** [apply s g] applies one gate in place. *)
-let apply s (g : Gate.t) =
-  match g with
-  | Gate.X q -> swap_pairs s ~mask:0 ~want:0 ~tbit:(1 lsl q)
-  | Gate.Y q ->
-      apply_1q s q c0 cmi ci c0
-  | Gate.Z q -> phase_on s ~mask:(1 lsl q) ~want:(1 lsl q) cm1
-  | Gate.S q -> phase_on s ~mask:(1 lsl q) ~want:(1 lsl q) ci
-  | Gate.Sdg q -> phase_on s ~mask:(1 lsl q) ~want:(1 lsl q) cmi
-  | Gate.T q -> phase_on s ~mask:(1 lsl q) ~want:(1 lsl q) omega
-  | Gate.Tdg q -> phase_on s ~mask:(1 lsl q) ~want:(1 lsl q) omega_bar
-  | Gate.Rz (a, q) ->
-      (* rz(θ) = diag(e^{-iθ/2}, e^{iθ/2}) *)
-      let h = a /. 2. in
-      let bit = 1 lsl q in
-      phase_on s ~mask:bit ~want:0 Complex.{ re = cos h; im = -.sin h };
-      phase_on s ~mask:bit ~want:bit Complex.{ re = cos h; im = sin h }
-  | Gate.H q -> apply_1q s q ch ch ch chm
-  | Gate.Cnot (c, t) -> swap_pairs s ~mask:(1 lsl c) ~want:(1 lsl c) ~tbit:(1 lsl t)
-  | Gate.Cz (a, b) ->
-      let m = (1 lsl a) lor (1 lsl b) in
-      phase_on s ~mask:m ~want:m cm1
-  | Gate.Swap (a, b) ->
-      let ab = 1 lsl a and bb = 1 lsl b in
-      let re = s.re and im = s.im in
-      let sz = size s in
-      if sz <= par_threshold then seg_swap2 re im ab bb 0 sz
-      else
-        Par.parallel_for (Par.global ()) ~start:0 ~stop:sz (fun lo hi ->
-            seg_swap2 re im ab bb lo hi)
-  | Gate.Ccx (a, b, t) ->
-      let m = (1 lsl a) lor (1 lsl b) in
-      swap_pairs s ~mask:m ~want:m ~tbit:(1 lsl t)
-  | Gate.Ccz (a, b, c) ->
-      let m = mask_of [ a; b; c ] in
-      phase_on s ~mask:m ~want:m cm1
-  | Gate.Mcx (cs, t) ->
-      let m = mask_of cs in
-      swap_pairs s ~mask:m ~want:m ~tbit:(1 lsl t)
-  | Gate.Mcz qs ->
-      let m = mask_of qs in
-      phase_on s ~mask:m ~want:m cm1
-
-(* --- deterministic parallel reductions --- *)
-
-(* Reductions chunk the index space into a *fixed* number of blocks
-   (independent of pool width), sum each block left-to-right, and
-   combine the per-block partials in a fixed pairwise-tree order. The
-   float summation order is therefore a pure function of the state
-   size — any [--jobs] value produces bit-identical sums, which is what
-   lets norm2/prob_of_qubit/sampler parallelize at all (an
-   unconstrained chunked sum would change with the worker count). *)
-let reduce_blocks = 256
-
-(* Pairwise tree sum over the partials, in place: stride doubling,
-   (((p0+p1)+(p2+p3))+((p4+p5)+(p6+p7)))+… *)
-let tree_sum (parts : float array) =
-  let n = Array.length parts in
-  if n = 0 then 0.
-  else begin
-    let stride = ref 1 in
-    while !stride < n do
-      let i = ref 0 in
-      while !i + !stride < n do
-        parts.(!i) <- parts.(!i) +. parts.(!i + !stride);
-        i := !i + (2 * !stride)
-      done;
-      stride := 2 * !stride
-    done;
-    parts.(0)
-  end
-
-(* 1-slot accumulator arrays, not refs: float ref stores box per
-   iteration. *)
-let seg_sum2 (re : float array) (im : float array) lo hi =
-  let acc = [| 0. |] in
-  for x = lo to hi - 1 do
-    acc.(0) <- acc.(0) +. (re.(x) *. re.(x)) +. (im.(x) *. im.(x))
-  done;
-  acc.(0)
-
-let seg_sum2_bit (re : float array) (im : float array) bit lo hi =
-  let acc = [| 0. |] in
-  for x = lo to hi - 1 do
-    if x land bit <> 0 then
-      acc.(0) <- acc.(0) +. (re.(x) *. re.(x)) +. (im.(x) *. im.(x))
-  done;
-  acc.(0)
-
-(* Fixed-chunk parallel sum of [seg lo hi] over [0, sz). Small states
-   keep the plain sequential scan (also the exact historical order). *)
-let reduce_sum sz (seg : int -> int -> float) =
-  if sz <= par_threshold then seg 0 sz
-  else begin
-    let k = reduce_blocks in
-    let parts =
-      Par.map_floats (Par.global ()) ~tasks:k (fun i ->
-          seg (sz * i / k) (sz * (i + 1) / k))
-    in
-    tree_sum parts
-  end
-
-(** [norm2 s] is the total probability (should stay 1 within rounding).
-    Chunked tree sum above {!par_threshold}; bit-identical at any
-    [--jobs]. *)
-let norm2 s = reduce_sum (size s) (seg_sum2 s.re s.im)
-
-(** [prob_of_qubit s q] is the probability of reading 1 on qubit [q]. *)
-let prob_of_qubit s q = reduce_sum (size s) (seg_sum2_bit s.re s.im (1 lsl q))
-
-(* --- gate fusion prepass --- *)
-
-(* A 2×2 unitary, row-major. *)
-type m2 = { m00 : Complex.t; m01 : Complex.t; m10 : Complex.t; m11 : Complex.t }
-
-(* [m2_after g f] is the matrix of "apply f, then g": the product g·f. *)
-let m2_after g f =
-  let open Complex in
-  { m00 = add (mul g.m00 f.m00) (mul g.m01 f.m10);
-    m01 = add (mul g.m00 f.m01) (mul g.m01 f.m11);
-    m10 = add (mul g.m10 f.m00) (mul g.m11 f.m10);
-    m11 = add (mul g.m10 f.m01) (mul g.m11 f.m11) }
-
-(* The 2×2 matrix of a 1-qubit gate, with its qubit. *)
-let m2_of_gate = function
-  | Gate.X q -> Some (q, { m00 = c0; m01 = c1; m10 = c1; m11 = c0 })
-  | Gate.Y q -> Some (q, { m00 = c0; m01 = cmi; m10 = ci; m11 = c0 })
-  | Gate.Z q -> Some (q, { m00 = c1; m01 = c0; m10 = c0; m11 = cm1 })
-  | Gate.H q -> Some (q, { m00 = ch; m01 = ch; m10 = ch; m11 = chm })
-  | Gate.S q -> Some (q, { m00 = c1; m01 = c0; m10 = c0; m11 = ci })
-  | Gate.Sdg q -> Some (q, { m00 = c1; m01 = c0; m10 = c0; m11 = cmi })
-  | Gate.T q -> Some (q, { m00 = c1; m01 = c0; m10 = c0; m11 = omega })
-  | Gate.Tdg q -> Some (q, { m00 = c1; m01 = c0; m10 = c0; m11 = omega_bar })
-  | Gate.Rz (a, q) ->
-      let h = a /. 2. in
-      Some
-        ( q,
-          { m00 = Complex.{ re = cos h; im = -.sin h }; m01 = c0; m10 = c0;
-            m11 = Complex.{ re = cos h; im = sin h } } )
-  | _ -> None
-
-(* One multiplicative term of a diagonal gate: amplitudes whose index
-   matches [want] on [mask] pick up the phase (pre + i·pim). *)
-type dterm = { mask : int; want : int; pre : float; pim : float }
-
-let dterm mask want (p : Complex.t) = { mask; want; pre = p.re; pim = p.im }
-
-(* The phase terms of a diagonal gate (diagonal gates all commute, so any
-   run of them coalesces into one sweep over these terms). *)
-let dterms_of_gate g =
-  let one_hot q p = [ dterm (1 lsl q) (1 lsl q) p ] in
-  match g with
-  | Gate.Z q -> Some (one_hot q cm1)
-  | Gate.S q -> Some (one_hot q ci)
-  | Gate.Sdg q -> Some (one_hot q cmi)
-  | Gate.T q -> Some (one_hot q omega)
-  | Gate.Tdg q -> Some (one_hot q omega_bar)
-  | Gate.Rz (a, q) ->
-      let h = a /. 2. in
-      let bit = 1 lsl q in
-      Some
-        [ dterm bit 0 Complex.{ re = cos h; im = -.sin h };
-          dterm bit bit Complex.{ re = cos h; im = sin h } ]
-  | Gate.Cz (a, b) ->
-      let m = (1 lsl a) lor (1 lsl b) in
-      Some [ dterm m m cm1 ]
-  | Gate.Ccz (a, b, c) ->
-      let m = mask_of [ a; b; c ] in
-      Some [ dterm m m cm1 ]
-  | Gate.Mcz qs ->
-      let m = mask_of qs in
-      Some [ dterm m m cm1 ]
-  | _ -> None
-
-(* One sweep applying a whole run of diagonal gates. The combined phase of
-   index [x] is a product over matching terms; terms whose mask lies
-   entirely in the low or high half of the index bits are precomputed
-   into per-half lookup tables of size O(√2^n), so the sweep itself is
-   phase(x) = lo[x low bits] · hi[x high bits] · (rare straddling terms)
-   — two complex multiplies per amplitude however long the run is, and
-   one memory pass instead of one per gate. Amplitudes whose combined
-   phase is exactly 1 are not written, so untouched entries keep their
-   exact values (basis states stay exact). All arithmetic is on unboxed
-   floats — no [Complex.t] in the inner loop. *)
-let seg_phase_sweep re im lo_re lo_im hi_re hi_im half_mask h
-    (straddling : dterm array) lo hi =
-  let ns = Array.length straddling in
-  (* 2-slot float array, not refs: ref assignment would box per store *)
-  let acc = [| 1.; 0. |] in
-  for x = lo to hi - 1 do
-    let l = x land half_mask and g = x lsr h in
-    let ar = Array.unsafe_get lo_re l and ai = Array.unsafe_get lo_im l in
-    let br = Array.unsafe_get hi_re g and bi = Array.unsafe_get hi_im g in
-    acc.(0) <- (ar *. br) -. (ai *. bi);
-    acc.(1) <- (ar *. bi) +. (ai *. br);
-    for t = 0 to ns - 1 do
-      let tm = Array.unsafe_get straddling t in
-      if x land tm.mask = tm.want then begin
-        let r = acc.(0) and i = acc.(1) in
-        acc.(0) <- (r *. tm.pre) -. (i *. tm.pim);
-        acc.(1) <- (r *. tm.pim) +. (i *. tm.pre)
-      end
-    done;
-    let pr = acc.(0) and pi = acc.(1) in
-    if not (pr = 1. && pi = 0.) then begin
-      let r = re.(x) and i = im.(x) in
-      re.(x) <- (pr *. r) -. (pi *. i);
-      im.(x) <- (pr *. i) +. (pi *. r)
-    end
-  done
-
-(* A fully prepared diagonal sweep: the per-half phase tables plus any
-   straddling terms. Building one is O(√2^n · terms); the plan layer
-   builds each sweep once and replays it across shots, where the old
-   path rebuilt the tables on every execution. *)
-type sweep = {
-  lo_re : float array;
-  lo_im : float array;
-  hi_re : float array;
-  hi_im : float array;
-  half_mask : int;
-  h : int;
-  straddling : dterm array;
-}
-
-let sweep_of_terms n (terms : dterm array) =
-  let h = (n + 1) / 2 in
-  let lo_sz = 1 lsl h and hi_sz = 1 lsl (n - h) in
-  let half_mask = lo_sz - 1 in
-  let lo_re = Array.make lo_sz 1. and lo_im = Array.make lo_sz 0. in
-  let hi_re = Array.make hi_sz 1. and hi_im = Array.make hi_sz 0. in
-  let fold_into tre tim tsz mask want pre pim =
-    for i = 0 to tsz - 1 do
-      if i land mask = want then begin
-        let r = tre.(i) and j = tim.(i) in
-        tre.(i) <- (r *. pre) -. (j *. pim);
-        tim.(i) <- (r *. pim) +. (j *. pre)
-      end
-    done
-  in
-  let straddling = ref [] in
-  Array.iter
-    (fun t ->
-      if t.mask land half_mask = t.mask then
-        fold_into lo_re lo_im lo_sz t.mask t.want t.pre t.pim
-      else if t.mask land lnot half_mask = t.mask then
-        fold_into hi_re hi_im hi_sz (t.mask lsr h) (t.want lsr h) t.pre t.pim
-      else straddling := t :: !straddling)
-    (* multi-qubit masks spanning both halves (a CZ across the midline)
-       stay as per-index checks; they are rare and few *)
-    terms;
-  { lo_re; lo_im; hi_re; hi_im; half_mask; h;
-    straddling = Array.of_list (List.rev !straddling) }
-
-let apply_sweep s sw =
-  let re = s.re and im = s.im in
-  let sz = size s in
-  if sz <= par_threshold then
-    seg_phase_sweep re im sw.lo_re sw.lo_im sw.hi_re sw.hi_im sw.half_mask sw.h
-      sw.straddling 0 sz
-  else
-    Par.parallel_for (Par.global ()) ~start:0 ~stop:sz (fun lo hi ->
-        seg_phase_sweep re im sw.lo_re sw.lo_im sw.hi_re sw.hi_im sw.half_mask
-          sw.h sw.straddling lo hi)
-
-let apply_phase_terms s (terms : dterm array) =
-  apply_sweep s (sweep_of_terms s.n terms)
-
-type op =
-  | Op_gate of Gate.t
-  | Op_fused1q of int * m2 (* a run of 1q gates on one qubit, multiplied out *)
-  | Op_phases of dterm array (* a run of diagonal gates, one sweep *)
-
-type pending =
-  | P_none
-  | P_1q of { q : int; m : m2; count : int; first : Gate.t }
-  | P_diag of {
-      rev_terms : dterm list list;
-      ones : int; (* 1-qubit diag gates in the run *)
-      rev_gates : Gate.t list;
-    }
-
-(* Qubit of a 1-qubit gate, or -1 for multi-qubit gates. *)
-let q1_of = function
-  | Gate.X q | Gate.Y q | Gate.Z q | Gate.H q | Gate.S q | Gate.Sdg q | Gate.T q
-  | Gate.Tdg q
-  | Gate.Rz (_, q) ->
-      q
-  | _ -> -1
-
-(* A diagonal run re-emits its original gates unless it contains at
-   least this many 1-qubit phase gates. Those are the passes a sweep
-   collapses; multi-qubit CZ/CCZ/MCZ kernels already touch only a
-   2^-k subset of amplitudes, so a run of bare CZs (hidden-shift
-   oracles) or QFT's length-2 Rz runs is cheaper unfused. *)
-let min_diag_run = 3
-
-(* Greedy single-pass fusion. Runs of length 1 re-emit the original gate:
-   the specialized kernels (swap_pairs for X, phase_on for Z/S/T) beat a
-   generic 2×2 multiply, and exact integer kernels stay exact. *)
-let fuse_gates (gates : Gate.t array) =
-  let ops = ref [] in
-  let emit o = ops := o :: !ops in
-  let flush = function
-    | P_none -> ()
-    | P_1q { m; q; count; first } ->
-        if count = 1 then emit (Op_gate first) else emit (Op_fused1q (q, m))
-    | P_diag { rev_terms; ones; rev_gates } ->
-        if ones < min_diag_run then
-          List.iter (fun g -> emit (Op_gate g)) (List.rev rev_gates)
-        else emit (Op_phases (Array.of_list (List.concat (List.rev rev_terms))))
-  in
-  let one_of g = if q1_of g >= 0 then 1 else 0 in
-  let step pending g =
-    match (pending, m2_of_gate g, dterms_of_gate g) with
-    | P_1q p, Some (q, m), _ when q = p.q ->
-        P_1q { p with m = m2_after m p.m; count = p.count + 1 }
-    | P_diag p, _, Some ts ->
-        P_diag
-          { rev_terms = ts :: p.rev_terms; ones = p.ones + one_of g;
-            rev_gates = g :: p.rev_gates }
-    | _, _, Some ts ->
-        flush pending;
-        P_diag { rev_terms = [ ts ]; ones = one_of g; rev_gates = [ g ] }
-    | _, Some (q, m), None ->
-        flush pending;
-        P_1q { q; m; count = 1; first = g }
-    | _, None, None ->
-        flush pending;
-        emit (Op_gate g);
-        P_none
-  in
-  flush (Array.fold_left step P_none gates);
-  List.rev !ops
-
-let apply_op s = function
-  | Op_gate g -> apply s g
-  | Op_fused1q (q, m) -> apply_1q s q m.m00 m.m01 m.m10 m.m11
-  | Op_phases terms -> apply_phase_terms s terms
-
-(* Cheap pre-scan deciding whether the prepass can fuse anything at all:
-   a diagonal run with ≥ [min_diag_run] 1-qubit phase gates, or a
-   non-diagonal 1-qubit gate directly followed by a 1-qubit gate on the
-   same qubit (the [P_1q] seed). Circuits with no such adjacency
-   (H/CNOT-mix layers, QFT's Rz/CNOT interleaving, bare-CZ oracles)
-   skip the prepass and its allocations — false negatives only skip an
-   optimization, never change results. *)
-let is_diag = function
-  | Gate.Z _ | Gate.S _ | Gate.Sdg _ | Gate.T _ | Gate.Tdg _ | Gate.Rz _ | Gate.Cz _
-  | Gate.Ccz _ | Gate.Mcz _ ->
-      true
-  | _ -> false
-
-let has_fusable (gates : Gate.t array) =
-  let n = Array.length gates in
-  let found = ref false in
-  let diag_run = ref 0 in
-  let i = ref 0 in
-  while (not !found) && !i < n do
-    let g = gates.(!i) in
-    if is_diag g then begin
-      if q1_of g >= 0 then incr diag_run;
-      if !diag_run >= min_diag_run then found := true
-    end
-    else begin
-      diag_run := 0;
-      let q = q1_of g in
-      if q >= 0 && !i + 1 < n && q1_of gates.(!i + 1) = q then found := true
-    end;
-    incr i
-  done;
-  !found
-
-(* --- kernel plans --- *)
-
-(** Compile-once execution plans.
-
-    {!Plan.build} walks a circuit once and emits a flat schedule of
-    kernel ops:
-
-    - runs of {e monomial} gates (one nonzero per unitary column:
-      X/CNOT/Toffoli/SWAP and every phase gate — everything but H) fuse
-      into one permutation-with-phases block of up to
-      {!max_mono_qubits} qubits, built {e symbolically} as a basis-state
-      table with exact integer/constant arithmetic — classical gates get
-      exactly unit phases, and the replay kernel then skips the phase
-      multiply entirely. Full-width blocks replay as one out-of-place
-      scatter through a precomputed inverse map with sequential writes
-      (the state buffers ping-pong with a scratch pair); narrower blocks
-      gather/scatter disjoint 2^k-amplitude groups in place. Blocks that
-      compose to the identity are dropped from the schedule;
-    - runs of H on distinct qubits fuse into one gather / k-butterfly /
-      scatter pass ({!max_kron_qubits} wide) — same arithmetic as the
-      individual passes, k× fewer memory sweeps;
-    - only when supports genuinely overlap across kinds does a block
-      fall back to a general dense unitary, capped at
-      {!max_dense_qubits} (8×8, extracted by simulating basis columns —
-      the extraction [Unitary.of_circuit] performs, inlined here because
-      [Unitary] sits above this module), past which the matvec turns
-      compute-bound;
-    - long diagonal runs become one separable-table phase sweep with the
-      tables prebuilt at plan time; a pending sweep is {e folded into}
-      the gather of the next block — or, for a full-width monomial
-      block, folded into its phase table {e at build time}, so the
-      sweep's memory pass disappears from the schedule entirely;
-    - dense-matrix entries within 1e-12 of 0/±1 are snapped exact, so
-      classical blocks replay with exact arithmetic like the specialized
-      kernels they replace.
-
-    Replay makes one cache-blocked pass per op: the compressed index
-    space (one index per 2^k-amplitude group) is chunked over the {!Par}
-    pool, each group gathered into scratch, transformed, written back.
-    Groups are disjoint, so any [--jobs] value is bit-identical.
-    {!plan_of_circuit} caches plans by structural key; multi-shot and
-    multi-run callers build once and replay ([sv.plan.replay]). *)
-module Plan = struct
-  (* Dense blocks cap at 8×8: per amplitude a 2^k-wide matvec costs
-     O(2^k) complex multiplies, so k = 3 roughly matches the arithmetic
-     of the 1q passes it replaces while making 3x fewer memory passes;
-     k = 4 already triples the arithmetic. Dense blocks only form when
-     gates actually share qubits — fusing disjoint 1q gates into a
-     Kronecker product would multiply arithmetic for nothing. *)
-  let max_dense_qubits = 3
-
-  (* Monomial blocks (one nonzero per matrix column) gather, phase and
-     scatter — O(1) per amplitude whatever the width — so CNOT chains
-     and similar classical runs fuse very wide. 16 caps the basis table
-     at 2^16 entries (512 kB per array). *)
-  let max_mono_qubits = 16
-
-  (* Hadamard runs on distinct qubits fuse into one gather / k-butterfly
-     / scatter pass; arithmetic matches the individual passes, so the cap
-     only bounds the scratch group (2^6 = 64 amplitudes). *)
-  let max_kron_qubits = 6
-
-  (* Building a monomial block costs gates × 2^k basis updates; this
-     bounds that product so plan compilation stays a small multiple of
-     one unfused execution even for deep circuits. *)
-  let max_block_work = 1 lsl 22
-
-  type kernel =
-    | K_gate of Gate.t (* pass-through: single gates, wide MCX/MCZ *)
-    | K_sweep of sweep (* long diagonal run, prebuilt half tables *)
-    | K_diag of { bits : int array; ph_re : float array; ph_im : float array }
-    | K_perm of {
-        pre : sweep option; (* diagonal sweep folded into the gather *)
-        bits : int array;
-        offs : int array;
-        perm : int array; (* column -> row of the single nonzero entry *)
-        ph : (float array * float array) option; (* per-column phase; None = all 1 *)
-      }
-    | K_perm_full of {
-        (* a monomial block spanning every qubit: one out-of-place pass,
-           sequential writes through the inverse map, then buffer swap *)
-        inv : int array; (* output index -> input index *)
-        ph : (float array * float array) option; (* input-indexed phase *)
-      }
-    | K_had of {
-        (* Hadamards on distinct qubits: butterflies in scratch registers *)
-        pre : sweep option;
-        bits : int array;
-        offs : int array;
-      }
-    | K_dense of {
-        pre : sweep option;
-        bits : int array;
-        offs : int array;
-        u_re : float array; (* 2^k × 2^k, row-major *)
-        u_im : float array;
-      }
-
-  type t = {
-    n : int;
-    ops : kernel array;
-    blocks : int; (* fused kernels (dense + diag + perm + sweeps) *)
-    fused_gates : int; (* source gates absorbed into fused kernels *)
-    source_gates : int;
-  }
-
-  (* Everything except H is monomial in our gate set (diagonal gates
-     trivially, X/Y/CNOT/SWAP/CCX/MCX as permutations with phases). *)
-  let is_monomial = function Gate.H _ -> false | _ -> true
-
-  let gate_mask g = mask_of (Gate.qubits g)
-
-  let popcount m =
-    let c = ref 0 and x = ref m in
-    while !x <> 0 do
-      x := !x land (!x - 1);
-      incr c
-    done;
-    !c
-
-  let bits_of_mask m =
-    let bits = Array.make (popcount m) 0 in
-    let i = ref 0 and b = ref 0 and x = ref m in
-    while !x <> 0 do
-      if !x land 1 <> 0 then begin
-        bits.(!i) <- !b;
-        incr i
-      end;
-      incr b;
-      x := !x lsr 1
-    done;
-    bits
-
-  (* offs.(j) scatters local index j back to the global bit positions. *)
-  let offs_of (bits : int array) =
-    let k = Array.length bits in
-    Array.init (1 lsl k) (fun j ->
-        let o = ref 0 in
-        for b = 0 to k - 1 do
-          if j land (1 lsl b) <> 0 then o := !o lor (1 lsl bits.(b))
-        done;
-        !o)
-
-  let snap v =
-    if Float.abs v < 1e-12 then 0.
-    else if Float.abs (v -. 1.) < 1e-12 then 1.
-    else if Float.abs (v +. 1.) < 1e-12 then -1.
-    else v
-
-  (* The block's matrix on its local qubits, by basis-column simulation
-     of the remapped gate list. [rev_gates] is in reverse application
-     order (the builder's accumulator shape). *)
-  let block_matrix n (bits : int array) rev_gates =
-    let k = Array.length bits in
-    let dim = 1 lsl k in
-    let local q =
-      let r = ref 0 in
-      for b = 0 to k - 1 do
-        if bits.(b) = q then r := b
-      done;
-      !r
-    in
-    let c = Circuit.map_qubits ~n:k local (Circuit.of_rev_gates n rev_gates) in
-    let u_re = Array.make (dim * dim) 0. and u_im = Array.make (dim * dim) 0. in
-    for col = 0 to dim - 1 do
-      let s = { n = k; re = Array.make dim 0.; im = Array.make dim 0. } in
-      s.re.(col) <- 1.;
-      Circuit.iter (apply s) c;
-      for row = 0 to dim - 1 do
-        u_re.((row * dim) + col) <- snap s.re.(row);
-        u_im.((row * dim) + col) <- snap s.im.(row)
-      done
-    done;
-    (u_re, u_im)
-
-  (* Diagonal / permutation / general, from the matrix itself (robust to
-     cancellations the gate list hides: H;Z;H classifies as the X-type
-     permutation it is). Off-diagonal zeros are exact after snapping;
-     permutation entries are unit-magnitude within 1e-9. *)
-  type block_class =
-    | B_diag of float array * float array
-    | B_perm of int array * float array * float array
-    | B_dense
-
-  let classify dim (u_re : float array) (u_im : float array) =
-    let diagonal = ref true in
-    (try
-       for row = 0 to dim - 1 do
-         for col = 0 to dim - 1 do
-           if row <> col then begin
-             let idx = (row * dim) + col in
-             if u_re.(idx) <> 0. || u_im.(idx) <> 0. then begin
-               diagonal := false;
-               raise Exit
-             end
-           end
-         done
-       done
-     with Exit -> ());
-    if !diagonal then
-      B_diag
-        ( Array.init dim (fun j -> u_re.((j * dim) + j)),
-          Array.init dim (fun j -> u_im.((j * dim) + j)) )
-    else begin
-      let perm = Array.make dim (-1) in
-      let ph_re = Array.make dim 0. and ph_im = Array.make dim 0. in
-      let ok = ref true in
-      for col = 0 to dim - 1 do
-        for row = 0 to dim - 1 do
-          let idx = (row * dim) + col in
-          let m = (u_re.(idx) *. u_re.(idx)) +. (u_im.(idx) *. u_im.(idx)) in
-          if m > 0.5 then begin
-            if Float.abs (m -. 1.) < 1e-9 then begin
-              perm.(col) <- row;
-              ph_re.(col) <- u_re.(idx);
-              ph_im.(col) <- u_im.(idx)
-            end
-            else ok := false
-          end
-          else if m > 1e-18 then ok := false
-        done;
-        if perm.(col) < 0 then ok := false
-      done;
-      if !ok then B_perm (perm, ph_re, ph_im) else B_dense
-    end
-
-  (* Symbolic product of a monomial gate run on the block's local basis:
-     row.(b) is the output basis state of local input b, (pr, pi).(b) its
-     phase. O(2^k) per gate, no dense matrix — this is what lets monomial
-     blocks span 16 qubits. All updates are exact integer/constant
-     arithmetic, so classical blocks (CNOT chains, Toffoli cascades)
-     come out with exactly unit phases. *)
-  let mono_block n (bits : int array) rev_gates =
-    let k = Array.length bits in
-    let dim = 1 lsl k in
-    let local q =
-      let r = ref 0 in
-      for b = 0 to k - 1 do
-        if bits.(b) = q then r := b
-      done;
-      !r
-    in
-    let c = Circuit.map_qubits ~n:k local (Circuit.of_rev_gates n rev_gates) in
-    let row = Array.init dim Fun.id in
-    let pr = Array.make dim 1. and pi = Array.make dim 0. in
-    let phase_if mask want (p : Complex.t) =
-      for b = 0 to dim - 1 do
-        if Array.unsafe_get row b land mask = want then begin
-          let r = Array.unsafe_get pr b and i = Array.unsafe_get pi b in
-          Array.unsafe_set pr b ((r *. p.re) -. (i *. p.im));
-          Array.unsafe_set pi b ((r *. p.im) +. (i *. p.re))
-        end
-      done
-    in
-    let flip_if mask want tbit =
-      for b = 0 to dim - 1 do
-        let r = Array.unsafe_get row b in
-        if r land mask = want then Array.unsafe_set row b (r lxor tbit)
-      done
-    in
-    Circuit.iter
-      (fun g ->
-        match g with
-        | Gate.X q -> flip_if 0 0 (1 lsl q)
-        | Gate.Y q ->
-            (* Y|0⟩ = i|1⟩, Y|1⟩ = -i|0⟩ *)
-            let bit = 1 lsl q in
-            for b = 0 to dim - 1 do
-              let r = row.(b) in
-              row.(b) <- r lxor bit;
-              let rr = pr.(b) and ii = pi.(b) in
-              if r land bit = 0 then begin
-                pr.(b) <- -.ii;
-                pi.(b) <- rr
-              end
-              else begin
-                pr.(b) <- ii;
-                pi.(b) <- -.rr
-              end
-            done
-        | Gate.Z q ->
-            let b = 1 lsl q in
-            phase_if b b cm1
-        | Gate.S q ->
-            let b = 1 lsl q in
-            phase_if b b ci
-        | Gate.Sdg q ->
-            let b = 1 lsl q in
-            phase_if b b cmi
-        | Gate.T q ->
-            let b = 1 lsl q in
-            phase_if b b omega
-        | Gate.Tdg q ->
-            let b = 1 lsl q in
-            phase_if b b omega_bar
-        | Gate.Rz (a, q) ->
-            let h = a /. 2. in
-            let bit = 1 lsl q in
-            phase_if bit 0 Complex.{ re = cos h; im = -.sin h };
-            phase_if bit bit Complex.{ re = cos h; im = sin h }
-        | Gate.Cnot (cq, t) ->
-            let cb = 1 lsl cq in
-            flip_if cb cb (1 lsl t)
-        | Gate.Cz (a, b) ->
-            let m = (1 lsl a) lor (1 lsl b) in
-            phase_if m m cm1
-        | Gate.Swap (a, b) ->
-            let ab = 1 lsl a and bb = 1 lsl b in
-            let both = ab lor bb in
-            for x = 0 to dim - 1 do
-              let r = row.(x) in
-              let v = r land both in
-              if v = ab || v = bb then row.(x) <- r lxor both
-            done
-        | Gate.Ccx (a, b, t) ->
-            let m = (1 lsl a) lor (1 lsl b) in
-            flip_if m m (1 lsl t)
-        | Gate.Ccz (a, b, cq) ->
-            let m = mask_of [ a; b; cq ] in
-            phase_if m m cm1
-        | Gate.Mcx (cs, t) ->
-            let m = mask_of cs in
-            flip_if m m (1 lsl t)
-        | Gate.Mcz qs ->
-            let m = mask_of qs in
-            phase_if m m cm1
-        | Gate.H _ -> assert false (* monomial blocks never contain H *))
-      c;
-    (row, pr, pi)
-
-  (* The phase a sweep applies at global index [x] — used to fold a
-     pending sweep into a full-width block's phase table at build time,
-     which removes the sweep's memory pass from the schedule entirely. *)
-  let sweep_phase_at sw x =
-    let l = x land sw.half_mask and g = x lsr sw.h in
-    let ar = sw.lo_re.(l) and ai = sw.lo_im.(l) in
-    let br = sw.hi_re.(g) and bi = sw.hi_im.(g) in
-    let rr = ref ((ar *. br) -. (ai *. bi))
-    and ri = ref ((ar *. bi) +. (ai *. br)) in
-    Array.iter
-      (fun tm ->
-        if x land tm.mask = tm.want then begin
-          let r = !rr and i = !ri in
-          rr := (r *. tm.pre) -. (i *. tm.pim);
-          ri := (r *. tm.pim) +. (i *. tm.pre)
-        end)
-      sw.straddling;
-    (!rr, !ri)
-
-  let all_unit (pr : float array) (pi : float array) =
-    let ok = ref true in
-    for b = 0 to Array.length pr - 1 do
-      if pr.(b) <> 1. || pi.(b) <> 0. then ok := false
-    done;
-    !ok
-
-  (* --- building --- *)
-
-  let build circuit =
-    Obs.with_span "sv.plan.build" @@ fun () ->
-    let n = Circuit.num_qubits circuit in
-    let gates = Circuit.to_array circuit in
-    let ng = Array.length gates in
-    (* pass 1: mark the maximal diagonal runs worth a separable sweep
-       (same profitability rule as the legacy prepass) *)
-    let in_sweep = Array.make (max 1 ng) false in
-    let i = ref 0 in
-    while !i < ng do
-      if is_diag gates.(!i) then begin
-        let j = ref !i and ones = ref 0 in
-        while !j < ng && is_diag gates.(!j) do
-          if q1_of gates.(!j) >= 0 then incr ones;
-          incr j
-        done;
-        if !ones >= min_diag_run then
-          for x = !i to !j - 1 do
-            in_sweep.(x) <- true
-          done;
-        i := !j
-      end
-      else incr i
-    done;
-    (* pass 2: greedy block grouping of everything else, folding each
-       pending sweep into the next dense/permutation block *)
-    let ops = ref [] and blocks = ref 0 and fused = ref 0 in
-    let emit k = ops := k :: !ops in
-    let pending_sweep = ref None in
-    let take_sweep () =
-      let sw = !pending_sweep in
-      pending_sweep := None;
-      sw
-    in
-    let emit_sweep_if_pending () =
-      match take_sweep () with Some sw -> emit (K_sweep sw) | None -> ()
-    in
-    (* Pending block kinds: [P_mono] — monomial gates only, realized by a
-       symbolic basis table (wide); [P_had] — Hadamards on distinct
-       qubits, realized by in-register butterflies; [P_dense] — mixed
-       support on ≤ max_dense_qubits, realized by a dense matrix. *)
-    let pend_rev = ref [] and pend_mask = ref 0 in
-    let pend_n = ref 0 and pend_kind = ref `Mono in
-    let reset_pend () =
-      pend_rev := [];
-      pend_mask := 0;
-      pend_n := 0;
-      pend_kind := `Mono
-    in
-    let flush_block () =
-      (match !pend_rev with
-      | [] -> ()
-      | [ g ] ->
-          (* singletons re-emit the original gate: the specialized
-             kernels beat a generic block and stay exact *)
-          emit_sweep_if_pending ();
-          emit (K_gate g)
-      | revs -> (
-          let bits = bits_of_mask !pend_mask in
-          let k = Array.length bits in
-          let dim = 1 lsl k in
-          incr blocks;
-          fused := !fused + !pend_n;
-          match !pend_kind with
-          | `Had -> emit (K_had { pre = take_sweep (); bits; offs = offs_of bits })
-          | `Mono ->
-              let row, pr, pi = mono_block n bits revs in
-              (* full-width blocks fold the pending sweep into the phase
-                 table now — its memory pass disappears entirely *)
-              if k = n then (
-                match take_sweep () with
-                | Some sw ->
-                    for b = 0 to dim - 1 do
-                      let sr, si = sweep_phase_at sw b in
-                      let r = pr.(b) and i = pi.(b) in
-                      pr.(b) <- (r *. sr) -. (i *. si);
-                      pi.(b) <- (r *. si) +. (i *. sr)
-                    done
-                | None -> ());
-              let identity = ref true in
-              for b = 0 to dim - 1 do
-                if row.(b) <> b then identity := false
-              done;
-              let unit = all_unit pr pi in
-              if !identity && unit then () (* block collapsed to identity *)
-              else if !identity then begin
-                emit_sweep_if_pending ();
-                emit (K_diag { bits; ph_re = pr; ph_im = pi })
-              end
-              else if k = n then begin
-                let inv = Array.make dim 0 in
-                for b = 0 to dim - 1 do
-                  inv.(row.(b)) <- b
-                done;
-                emit
-                  (K_perm_full { inv; ph = (if unit then None else Some (pr, pi)) })
-              end
-              else
-                emit
-                  (K_perm
-                     { pre = take_sweep (); bits; offs = offs_of bits; perm = row;
-                       ph = (if unit then None else Some (pr, pi)) })
-          | `Dense -> (
-              let u_re, u_im = block_matrix n bits revs in
-              match classify dim u_re u_im with
-              | B_diag (ph_re, ph_im) ->
-                  emit_sweep_if_pending ();
-                  emit (K_diag { bits; ph_re; ph_im })
-              | B_perm (perm, ph_re, ph_im) ->
-                  emit
-                    (K_perm
-                       { pre = take_sweep (); bits; offs = offs_of bits; perm;
-                         ph =
-                           (if all_unit ph_re ph_im then None
-                            else Some (ph_re, ph_im)) })
-              | B_dense ->
-                  emit
-                    (K_dense
-                       { pre = take_sweep (); bits; offs = offs_of bits; u_re;
-                         u_im }))));
-      reset_pend ()
-    in
-    let start_pend g gm kind =
-      pend_rev := [ g ];
-      pend_mask := gm;
-      pend_n := 1;
-      pend_kind := kind
-    in
-    let merge g u kind =
-      pend_rev := g :: !pend_rev;
-      pend_mask := u;
-      pend_n := !pend_n + 1;
-      pend_kind := kind
-    in
-    (* Monomial merges are bounded by width and by build work
-       (gates × 2^k); Hadamard runs by scratch width; dense blocks form
-       only when supports genuinely overlap (fusing disjoint gates into a
-       Kronecker product multiplies arithmetic for nothing). *)
-    let mono_fits u extra =
-      let pc = popcount u in
-      pc <= max_mono_qubits && (!pend_n + extra) lsl pc <= max_block_work
-    in
-    Array.iteri
-      (fun idx g ->
-        if in_sweep.(idx) then begin
-          if idx = 0 || not in_sweep.(idx - 1) then begin
-            (* run start: collect the whole run into one sweep *)
-            flush_block ();
-            emit_sweep_if_pending ();
-            let terms = ref [] and j = ref idx and count = ref 0 in
-            while !j < ng && in_sweep.(!j) do
-              (match dterms_of_gate gates.(!j) with
-              | Some ts -> terms := ts :: !terms
-              | None -> assert false);
-              incr count;
-              incr j
-            done;
-            incr blocks;
-            fused := !fused + !count;
-            pending_sweep :=
-              Some
-                (sweep_of_terms n
-                   (Array.of_list (List.concat (List.rev !terms))))
-          end
-        end
-        else begin
-          let gm = gate_mask g and gmono = is_monomial g in
-          if gmono && popcount gm > max_mono_qubits then begin
-            (* wide MCX/MCZ: straight through the specialized kernel *)
-            flush_block ();
-            emit_sweep_if_pending ();
-            emit (K_gate g)
-          end
-          else if !pend_n = 0 then start_pend g gm (if gmono then `Mono else `Had)
-          else begin
-            let u = !pend_mask lor gm in
-            let overlap = !pend_mask land gm <> 0 in
-            match !pend_kind with
-            | `Mono ->
-                if gmono && mono_fits u 1 then merge g u `Mono
-                else if (not gmono) && popcount u <= max_dense_qubits then
-                  merge g u `Dense
-                else begin
-                  flush_block ();
-                  start_pend g gm (if gmono then `Mono else `Had)
-                end
-            | `Had ->
-                if (not gmono) && (not overlap) && popcount u <= max_kron_qubits
-                then merge g u `Had
-                else if overlap && popcount u <= max_dense_qubits then
-                  merge g u `Dense
-                else begin
-                  flush_block ();
-                  start_pend g gm (if gmono then `Mono else `Had)
-                end
-            | `Dense ->
-                if popcount u <= max_dense_qubits then merge g u `Dense
-                else begin
-                  flush_block ();
-                  start_pend g gm (if gmono then `Mono else `Had)
-                end
-          end
-        end)
-      gates;
-    flush_block ();
-    emit_sweep_if_pending ();
-    let p =
-      { n; ops = Array.of_list (List.rev !ops); blocks = !blocks;
-        fused_gates = !fused; source_gates = ng }
-    in
-    if Obs.enabled () then begin
-      if p.blocks > 0 then begin
-        Obs.count ~by:p.blocks "sv.plan.blocks";
-        Obs.count ~by:p.fused_gates "sv.plan.fused_gates"
-      end;
-      Obs.add_attrs
-        [ ("ops", Obs.Int (Array.length p.ops)); ("gates", Obs.Int ng);
-          ("qubits", Obs.Int n) ]
-    end;
-    p
-
-  (* --- replay kernels --- *)
-
-  (* Expand a compressed group index by inserting a zero at each block
-     bit, ascending — bits.(b) is the bit's final position, valid
-     because all lower block bits are already inserted. *)
-  let expand (bits : int array) i =
-    let x = ref i in
-    for b = 0 to Array.length bits - 1 do
-      let low = (1 lsl Array.unsafe_get bits b) - 1 in
-      x := ((!x land lnot low) lsl 1) lor (!x land low)
-    done;
-    !x
-
-  (* Gather one group into scratch, optionally folding a diagonal
-     sweep's phase into each amplitude as it is read. *)
-  let gather_plain (re : float array) (im : float array) (offs : int array)
-      (ar : float array) (ai : float array) base =
-    for j = 0 to Array.length offs - 1 do
-      let idx = base lor Array.unsafe_get offs j in
-      Array.unsafe_set ar j (Array.unsafe_get re idx);
-      Array.unsafe_set ai j (Array.unsafe_get im idx)
-    done
-
-  let gather_pre (re : float array) (im : float array) (offs : int array)
-      (ar : float array) (ai : float array) (sw : sweep) base =
-    let lo_re = sw.lo_re and lo_im = sw.lo_im in
-    let hi_re = sw.hi_re and hi_im = sw.hi_im in
-    let half_mask = sw.half_mask and h = sw.h in
-    let straddling = sw.straddling in
-    let ns = Array.length straddling in
-    let acc = [| 1.; 0. |] in
-    for j = 0 to Array.length offs - 1 do
-      let idx = base lor Array.unsafe_get offs j in
-      let l = idx land half_mask and g = idx lsr h in
-      let pr0 = Array.unsafe_get lo_re l and pi0 = Array.unsafe_get lo_im l in
-      let qr = Array.unsafe_get hi_re g and qi = Array.unsafe_get hi_im g in
-      acc.(0) <- (pr0 *. qr) -. (pi0 *. qi);
-      acc.(1) <- (pr0 *. qi) +. (pi0 *. qr);
-      for t = 0 to ns - 1 do
-        let tm = Array.unsafe_get straddling t in
-        if idx land tm.mask = tm.want then begin
-          let r = acc.(0) and i = acc.(1) in
-          acc.(0) <- (r *. tm.pre) -. (i *. tm.pim);
-          acc.(1) <- (r *. tm.pim) +. (i *. tm.pre)
-        end
-      done;
-      let pr = acc.(0) and pi = acc.(1) in
-      let vr = Array.unsafe_get re idx and vi = Array.unsafe_get im idx in
-      Array.unsafe_set ar j ((pr *. vr) -. (pi *. vi));
-      Array.unsafe_set ai j ((pr *. vi) +. (pi *. vr))
-    done
-
-  let seg_dense (re : float array) (im : float array) (bits : int array)
-      (offs : int array) (u_re : float array) (u_im : float array)
-      (pre : sweep option) lo hi =
-    let dim = Array.length offs in
-    let ar = Array.make dim 0. and ai = Array.make dim 0. in
-    let br = Array.make dim 0. and bi = Array.make dim 0. in
-    for i = lo to hi - 1 do
-      let base = expand bits i in
-      (match pre with
-      | None -> gather_plain re im offs ar ai base
-      | Some sw -> gather_pre re im offs ar ai sw base);
-      for row = 0 to dim - 1 do
-        let rb = row * dim in
-        Array.unsafe_set br row 0.;
-        Array.unsafe_set bi row 0.;
-        for c = 0 to dim - 1 do
-          let ur = Array.unsafe_get u_re (rb + c)
-          and ui = Array.unsafe_get u_im (rb + c) in
-          let xr = Array.unsafe_get ar c and xi = Array.unsafe_get ai c in
-          Array.unsafe_set br row
-            (Array.unsafe_get br row +. ((ur *. xr) -. (ui *. xi)));
-          Array.unsafe_set bi row
-            (Array.unsafe_get bi row +. ((ur *. xi) +. (ui *. xr)))
-        done
-      done;
-      for j = 0 to dim - 1 do
-        let idx = base lor Array.unsafe_get offs j in
-        Array.unsafe_set re idx (Array.unsafe_get br j);
-        Array.unsafe_set im idx (Array.unsafe_get bi j)
-      done
-    done
-
-  let seg_perm (re : float array) (im : float array) (bits : int array)
-      (offs : int array) (perm : int array)
-      (ph : (float array * float array) option) (pre : sweep option) lo hi =
-    let dim = Array.length offs in
-    let ar = Array.make dim 0. and ai = Array.make dim 0. in
-    match ph with
-    | None ->
-        (* all phases exactly 1 (pure classical block): move-only scatter *)
-        for i = lo to hi - 1 do
-          let base = expand bits i in
-          (match pre with
-          | None -> gather_plain re im offs ar ai base
-          | Some sw -> gather_pre re im offs ar ai sw base);
-          for c = 0 to dim - 1 do
-            let row = Array.unsafe_get perm c in
-            let idx = base lor Array.unsafe_get offs row in
-            Array.unsafe_set re idx (Array.unsafe_get ar c);
-            Array.unsafe_set im idx (Array.unsafe_get ai c)
-          done
-        done
-    | Some (ph_re, ph_im) ->
-        for i = lo to hi - 1 do
-          let base = expand bits i in
-          (match pre with
-          | None -> gather_plain re im offs ar ai base
-          | Some sw -> gather_pre re im offs ar ai sw base);
-          for c = 0 to dim - 1 do
-            let row = Array.unsafe_get perm c in
-            let pr = Array.unsafe_get ph_re c and pi = Array.unsafe_get ph_im c in
-            let xr = Array.unsafe_get ar c and xi = Array.unsafe_get ai c in
-            let idx = base lor Array.unsafe_get offs row in
-            Array.unsafe_set re idx ((pr *. xr) -. (pi *. xi));
-            Array.unsafe_set im idx ((pr *. xi) +. (pi *. xr))
-          done
-        done
-
-  (* Full-width permutation: out-of-place through the inverse map, so
-     writes are sequential (reads scatter, which caches better than
-     scattered writes) and chunks write disjoint output slices. *)
-  let seg_perm_full (re : float array) (im : float array) (out_re : float array)
-      (out_im : float array) (inv : int array)
-      (ph : (float array * float array) option) lo hi =
-    match ph with
-    | None ->
-        for y = lo to hi - 1 do
-          let x = Array.unsafe_get inv y in
-          Array.unsafe_set out_re y (Array.unsafe_get re x);
-          Array.unsafe_set out_im y (Array.unsafe_get im x)
-        done
-    | Some (ph_re, ph_im) ->
-        for y = lo to hi - 1 do
-          let x = Array.unsafe_get inv y in
-          let pr = Array.unsafe_get ph_re x and pi = Array.unsafe_get ph_im x in
-          let vr = Array.unsafe_get re x and vi = Array.unsafe_get im x in
-          Array.unsafe_set out_re y ((pr *. vr) -. (pi *. vi));
-          Array.unsafe_set out_im y ((pr *. vi) +. (pi *. vr))
-        done
-
-  (* Hadamards on the block's k distinct qubits: gather a group, run one
-     in-scratch butterfly round per qubit, scatter. Arithmetic per
-     amplitude matches the k separate passes it replaces — the win is
-     k memory passes collapsing into one. *)
-  let seg_had (re : float array) (im : float array) (bits : int array)
-      (offs : int array) (pre : sweep option) lo hi =
-    let dim = Array.length offs in
-    let k = Array.length bits in
-    let ar = Array.make dim 0. and ai = Array.make dim 0. in
-    for i = lo to hi - 1 do
-      let base = expand bits i in
-      (match pre with
-      | None -> gather_plain re im offs ar ai base
-      | Some sw -> gather_pre re im offs ar ai sw base);
-      for b = 0 to k - 1 do
-        let st = 1 lsl b in
-        for x = 0 to dim - 1 do
-          if x land st = 0 then begin
-            let y = x lor st in
-            let xr = Array.unsafe_get ar x and xi = Array.unsafe_get ai x in
-            let yr = Array.unsafe_get ar y and yi = Array.unsafe_get ai y in
-            Array.unsafe_set ar x (sqrt2inv *. (xr +. yr));
-            Array.unsafe_set ai x (sqrt2inv *. (xi +. yi));
-            Array.unsafe_set ar y (sqrt2inv *. (xr -. yr));
-            Array.unsafe_set ai y (sqrt2inv *. (xi -. yi))
-          end
-        done
-      done;
-      for j = 0 to dim - 1 do
-        let idx = base lor Array.unsafe_get offs j in
-        Array.unsafe_set re idx (Array.unsafe_get ar j);
-        Array.unsafe_set im idx (Array.unsafe_get ai j)
-      done
-    done
-
-  let seg_diag_block (re : float array) (im : float array) (bits : int array)
-      (ph_re : float array) (ph_im : float array) lo hi =
-    let k = Array.length bits in
-    for x = lo to hi - 1 do
-      let j = ref 0 in
-      for b = 0 to k - 1 do
-        if x land (1 lsl Array.unsafe_get bits b) <> 0 then
-          j := !j lor (1 lsl b)
-      done;
-      let pr = Array.unsafe_get ph_re !j and pi = Array.unsafe_get ph_im !j in
-      if not (pr = 1. && pi = 0.) then begin
-        let r = re.(x) and i = im.(x) in
-        re.(x) <- (pr *. r) -. (pi *. i);
-        im.(x) <- (pr *. i) +. (pi *. r)
-      end
-    done
-
-  (* Chunk a kernel's index range over the pool when the *state* (not
-     the compressed range) is big enough to amortize the pool. *)
-  let run_seg s stop seg =
-    if size s <= par_threshold then seg 0 stop
-    else
-      Par.parallel_for (Par.global ()) ~start:0 ~stop (fun lo hi -> seg lo hi)
-
-  let exec_kernel s scratch = function
-    | K_gate g -> apply s g
-    | K_sweep sw -> apply_sweep s sw
-    | K_diag { bits; ph_re; ph_im } ->
-        run_seg s (size s) (seg_diag_block s.re s.im bits ph_re ph_im)
-    | K_perm { pre; bits; offs; perm; ph } ->
-        run_seg s
-          (size s lsr Array.length bits)
-          (seg_perm s.re s.im bits offs perm ph pre)
-    | K_perm_full { inv; ph } ->
-        let out_re, out_im =
-          match !scratch with
-          | Some pair -> pair
-          | None ->
-              let pair = (Array.make (size s) 0., Array.make (size s) 0.) in
-              scratch := Some pair;
-              pair
-        in
-        run_seg s (size s) (seg_perm_full s.re s.im out_re out_im inv ph);
-        (* ping-pong: the old arrays become the next op's scratch *)
-        scratch := Some (s.re, s.im);
-        s.re <- out_re;
-        s.im <- out_im
-    | K_had { pre; bits; offs } ->
-        run_seg s
-          (size s lsr Array.length bits)
-          (seg_had s.re s.im bits offs pre)
-    | K_dense { pre; bits; offs; u_re; u_im } ->
-        run_seg s
-          (size s lsr Array.length bits)
-          (seg_dense s.re s.im bits offs u_re u_im pre)
-
-  (** [execute p s] replays the schedule on [s] in place. *)
-  let execute p s =
-    if p.n <> num_qubits s then
-      invalid_arg "Statevector.Plan.execute: qubit mismatch";
-    let scratch = ref None in
-    Array.iter (exec_kernel s scratch) p.ops
-
-  type stats = {
-    ops : int;
-    blocks : int;
-    fused_gates : int;
-    source_gates : int;
-    dense : int;
-    perm : int; (* narrow + full-width permutation blocks *)
-    diag : int;
-    had : int; (* fused Hadamard (Kronecker) blocks *)
-    sweeps : int; (* standalone + folded (build-folded sweeps vanish) *)
-    passthrough : int;
-  }
-
-  (** [stats p] summarizes the schedule (tests and CLIs read this). *)
-  let stats (p : t) =
-    let dense = ref 0 and perm = ref 0 and diag = ref 0 in
-    let had = ref 0 and sweeps = ref 0 and passthrough = ref 0 in
-    Array.iter
-      (function
-        | K_gate _ -> incr passthrough
-        | K_sweep _ -> incr sweeps
-        | K_diag _ -> incr diag
-        | K_perm { pre; _ } ->
-            incr perm;
-            if pre <> None then incr sweeps
-        | K_perm_full _ -> incr perm
-        | K_had { pre; _ } ->
-            incr had;
-            if pre <> None then incr sweeps
-        | K_dense { pre; _ } ->
-            incr dense;
-            if pre <> None then incr sweeps)
-      p.ops;
-    { ops = Array.length p.ops; blocks = p.blocks; fused_gates = p.fused_gates;
-      source_gates = p.source_gates; dense = !dense; perm = !perm;
-      diag = !diag; had = !had; sweeps = !sweeps; passthrough = !passthrough }
-end
+(** Dense state-vector simulator — the execution façade.
+
+    The implementation is layered into three modules this file stitches
+    together (all part of the wrapped [Qc] library, so external callers
+    only ever see [Qc.Statevector]):
+
+    - {!Sv_shard} — sharded amplitude storage: split re/im float slabs,
+      the shard-bits heuristic and [--shard-bits] override, the
+      allocation guard ({!Unsupported} + [DAUTOQ_SV_MAX_QUBITS]), and
+      the global-index accessors;
+    - {!Sv_kernels} — per-gate kernels (flat fast paths and their
+      sharded counterparts), deterministic slab-ordered reductions, and
+      the legacy gate-fusion prepass ([--no-plan]);
+    - {!Sv_plan} (exposed as {!Plan}) — compile-once execution plans:
+      block fusion, the commuting-block peepholes, and sharded replay
+      with slab-local / cross-slab kernel classification.
+
+    This file owns what sits above the kernels: the LRU plan cache
+    (capacity via [DAUTOQ_PLAN_CACHE]), the [run]/[run_on] entry points
+    with their telemetry, and measurement (sampling, CDF construction,
+    state comparisons).
+
+    Determinism contract (PR 3/PR 8, extended to shards): for a fixed
+    circuit and seed, amplitudes, sampler draws and histograms are
+    bit-identical for {e any} [--jobs] value and {e any} shard-bits
+    setting. Parallel loops write disjoint slabs or disjoint index
+    chunks; reductions sum in a fixed order that never depends on pool
+    width or slab size. *)
+
+include Sv_kernels
+module Plan = Sv_plan
 
 (* --- plan cache and execution entry points --- *)
 
@@ -1410,41 +44,88 @@ let plan_enabled () = !plan_enabled_flag
 
 (* Plans are pure functions of the circuit, cached by structural key so
    multi-shot sampling, runs_statistics and device retries build once
-   and replay. Bounded FIFO; mutex-guarded for safety if a worker-domain
-   caller ever simulates. *)
-let plan_cache_limit = 64
-let plan_cache : (string, Plan.t) Hashtbl.t = Hashtbl.create 32
-let plan_fifo : string Queue.t = Queue.create ()
+   and replay. Bounded LRU (a tick per entry, bumped on hit; eviction
+   drops the smallest tick), mutex-guarded for safety if a
+   worker-domain caller ever simulates. *)
+let default_plan_cache_capacity = 64
+
+(** [plan_cache_capacity ()] is the cache bound: [DAUTOQ_PLAN_CACHE]
+    when set to a positive integer, else 64. Read dynamically so the
+    shell and tests can adjust it without a rebuild. *)
+let plan_cache_capacity () =
+  match Sys.getenv_opt "DAUTOQ_PLAN_CACHE" with
+  | Some v -> (
+      match int_of_string_opt (String.trim v) with
+      | Some n when n >= 1 -> n
+      | _ -> default_plan_cache_capacity)
+  | None -> default_plan_cache_capacity
+
+let plan_cache : (string, Plan.t * int ref) Hashtbl.t = Hashtbl.create 32
+let plan_tick = ref 0
+let plan_evictions = ref 0
 let plan_mutex = Mutex.create ()
 
-(** [clear_plan_cache ()] drops every cached plan (benchmarks use this to
-    measure cold builds). *)
+(** [clear_plan_cache ()] drops every cached plan and resets the
+    recency clock and eviction count (benchmarks use this to measure
+    cold builds). *)
 let clear_plan_cache () =
   Mutex.lock plan_mutex;
   Hashtbl.reset plan_cache;
-  Queue.clear plan_fifo;
+  plan_tick := 0;
+  plan_evictions := 0;
   Mutex.unlock plan_mutex
+
+(** [plan_cache_stats ()] is [(size, capacity, evictions)] — surfaced
+    by the shell's [stats] command. *)
+let plan_cache_stats () =
+  Mutex.lock plan_mutex;
+  let r = (Hashtbl.length plan_cache, plan_cache_capacity (), !plan_evictions) in
+  Mutex.unlock plan_mutex;
+  r
+
+(* Evict least-recently-used entries until one slot is free. O(size)
+   scan per eviction — fine at a capacity of tens. *)
+let evict_lru_locked cap =
+  while Hashtbl.length plan_cache >= cap do
+    let victim = ref None in
+    Hashtbl.iter
+      (fun key (_, tick) ->
+        match !victim with
+        | Some (_, t) when t <= !tick -> ()
+        | _ -> victim := Some (key, !tick))
+      plan_cache;
+    match !victim with
+    | Some (key, _) ->
+        Hashtbl.remove plan_cache key;
+        incr plan_evictions;
+        if Obs.enabled () then Obs.count "sv.plan.evict"
+    | None -> assert false (* length > 0 *)
+  done
 
 (** [plan_of_circuit circuit] returns the cached plan for [circuit],
     building (and caching) it on first sight. Cache hits count
-    [sv.plan.replay]. *)
+    [sv.plan.replay] and refresh the entry's recency. *)
 let plan_of_circuit circuit =
   let key = Circuit.structural_key circuit in
   Mutex.lock plan_mutex;
   let hit = Hashtbl.find_opt plan_cache key in
+  (match hit with
+  | Some (_, tick) ->
+      incr plan_tick;
+      tick := !plan_tick
+  | None -> ());
   Mutex.unlock plan_mutex;
   match hit with
-  | Some p ->
+  | Some (p, _) ->
       if Obs.enabled () then Obs.count "sv.plan.replay";
       p
   | None ->
       let p = Plan.build circuit in
       Mutex.lock plan_mutex;
       if not (Hashtbl.mem plan_cache key) then begin
-        Hashtbl.add plan_cache key p;
-        Queue.push key plan_fifo;
-        if Queue.length plan_fifo > plan_cache_limit then
-          Hashtbl.remove plan_cache (Queue.pop plan_fifo)
+        evict_lru_locked (plan_cache_capacity ());
+        incr plan_tick;
+        Hashtbl.add plan_cache key (p, ref !plan_tick)
       end;
       Mutex.unlock plan_mutex;
       p
@@ -1498,44 +179,9 @@ let run_on ?(fuse = true) s circuit =
   if Circuit.num_qubits circuit <> s.n then invalid_arg "Statevector.run_on";
   Obs.with_span "qc.statevector.run" @@ fun () -> exec ~fuse s circuit
 
-(** [amplitude_damp s q ~gamma ~jump] applies one quantum-trajectory branch
-    of the amplitude-damping (T1) channel on qubit [q]:
-    with [jump] the excitation decays ([K1 = √γ |0⟩⟨1|]), otherwise the
-    no-jump Kraus operator is applied; either way the state is
-    renormalized. The caller samples [jump] with probability
-    [γ · prob_of_qubit s q]. *)
-let amplitude_damp s q ~gamma ~jump =
-  let bit = 1 lsl q in
-  let p1 = prob_of_qubit s q in
-  if jump then begin
-    let norm = sqrt (gamma *. p1) in
-    if norm < 1e-300 then invalid_arg "Statevector.amplitude_damp: impossible jump";
-    for x = 0 to size s - 1 do
-      if x land bit = 0 then begin
-        let y = x lor bit in
-        s.re.(x) <- sqrt gamma *. s.re.(y) /. norm;
-        s.im.(x) <- sqrt gamma *. s.im.(y) /. norm;
-        s.re.(y) <- 0.;
-        s.im.(y) <- 0.
-      end
-    done
-  end
-  else begin
-    let keep = sqrt (1. -. gamma) in
-    let norm = sqrt (1. -. (gamma *. p1)) in
-    for x = 0 to size s - 1 do
-      if x land bit <> 0 then begin
-        s.re.(x) <- keep *. s.re.(x) /. norm;
-        s.im.(x) <- keep *. s.im.(x) /. norm
-      end
-      else begin
-        s.re.(x) <- s.re.(x) /. norm;
-        s.im.(x) <- s.im.(x) /. norm
-      end
-    done
-  end
-
-(** [probabilities s] is the outcome distribution over basis states. *)
+(** [probabilities s] is the outcome distribution over basis states.
+    Materializes all [2^n] floats — callers that only need a few entries
+    should stream {!prob} instead. *)
 let probabilities s = Array.init (size s) (prob s)
 
 (* --- measurement sampling --- *)
@@ -1543,33 +189,42 @@ let probabilities s = Array.init (size s) (prob s)
 (** A precomputed cumulative distribution for repeated sampling from one
     state: build once ([O(2^n)]), then each draw is a binary search
     ([O(n)]) instead of a linear scan — the shape a multi-shot noiseless
-    sampling loop wants. *)
-type sampler = { cdf : float array }
+    sampling loop wants. The CDF mirrors the state's slab layout so a
+    26-qubit sampler never asks for a single contiguous GB. *)
+type sampler = { sb : int; smask : int; cdf : float array array }
 
-(* CDF fill over [lo, hi) starting from a known running total. *)
-let seg_cdf (re : float array) (im : float array) (cdf : float array) off lo hi
-    =
+(* CDF fill over global range [lo, hi) starting from a known running
+   total: one accumulator walks the slab pieces in ascending global
+   order, so the summation order matches the flat layout exactly. *)
+let seg_cdf_sh s (cdf : float array array) off lo hi =
   let acc = [| off |] in
-  for x = lo to hi - 1 do
-    acc.(0) <- acc.(0) +. (re.(x) *. re.(x)) +. (im.(x) *. im.(x));
-    cdf.(x) <- acc.(0)
-  done
+  iter_pieces s lo hi (fun sl _base lo_l hi_l ->
+      let re = s.sl_re.(sl) and im = s.sl_im.(sl) in
+      let c = cdf.(sl) in
+      for x = lo_l to hi_l - 1 do
+        acc.(0) <-
+          acc.(0)
+          +. (Array.unsafe_get re x *. Array.unsafe_get re x)
+          +. (Array.unsafe_get im x *. Array.unsafe_get im x);
+        Array.unsafe_set c x acc.(0)
+      done)
 
 (** [sampler s] precomputes the cumulative distribution of [s]. Large
     states build it in parallel with the same fixed-block determinism as
     {!norm2}: per-block totals, a sequential exclusive prefix over the
     (fixed-count) blocks, then a parallel fill of each block from its
-    offset — bit-identical at any [--jobs]. *)
+    offset — bit-identical at any [--jobs] and any shard layout. *)
 let sampler s =
   let sz = size s in
-  let cdf = Array.make sz 0. in
-  let re = s.re and im = s.im in
-  if sz <= par_threshold then seg_cdf re im cdf 0. 0 sz
+  let cdf =
+    Array.init (slab_count s) (fun _ -> Array.make (slab_size s) 0.)
+  in
+  if sz <= par_threshold then seg_cdf_sh s cdf 0. 0 sz
   else begin
     let k = reduce_blocks in
     let parts =
       Par.map_floats (Par.global ()) ~tasks:k (fun i ->
-          seg_sum2 re im (sz * i / k) (sz * (i + 1) / k))
+          seg_sum2_sh s (sz * i / k) (sz * (i + 1) / k))
     in
     let offs = Array.make k 0. in
     for i = 1 to k - 1 do
@@ -1577,20 +232,21 @@ let sampler s =
     done;
     Par.run_tasks (Par.global ())
       (Array.init k (fun i () ->
-           seg_cdf re im cdf offs.(i) (sz * i / k) (sz * (i + 1) / k)))
+           seg_cdf_sh s cdf offs.(i) (sz * i / k) (sz * (i + 1) / k)))
   end;
-  { cdf }
+  { sb = s.sb; smask = s.smask; cdf }
 
 (** [sample_with smp st] draws one outcome: the first basis state whose
     cumulative probability exceeds the uniform draw — bit-identical to
     the linear scan of {!sample}, in [O(n)] per shot. *)
 let sample_with smp st =
   let r = Random.State.float st 1. in
-  let cdf = smp.cdf in
-  let lo = ref 0 and hi = ref (Array.length cdf - 1) in
+  let get x = smp.cdf.(x lsr smp.sb).(x land smp.smask) in
+  let sz = Array.length smp.cdf * (smp.smask + 1) in
+  let lo = ref 0 and hi = ref (sz - 1) in
   while !lo < !hi do
     let mid = (!lo + !hi) / 2 in
-    if cdf.(mid) > r then hi := mid else lo := mid + 1
+    if get mid > r then hi := mid else lo := mid + 1
   done;
   !lo
 
@@ -1627,8 +283,10 @@ let equal_up_to_phase ?(eps = 1e-9) a b =
     let dot_re = ref 0. and dot_im = ref 0. in
     for x = 0 to size a - 1 do
       (* ⟨a|b⟩ = Σ conj(a_x) b_x *)
-      dot_re := !dot_re +. (a.re.(x) *. b.re.(x)) +. (a.im.(x) *. b.im.(x));
-      dot_im := !dot_im +. (a.re.(x) *. b.im.(x)) -. (a.im.(x) *. b.re.(x))
+      let ar = get_re a x and ai = get_im a x in
+      let br = get_re b x and bi = get_im b x in
+      dot_re := !dot_re +. (ar *. br) +. (ai *. bi);
+      dot_im := !dot_im +. (ar *. bi) -. (ai *. br)
     done;
     let mag = sqrt ((!dot_re *. !dot_re) +. (!dot_im *. !dot_im)) in
     Float.abs (mag -. 1.) < eps

@@ -69,7 +69,12 @@ let qc_cases =
         Qc.Circuit.add (Qc.Circuit.empty 2) (Qc.Gate.H 2));
     rejects "circuit: append mismatch" (fun () ->
         Qc.Circuit.append (Qc.Circuit.empty 2) (Qc.Circuit.empty 3));
-    rejects "statevector: too wide" (fun () -> Qc.Statevector.init 27);
+    rejects "statevector: zero qubits" (fun () -> Qc.Statevector.init 0);
+    Alcotest.test_case "statevector: too wide" `Quick (fun () ->
+        (* past the amplitude cap the guard refuses before allocating *)
+        match Qc.Statevector.init 29 with
+        | exception Qc.Statevector.Unsupported _ -> ()
+        | _ -> Alcotest.fail "statevector cap not enforced");
     rejects "unitary: too wide" (fun () -> Qc.Unitary.of_circuit (Qc.Circuit.empty 13));
     rejects "tpar: too wide" (fun () -> Qc.Tpar.optimize (Qc.Circuit.empty 62));
     rejects "qft: bad width" (fun () -> Qc.Qft.qft 0);

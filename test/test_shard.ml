@@ -1,0 +1,313 @@
+(* Sharded statevector layer: sharded replay equals the single-slab
+   reference on every plan family, amplitudes / sampler draws / telemetry
+   totals are bit-identical across jobs × shard-bits configurations, the
+   commuting-block peephole preserves the circuit unitary, the memory
+   guard refuses over-cap allocations, and the LRU plan cache evicts
+   least-recently-used entries. *)
+
+open Qc
+
+let with_shard sb f =
+  Statevector.set_shard_bits sb;
+  Fun.protect ~finally:(fun () -> Statevector.set_shard_bits None) f
+
+let with_jobs jobs f =
+  Par.set_default_jobs jobs;
+  Fun.protect ~finally:(fun () -> Par.set_default_jobs 1) f
+
+let run_planned c =
+  let s = Statevector.init (Circuit.num_qubits c) in
+  Statevector.Plan.execute (Statevector.Plan.build c) s;
+  s
+
+let amp_close (a : Complex.t) (b : Complex.t) =
+  Float.abs (a.re -. b.re) < 1e-9 && Float.abs (a.im -. b.im) < 1e-9
+
+let same_amplitudes s1 s2 =
+  Statevector.size s1 = Statevector.size s2
+  && (let ok = ref true in
+      for x = 0 to Statevector.size s1 - 1 do
+        if not (amp_close (Statevector.amplitude s1 x) (Statevector.amplitude s2 x))
+        then ok := false
+      done;
+      !ok)
+
+(* Sharded replay (2-amplitude slabs: the most adversarial layout, every
+   multi-qubit kernel crosses slabs) equals the flat replay. *)
+let shard_equiv c =
+  let flat = run_planned c in
+  let ok = ref true in
+  for sb = 1 to 3 do
+    let sharded = with_shard (Some sb) (fun () -> run_planned c) in
+    if not (same_amplitudes flat sharded) then ok := false
+  done;
+  !ok
+
+let seeded_circuit_gen mk =
+  QCheck2.Gen.map
+    (fun seed -> mk (Helpers.rng seed))
+    QCheck2.Gen.(int_bound 1_000_000)
+
+(* The same three circuit families test_plan checks against the unfused
+   reference — here flat-planned vs sharded-planned. *)
+let diag_heavy st n len =
+  let gates = ref [] in
+  for _ = 1 to len do
+    let q = Random.State.int st n in
+    let g =
+      match Random.State.int st 7 with
+      | 0 -> Gate.T q
+      | 1 -> Gate.Tdg q
+      | 2 -> Gate.S q
+      | 3 -> Gate.Sdg q
+      | 4 -> Gate.Z q
+      | 5 -> Gate.Rz (Random.State.float st 6.28 -. 3.14, q)
+      | _ ->
+          let q2 = (q + 1 + Random.State.int st (n - 1)) mod n in
+          Gate.Cz (q, q2)
+    in
+    gates := g :: !gates
+  done;
+  Circuit.of_gates n (List.init n (fun q -> Gate.H q) @ List.rev !gates)
+
+let perm_heavy st n len =
+  let gates = ref [] in
+  for _ = 1 to len do
+    let q = Random.State.int st n in
+    let q2 = (q + 1 + Random.State.int st (n - 1)) mod n in
+    let g =
+      match Random.State.int st 4 with
+      | 0 -> Gate.X q
+      | 1 -> Gate.Cnot (q, q2)
+      | 2 -> Gate.Swap (q, q2)
+      | _ ->
+          let q3 = (max q q2 + 1) mod n in
+          if q3 = q || q3 = q2 then Gate.Cnot (q, q2) else Gate.Ccx (q, q2, q3)
+    in
+    gates := g :: !gates
+  done;
+  Circuit.of_gates n ([ Gate.H 0; Gate.H 1 ] @ List.rev !gates)
+
+let prop_shard_diag =
+  Helpers.prop "sharded = flat on diagonal-heavy circuits" ~count:40
+    (seeded_circuit_gen (fun st -> diag_heavy st 5 60))
+    shard_equiv
+
+let prop_shard_perm =
+  Helpers.prop "sharded = flat on permutation-heavy circuits" ~count:40
+    (seeded_circuit_gen (fun st -> perm_heavy st 5 60))
+    shard_equiv
+
+let prop_shard_general =
+  Helpers.prop "sharded = flat on general Clifford+T circuits" ~count:40
+    QCheck2.Gen.(
+      let* seed = int_bound 1_000_000 in
+      Helpers.qcircuit_gen ~diagonals:(seed mod 2 = 0) 4 50)
+    shard_equiv
+
+(* --- bit-identity across jobs × shard-bits --- *)
+
+(* 15 qubits puts the state (2^15) above par_threshold (2^14), so the
+   parallel kernels, cross-slab passes and chunked reductions engage.
+   The trailing H block touches only qubits 0-5: it fuses into its own
+   butterfly kernel whose bits sit below every shard-bits setting used
+   here, keeping at least one slab-local kernel in the schedule. *)
+let wide_circuit =
+  lazy
+    (Circuit.of_gates 15
+       (List.init 15 (fun q -> Gate.H q)
+       @ List.concat
+           (List.init 2 (fun _ ->
+                List.init 15 (fun q -> Gate.T q)
+                @ List.init 14 (fun q -> Gate.Cnot (q, q + 1))))
+       @ List.init 6 (fun q -> Gate.H q)))
+
+let bit_identical s1 s2 =
+  let identical = ref true in
+  for x = 0 to Statevector.size s1 - 1 do
+    let a = Statevector.amplitude s1 x and b = Statevector.amplitude s2 x in
+    if not (a.re = b.re && a.im = b.im) then identical := false
+  done;
+  !identical
+
+let run_config ~jobs ~shard c =
+  Statevector.clear_plan_cache ();
+  with_jobs jobs (fun () -> with_shard shard (fun () -> Statevector.run c))
+
+let test_bit_identity_matrix () =
+  let c = Lazy.force wide_circuit in
+  let reference = run_config ~jobs:1 ~shard:None c in
+  List.iter
+    (fun jobs ->
+      List.iter
+        (fun shard ->
+          let s = run_config ~jobs ~shard c in
+          Alcotest.(check bool)
+            (Printf.sprintf "bit-identical at jobs=%d shard=%s" jobs
+               (match shard with None -> "auto" | Some b -> string_of_int b))
+            true
+            (bit_identical reference s))
+        [ None; Some 8; Some 11; Some 14 ])
+    [ 1; 2; 4 ]
+
+let test_sampler_across_configs () =
+  let c = Lazy.force wide_circuit in
+  let reference = run_config ~jobs:1 ~shard:None c in
+  let smp_ref = Statevector.sampler reference in
+  List.iter
+    (fun (jobs, shard) ->
+      let s = run_config ~jobs ~shard c in
+      let smp = with_jobs jobs (fun () -> Statevector.sampler s) in
+      for seed = 0 to 20 do
+        Alcotest.(check int) "sampler draw identical"
+          (Statevector.sample_with smp_ref (Helpers.rng seed))
+          (Statevector.sample_with smp (Helpers.rng seed))
+      done;
+      (* slab-ordered reductions are bit-identical too *)
+      Alcotest.(check bool) "norm2 identical" true
+        (Statevector.norm2 reference = Statevector.norm2 s);
+      Alcotest.(check bool) "prob_of_qubit identical" true
+        (Statevector.prob_of_qubit reference 7 = Statevector.prob_of_qubit s 7))
+    [ (1, Some 8); (2, Some 11); (4, Some 8); (4, None) ]
+
+let counter_totals_for ~jobs ~shard c =
+  let m = Obs.Memory.create () in
+  Obs.reset ();
+  Obs.set_sink (Some (Obs.Memory.sink m));
+  Fun.protect
+    ~finally:(fun () -> Obs.set_sink None)
+    (fun () -> ignore (run_config ~jobs ~shard c));
+  Obs.Summary.counter_totals (Obs.Memory.events m)
+
+let test_obs_totals_across_configs () =
+  let c = Lazy.force wide_circuit in
+  (* across jobs at a fixed shard setting: every counter total matches,
+     including the sv.shard.* ones *)
+  let t1 = counter_totals_for ~jobs:1 ~shard:(Some 11) c in
+  let t4 = counter_totals_for ~jobs:4 ~shard:(Some 11) c in
+  Alcotest.(check (list (pair string int)))
+    "telemetry totals identical across --jobs" t1 t4;
+  Alcotest.(check bool) "slabs counted" true
+    (match List.assoc_opt "sv.shard.slabs" t1 with
+    | Some n -> n = 16 (* 2^(15-11) *)
+    | None -> false);
+  Alcotest.(check bool) "local blocks counted" true
+    (List.assoc_opt "sv.shard.local_blocks" t1 <> None);
+  (* across shard settings only the shard-layout counters may differ *)
+  let strip =
+    List.filter (fun (k, _) -> not (Helpers.contains ~needle:"sv.shard." k))
+  in
+  let tflat = counter_totals_for ~jobs:2 ~shard:None c in
+  Alcotest.(check (list (pair string int)))
+    "non-shard totals identical across shard-bits" (strip tflat) (strip t4)
+
+(* --- peephole: reorder preserves the unitary --- *)
+
+let prop_peephole_unitary =
+  Helpers.prop "peephole preserves the circuit unitary" ~count:60
+    QCheck2.Gen.(
+      let* seed = int_bound 1_000_000 in
+      Helpers.qcircuit_gen ~diagonals:(seed mod 2 = 0) 4 30)
+    (fun c ->
+      let n = Circuit.num_qubits c in
+      let gates = Circuit.to_array c in
+      let reordered = Statevector.Plan.peephole gates in
+      Unitary.equal
+        (Unitary.of_gates n (Array.to_list gates))
+        (Unitary.of_gates n (Array.to_list reordered)))
+
+let test_peephole_widens_runs () =
+  (* H layers interleaved with disjoint CNOTs: the peephole defers the
+     H's so the classical gates fuse into one monomial block *)
+  let c =
+    Circuit.of_gates 4
+      [ Gate.X 0; Gate.H 2; Gate.Cnot (0, 1); Gate.H 3; Gate.Cnot (1, 0) ]
+  in
+  let st = Statevector.Plan.stats (Statevector.Plan.build c) in
+  Alcotest.(check int) "one monomial block" 1 st.Statevector.Plan.perm;
+  Alcotest.(check int) "one fused H block" 1 st.Statevector.Plan.had;
+  Alcotest.(check int) "no dense blocks" 0 st.Statevector.Plan.dense;
+  Alcotest.(check bool) "replay agrees with unfused" true
+    (same_amplitudes (run_planned c) (Statevector.run ~fuse:false c))
+
+(* --- memory guard --- *)
+
+let test_alloc_guard () =
+  Unix.putenv "DAUTOQ_SV_MAX_QUBITS" "10";
+  Fun.protect
+    ~finally:(fun () -> Unix.putenv "DAUTOQ_SV_MAX_QUBITS" "")
+    (fun () ->
+      (match Statevector.init 10 with
+      | s -> Alcotest.(check int) "cap width allocates" 10 (Statevector.num_qubits s)
+      | exception _ -> Alcotest.fail "within-cap allocation refused");
+      match Statevector.init 11 with
+      | exception Statevector.Unsupported msg ->
+          Alcotest.(check bool) "token-named message" true
+            (Helpers.contains ~needle:"sv.alloc:" msg);
+          Alcotest.(check bool) "suggests the stabilizer backend" true
+            (Helpers.contains ~needle:"stabilizer" msg)
+      | _ -> Alcotest.fail "over-cap allocation accepted")
+
+(* --- LRU plan cache --- *)
+
+let cache_circuit tag =
+  (* distinct structural keys at planner width (>= fuse_min_qubits) *)
+  Circuit.of_gates 10
+    (List.init 10 (fun q -> Gate.H q)
+    @ List.init tag (fun i -> Gate.T (i mod 10))
+    @ List.init 9 (fun q -> Gate.Cnot (q, q + 1)))
+
+let test_lru_eviction () =
+  Unix.putenv "DAUTOQ_PLAN_CACHE" "2";
+  Fun.protect
+    ~finally:(fun () -> Unix.putenv "DAUTOQ_PLAN_CACHE" "")
+    (fun () ->
+      let m = Obs.Memory.create () in
+      Obs.reset ();
+      Obs.set_sink (Some (Obs.Memory.sink m));
+      Fun.protect
+        ~finally:(fun () -> Obs.set_sink None)
+        (fun () ->
+          Statevector.clear_plan_cache ();
+          let run tag = ignore (Statevector.run (cache_circuit tag)) in
+          run 1;
+          run 2;
+          run 1 (* hit: refreshes 1's recency *);
+          run 3 (* evicts 2, the least recently used *);
+          run 1 (* still cached: hit, no rebuild *);
+          run 2 (* rebuilt: was evicted *));
+      let totals = Obs.Summary.counter_totals (Obs.Memory.events m) in
+      Alcotest.(check (option int)) "replays: the two hits on circuit 1"
+        (Some 2)
+        (List.assoc_opt "sv.plan.replay" totals);
+      Alcotest.(check bool) "evictions counted" true
+        (match List.assoc_opt "sv.plan.evict" totals with
+        | Some n -> n >= 2 (* circuit 2 evicted, then 1 or 3 for 2's rebuild *)
+        | None -> false);
+      let size, cap, evictions = Statevector.plan_cache_stats () in
+      Alcotest.(check int) "capacity from env" 2 cap;
+      Alcotest.(check bool) "size within capacity" true (size <= 2);
+      Alcotest.(check bool) "stats report evictions" true (evictions >= 2);
+      Statevector.clear_plan_cache ();
+      let size', _, evictions' = Statevector.plan_cache_stats () in
+      Alcotest.(check int) "clear empties the cache" 0 size';
+      Alcotest.(check int) "clear resets evictions" 0 evictions')
+
+let () =
+  Alcotest.run "shard"
+    [ ( "shard-equivalence",
+        [ prop_shard_diag; prop_shard_perm; prop_shard_general ] );
+      ( "bit-identity",
+        [ Alcotest.test_case "amplitudes across jobs x shard-bits" `Quick
+            test_bit_identity_matrix;
+          Alcotest.test_case "sampler draws and reductions" `Quick
+            test_sampler_across_configs;
+          Alcotest.test_case "telemetry totals" `Quick
+            test_obs_totals_across_configs ] );
+      ( "peephole",
+        [ prop_peephole_unitary;
+          Alcotest.test_case "widens monomial runs" `Quick
+            test_peephole_widens_runs ] );
+      ( "guards",
+        [ Alcotest.test_case "allocation cap" `Quick test_alloc_guard;
+          Alcotest.test_case "LRU plan cache" `Quick test_lru_eviction ] ) ]

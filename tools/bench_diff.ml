@@ -6,7 +6,7 @@
      bench_diff [OLD.json NEW.json] [--corpus] [--fail-on-regression]
                 [--threshold m=frac[,m=frac...]] [--only PREFIX] [--json FILE]
 
-   With no paths the tool looks for BENCH_pr7.json and BENCH_pr8.json,
+   With no paths the tool looks for BENCH_pr8.json and BENCH_pr9.json,
    searching upward from the current directory (so it works both from the
    repo root and from dune's build directories). Without
    --fail-on-regression it is a report step, not a gate: missing files or
@@ -204,7 +204,7 @@ let () =
   let explicit, old_path, new_path =
     match o.paths with
     | [ op; np ] -> (true, Some op, Some np)
-    | [] -> (false, find_up "BENCH_pr7.json", find_up "BENCH_pr8.json")
+    | [] -> (false, find_up "BENCH_pr8.json", find_up "BENCH_pr9.json")
     | _ ->
         prerr_endline usage;
         exit 2
