@@ -7,8 +7,9 @@
      dune exec bench/main.exe            -- tables + timings
      dune exec bench/main.exe quick      -- timings only
      dune exec bench/main.exe json       -- timings + telemetry counters
-                                            + corpus snapshot written to
-                                            BENCH_pr9.json *)
+                                            + corpus snapshot + serve load
+                                            metrics written to
+                                            BENCH_pr10.json *)
 
 open Bechamel
 open Bechamel.Toolkit
@@ -98,6 +99,17 @@ let diag24 = diag_circuit 24 ~layers:1
    engine exists for. One layer keeps a single run inside the quota. *)
 let diag26 = diag_circuit 26 ~layers:1
 let diag28 = diag_circuit 28 ~layers:1
+
+(* PR 10 fixtures: the multi-tenant compile service under sustained
+   overload. The Bechamel entry replays a small open-loop trace (240
+   requests, rate 3x capacity — each run is a full admit/schedule/shed
+   cycle); the big 1200-request profile feeds the "serve" JSON section
+   with queue-wait/latency percentiles rather than a time-per-run. *)
+let serve_small =
+  { Serve.Load.default with Serve.Load.requests = 240; seed = 11; shots = 8 }
+
+let serve_profile =
+  { Serve.Load.default with Serve.Load.requests = 1200; seed = 0xBEEF; shots = 16 }
 
 let tests =
   Test.make_grouped ~name:"dautoq"
@@ -263,7 +275,14 @@ let tests =
         (let tt = Logic.Funcgen.majority 10 in
          stage (fun () ->
              let m = Logic.Bdd.create 10 in
-             Logic.Bdd.of_truth_table m tt)) ]
+             Logic.Bdd.of_truth_table m tt));
+      (* PR 10: the service scheduler end to end — admission, DRR rounds,
+         coalescing and shedding over a fixed overload trace. jobs:1 keeps
+         the timed region free of pool interaction. Deliberately last:
+         the run leaves populated caches behind (live heap the major GC
+         would then mark while timing every later entry). *)
+      Test.make ~name:"serve_load_240"
+        (stage (fun () -> Serve.Load.run ~jobs:1 serve_small)) ]
 
 (* Bechamel estimates as [(name, ns_per_run option)] rows, sorted. *)
 let measure_benchmarks () =
@@ -347,9 +366,19 @@ let write_bench_json path rows events =
       (Obs.Summary.span_totals events)
   in
   let corpus_snapshot = capture_corpus () in
+  (* the ISSUE-level load profile: >= 1000 mixed requests over 4 tenants
+     at 3x capacity; percentiles are virtual-clock, so the section is
+     machine-independent and diffable across PRs *)
+  let serve_summary = Serve.Load.run ~jobs:bench_jobs serve_profile in
+  let serve_section =
+    Obj
+      (List.map
+         (fun (name, v) -> (name, Num v))
+         (Serve.summary_metrics serve_summary))
+  in
   let doc =
     Obj
-      [ ("pr", Num 9.); ("suite", String "dautoq");
+      [ ("pr", Num 10.); ("suite", String "dautoq");
         (* parallel speedups only show up with real cores behind the pool *)
         ("recommended_domains", Num (float_of_int (Par.recommended ())));
         ("jobs", Num (float_of_int bench_jobs));
@@ -357,6 +386,7 @@ let write_bench_json path rows events =
         ("telemetry",
          Obj [ ("counters", Obj counters); ("histograms", Obj histograms);
                ("spans", Obj spans) ]);
+        ("serve", serve_section);
         ("corpus", Corpus.snapshot_to_json corpus_snapshot) ]
   in
   let oc = open_out path in
@@ -377,4 +407,4 @@ let () =
   end;
   let rows = measure_benchmarks () in
   print_rows rows;
-  if json then write_bench_json "BENCH_pr9.json" rows (capture_telemetry ())
+  if json then write_bench_json "BENCH_pr10.json" rows (capture_telemetry ())

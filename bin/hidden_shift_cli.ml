@@ -128,6 +128,7 @@ let with_session ~jobs ~shard_bits ~cache_dir ~no_cache ~no_plan ~trace_out body
       | Qc.Backend.Unsupported msg
       | Qc.Statevector.Unsupported msg
       | Device.Bad_profile msg
+      | Serve.Bad_tenant msg
       | Invalid_argument msg ) ->
       (* operational errors exit with a one-line message, never a backtrace *)
       finish ();

@@ -43,6 +43,7 @@ let repl () =
 
 let () =
   Corpus.install_shell_command ();
+  Serve.install_shell_command ();
   match Array.to_list Sys.argv with
   | [ _ ] -> repl ()
   | [ _; "-c"; cmds ] -> ignore (run_batch (Core.Shell.init ()) cmds)

@@ -226,6 +226,19 @@ let xag_of_spec s =
     irreversible multi-output one, or an XAG oracle. *)
 type spec = Perm_spec of Perm.t | Fn_spec of Truth_table.t list | Xag_spec of Rev.Xag.t
 
+(** [spec_key s] is a compact string identifying a spec up to structural
+    equality — two specs with equal keys synthesize identical circuits
+    under the same pipeline. The serve layer coalesces concurrent
+    requests on this key (and the NPN/XAG caches dedupe the synthesis
+    work behind it). *)
+let spec_key = function
+  | Perm_spec p ->
+      "p:"
+      ^ String.concat ","
+          (Array.to_list (Array.map string_of_int (Perm.to_array p)))
+  | Fn_spec fs -> "f:" ^ String.concat ";" (List.map Truth_table.to_string fs)
+  | Xag_spec g -> "x:" ^ Rev.Xag.structural_key g
+
 (** [compile_batch ?options ?pipeline ?jobs specs] compiles independent
     oracles, fanning the jobs out over the {!Par} domain pool (width
     [jobs], default {!Par.default_jobs}). The shared compilation cache is

@@ -23,9 +23,15 @@
 
     Telemetry: [device.retry], [device.submit.fail], [device.timeout],
     [device.invalid], [device.shots.lost], [device.fallback],
-    [device.breaker.{open,halfopen,close,skip}], [device.drift.flag]
-    counters, a [device.attempt] span per attempt, and a
-    [device.submit] span per job. *)
+    [device.breaker.{open,halfopen,close,skip}], [device.drift.flag],
+    [device.budget.stop] counters, a [device.attempt] span per attempt,
+    and a [device.submit] span per job.
+
+    Besides the attempt-count deadline, {!submit} enforces a virtual
+    wall-clock budget ([policy.budget_us], or the [?budget_us]
+    override): attempt costs and backoff delays are charged to one
+    meter shared across the whole fallback chain, so an upstream
+    deadline composes — see {!submit}. *)
 
 module Backend = Qc.Backend
 module Circuit = Qc.Circuit
@@ -247,11 +253,17 @@ type policy = {
   batches : int; (* shot batches per job (the salvage granularity) *)
   backoff_base_us : float;
   backoff_cap_us : float;
+  budget_us : float; (* virtual wall-clock budget for the whole job,
+                        spanning every attempt across the primary AND
+                        the fallback chain (infinity = unlimited) *)
+  attempt_us : float; (* modelled cost of one completed attempt *)
+  stuck_us : float; (* modelled cost of an attempt that hangs to timeout *)
 }
 
 let default_policy =
   { max_retries = 8; deadline = 96; breaker_threshold = 3; cooldown = 4;
-    batches = 8; backoff_base_us = 200.; backoff_cap_us = 20_000. }
+    batches = 8; backoff_base_us = 200.; backoff_cap_us = 20_000.;
+    budget_us = infinity; attempt_us = 500.; stuck_us = 20_000. }
 
 type breaker_state = Closed | Open of { since : int } | Half_open
 
@@ -443,6 +455,8 @@ type job = {
   lost : int; (* shots lost to short batches *)
   drift_flagged : bool;
   backends_used : string list; (* first-use order *)
+  elapsed_us : float; (* modelled wall-clock this job consumed (attempt
+                         costs plus recorded backoff; never slept) *)
   verdict : Backend.verdict;
 }
 
@@ -458,17 +472,34 @@ let backoff_us pol p ~attempt ~retry =
   (* deterministic jitter in [0.5, 1.5) of the capped delay *)
   capped *. (0.5 +. roll p ~attempt ~salt:6)
 
-(** [submit ?shots ?seed d circuit] runs one job: the requested shots are
-    split into [policy.batches] batches, each batch is attempted under
-    the job's deadline with capped exponential backoff (computed and
-    recorded, never slept), the circuit breaker routes around a failing
-    primary via the fallback chain, completed batches merge into the
-    histogram (partial-result salvage), and the job reports delivered
-    vs. requested shots with a {!Backend.verdict}. Never raises on
-    injected faults — total failure is the [Failed] verdict. *)
-let submit ?shots ?seed (d : t) circuit =
+(** [submit ?shots ?seed ?budget_us d circuit] runs one job: the
+    requested shots are split into [policy.batches] batches, each batch
+    is attempted under the job's deadline with capped exponential
+    backoff (computed and recorded, never slept), the circuit breaker
+    routes around a failing primary via the fallback chain, completed
+    batches merge into the histogram (partial-result salvage), and the
+    job reports delivered vs. requested shots with a {!Backend.verdict}.
+    Never raises on injected faults — total failure is the [Failed]
+    verdict.
+
+    [budget_us] (default [policy.budget_us]) is a {e true wall-clock
+    budget across the whole job}: every attempt — primary, fallback or
+    breaker-skip, on any batch — charges its modelled cost
+    ([attempt_us], or [stuck_us] when the attempt hangs to its timeout,
+    plus the recorded backoff delay) against one shared meter, and no
+    new attempt starts once the meter is exhausted. A chain of slow
+    fallbacks therefore cannot overshoot the budget by more than one
+    attempt's worth ([stuck_us + attempt_us + 1.5 * backoff_cap_us] in
+    the worst case — the cost of the attempt already in flight when the
+    meter ran out). The clock is virtual (costs are charged, never
+    slept), so budgeted jobs stay bit-reproducible; a serve-level
+    deadline composes by passing its remaining time here. *)
+let submit ?shots ?seed ?budget_us (d : t) circuit =
   let requested = match shots with Some s -> max 1 s | None -> d.default_shots in
   let seed = match seed with Some s -> s | None -> d.default_seed in
+  let budget =
+    match budget_us with Some b -> b | None -> d.policy.budget_us
+  in
   Obs.with_span "device.submit" @@ fun () ->
   if Obs.enabled () then
     Obs.add_attrs
@@ -481,6 +512,8 @@ let submit ?shots ?seed (d : t) circuit =
   let merged : (int, int) Hashtbl.t = Hashtbl.create 64 in
   let delivered = ref 0 and retries = ref 0 and lost = ref 0 in
   let attempts_here = ref 0 in
+  let elapsed_us = ref 0. in
+  let budget_noted = ref false in
   let drift_flagged = ref false in
   let backends_used = ref [] in
   let last_error = ref None in
@@ -539,7 +572,16 @@ let submit ?shots ?seed (d : t) circuit =
   (* One batch: Some (histogram, backend) once delivered, None when the
      deadline or the per-batch retry budget runs out. *)
   let rec attempt_batch ~batch ~bseed ~bshots ~retry =
-    if !attempts_here >= pol.deadline || retry > pol.max_retries then None
+    if !elapsed_us >= budget then begin
+      (* the shared wall-clock meter is exhausted: no batch — primary or
+         fallback — may start another attempt *)
+      if not !budget_noted then begin
+        budget_noted := true;
+        Obs.count "device.budget.stop"
+      end;
+      None
+    end
+    else if !attempts_here >= pol.deadline || retry > pol.max_retries then None
     else begin
       let a = d.attempt_counter in
       d.attempt_counter <- a + 1;
@@ -594,6 +636,7 @@ let submit ?shots ?seed (d : t) circuit =
       in
       match result with
       | Skipped ->
+          elapsed_us := !elapsed_us +. pol.attempt_us;
           d.stats.breaker_skips <- d.stats.breaker_skips + 1;
           Obs.count "device.breaker.skip";
           attempt_batch ~batch ~bseed ~bshots ~retry
@@ -602,9 +645,19 @@ let submit ?shots ?seed (d : t) circuit =
           d.stats.retries <- d.stats.retries + 1;
           Obs.count "device.retry";
           Obs.count counter;
-          Obs.observe "device.backoff.us" (backoff_us pol p ~attempt:a ~retry);
+          let backoff = backoff_us pol p ~attempt:a ~retry in
+          Obs.observe "device.backoff.us" backoff;
+          (* a stuck attempt burns its whole timeout window; any other
+             fault costs one attempt — plus the backoff delay, which is
+             charged to the meter even though it is never slept *)
+          elapsed_us :=
+            !elapsed_us
+            +. (if counter = "device.timeout" then pol.stuck_us
+                else pol.attempt_us)
+            +. backoff;
           attempt_batch ~batch ~bseed ~bshots ~retry:(retry + 1)
       | Delivered { hist; backend; dropped } ->
+          elapsed_us := !elapsed_us +. pol.attempt_us;
           if backend <> d.primary.t_name then begin
             d.stats.fallback_batches <- d.stats.fallback_batches + 1;
             Obs.count "device.fallback"
@@ -708,7 +761,7 @@ let submit ?shots ?seed (d : t) circuit =
       List.sort compare (Hashtbl.fold (fun x k acc -> (x, k) :: acc) merged []);
     requested; delivered = !delivered; attempts = !attempts_here;
     retries = !retries; lost = !lost; drift_flagged = !drift_flagged;
-    backends_used = !backends_used; verdict }
+    backends_used = !backends_used; elapsed_us = !elapsed_us; verdict }
 
 (* ------------------------------------------------------------------ *)
 (* Job projections                                                     *)

@@ -197,6 +197,17 @@ module Summary = struct
       p95 = pct 0.95;
       p99 = pct 0.99 }
 
+  (** [sample_values events name] is every [Sample] value recorded under
+      [name], in stream order — the raw series behind one histogram row
+      (the serve smoke tests read latency series out of traces with
+      this). *)
+  let sample_values events name =
+    List.filter_map
+      (function
+        | Sample { name = n; value; _ } when n = name -> Some value
+        | _ -> None)
+      events
+
   (** [histogram_stats events] summarizes every [Sample] series, sorted by
       name. *)
   let histogram_stats events =

@@ -132,6 +132,45 @@ let run_tasks p (tasks : (unit -> unit) array) =
     match !first_exn with Some e -> raise e | None -> ()
   end
 
+(* ------------------------------------------------------------------ *)
+(* Cancellation                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(** A cancellation token: a cross-domain flag consulted between task
+    chunks. Cancellation is cooperative — a task that has already
+    started always runs to completion (the pool never interrupts a
+    domain); tasks that have not yet begun are skipped once the token
+    is set. *)
+type cancel = bool Atomic.t
+
+let cancel_token () : cancel = Atomic.make false
+let cancel (t : cancel) = Atomic.set t true
+let cancelled (t : cancel) = Atomic.get t
+
+(** [run_tasks_cancellable p token tasks] is {!run_tasks} with checked
+    cancellation: the token is consulted immediately before each task
+    starts, and once set every not-yet-started task is skipped. Returns
+    the number of tasks that actually ran. The {!run_tasks} exception
+    contract is unchanged — a raising task neither aborts nor cancels
+    the batch; the queue still drains (running or skipping every
+    remaining task) and the first exception re-raises afterwards, so
+    the pool stays reusable. Determinism: a token set {e before}
+    submission skips every task at any pool width; a token set
+    concurrently races task starts, so the skipped set is only
+    reproducible at [jobs = 1] (the serve layer cancels strictly before
+    submission for exactly this reason). *)
+let run_tasks_cancellable p (token : cancel) (tasks : (unit -> unit) array) =
+  let ran = Atomic.make 0 in
+  run_tasks p
+    (Array.map
+       (fun t () ->
+         if not (Atomic.get token) then begin
+           Atomic.incr ran;
+           t ()
+         end)
+       tasks);
+  Atomic.get ran
+
 (** [parallel_for p ?chunks ~start ~stop body] runs [body lo hi] over a
     partition of [\[start, stop)] (default: one chunk per pool slot).
     The caller guarantees the chunks write disjoint locations; under that

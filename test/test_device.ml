@@ -233,6 +233,56 @@ let test_outcome_projection () =
         "frequencies" [ (2, 1.0) ] histogram
   | _ -> Alcotest.fail "expected a Job outcome"
 
+let test_budget_caps_elapsed () =
+  (* a failing primary with a failing fallback burns attempts until the
+     virtual wall-clock meter runs out; the overshoot past the budget is
+     at most one attempt's worth, across the WHOLE chain *)
+  let policy =
+    { Device.default_policy with
+      Device.max_retries = 50; deadline = 200; batches = 4;
+      backoff_base_us = 100.; backoff_cap_us = 400.;
+      attempt_us = 1_000.; stuck_us = 5_000. }
+  in
+  let budget_us = 3_000. in
+  let d =
+    Device.create ~policy
+      ~fallbacks:[ always_fail "backup" ]
+      (always_fail "primary")
+  in
+  let m = Obs.Memory.create () in
+  Obs.reset ();
+  Obs.set_sink (Some (Obs.Memory.sink m));
+  let j =
+    Fun.protect
+      ~finally:(fun () -> Obs.set_sink None)
+      (fun () -> Device.submit ~shots:64 ~budget_us d bell)
+  in
+  let worst_overshoot =
+    policy.Device.stuck_us +. policy.Device.attempt_us
+    +. (1.5 *. policy.Device.backoff_cap_us)
+  in
+  Alcotest.(check bool) "failed verdict" true
+    (match j.Device.verdict with Backend.Failed _ -> true | _ -> false);
+  Alcotest.(check bool) "meter exhausted" true (j.Device.elapsed_us >= budget_us);
+  Alcotest.(check bool) "overshoot bounded by one attempt" true
+    (j.Device.elapsed_us <= budget_us +. worst_overshoot);
+  Alcotest.(check bool) "attempts stopped far below the attempt deadline" true
+    (j.Device.attempts < policy.Device.deadline / 4);
+  let totals = Obs.Summary.counter_totals (Obs.Memory.events m) in
+  Alcotest.(check bool) "device.budget.stop emitted" true
+    (Option.value ~default:0 (List.assoc_opt "device.budget.stop" totals) >= 1);
+  (* same device, default (infinite) budget: the attempt deadline is the
+     binding limit again, so the budgeted run was strictly shorter *)
+  let d2 =
+    Device.create ~policy ~fallbacks:[ always_fail "backup" ]
+      (always_fail "primary")
+  in
+  let j2 = Device.submit ~shots:64 d2 bell in
+  Alcotest.(check bool) "unbudgeted run burns more attempts" true
+    (j2.Device.attempts > j.Device.attempts);
+  Alcotest.(check bool) "elapsed is still metered" true
+    (j2.Device.elapsed_us > j.Device.elapsed_us)
+
 let test_obs_counters () =
   let m = Obs.Memory.create () in
   Obs.reset ();
@@ -273,7 +323,9 @@ let () =
           Alcotest.test_case "breaker routes to fallback" `Quick
             test_breaker_and_fallback;
           Alcotest.test_case "breaker re-closes after recovery" `Quick
-            test_breaker_recloses ] );
+            test_breaker_recloses;
+          Alcotest.test_case "wall-clock budget bounds the chain" `Quick
+            test_budget_caps_elapsed ] );
       ( "determinism",
         [ Alcotest.test_case "faulted job replays bit-identically" `Quick
             test_faulted_job_deterministic;

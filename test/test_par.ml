@@ -78,6 +78,56 @@ let test_with_pool_width () =
   Par.with_pool ~jobs:4 (fun p ->
       Alcotest.(check bool) "at least requested width" true (Par.size p >= 4))
 
+(* --- checked cancellation (run_tasks_cancellable contract) --- *)
+
+let test_cancel_before_submit () =
+  (* a token set before submission skips every task, at any pool width *)
+  List.iter
+    (fun jobs ->
+      with_temp_pool jobs (fun p ->
+          let token = Par.cancel_token () in
+          Par.cancel token;
+          let hits = Atomic.make 0 in
+          let ran =
+            Par.run_tasks_cancellable p token
+              (Array.init 16 (fun _ () -> Atomic.incr hits))
+          in
+          Alcotest.(check int) "no task body ran" 0 (Atomic.get hits);
+          Alcotest.(check int) "ran count is zero" 0 ran))
+    [ 1; 4 ]
+
+let test_cancel_mid_run () =
+  (* at jobs:1 tasks run in index order, so a token set by task k stops
+     every later task deterministically *)
+  with_temp_pool 1 (fun p ->
+      let token = Par.cancel_token () in
+      let hits = ref [] in
+      let ran =
+        Par.run_tasks_cancellable p token
+          (Array.init 8 (fun i () ->
+               hits := i :: !hits;
+               if i = 2 then Par.cancel token))
+      in
+      Alcotest.(check (list int)) "tasks after the cancel skipped" [ 2; 1; 0 ]
+        !hits;
+      Alcotest.(check int) "ran count matches" 3 ran;
+      Alcotest.(check bool) "token reads cancelled" true (Par.cancelled token))
+
+let test_cancel_pool_reusable () =
+  (* cancellation is per-token: the pool and a fresh token run normally *)
+  with_temp_pool 4 (fun p ->
+      let dead = Par.cancel_token () in
+      Par.cancel dead;
+      let _ = Par.run_tasks_cancellable p dead (Array.make 8 (fun () -> ())) in
+      let live = Par.cancel_token () in
+      let hits = Atomic.make 0 in
+      let ran =
+        Par.run_tasks_cancellable p live
+          (Array.init 8 (fun _ () -> Atomic.incr hits))
+      in
+      Alcotest.(check int) "all tasks ran" 8 (Atomic.get hits);
+      Alcotest.(check int) "ran count full" 8 ran)
+
 (* --- determinism: any jobs count reproduces the ~jobs:1 reference --- *)
 
 let bell3 =
@@ -255,6 +305,12 @@ let () =
             test_pool_reusable_after_raise;
           Alcotest.test_case "nested calls degrade" `Quick test_nested_calls_run;
           Alcotest.test_case "with_pool width" `Quick test_with_pool_width ] );
+      ( "cancellation",
+        [ Alcotest.test_case "pre-cancelled token skips all" `Quick
+            test_cancel_before_submit;
+          Alcotest.test_case "mid-run cancel at jobs 1" `Quick test_cancel_mid_run;
+          Alcotest.test_case "pool reusable after cancel" `Quick
+            test_cancel_pool_reusable ] );
       ( "determinism",
         [ Alcotest.test_case "run_shots jobs 1/2/3/4" `Quick test_shots_jobs_invariant;
           Alcotest.test_case "noiseless fast path" `Quick test_shots_jobs_invariant_noiseless;

@@ -1,0 +1,245 @@
+(* The multi-tenant compile service: tenant-roster parsing, admission
+   and shedding, deadline handling, request coalescing, the DRR
+   starvation bound, and the pool-width determinism contract (verdicts
+   and payloads are virtual-clock functions of the trace, identical at
+   any --jobs). *)
+
+let check_bad name spec =
+  Alcotest.(check bool)
+    (name ^ " rejected") true
+    (match Serve.tenants_of_spec spec with
+    | exception Serve.Bad_tenant _ -> true
+    | _ -> false)
+
+let test_tenant_spec_parse () =
+  let ts = Serve.tenants_of_spec "alpha:w=4,cap=48; beta:w=2 ;gamma" in
+  Alcotest.(check (list string))
+    "names" [ "alpha"; "beta"; "gamma" ]
+    (List.map (fun t -> t.Serve.name) ts);
+  Alcotest.(check (list int))
+    "weights" [ 4; 2; 1 ]
+    (List.map (fun t -> t.Serve.weight) ts);
+  Alcotest.(check (list int))
+    "capacities" [ 48; 32; 32 ]
+    (List.map (fun t -> t.Serve.capacity) ts);
+  Alcotest.(check string) "roundtrip" "alpha:w=4,cap=48"
+    (Serve.tenant_to_string (List.hd ts))
+
+let test_tenant_spec_errors () =
+  check_bad "empty spec" "";
+  check_bad "duplicate name" "a;a";
+  check_bad "zero weight" "x:w=0";
+  check_bad "non-numeric capacity" "x:cap=nope";
+  check_bad "unknown parameter" "x:zap=1"
+
+(* a small overload profile: cheap shots keep the test fast, rate 3x
+   keeps the scheduler in the shedding regime *)
+let small ?(seed = 5) ?(requests = 48) () =
+  { Serve.Load.default with Serve.Load.requests; seed; shots = 6 }
+
+let one_tenant = [ Serve.tenant ~weight:2 ~capacity:8 "solo" ]
+
+let quick_req ?(tenant = "solo") ?(deadline_us = 50_000.) () =
+  { Serve.tenant; spec = Core.Flow.Perm_spec (Logic.Funcgen.hwb 3);
+    pipeline = None; backend = "statevector"; shots = 1; deadline_us }
+
+let test_every_request_settles () =
+  (* tight caps force the backpressure path even at this trace size *)
+  let t =
+    { (small ~requests:60 ()) with
+      Serve.Load.tenants = Serve.tenants_of_spec "a:w=2,cap=6;b:w=1,cap=4" }
+  in
+  let s = Serve.Load.run ~jobs:1 t in
+  Alcotest.(check int) "one record per request" 60 (Array.length s.Serve.results);
+  Alcotest.(check int) "verdict classes partition the trace" 60
+    (s.Serve.n_validated + s.Serve.n_degraded + s.Serve.n_shed
+   + s.Serve.n_deadline);
+  Alcotest.(check bool) "overload sheds" true (s.Serve.n_shed > 0);
+  Alcotest.(check bool) "still delivers" true
+    (s.Serve.n_validated + s.Serve.n_degraded > 0)
+
+let test_unknown_tenant_shed () =
+  let cfg = Serve.default_config ~tenants:one_tenant in
+  let s =
+    Serve.run ~jobs:1 cfg
+      [ { Serve.at_us = 0.; req = quick_req () };
+        { Serve.at_us = 1.; req = quick_req ~tenant:"ghost" () } ]
+  in
+  let ghost = s.Serve.results.(1) in
+  Alcotest.(check bool) "shed as unknown" true
+    (ghost.Serve.verdict = Serve.Shed "unknown_tenant");
+  Alcotest.(check int) "counted" 1 s.Serve.shed_unknown;
+  Alcotest.(check bool) "the known tenant's request survives" true
+    (s.Serve.results.(0).Serve.verdict = Serve.Validated)
+
+let test_deadline_verdicts () =
+  let cfg = Serve.default_config ~tenants:one_tenant in
+  let s =
+    Serve.run ~jobs:1 cfg
+      [ { Serve.at_us = 0.; req = quick_req ~deadline_us:1. () };
+        { Serve.at_us = 0.5; req = quick_req () } ]
+  in
+  let dead = s.Serve.results.(0) and live = s.Serve.results.(1) in
+  Alcotest.(check bool) "hopeless deadline named" true
+    (dead.Serve.verdict = Serve.Deadline_exceeded);
+  Alcotest.(check string) "expired requests carry no payload" ""
+    dead.Serve.payload;
+  Alcotest.(check bool) "generous deadline validates" true
+    (live.Serve.verdict = Serve.Validated);
+  Alcotest.(check bool) "delivered within its deadline" true
+    (live.Serve.latency_us <= (quick_req ()).Serve.deadline_us)
+
+let test_overload_sheds_min_weight () =
+  (* drive aggregate depth past the level-3 watermark (0.9 of total
+     capacity): the next arrival from a minimum-weight tenant is shed as
+     "overload" even though its own queue has room *)
+  let tenants = Serve.tenants_of_spec "big:w=2,cap=190;small:w=1,cap=10" in
+  let cfg = Serve.default_config ~tenants in
+  let flood =
+    List.init 185 (fun _ -> { Serve.at_us = 0.; req = quick_req ~tenant:"big" () })
+  in
+  let arrivals =
+    flood @ [ { Serve.at_us = 0.; req = quick_req ~tenant:"small" () } ]
+  in
+  let s = Serve.run ~jobs:1 cfg arrivals in
+  let last = s.Serve.results.(185) in
+  Alcotest.(check bool) "min-weight arrival shed as overload" true
+    (last.Serve.verdict = Serve.Shed "overload");
+  Alcotest.(check int) "counted as overload" 1 s.Serve.shed_overload;
+  Alcotest.(check int) "nobody hit queue_full" 0 s.Serve.shed_queue_full
+
+let test_coalesce_unit () =
+  (* coalescing is batch-scoped: both requests must be queued before the
+     first scheduler round picks them up together *)
+  let cfg = Serve.default_config ~tenants:one_tenant in
+  let s =
+    Serve.run ~jobs:1 cfg
+      [ { Serve.at_us = 0.; req = quick_req () };
+        { Serve.at_us = 0.; req = quick_req () } ]
+  in
+  let a = s.Serve.results.(0) and b = s.Serve.results.(1) in
+  Alcotest.(check int) "one execution" 1 s.Serve.compiles;
+  Alcotest.(check int) "one coalesce hit" 1 s.Serve.coalesce_hits;
+  Alcotest.(check int) "subscriber names the leader" a.Serve.jid b.Serve.leader;
+  Alcotest.(check string) "identical payloads" a.Serve.payload b.Serve.payload;
+  Alcotest.(check bool) "payload is real" true (String.length a.Serve.payload > 0)
+
+(* --- properties --- *)
+
+let seed_gen = QCheck2.Gen.int_bound 1000
+
+(* (a) all delivered subscribers of a coalescing group observe the exact
+   same payload and verdict — result sharing is all-or-nothing. (The
+   leader's own record may legitimately read Deadline_exceeded while a
+   longer-deadline subscriber still collects the shared result, so the
+   comparison is pairwise within the delivered set, not against the
+   leader's record.) *)
+let prop_coalesced_identical =
+  Helpers.prop "coalesced subscribers share payload+verdict" ~count:4 seed_gen
+    (fun seed ->
+      let s = Serve.Load.run ~jobs:1 (small ~seed ()) in
+      let by_leader : (int, Serve.job_result list) Hashtbl.t =
+        Hashtbl.create 32
+      in
+      Array.iter
+        (fun (r : Serve.job_result) ->
+          match r.Serve.verdict with
+          | Serve.Validated | Serve.Degraded _ ->
+              let prev =
+                Option.value ~default:[]
+                  (Hashtbl.find_opt by_leader r.Serve.leader)
+              in
+              Hashtbl.replace by_leader r.Serve.leader (r :: prev)
+          | _ -> ())
+        s.Serve.results;
+      Hashtbl.fold
+        (fun _ group ok ->
+          match group with
+          | [] -> ok
+          | (first : Serve.job_result) :: rest ->
+              ok
+              && List.for_all
+                   (fun (r : Serve.job_result) ->
+                     r.Serve.payload = first.Serve.payload
+                     && String.length r.Serve.payload > 0
+                     && Serve.verdict_to_string r.Serve.verdict
+                        = Serve.verdict_to_string first.Serve.verdict)
+                   rest)
+        by_leader true)
+
+(* (b) DRR never starves a backlogged tenant. Derivation of the bound:
+   while job j is queued its tenant stays backlogged, so every round
+   adds quantum * weight of credit and the deficit never resets; credit
+   is spent only on same-tenant jobs the EDF order puts before j. With
+   S(j) = total cost of every same-tenant job EDF-before j in the whole
+   trace (a superset of the jobs actually dispatched while j waited),
+   R rounds of waiting give R * credit < cost(j) + S(j), hence
+   head_rounds <= R <= ceil((cost(j) + S(j)) / credit). A nonzero
+   weight therefore implies a finite wait — the starvation bound. *)
+let prop_drr_starvation_bound =
+  Helpers.prop "DRR head wait is bounded" ~count:4 seed_gen (fun seed ->
+      let t = small ~seed ~requests:64 () in
+      let cfg = Serve.default_config ~tenants:t.Serve.Load.tenants in
+      let arrivals = Array.of_list (Serve.Load.trace t) in
+      let s = Serve.run ~jobs:1 cfg (Array.to_list arrivals) in
+      let weight_of name =
+        (List.find (fun tn -> tn.Serve.name = name) cfg.Serve.tenants)
+          .Serve.weight
+      in
+      let due i =
+        arrivals.(i).Serve.at_us +. arrivals.(i).Serve.req.Serve.deadline_us
+      in
+      let edf_before p j = due p < due j || (due p = due j && p < j) in
+      Array.for_all
+        (fun (r : Serve.job_result) ->
+          match r.Serve.admission with
+          | Serve.Admission.Shed _ -> true
+          | _ ->
+              let j = r.Serve.jid in
+              let cost i = Serve.request_cost arrivals.(i).Serve.req in
+              let ahead = ref 0. in
+              Array.iteri
+                (fun p (a : Serve.arrival) ->
+                  if
+                    p <> j
+                    && a.Serve.req.Serve.tenant = r.Serve.tenant
+                    && edf_before p j
+                  then ahead := !ahead +. cost p)
+                arrivals;
+              let credit =
+                cfg.Serve.quantum_us *. float_of_int (weight_of r.Serve.tenant)
+              in
+              r.Serve.head_rounds
+              <= int_of_float (ceil ((cost j +. !ahead) /. credit)) + 1)
+        s.Serve.results)
+
+(* (c) pool width is invisible: the per-request records digest and the
+   rendered summary are bit-identical at --jobs 1 and 4 *)
+let prop_jobs_invariant =
+  Helpers.prop "verdicts identical across jobs 1/4" ~count:3 seed_gen
+    (fun seed ->
+      let t = small ~seed ~requests:40 () in
+      let s1 = Serve.Load.run ~jobs:1 t in
+      let s4 = Serve.Load.run ~jobs:4 t in
+      Serve.results_digest s1 = Serve.results_digest s4
+      && Serve.summary_lines s1 = Serve.summary_lines s4)
+
+let () =
+  Alcotest.run "serve"
+    [ ( "tenants",
+        [ Alcotest.test_case "spec parses" `Quick test_tenant_spec_parse;
+          Alcotest.test_case "bad specs raise Bad_tenant" `Quick
+            test_tenant_spec_errors ] );
+      ( "scheduler",
+        [ Alcotest.test_case "every request settles" `Quick
+            test_every_request_settles;
+          Alcotest.test_case "unknown tenant sheds" `Quick
+            test_unknown_tenant_shed;
+          Alcotest.test_case "deadline verdicts" `Quick test_deadline_verdicts;
+          Alcotest.test_case "ladder level 3 sheds min-weight" `Quick
+            test_overload_sheds_min_weight;
+          Alcotest.test_case "identical requests coalesce" `Quick
+            test_coalesce_unit ] );
+      ( "properties",
+        [ prop_coalesced_identical; prop_drr_starvation_bound;
+          prop_jobs_invariant ] ) ]

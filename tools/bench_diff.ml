@@ -6,7 +6,7 @@
      bench_diff [OLD.json NEW.json] [--corpus] [--fail-on-regression]
                 [--threshold m=frac[,m=frac...]] [--only PREFIX] [--json FILE]
 
-   With no paths the tool looks for BENCH_pr8.json and BENCH_pr9.json,
+   With no paths the tool looks for BENCH_pr9.json and BENCH_pr10.json,
    searching upward from the current directory (so it works both from the
    repo root and from dune's build directories). Without
    --fail-on-regression it is a report step, not a gate: missing files or
@@ -20,7 +20,13 @@
    run must slow down by >25% to count as a regression). --only PREFIX
    restricts benchmarks mode to rows whose name starts with PREFIX, so
    `bench_diff --only sv_run_ --threshold runtime=0.1 --fail-on-regression`
-   gates just the statevector kernel-plan runs. *)
+   gates just the statevector kernel-plan runs.
+
+   Reports with a "serve" section (PR 10+) also contribute synthetic
+   rows named serve_load/<percentile> — the service's virtual-clock
+   queue-wait and end-to-end latency percentiles — so
+   `bench_diff --only serve_` tracks tail-latency drift across PRs the
+   same way the runtime rows track kernel drift. *)
 
 let find_up name =
   let rec search dir =
@@ -65,6 +71,21 @@ let benchmarks json =
         items
   | _ -> []
 
+(* Serve latency percentiles as synthetic benchmark rows. The section
+   stores virtual microseconds; rows convert to ns so the shared pretty
+   printer and the runtime-threshold semantics (bigger = worse) apply
+   unchanged. Reports without a "serve" member contribute nothing. *)
+let serve_rows json =
+  match field "serve" json with
+  | Some (Obs.Json.Obj kvs) ->
+      List.filter_map
+        (fun metric ->
+          match List.assoc_opt (metric ^ "_us") kvs with
+          | Some (Obs.Json.Num us) -> Some ("serve_load/" ^ metric, us *. 1e3)
+          | _ -> None)
+        [ "queue_wait_p50"; "queue_wait_p99"; "latency_p50"; "latency_p99" ]
+  | _ -> []
+
 let pr_label json =
   match field "pr" json with
   | Some (Obs.Json.Num f) -> Printf.sprintf "pr%.0f" f
@@ -95,8 +116,8 @@ let diff_benchmarks ~runtime_threshold ~only old_path new_path old_json new_json
   let keep (name, _) =
     match only with None -> true | Some p -> name_matches ~prefix:p name
   in
-  let old_rows = List.filter keep (benchmarks old_json)
-  and new_rows = List.filter keep (benchmarks new_json) in
+  let old_rows = List.filter keep (benchmarks old_json @ serve_rows old_json)
+  and new_rows = List.filter keep (benchmarks new_json @ serve_rows new_json) in
   Printf.printf "bench_diff: %s (%s) vs %s (%s)\n" old_path (pr_label old_json)
     new_path (pr_label new_json);
   Printf.printf "%-42s %12s %12s %9s\n" "benchmark" "old" "new" "speedup";
@@ -204,7 +225,7 @@ let () =
   let explicit, old_path, new_path =
     match o.paths with
     | [ op; np ] -> (true, Some op, Some np)
-    | [] -> (false, find_up "BENCH_pr8.json", find_up "BENCH_pr9.json")
+    | [] -> (false, find_up "BENCH_pr9.json", find_up "BENCH_pr10.json")
     | _ ->
         prerr_endline usage;
         exit 2
